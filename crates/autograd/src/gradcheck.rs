@@ -1,0 +1,180 @@
+//! Finite-difference gradient checking.
+//!
+//! Used by the test suites of this crate and of `lncl-nn` to verify that
+//! every hand-written backward rule matches the numerical derivative of the
+//! forward computation.
+
+use crate::{Tape, Var};
+use lncl_tensor::Matrix;
+
+/// Result of a gradient check for a single input matrix.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Maximum absolute difference between analytic and numeric gradients.
+    pub max_abs_diff: f32,
+    /// Maximum relative difference (|a - n| / max(1, |a|, |n|)).
+    pub max_rel_diff: f32,
+}
+
+impl GradCheckReport {
+    /// True when both the absolute and relative differences are within
+    /// `tol`.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_abs_diff <= tol || self.max_rel_diff <= tol
+    }
+}
+
+/// Checks the gradient of `f` with respect to each input in `inputs`.
+///
+/// `f` receives a fresh tape plus the leaf handles of all inputs (in order)
+/// and must return a scalar (1x1) node.  The analytic gradient from
+/// [`Tape::backward`] is compared against central finite differences with
+/// step `epsilon`.
+///
+/// Returns one [`GradCheckReport`] per input.
+pub fn check_gradients<F>(inputs: &[Matrix], epsilon: f32, f: F) -> Vec<GradCheckReport>
+where
+    F: Fn(&mut Tape, &[Var]) -> Var,
+{
+    // Analytic gradients.
+    let mut tape = Tape::new();
+    let vars: Vec<Var> = inputs.iter().map(|m| tape.leaf(m.clone())).collect();
+    let loss = f(&mut tape, &vars);
+    tape.backward(loss);
+    let analytic: Vec<Matrix> = vars.iter().map(|&v| tape.grad(v).clone()).collect();
+
+    let eval = |perturbed: &[Matrix]| -> f32 {
+        let mut t = Tape::new();
+        let vs: Vec<Var> = perturbed.iter().map(|m| t.leaf(m.clone())).collect();
+        let l = f(&mut t, &vs);
+        t.scalar(l)
+    };
+
+    let mut reports = Vec::with_capacity(inputs.len());
+    for (i, input) in inputs.iter().enumerate() {
+        let mut max_abs = 0.0f32;
+        let mut max_rel = 0.0f32;
+        for r in 0..input.rows() {
+            for c in 0..input.cols() {
+                let mut plus: Vec<Matrix> = inputs.to_vec();
+                plus[i][(r, c)] += epsilon;
+                let mut minus: Vec<Matrix> = inputs.to_vec();
+                minus[i][(r, c)] -= epsilon;
+                let numeric = (eval(&plus) - eval(&minus)) / (2.0 * epsilon);
+                let a = analytic[i][(r, c)];
+                let abs = (a - numeric).abs();
+                let rel = abs / a.abs().max(numeric.abs()).max(1.0);
+                max_abs = max_abs.max(abs);
+                max_rel = max_rel.max(rel);
+            }
+        }
+        reports.push(GradCheckReport { max_abs_diff: max_abs, max_rel_diff: max_rel });
+    }
+    reports
+}
+
+/// Asserts that every gradient check passes with tolerance `tol`.
+///
+/// # Panics
+/// Panics (with the offending report) if any input fails the check.
+pub fn assert_gradients_close<F>(inputs: &[Matrix], epsilon: f32, tol: f32, f: F)
+where
+    F: Fn(&mut Tape, &[Var]) -> Var,
+{
+    let reports = check_gradients(inputs, epsilon, f);
+    for (i, report) in reports.iter().enumerate() {
+        assert!(
+            report.passes(tol),
+            "gradient check failed for input {i}: {report:?} (tol {tol})"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lncl_tensor::TensorRng;
+
+    #[test]
+    fn matmul_chain_passes_gradcheck() {
+        let mut rng = TensorRng::seed_from_u64(1);
+        let a = rng.normal_matrix(3, 4, 0.5);
+        let b = rng.normal_matrix(4, 2, 0.5);
+        assert_gradients_close(&[a, b], 1e-2, 1e-2, |tape, vars| {
+            let c = tape.matmul(vars[0], vars[1]);
+            let t = tape.tanh(c);
+            tape.sum_all(t)
+        });
+    }
+
+    #[test]
+    fn softmax_cross_entropy_passes_gradcheck() {
+        let mut rng = TensorRng::seed_from_u64(2);
+        let logits = rng.normal_matrix(4, 3, 1.0);
+        let targets = Matrix::from_fn(4, 3, |_, c| if c == 1 { 0.7 } else { 0.15 });
+        assert_gradients_close(&[logits], 1e-2, 1e-2, move |tape, vars| {
+            tape.softmax_cross_entropy(vars[0], targets.clone())
+        });
+    }
+
+    #[test]
+    fn text_cnn_block_passes_gradcheck() {
+        // embedding-free miniature of the Kim CNN block:
+        // im2col -> affine -> relu -> max-over-rows -> linear -> CE
+        let mut rng = TensorRng::seed_from_u64(3);
+        let sentence = rng.normal_matrix(6, 3, 0.5); // 6 tokens, dim 3
+        let conv_w = rng.normal_matrix(6, 4, 0.5); // window 2 * dim 3 -> 4 filters
+        let conv_b = rng.normal_matrix(1, 4, 0.1);
+        let out_w = rng.normal_matrix(4, 2, 0.5);
+        let out_b = rng.normal_matrix(1, 2, 0.1);
+        let targets = Matrix::row_vector(&[0.2, 0.8]);
+        assert_gradients_close(
+            &[sentence, conv_w, conv_b, out_w, out_b],
+            1e-2,
+            2e-2,
+            move |tape, vars| {
+                let cols = tape.im2col(vars[0], 2);
+                let conv = tape.affine(cols, vars[1], vars[2]);
+                let act = tape.relu(conv);
+                let pooled = tape.max_over_rows(act);
+                let logits = tape.affine(pooled, vars[3], vars[4]);
+                tape.softmax_cross_entropy(logits, targets.clone())
+            },
+        );
+    }
+
+    #[test]
+    fn gru_like_cell_passes_gradcheck() {
+        let mut rng = TensorRng::seed_from_u64(4);
+        let x = rng.normal_matrix(1, 3, 0.5);
+        let h = rng.normal_matrix(1, 2, 0.5);
+        let wz = rng.normal_matrix(3, 2, 0.5);
+        let uz = rng.normal_matrix(2, 2, 0.5);
+        let wh = rng.normal_matrix(3, 2, 0.5);
+        let uh = rng.normal_matrix(2, 2, 0.5);
+        assert_gradients_close(&[x, h, wz, uz, wh, uh], 1e-2, 2e-2, |tape, v| {
+            let (x, h, wz, uz, wh, uh) = (v[0], v[1], v[2], v[3], v[4], v[5]);
+            let xz = tape.matmul(x, wz);
+            let hz = tape.matmul(h, uz);
+            let zs = tape.add(xz, hz);
+            let z = tape.sigmoid(zs);
+            let xh = tape.matmul(x, wh);
+            let hh = tape.matmul(h, uh);
+            let hs = tape.add(xh, hh);
+            let cand = tape.tanh(hs);
+            let one_minus_z = tape.one_minus(z);
+            let keep = tape.mul(one_minus_z, h);
+            let update = tape.mul(z, cand);
+            let new_h = tape.add(keep, update);
+            tape.sum_all(new_h)
+        });
+    }
+
+    #[test]
+    fn report_passes_uses_both_tolerances() {
+        let report = GradCheckReport { max_abs_diff: 0.5, max_rel_diff: 1e-6 };
+        assert!(report.passes(1e-4));
+        let bad = GradCheckReport { max_abs_diff: 0.5, max_rel_diff: 0.5 };
+        assert!(!bad.passes(1e-4));
+    }
+}

@@ -1,0 +1,595 @@
+//! Operator definitions: eager forward computation plus the per-op backward
+//! rules used by [`Tape::backward`].
+
+use crate::{Tape, Var};
+use lncl_tensor::{ops, stats, Matrix};
+
+/// How a node on the tape was produced.
+///
+/// Every variant stores the operand handles (and any auxiliary data, such as
+/// max-pool argmax indices or the cached softmax probabilities) needed to
+/// run its backward rule.
+pub enum Op {
+    /// Input or parameter copy; no backward rule.
+    Leaf,
+    /// Matrix product `a * b`.
+    MatMul(Var, Var),
+    /// Element-wise `a + b`.
+    Add(Var, Var),
+    /// Element-wise `a - b`.
+    Sub(Var, Var),
+    /// Element-wise (Hadamard) `a ⊙ b`.
+    Mul(Var, Var),
+    /// Scalar multiple `s * a`.
+    Scale(Var, f32),
+    /// `1 - a` element-wise (used by the GRU update gate).
+    OneMinus(Var),
+    /// Adds a `1 x cols` bias row to every row of `a`.
+    AddRowBroadcast(Var, Var),
+    /// Rectified linear unit.
+    Relu(Var),
+    /// Hyperbolic tangent.
+    Tanh(Var),
+    /// Logistic sigmoid.
+    Sigmoid(Var),
+    /// Row-wise softmax.
+    SoftmaxRows(Var),
+    /// Sum of every entry, producing a scalar.
+    SumAll(Var),
+    /// Mean of every entry, producing a scalar.
+    MeanAll(Var),
+    /// Horizontal concatenation (same row count).
+    HStack(Vec<Var>),
+    /// Vertical concatenation (same column count).
+    VStack(Vec<Var>),
+    /// Gather of the listed rows (embedding lookup).
+    GatherRows(Var, Vec<usize>),
+    /// Sliding-window flattening: row `p` of the output is the
+    /// concatenation of input rows `p .. p+window`.
+    Im2Col(Var, usize),
+    /// Column-wise max over rows ("max-over-time" pooling); stores argmax.
+    MaxOverRows(Var, Vec<usize>),
+    /// Element-wise multiplication by a fixed inverted-dropout mask.
+    Dropout(Var, Matrix),
+    /// Extraction of a single row as a `1 x cols` matrix.
+    RowSlice(Var, usize),
+    /// Fused row-softmax + cross-entropy against fixed soft targets,
+    /// averaged over rows.  Stores the softmax probabilities.
+    SoftmaxCrossEntropy { logits: Var, targets: Matrix, probs: Matrix },
+}
+
+impl Tape {
+    // ---------------------------------------------------------------------
+    // Forward operator constructors
+    // ---------------------------------------------------------------------
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = ops::matmul(self.value(a), self.value(b));
+        self.push(value, Op::MatMul(a, b))
+    }
+
+    /// Element-wise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = ops::add(self.value(a), self.value(b));
+        self.push(value, Op::Add(a, b))
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = ops::sub(self.value(a), self.value(b));
+        self.push(value, Op::Sub(a, b))
+    }
+
+    /// Element-wise product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let value = ops::mul(self.value(a), self.value(b));
+        self.push(value, Op::Mul(a, b))
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let value = ops::scale(self.value(a), s);
+        self.push(value, Op::Scale(a, s))
+    }
+
+    /// `1 - a` element-wise.
+    pub fn one_minus(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|v| 1.0 - v);
+        self.push(value, Op::OneMinus(a))
+    }
+
+    /// Adds a `1 x cols` bias row to every row of `a`.
+    pub fn add_row_broadcast(&mut self, a: Var, bias: Var) -> Var {
+        let value = ops::add_row_broadcast(self.value(a), self.value(bias));
+        self.push(value, Op::AddRowBroadcast(a, bias))
+    }
+
+    /// ReLU activation.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|v| v.max(0.0));
+        self.push(value, Op::Relu(a))
+    }
+
+    /// Tanh activation.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(f32::tanh);
+        self.push(value, Op::Tanh(a))
+    }
+
+    /// Sigmoid activation.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|v| 1.0 / (1.0 + (-v).exp()));
+        self.push(value, Op::Sigmoid(a))
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let value = stats::softmax_rows(self.value(a));
+        self.push(value, Op::SoftmaxRows(a))
+    }
+
+    /// Sum of all entries (scalar output).
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let value = Matrix::full(1, 1, self.value(a).sum());
+        self.push(value, Op::SumAll(a))
+    }
+
+    /// Mean of all entries (scalar output).
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let value = Matrix::full(1, 1, self.value(a).mean());
+        self.push(value, Op::MeanAll(a))
+    }
+
+    /// Horizontal concatenation of equally-tall matrices.
+    pub fn hstack(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "hstack: no operands");
+        let values: Vec<&Matrix> = parts.iter().map(|&p| self.value(p)).collect();
+        let value = Matrix::hstack(&values);
+        self.push(value, Op::HStack(parts.to_vec()))
+    }
+
+    /// Vertical concatenation of equally-wide matrices.
+    pub fn vstack(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "vstack: no operands");
+        let values: Vec<&Matrix> = parts.iter().map(|&p| self.value(p)).collect();
+        let value = Matrix::vstack(&values);
+        self.push(value, Op::VStack(parts.to_vec()))
+    }
+
+    /// Gathers the listed rows of `a` (embedding lookup); repeats allowed.
+    pub fn gather_rows(&mut self, a: Var, indices: &[usize]) -> Var {
+        let value = ops::gather_rows(self.value(a), indices);
+        self.push(value, Op::GatherRows(a, indices.to_vec()))
+    }
+
+    /// Sliding-window flattening used to express a text convolution as a
+    /// single matrix product: with input `T x d` and window `w`, the output
+    /// is `(T - w + 1) x (w * d)`.
+    ///
+    /// # Panics
+    /// Panics if the input has fewer rows than the window size.
+    pub fn im2col(&mut self, a: Var, window: usize) -> Var {
+        let input = self.value(a);
+        assert!(window >= 1, "im2col: window must be >= 1");
+        assert!(
+            input.rows() >= window,
+            "im2col: input has {} rows but window is {window}; pad the sequence first",
+            input.rows()
+        );
+        let positions = input.rows() - window + 1;
+        let d = input.cols();
+        let mut value = Matrix::zeros(positions, window * d);
+        for p in 0..positions {
+            for w in 0..window {
+                let dst = &mut value.row_mut(p)[w * d..(w + 1) * d];
+                dst.copy_from_slice(input.row(p + w));
+            }
+        }
+        self.push(value, Op::Im2Col(a, window))
+    }
+
+    /// Column-wise max over rows ("max-over-time" pooling): `T x c -> 1 x c`.
+    pub fn max_over_rows(&mut self, a: Var) -> Var {
+        let (value, argmax) = ops::max_over_rows(self.value(a));
+        self.push(value, Op::MaxOverRows(a, argmax))
+    }
+
+    /// Inverted dropout with the given keep probability.  When `training` is
+    /// false (or `keep >= 1`) this is the identity.  The mask is sampled
+    /// from the supplied uniform numbers in `[0,1)`, one per entry, so the
+    /// caller controls the randomness (and reproducibility).
+    pub fn dropout(&mut self, a: Var, keep: f32, uniforms: &[f32], training: bool) -> Var {
+        let input = self.value(a);
+        if !training || keep >= 1.0 {
+            let value = input.clone();
+            let mask = Matrix::full(input.rows(), input.cols(), 1.0);
+            return self.push(value, Op::Dropout(a, mask));
+        }
+        assert!(keep > 0.0, "dropout: keep probability must be positive");
+        assert!(
+            uniforms.len() >= input.len(),
+            "dropout: need {} uniform samples, got {}",
+            input.len(),
+            uniforms.len()
+        );
+        let inv_keep = 1.0 / keep;
+        let mut mask = Matrix::zeros(input.rows(), input.cols());
+        for (i, m) in mask.as_mut_slice().iter_mut().enumerate() {
+            *m = if uniforms[i] < keep { inv_keep } else { 0.0 };
+        }
+        let value = ops::mul(input, &mask);
+        self.push(value, Op::Dropout(a, mask))
+    }
+
+    /// Extracts row `r` of `a` as a `1 x cols` node.
+    pub fn row_slice(&mut self, a: Var, r: usize) -> Var {
+        let input = self.value(a);
+        assert!(r < input.rows(), "row_slice: row {r} out of bounds ({} rows)", input.rows());
+        let value = Matrix::from_vec(1, input.cols(), input.row(r).to_vec());
+        self.push(value, Op::RowSlice(a, r))
+    }
+
+    /// Fused softmax + cross-entropy against fixed soft targets, averaged
+    /// over rows.  `targets` must have the same shape as `logits` and each
+    /// row should be a probability distribution (the "soft label" `q_f(t)`
+    /// of the paper).  Returns a scalar node.
+    pub fn softmax_cross_entropy(&mut self, logits: Var, targets: Matrix) -> Var {
+        let logit_values = self.value(logits);
+        assert_eq!(
+            logit_values.shape(),
+            targets.shape(),
+            "softmax_cross_entropy: logits {:?} vs targets {:?}",
+            logit_values.shape(),
+            targets.shape()
+        );
+        let probs = stats::softmax_rows(logit_values);
+        let rows = probs.rows().max(1);
+        let mut loss = 0.0;
+        for r in 0..probs.rows() {
+            loss += stats::cross_entropy(targets.row(r), probs.row(r));
+        }
+        loss /= rows as f32;
+        let value = Matrix::full(1, 1, loss);
+        self.push(value, Op::SoftmaxCrossEntropy { logits, targets, probs })
+    }
+
+    /// Mean-squared-error against fixed targets, averaged over all entries.
+    /// Implemented compositionally (sub → mul → mean), so it needs no
+    /// dedicated backward rule.
+    pub fn mse(&mut self, predictions: Var, targets: Matrix) -> Var {
+        let t = self.constant(targets);
+        let diff = self.sub(predictions, t);
+        let sq = self.mul(diff, diff);
+        self.mean_all(sq)
+    }
+
+    /// Affine layer helper: `x * w + bias` with bias broadcast over rows.
+    pub fn affine(&mut self, x: Var, w: Var, bias: Var) -> Var {
+        let xw = self.matmul(x, w);
+        self.add_row_broadcast(xw, bias)
+    }
+
+    // ---------------------------------------------------------------------
+    // Backward rules
+    // ---------------------------------------------------------------------
+
+    pub(crate) fn backward_node(&mut self, index: usize) {
+        // Temporarily take the op and upstream gradient out of the node so
+        // we can mutate other nodes' gradients without aliasing.
+        let upstream = self.nodes[index].grad.clone();
+        if upstream.as_slice().iter().all(|&g| g == 0.0) {
+            return;
+        }
+        let op = std::mem::replace(&mut self.nodes[index].op, Op::Leaf);
+        match &op {
+            Op::Leaf => {}
+            Op::MatMul(a, b) => {
+                let da = ops::matmul_transpose_b(&upstream, &self.nodes[b.0].value);
+                let db = ops::matmul_transpose_a(&self.nodes[a.0].value, &upstream);
+                ops::add_assign(&mut self.nodes[a.0].grad, &da);
+                ops::add_assign(&mut self.nodes[b.0].grad, &db);
+            }
+            Op::Add(a, b) => {
+                ops::add_assign(&mut self.nodes[a.0].grad, &upstream);
+                ops::add_assign(&mut self.nodes[b.0].grad, &upstream);
+            }
+            Op::Sub(a, b) => {
+                ops::add_assign(&mut self.nodes[a.0].grad, &upstream);
+                ops::add_scaled_assign(&mut self.nodes[b.0].grad, &upstream, -1.0);
+            }
+            Op::Mul(a, b) => {
+                let da = ops::mul(&upstream, &self.nodes[b.0].value);
+                let db = ops::mul(&upstream, &self.nodes[a.0].value);
+                ops::add_assign(&mut self.nodes[a.0].grad, &da);
+                ops::add_assign(&mut self.nodes[b.0].grad, &db);
+            }
+            Op::Scale(a, s) => {
+                ops::add_scaled_assign(&mut self.nodes[a.0].grad, &upstream, *s);
+            }
+            Op::OneMinus(a) => {
+                ops::add_scaled_assign(&mut self.nodes[a.0].grad, &upstream, -1.0);
+            }
+            Op::AddRowBroadcast(a, bias) => {
+                ops::add_assign(&mut self.nodes[a.0].grad, &upstream);
+                let dbias = ops::sum_rows(&upstream);
+                ops::add_assign(&mut self.nodes[bias.0].grad, &dbias);
+            }
+            Op::Relu(a) => {
+                let mask = self.nodes[a.0].value.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                let da = ops::mul(&upstream, &mask);
+                ops::add_assign(&mut self.nodes[a.0].grad, &da);
+            }
+            Op::Tanh(a) => {
+                let y = &self.nodes[index].value;
+                let deriv = y.map(|v| 1.0 - v * v);
+                let da = ops::mul(&upstream, &deriv);
+                ops::add_assign(&mut self.nodes[a.0].grad, &da);
+            }
+            Op::Sigmoid(a) => {
+                let y = &self.nodes[index].value;
+                let deriv = y.map(|v| v * (1.0 - v));
+                let da = ops::mul(&upstream, &deriv);
+                ops::add_assign(&mut self.nodes[a.0].grad, &da);
+            }
+            Op::SoftmaxRows(a) => {
+                // Per-row Jacobian-vector product: da = y ⊙ (g - <g, y>).
+                let y = self.nodes[index].value.clone();
+                let mut da = Matrix::zeros(y.rows(), y.cols());
+                for r in 0..y.rows() {
+                    let dot: f32 = upstream.row(r).iter().zip(y.row(r)).map(|(g, p)| g * p).sum();
+                    for c in 0..y.cols() {
+                        da[(r, c)] = y[(r, c)] * (upstream[(r, c)] - dot);
+                    }
+                }
+                ops::add_assign(&mut self.nodes[a.0].grad, &da);
+            }
+            Op::SumAll(a) => {
+                let g = upstream[(0, 0)];
+                let shape = self.nodes[a.0].value.shape();
+                let da = Matrix::full(shape.0, shape.1, g);
+                ops::add_assign(&mut self.nodes[a.0].grad, &da);
+            }
+            Op::MeanAll(a) => {
+                let n = self.nodes[a.0].value.len().max(1) as f32;
+                let g = upstream[(0, 0)] / n;
+                let shape = self.nodes[a.0].value.shape();
+                let da = Matrix::full(shape.0, shape.1, g);
+                ops::add_assign(&mut self.nodes[a.0].grad, &da);
+            }
+            Op::HStack(parts) => {
+                let mut offset = 0;
+                for &p in parts {
+                    let cols = self.nodes[p.0].value.cols();
+                    let mut dp = Matrix::zeros(upstream.rows(), cols);
+                    for r in 0..upstream.rows() {
+                        dp.row_mut(r).copy_from_slice(&upstream.row(r)[offset..offset + cols]);
+                    }
+                    ops::add_assign(&mut self.nodes[p.0].grad, &dp);
+                    offset += cols;
+                }
+            }
+            Op::VStack(parts) => {
+                let mut offset = 0;
+                for &p in parts {
+                    let rows = self.nodes[p.0].value.rows();
+                    let dp = upstream.slice_rows(offset, offset + rows);
+                    ops::add_assign(&mut self.nodes[p.0].grad, &dp);
+                    offset += rows;
+                }
+            }
+            Op::GatherRows(a, indices) => {
+                ops::scatter_add_rows(&mut self.nodes[a.0].grad, indices, &upstream);
+            }
+            Op::Im2Col(a, window) => {
+                let d = self.nodes[a.0].value.cols();
+                let grad = &mut self.nodes[a.0].grad;
+                for p in 0..upstream.rows() {
+                    for w in 0..*window {
+                        let src = &upstream.row(p)[w * d..(w + 1) * d];
+                        for (dst, s) in grad.row_mut(p + w).iter_mut().zip(src) {
+                            *dst += s;
+                        }
+                    }
+                }
+            }
+            Op::MaxOverRows(a, argmax) => {
+                let grad = &mut self.nodes[a.0].grad;
+                for (c, &r) in argmax.iter().enumerate() {
+                    grad[(r, c)] += upstream[(0, c)];
+                }
+            }
+            Op::Dropout(a, mask) => {
+                let da = ops::mul(&upstream, mask);
+                ops::add_assign(&mut self.nodes[a.0].grad, &da);
+            }
+            Op::RowSlice(a, r) => {
+                let grad = &mut self.nodes[a.0].grad;
+                for (dst, s) in grad.row_mut(*r).iter_mut().zip(upstream.row(0)) {
+                    *dst += s;
+                }
+            }
+            Op::SoftmaxCrossEntropy { logits, targets, probs } => {
+                let g = upstream[(0, 0)];
+                let rows = probs.rows().max(1) as f32;
+                let mut dl = ops::sub(probs, targets);
+                dl.map_inplace(|v| v * g / rows);
+                ops::add_assign(&mut self.nodes[logits.0].grad, &dl);
+            }
+        }
+        self.nodes[index].op = op;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_backward_matches_hand_computed() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let b = tape.leaf(Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]));
+        let c = tape.matmul(a, b);
+        let loss = tape.sum_all(c);
+        tape.backward(loss);
+        // dA = 1 * B^T summed over output: each entry of dA is sum of B row.
+        assert_eq!(tape.grad(a), &Matrix::from_rows(&[&[11.0, 15.0], &[11.0, 15.0]]));
+        assert_eq!(tape.grad(b), &Matrix::from_rows(&[&[4.0, 4.0], &[6.0, 6.0]]));
+    }
+
+    #[test]
+    fn relu_blocks_negative_gradients() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::row_vector(&[-1.0, 2.0]));
+        let y = tape.relu(x);
+        let loss = tape.sum_all(y);
+        tape.backward(loss);
+        assert_eq!(tape.grad(x), &Matrix::row_vector(&[0.0, 1.0]));
+    }
+
+    #[test]
+    fn sigmoid_tanh_values() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::row_vector(&[0.0]));
+        let s = tape.sigmoid(x);
+        let t = tape.tanh(x);
+        assert!((tape.value(s)[(0, 0)] - 0.5).abs() < 1e-6);
+        assert!(tape.value(t)[(0, 0)].abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_cross_entropy_grad_is_probs_minus_targets() {
+        let mut tape = Tape::new();
+        let logits = tape.leaf(Matrix::row_vector(&[0.0, 0.0]));
+        let targets = Matrix::row_vector(&[1.0, 0.0]);
+        let loss = tape.softmax_cross_entropy(logits, targets);
+        assert!((tape.scalar(loss) - (2.0f32).ln()).abs() < 1e-5);
+        tape.backward(loss);
+        let g = tape.grad(logits);
+        assert!((g[(0, 0)] - (-0.5)).abs() < 1e-5);
+        assert!((g[(0, 1)] - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn max_over_rows_routes_gradient_to_argmax() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::from_rows(&[&[1.0, 9.0], &[7.0, 2.0]]));
+        let pooled = tape.max_over_rows(x);
+        let loss = tape.sum_all(pooled);
+        tape.backward(loss);
+        assert_eq!(tape.grad(x), &Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]));
+    }
+
+    #[test]
+    fn gather_rows_accumulates_repeated_indices() {
+        let mut tape = Tape::new();
+        let table = tape.leaf(Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]));
+        let picked = tape.gather_rows(table, &[1, 1, 2]);
+        let loss = tape.sum_all(picked);
+        tape.backward(loss);
+        assert_eq!(tape.grad(table), &Matrix::from_rows(&[&[0.0], &[2.0], &[1.0]]));
+    }
+
+    #[test]
+    fn im2col_shapes_and_backward() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]));
+        let cols = tape.im2col(x, 2);
+        assert_eq!(tape.shape(cols), (2, 4));
+        assert_eq!(tape.value(cols).row(0), &[1.0, 2.0, 3.0, 4.0]);
+        let loss = tape.sum_all(cols);
+        tape.backward(loss);
+        // middle row participates in both windows.
+        assert_eq!(tape.grad(x), &Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[1.0, 1.0]]));
+    }
+
+    #[test]
+    fn hstack_vstack_split_gradients() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Matrix::row_vector(&[1.0]));
+        let b = tape.leaf(Matrix::row_vector(&[2.0, 3.0]));
+        let h = tape.hstack(&[a, b]);
+        assert_eq!(tape.shape(h), (1, 3));
+        let loss = tape.sum_all(h);
+        tape.backward(loss);
+        assert_eq!(tape.grad(a), &Matrix::row_vector(&[1.0]));
+        assert_eq!(tape.grad(b), &Matrix::row_vector(&[1.0, 1.0]));
+
+        let mut tape2 = Tape::new();
+        let c = tape2.leaf(Matrix::row_vector(&[1.0, 2.0]));
+        let d = tape2.leaf(Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]));
+        let v = tape2.vstack(&[c, d]);
+        assert_eq!(tape2.shape(v), (3, 2));
+        let loss2 = tape2.sum_all(v);
+        tape2.backward(loss2);
+        assert_eq!(tape2.grad(c), &Matrix::row_vector(&[1.0, 1.0]));
+        assert_eq!(tape2.grad(d), &Matrix::full(2, 2, 1.0));
+    }
+
+    #[test]
+    fn dropout_eval_mode_is_identity() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::row_vector(&[1.0, 2.0, 3.0]));
+        let y = tape.dropout(x, 0.5, &[0.9, 0.1, 0.4], false);
+        assert_eq!(tape.value(y), tape.value(x));
+    }
+
+    #[test]
+    fn dropout_training_scales_kept_units() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::row_vector(&[1.0, 2.0]));
+        // first uniform 0.9 >= keep=0.5 -> dropped, second 0.1 < 0.5 -> kept.
+        let y = tape.dropout(x, 0.5, &[0.9, 0.1], true);
+        assert_eq!(tape.value(y), &Matrix::row_vector(&[0.0, 4.0]));
+        let loss = tape.sum_all(y);
+        tape.backward(loss);
+        assert_eq!(tape.grad(x), &Matrix::row_vector(&[0.0, 2.0]));
+    }
+
+    #[test]
+    fn row_slice_backward_targets_single_row() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let r = tape.row_slice(x, 1);
+        let loss = tape.sum_all(r);
+        tape.backward(loss);
+        assert_eq!(tape.grad(x), &Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]));
+    }
+
+    #[test]
+    fn one_minus_and_scale() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::row_vector(&[0.25]));
+        let y = tape.one_minus(x);
+        let z = tape.scale(y, 4.0);
+        let loss = tape.sum_all(z);
+        assert!((tape.scalar(loss) - 3.0).abs() < 1e-6);
+        tape.backward(loss);
+        assert_eq!(tape.grad(x), &Matrix::row_vector(&[-4.0]));
+    }
+
+    #[test]
+    fn affine_matches_manual_composition() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let w = tape.leaf(Matrix::from_rows(&[&[1.0], &[1.0]]));
+        let b = tape.leaf(Matrix::row_vector(&[0.5]));
+        let y = tape.affine(x, w, b);
+        assert_eq!(tape.value(y), &Matrix::from_rows(&[&[3.5], &[7.5]]));
+        let loss = tape.sum_all(y);
+        tape.backward(loss);
+        assert_eq!(tape.grad(b), &Matrix::row_vector(&[2.0]));
+    }
+
+    #[test]
+    fn mse_loss_and_gradient() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::row_vector(&[1.0, 3.0]));
+        let loss = tape.mse(x, Matrix::row_vector(&[0.0, 0.0]));
+        assert!((tape.scalar(loss) - 5.0).abs() < 1e-6);
+        tape.backward(loss);
+        // d/dx mean((x-t)^2) = 2(x-t)/n
+        assert!(tape.grad(x).approx_eq(&Matrix::row_vector(&[1.0, 3.0]), 1e-5));
+    }
+}

@@ -1,0 +1,32 @@
+//! Criterion micro-benchmarks of the truth-inference baselines on growing
+//! synthetic label matrices.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lncl_crowd::datasets::{generate_sentiment, SentimentDatasetConfig};
+use lncl_crowd::truth::*;
+
+fn bench_truth_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("truth_inference");
+    for &size in &[200usize, 600] {
+        let dataset = generate_sentiment(&SentimentDatasetConfig {
+            train_size: size,
+            dev_size: 10,
+            test_size: 10,
+            num_annotators: 30,
+            ..SentimentDatasetConfig::default()
+        });
+        let view = dataset.annotation_view();
+        group.bench_with_input(BenchmarkId::new("mv", size), &view, |b, v| b.iter(|| MajorityVote.infer(v)));
+        group.bench_with_input(BenchmarkId::new("dawid_skene", size), &view, |b, v| {
+            b.iter(|| DawidSkene { max_iters: 20, ..Default::default() }.infer(v))
+        });
+        group.bench_with_input(BenchmarkId::new("glad", size), &view, |b, v| {
+            b.iter(|| Glad { max_iters: 10, ..Default::default() }.infer(v))
+        });
+        group.bench_with_input(BenchmarkId::new("pm", size), &view, |b, v| b.iter(|| Pm::default().infer(v)));
+        group.bench_with_input(BenchmarkId::new("catd", size), &view, |b, v| b.iter(|| Catd::default().infer(v)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_truth_inference);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates Figure 4: per-annotator workload and quality statistics for
+//! both (synthetic) datasets.
+use lncl_bench::{figure4, render_boxplot, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let (sentiment, ner) = figure4(scale, 7);
+    println!("Figure 4 — annotator statistics (scale {scale:?})\n");
+    println!("Sentiment Polarity (synthetic MTurk stand-in)");
+    println!("  total crowd labels: {}", sentiment.total_labels);
+    println!("  avg labels per instance: {:.2}", sentiment.avg_labels_per_instance);
+    println!("  {}", render_boxplot("(a) instances per annotator", sentiment.instances_boxplot));
+    println!("  {}", render_boxplot("(b) annotator accuracy", sentiment.quality_boxplot));
+    println!();
+    println!("CoNLL-2003 NER (synthetic MTurk stand-in)");
+    println!("  total crowd labels: {}", ner.total_labels);
+    println!("  avg labels per instance: {:.2}", ner.avg_labels_per_instance);
+    println!("  {}", render_boxplot("(a) instances per annotator", ner.instances_boxplot));
+    println!("  {}", render_boxplot("(b) annotator span F1", ner.quality_boxplot));
+}

@@ -1,0 +1,12 @@
+//! Regenerates the §VI-B sample-efficiency experiment: Logic-LNCL-teacher vs
+//! the strongest baseline (AggNet) on growing fractions of the training set.
+use lncl_bench::{sample_efficiency, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Sample efficiency (sentiment, scale {scale:?})");
+    println!("{:<10} {:>22} {:>16}", "fraction", "Logic-LNCL-teacher", "AggNet");
+    for (fraction, teacher, aggnet) in sample_efficiency(scale, &[0.4, 0.6, 0.8, 1.0], 7) {
+        println!("{:<10.2} {:>22.2} {:>16.2}", fraction, teacher.accuracy * 100.0, aggnet.accuracy * 100.0);
+    }
+}

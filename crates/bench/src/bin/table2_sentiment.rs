@@ -1,0 +1,10 @@
+//! Regenerates Table II: prediction + inference accuracy of every compared
+//! method on the (synthetic) Sentiment Polarity dataset.
+use lncl_bench::{render_classification_table, table2, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Table II — Sentiment Polarity (scale {scale:?}, {} repetition(s), {} epochs)", scale.repetitions(), scale.epochs());
+    let rows = table2(scale);
+    println!("{}", render_classification_table("Performance (accuracy, %) on the synthetic Sentiment Polarity dataset", &rows));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table III: prediction + inference P/R/F1 of every compared
+//! method on the (synthetic) CoNLL-2003 NER dataset.
+use lncl_bench::{render_sequence_table, table3, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Table III — CoNLL-2003 NER (scale {scale:?}, {} repetition(s), {} epochs)", scale.repetitions(), scale.epochs());
+    let rows = table3(scale);
+    println!("{}", render_sequence_table("Performance (%) on the synthetic CoNLL-2003 NER dataset (strict span metrics)", &rows));
+}

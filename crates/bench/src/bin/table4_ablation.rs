@@ -1,0 +1,13 @@
+//! Regenerates Table IV: the ablation study on both datasets.
+use lncl_bench::{render_classification_table, render_sequence_table, table4_for, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Table IV — ablation study (scale {scale:?}, {} epochs)", scale.epochs());
+    let sentiment = scale.sentiment_dataset(7);
+    let rows = table4_for(&sentiment, scale, 7);
+    println!("{}", render_classification_table("Ablation on the sentiment dataset (accuracy, %)", &rows));
+    let ner = scale.ner_dataset(11);
+    let rows = table4_for(&ner, scale, 11);
+    println!("{}", render_sequence_table("Ablation on the NER dataset (strict span metrics, %)", &rows));
+}

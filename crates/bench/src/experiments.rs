@@ -1,0 +1,205 @@
+//! Experiment drivers: one function per paper table / figure.
+//!
+//! Training runs for independent methods are executed on separate threads
+//! (crossbeam scoped threads); every run is seeded, so results are
+//! reproducible regardless of the parallelism.
+
+use crate::methods::*;
+use crate::scale::{ner_model, sentiment_model, Scale};
+use crate::tables::average_repetitions;
+use lncl_crowd::metrics::{empirical_confusion, overall_reliability, reliability_correlation};
+use lncl_crowd::stats::annotator_summary;
+use lncl_crowd::truth::{Glad, MajorityVote};
+use lncl_crowd::{CrowdDataset, TaskKind};
+use lncl_tensor::Matrix;
+use logic_lncl::ablation::paper_rules;
+use logic_lncl::baselines::{CrowdLayerKind, DlDnKind};
+use logic_lncl::{EvalMetrics, LogicLncl, MethodResult};
+
+/// Runs all Table-II (sentiment) methods for one repetition.
+pub fn table2_single_run(scale: Scale, seed: u64) -> Vec<MethodResult> {
+    let dataset = scale.sentiment_dataset(seed);
+    let config = scale.sentiment_train_config(seed);
+    let data = &dataset;
+    let cfg = &config;
+
+    let mut groups: Vec<(usize, Vec<MethodResult>)> = crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        handles.push((0usize, s.spawn(move |_| vec![run_two_stage("MV-Classifier", &MajorityVote, data, cfg, |sd| sentiment_model(data, sd))])));
+        handles.push((1, s.spawn(move |_| vec![run_two_stage("GLAD-Classifier", &Glad::default(), data, cfg, |sd| sentiment_model(data, sd))])));
+        handles.push((2, s.spawn(move |_| vec![run_aggnet(data, cfg, |sd| sentiment_model(data, sd))])));
+        handles.push((3, s.spawn(move |_| vec![
+            run_crowd_layer(CrowdLayerKind::VectorWeight, 0, data, cfg, |sd| sentiment_model(data, sd)),
+            run_crowd_layer(CrowdLayerKind::VectorWeightBias, 0, data, cfg, |sd| sentiment_model(data, sd)),
+            run_crowd_layer(CrowdLayerKind::MatrixWeight, 0, data, cfg, |sd| sentiment_model(data, sd)),
+        ])));
+        handles.push((4, s.spawn(move |_| {
+            let (student, teacher) = run_logic_lncl(data, cfg, |sd| sentiment_model(data, sd));
+            vec![student, teacher]
+        })));
+        handles.push((5, s.spawn(move |_| sentiment_truth_inference_rows(data))));
+        handles.push((6, s.spawn(move |_| vec![run_gold(data, cfg, |sd| sentiment_model(data, sd))])));
+        handles.into_iter().map(|(i, h)| (i, h.join().expect("experiment thread panicked"))).collect()
+    })
+    .expect("crossbeam scope failed");
+
+    groups.sort_by_key(|(i, _)| *i);
+    groups.into_iter().flat_map(|(_, rows)| rows).collect()
+}
+
+/// Table II averaged over the scale's repetitions.
+pub fn table2(scale: Scale) -> Vec<MethodResult> {
+    let reps: Vec<Vec<MethodResult>> =
+        (0..scale.repetitions()).map(|r| table2_single_run(scale, 7 + r as u64)).collect();
+    average_repetitions(&reps)
+}
+
+/// Runs all Table-III (NER) methods for one repetition.
+pub fn table3_single_run(scale: Scale, seed: u64) -> Vec<MethodResult> {
+    let dataset = scale.ner_dataset(seed);
+    let config = scale.ner_train_config(seed);
+    let data = &dataset;
+    let cfg = &config;
+
+    let mut groups: Vec<(usize, Vec<MethodResult>)> = crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        handles.push((0usize, s.spawn(move |_| vec![run_two_stage("MV-Classifier", &MajorityVote, data, cfg, |sd| ner_model(data, sd))])));
+        handles.push((1, s.spawn(move |_| vec![run_aggnet(data, cfg, |sd| ner_model(data, sd))])));
+        handles.push((2, s.spawn(move |_| vec![
+            run_crowd_layer(CrowdLayerKind::VectorWeight, 2, data, cfg, |sd| ner_model(data, sd)),
+            run_crowd_layer(CrowdLayerKind::VectorWeightBias, 2, data, cfg, |sd| ner_model(data, sd)),
+        ])));
+        handles.push((3, s.spawn(move |_| vec![
+            run_crowd_layer(CrowdLayerKind::MatrixWeight, 2, data, cfg, |sd| ner_model(data, sd)),
+            run_crowd_layer(CrowdLayerKind::MatrixWeight, 0, data, cfg, |sd| ner_model(data, sd)),
+        ])));
+        handles.push((4, s.spawn(move |_| {
+            let (student, teacher) = run_logic_lncl(data, cfg, |sd| ner_model(data, sd));
+            vec![student, teacher]
+        })));
+        handles.push((5, s.spawn(move |_| vec![
+            run_dl_dn(DlDnKind::Uniform, data, cfg, |sd| ner_model(data, sd)),
+            run_dl_dn(DlDnKind::Weighted, data, cfg, |sd| ner_model(data, sd)),
+        ])));
+        handles.push((6, s.spawn(move |_| ner_truth_inference_rows(data))));
+        handles.push((7, s.spawn(move |_| vec![run_gold(data, cfg, |sd| ner_model(data, sd))])));
+        handles.into_iter().map(|(i, h)| (i, h.join().expect("experiment thread panicked"))).collect()
+    })
+    .expect("crossbeam scope failed");
+
+    groups.sort_by_key(|(i, _)| *i);
+    groups.into_iter().flat_map(|(_, rows)| rows).collect()
+}
+
+/// Table III averaged over the scale's repetitions.
+pub fn table3(scale: Scale) -> Vec<MethodResult> {
+    let reps: Vec<Vec<MethodResult>> =
+        (0..scale.repetitions()).map(|r| table3_single_run(scale, 11 + r as u64)).collect();
+    average_repetitions(&reps)
+}
+
+/// Runs the Table-IV ablation on one dataset.
+pub fn table4_for(dataset: &CrowdDataset, scale: Scale, seed: u64) -> Vec<MethodResult> {
+    let config = match dataset.task {
+        TaskKind::Classification => scale.sentiment_train_config(seed),
+        TaskKind::SequenceTagging => scale.ner_train_config(seed),
+    };
+    let cfg = &config;
+    let variants = ablation_variants();
+    let mut groups: Vec<(usize, Vec<MethodResult>)> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = variants
+            .iter()
+            .enumerate()
+            .map(|(i, &variant)| {
+                (i, s.spawn(move |_| match dataset.task {
+                    TaskKind::Classification => run_ablation(variant, dataset, cfg, |sd| sentiment_model(dataset, sd)),
+                    TaskKind::SequenceTagging => run_ablation(variant, dataset, cfg, |sd| ner_model(dataset, sd)),
+                }))
+            })
+            .collect();
+        handles.into_iter().map(|(i, h)| (i, h.join().expect("ablation thread panicked"))).collect()
+    })
+    .expect("crossbeam scope failed");
+    groups.sort_by_key(|(i, _)| *i);
+    groups.into_iter().flat_map(|(_, rows)| rows).collect()
+}
+
+/// Figure 6/7: trains Logic-LNCL and compares its estimated annotator
+/// confusion matrices / reliabilities to the empirical ones.
+pub struct ReliabilityStudy {
+    /// Indices of the most prolific annotators (shown individually).
+    pub top_annotators: Vec<usize>,
+    /// Estimated confusion matrix per top annotator.
+    pub estimated: Vec<Matrix>,
+    /// Empirical ("real") confusion matrix per top annotator.
+    pub real: Vec<Matrix>,
+    /// Pearson correlation of estimated vs real overall reliability across
+    /// the active annotator pool.
+    pub pearson: f32,
+    /// Class names (for rendering).
+    pub class_names: Vec<String>,
+}
+
+/// Runs the reliability study on a dataset.
+pub fn reliability_study(dataset: &CrowdDataset, scale: Scale, seed: u64, top_n: usize) -> ReliabilityStudy {
+    let config = match dataset.task {
+        TaskKind::Classification => scale.sentiment_train_config(seed),
+        TaskKind::SequenceTagging => scale.ner_train_config(seed),
+    };
+    let mut trainer = match dataset.task {
+        TaskKind::Classification => {
+            let model = sentiment_model(dataset, seed);
+            let mut t = LogicLncl::new(model, dataset, paper_rules(dataset), config);
+            t.train(dataset);
+            t.annotators.confusions().to_vec()
+        }
+        TaskKind::SequenceTagging => {
+            let model = ner_model(dataset, seed);
+            let mut t = LogicLncl::new(model, dataset, paper_rules(dataset), config);
+            t.train(dataset);
+            t.annotators.confusions().to_vec()
+        }
+    };
+    let estimated_all = std::mem::take(&mut trainer);
+
+    let summary = annotator_summary(dataset);
+    let top_annotators = summary.top_annotators(top_n);
+    let estimated: Vec<Matrix> = top_annotators.iter().map(|&a| estimated_all[a].clone()).collect();
+    let real: Vec<Matrix> =
+        top_annotators.iter().map(|&a| empirical_confusion(&dataset.train, a, dataset.num_classes)).collect();
+
+    // reliability scatter over annotators with more than 5 labelled instances
+    let active = summary.active_annotators(5);
+    let est_rel: Vec<f32> = active.iter().map(|&a| overall_reliability(&estimated_all[a])).collect();
+    let real_rel: Vec<f32> =
+        active.iter().map(|&a| overall_reliability(&empirical_confusion(&dataset.train, a, dataset.num_classes))).collect();
+    let pearson = reliability_correlation(&est_rel, &real_rel);
+
+    ReliabilityStudy { top_annotators, estimated, real, pearson, class_names: dataset.class_names.clone() }
+}
+
+/// §VI-B sample-efficiency sweep: trains Logic-LNCL and the best baseline
+/// (AggNet) on growing fractions of the training data and reports the test
+/// metric for each fraction.
+pub fn sample_efficiency(scale: Scale, fractions: &[f32], seed: u64) -> Vec<(f32, EvalMetrics, EvalMetrics)> {
+    let full = scale.sentiment_dataset(seed);
+    let config = scale.sentiment_train_config(seed);
+    fractions
+        .iter()
+        .map(|&fraction| {
+            let take = ((full.train.len() as f32 * fraction).round() as usize).max(20);
+            let mut dataset = full.clone();
+            dataset.train.truncate(take);
+            let (_, teacher) = run_logic_lncl(&dataset, &config, |sd| sentiment_model(&dataset, sd));
+            let aggnet = run_aggnet(&dataset, &config, |sd| sentiment_model(&dataset, sd));
+            (fraction, teacher.prediction, aggnet.prediction)
+        })
+        .collect()
+}
+
+/// Figure-4 statistics for both datasets.
+pub fn figure4(scale: Scale, seed: u64) -> (lncl_crowd::stats::AnnotatorSummary, lncl_crowd::stats::AnnotatorSummary) {
+    let sentiment = scale.sentiment_dataset(seed);
+    let ner = scale.ner_dataset(seed);
+    (annotator_summary(&sentiment), annotator_summary(&ner))
+}

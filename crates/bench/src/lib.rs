@@ -1,0 +1,30 @@
+//! # lncl-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation section on the synthetic stand-in corpora (see
+//! DESIGN.md §1 and §3):
+//!
+//! | target binary | paper artefact |
+//! |---|---|
+//! | `fig4_annotator_stats` | Figure 4 (annotator workload / quality boxplots) |
+//! | `table2_sentiment` | Table II (sentiment prediction + inference) |
+//! | `table3_ner` | Table III (NER prediction + inference) |
+//! | `table4_ablation` | Table IV (ablation study) |
+//! | `fig6_reliability_sentiment` | Figure 6 (annotator reliability, sentiment) |
+//! | `fig7_reliability_ner` | Figure 7 (annotator reliability, NER) |
+//! | `sample_efficiency` | §VI-B sample-efficiency experiment |
+//!
+//! Each binary accepts the environment variables `LNCL_SCALE`
+//! (`small` (default) / `medium` / `paper`), `LNCL_REPS` (number of repeated
+//! runs averaged per method) and `LNCL_EPOCHS` to trade fidelity for wall
+//! time; the defaults finish in minutes on a laptop-class CPU.
+
+pub mod experiments;
+pub mod methods;
+pub mod scale;
+pub mod tables;
+
+pub use experiments::*;
+pub use methods::*;
+pub use scale::*;
+pub use tables::*;

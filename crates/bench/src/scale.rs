@@ -1,0 +1,158 @@
+//! Experiment scale selection and dataset / model builders shared by every
+//! bench binary.
+
+use lncl_crowd::datasets::{generate_ner, generate_sentiment, NerDatasetConfig, SentimentDatasetConfig};
+use lncl_crowd::CrowdDataset;
+use lncl_nn::models::{NerConvGru, NerConvGruConfig, SentimentCnn, SentimentCnnConfig};
+use lncl_tensor::TensorRng;
+use logic_lncl::config::TrainConfig;
+
+/// How large the regenerated experiments are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Fast smoke-scale experiments (default): minutes on a laptop.
+    Small,
+    /// Larger corpora and more epochs; closer to the paper's setting.
+    Medium,
+    /// The paper's corpus sizes (4,999 / 5,985 training sentences).  Slow.
+    Paper,
+}
+
+impl Scale {
+    /// Reads the scale from the `LNCL_SCALE` environment variable.
+    pub fn from_env() -> Self {
+        match std::env::var("LNCL_SCALE").unwrap_or_default().to_lowercase().as_str() {
+            "paper" => Scale::Paper,
+            "medium" => Scale::Medium,
+            _ => Scale::Small,
+        }
+    }
+
+    /// Number of repeated runs averaged per method (`LNCL_REPS` overrides).
+    pub fn repetitions(&self) -> usize {
+        if let Ok(reps) = std::env::var("LNCL_REPS") {
+            if let Ok(n) = reps.parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        match self {
+            Scale::Small => 1,
+            Scale::Medium => 3,
+            Scale::Paper => 5,
+        }
+    }
+
+    /// Number of training epochs (`LNCL_EPOCHS` overrides).
+    pub fn epochs(&self) -> usize {
+        if let Ok(e) = std::env::var("LNCL_EPOCHS") {
+            if let Ok(n) = e.parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        match self {
+            Scale::Small => 12,
+            Scale::Medium => 20,
+            Scale::Paper => 30,
+        }
+    }
+
+    /// The sentiment corpus for this scale.
+    pub fn sentiment_dataset(&self, seed: u64) -> CrowdDataset {
+        let config = match self {
+            Scale::Small => SentimentDatasetConfig {
+                train_size: 800,
+                dev_size: 250,
+                test_size: 250,
+                num_annotators: 40,
+                seed,
+                ..SentimentDatasetConfig::default()
+            },
+            Scale::Medium => SentimentDatasetConfig {
+                train_size: 2000,
+                dev_size: 600,
+                test_size: 600,
+                num_annotators: 80,
+                seed,
+                ..SentimentDatasetConfig::default()
+            },
+            Scale::Paper => SentimentDatasetConfig { seed, ..SentimentDatasetConfig::paper_scale() },
+        };
+        generate_sentiment(&config)
+    }
+
+    /// The NER corpus for this scale.
+    pub fn ner_dataset(&self, seed: u64) -> CrowdDataset {
+        let config = match self {
+            Scale::Small => NerDatasetConfig {
+                train_size: 400,
+                dev_size: 120,
+                test_size: 120,
+                num_annotators: 25,
+                // sparser redundancy than the sentiment corpus, so the gap
+                // between aggregation strategies is visible (as in Table III)
+                min_labels_per_instance: 2,
+                max_labels_per_instance: 4,
+                seed,
+                ..NerDatasetConfig::default()
+            },
+            Scale::Medium => NerDatasetConfig {
+                train_size: 1200,
+                dev_size: 350,
+                test_size: 350,
+                num_annotators: 47,
+                min_labels_per_instance: 2,
+                max_labels_per_instance: 4,
+                seed,
+                ..NerDatasetConfig::default()
+            },
+            Scale::Paper => NerDatasetConfig { seed, ..NerDatasetConfig::paper_scale() },
+        };
+        generate_ner(&config)
+    }
+
+    /// Training configuration used for sentiment experiments at this scale.
+    pub fn sentiment_train_config(&self, seed: u64) -> TrainConfig {
+        TrainConfig::fast(self.epochs()).with_seed(seed)
+    }
+
+    /// Training configuration used for NER experiments at this scale.
+    pub fn ner_train_config(&self, seed: u64) -> TrainConfig {
+        let mut config = TrainConfig::fast(self.epochs()).with_seed(seed);
+        config.imitation = logic_lncl::ImitationSchedule::ner_paper();
+        config.objective = logic_lncl::MStepObjective::AnnotationWeighted;
+        config
+    }
+}
+
+/// Builds the (reduced-width) sentiment CNN for a dataset.
+pub fn sentiment_model(dataset: &CrowdDataset, seed: u64) -> SentimentCnn {
+    let mut rng = TensorRng::seed_from_u64(seed);
+    SentimentCnn::new(
+        SentimentCnnConfig {
+            vocab_size: dataset.vocab_size(),
+            embedding_dim: 24,
+            windows: vec![3, 4, 5],
+            filters_per_window: 12,
+            dropout_keep: 0.7,
+            num_classes: dataset.num_classes,
+        },
+        &mut rng,
+    )
+}
+
+/// Builds the (reduced-width) NER tagger for a dataset.
+pub fn ner_model(dataset: &CrowdDataset, seed: u64) -> NerConvGru {
+    let mut rng = TensorRng::seed_from_u64(seed);
+    NerConvGru::new(
+        NerConvGruConfig {
+            vocab_size: dataset.vocab_size(),
+            embedding_dim: 20,
+            conv_window: 5,
+            conv_features: 24,
+            gru_hidden: 20,
+            dropout_keep: 0.7,
+            num_classes: dataset.num_classes,
+        },
+        &mut rng,
+    )
+}

@@ -1,0 +1,147 @@
+//! Plain-text table rendering for the experiment binaries.
+
+use logic_lncl::{EvalMetrics, MethodResult};
+
+/// Renders a Table-II style table (accuracy-based: prediction / inference /
+/// average columns).
+pub fn render_classification_table(title: &str, rows: &[MethodResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n{title}\n"));
+    out.push_str(&format!("{:<34} {:>12} {:>12} {:>10}\n", "Method", "Prediction", "Inference", "Average"));
+    out.push_str(&"-".repeat(72));
+    out.push('\n');
+    for row in rows {
+        let pred = if row.prediction.accuracy > 0.0 { format!("{:.2}", row.prediction.accuracy * 100.0) } else { "-".to_string() };
+        let inf = match row.inference {
+            Some(m) => format!("{:.2}", m.accuracy * 100.0),
+            None => "-".to_string(),
+        };
+        let avg = if row.prediction.accuracy > 0.0 && row.inference.is_some() {
+            format!("{:.2}", row.average(false) * 100.0)
+        } else {
+            "-".to_string()
+        };
+        out.push_str(&format!("{:<34} {:>12} {:>12} {:>10}\n", row.method, pred, inf, avg));
+    }
+    out
+}
+
+/// Renders a Table-III style table (P/R/F1 for prediction and inference).
+pub fn render_sequence_table(title: &str, rows: &[MethodResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n{title}\n"));
+    out.push_str(&format!(
+        "{:<34} {:>7} {:>7} {:>7}   {:>7} {:>7} {:>7} {:>9}\n",
+        "Method", "P", "R", "F1", "P(inf)", "R(inf)", "F1(inf)", "Avg F1"
+    ));
+    out.push_str(&"-".repeat(96));
+    out.push('\n');
+    let fmt = |m: &EvalMetrics| {
+        if m.accuracy > 0.0 || m.f1 > 0.0 || m.precision > 0.0 || m.recall > 0.0 {
+            (format!("{:.2}", m.precision * 100.0), format!("{:.2}", m.recall * 100.0), format!("{:.2}", m.f1 * 100.0))
+        } else {
+            ("-".to_string(), "-".to_string(), "-".to_string())
+        }
+    };
+    for row in rows {
+        let (pp, pr, pf) = fmt(&row.prediction);
+        let (ip, ir, if1) = match &row.inference {
+            Some(m) => fmt(m),
+            None => ("-".to_string(), "-".to_string(), "-".to_string()),
+        };
+        let avg = match row.inference {
+            Some(inf) if row.prediction.f1 > 0.0 => format!("{:.2}", (row.prediction.f1 + inf.f1) / 2.0 * 100.0),
+            _ => "-".to_string(),
+        };
+        out.push_str(&format!(
+            "{:<34} {:>7} {:>7} {:>7}   {:>7} {:>7} {:>7} {:>9}\n",
+            row.method, pp, pr, pf, ip, ir, if1, avg
+        ));
+    }
+    out
+}
+
+/// Averages repeated runs of the same method list (element-wise by position).
+pub fn average_repetitions(repetitions: &[Vec<MethodResult>]) -> Vec<MethodResult> {
+    assert!(!repetitions.is_empty(), "need at least one repetition");
+    let n = repetitions[0].len();
+    (0..n)
+        .map(|i| {
+            let name = repetitions[0][i].method.clone();
+            let preds: Vec<EvalMetrics> = repetitions.iter().map(|rep| rep[i].prediction).collect();
+            let infs: Vec<EvalMetrics> = repetitions.iter().filter_map(|rep| rep[i].inference).collect();
+            let inference = if infs.is_empty() { None } else { Some(EvalMetrics::mean(&infs)) };
+            MethodResult::new(name, EvalMetrics::mean(&preds), inference)
+        })
+        .collect()
+}
+
+/// Renders a simple ASCII boxplot line from a five-number summary.
+pub fn render_boxplot(label: &str, summary: [f32; 5]) -> String {
+    format!(
+        "{:<28} min {:>8.2} | q1 {:>8.2} | median {:>8.2} | q3 {:>8.2} | max {:>8.2}",
+        label, summary[0], summary[1], summary[2], summary[3], summary[4]
+    )
+}
+
+/// Renders a confusion matrix with class names.
+pub fn render_confusion(title: &str, names: &[String], matrix: &lncl_tensor::Matrix) -> String {
+    let mut out = format!("{title}\n        ");
+    for name in names {
+        out.push_str(&format!("{name:>8}"));
+    }
+    out.push('\n');
+    for (r, name) in names.iter().enumerate() {
+        out.push_str(&format!("{name:>8}"));
+        for c in 0..names.len() {
+            out.push_str(&format!("{:>8.2}", matrix[(r, c)]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_table_contains_rows() {
+        let rows = vec![
+            MethodResult::new("MV-Classifier", EvalMetrics::from_accuracy(0.78), Some(EvalMetrics::from_accuracy(0.88))),
+            MethodResult::new("MV", EvalMetrics::default(), Some(EvalMetrics::from_accuracy(0.88))),
+        ];
+        let table = render_classification_table("Table II", &rows);
+        assert!(table.contains("MV-Classifier"));
+        assert!(table.contains("78.00"));
+        assert!(table.contains("Table II"));
+    }
+
+    #[test]
+    fn sequence_table_handles_missing_metrics() {
+        let rows = vec![MethodResult::new("DL-DN", EvalMetrics { accuracy: 0.9, precision: 0.7, recall: 0.5, f1: 0.58 }, None)];
+        let table = render_sequence_table("Table III", &rows);
+        assert!(table.contains("DL-DN"));
+        assert!(table.contains("58.00"));
+    }
+
+    #[test]
+    fn average_repetitions_averages_by_position() {
+        let rep1 = vec![MethodResult::new("m", EvalMetrics::from_accuracy(0.6), Some(EvalMetrics::from_accuracy(0.8)))];
+        let rep2 = vec![MethodResult::new("m", EvalMetrics::from_accuracy(0.8), Some(EvalMetrics::from_accuracy(0.9)))];
+        let avg = average_repetitions(&[rep1, rep2]);
+        assert!((avg[0].prediction.accuracy - 0.7).abs() < 1e-6);
+        assert!((avg[0].inference.unwrap().accuracy - 0.85).abs() < 1e-6);
+    }
+
+    #[test]
+    fn boxplot_and_confusion_render() {
+        let line = render_boxplot("labels per annotator", [1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!(line.contains("median"));
+        let names = vec!["NEG".to_string(), "POS".to_string()];
+        let m = lncl_tensor::Matrix::identity(2);
+        let table = render_confusion("Annotator 5", &names, &m);
+        assert!(table.contains("Annotator 5"));
+        assert!(table.contains("NEG"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Ablation variants of Table IV.
+//!
+//! Every variant is a re-configuration of the main trainer or of the
+//! two-stage pipeline; this module names them and builds the corresponding
+//! rule sets / posterior modes so the bench harness and the tests construct
+//! exactly the variants the paper evaluates.
+
+use crate::distill::TaskRules;
+use lncl_crowd::{CrowdDataset, TaskKind};
+use lncl_logic::rules::ner_transition::{ner_bad_rules, ner_transition_rules};
+use lncl_logic::rules::sentiment_but::SentimentContrastRule;
+
+/// The Table-IV ablation variants (plus the two full models for reference).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AblationVariant {
+    /// `MV-Rule`: q_a frozen to the majority-voting estimate, rules kept.
+    MvRule,
+    /// `GLAD-Rule`: q_a frozen to the GLAD estimate (AggNet estimate on the
+    /// NER dataset, where GLAD is not applicable), rules kept.
+    GladRule,
+    /// `w/o-Rule`: iterative posterior, no rules (equivalent to AggNet).
+    WithoutRule,
+    /// `MV-t`: the plain MV-Classifier evaluated with the teacher output.
+    MvTeacher,
+    /// `our-other-rules-*`: the deliberately weaker rules ("however" /
+    /// single-transition assumption).
+    OtherRules,
+    /// The full Logic-LNCL model (student / teacher chosen at prediction
+    /// time).
+    Full,
+}
+
+impl AblationVariant {
+    /// Display name matching Table IV.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AblationVariant::MvRule => "MV-Rule",
+            AblationVariant::GladRule => "GLAD-Rule",
+            AblationVariant::WithoutRule => "w/o-Rule",
+            AblationVariant::MvTeacher => "MV-t",
+            AblationVariant::OtherRules => "our-other-rules",
+            AblationVariant::Full => "Logic-LNCL",
+        }
+    }
+
+    /// All variants in table order.
+    pub fn all() -> [AblationVariant; 6] {
+        [
+            AblationVariant::MvRule,
+            AblationVariant::GladRule,
+            AblationVariant::WithoutRule,
+            AblationVariant::MvTeacher,
+            AblationVariant::OtherRules,
+            AblationVariant::Full,
+        ]
+    }
+
+    /// Whether this variant freezes `q_a` to an external truth estimate.
+    pub fn uses_fixed_posterior(&self) -> bool {
+        matches!(self, AblationVariant::MvRule | AblationVariant::GladRule)
+    }
+}
+
+/// Builds the paper's task rules for a dataset (the *A-but-B* rule for
+/// sentiment, the Eq. 18/19 transition rules for NER).
+pub fn paper_rules(dataset: &CrowdDataset) -> TaskRules {
+    match dataset.task {
+        TaskKind::Classification => {
+            let but = dataset
+                .but_token
+                .expect("classification dataset must expose a 'but' token for the contrast rule");
+            TaskRules::Classification(vec![Box::new(SentimentContrastRule::but_rule(but))])
+        }
+        TaskKind::SequenceTagging => TaskRules::Sequence(ner_transition_rules(0.8, 0.2)),
+    }
+}
+
+/// Builds the "other rules" of the ablation: the weaker "however" contrast
+/// rule for sentiment, and the unrealistic single-transition rule for NER.
+pub fn other_rules(dataset: &CrowdDataset) -> TaskRules {
+    match dataset.task {
+        TaskKind::Classification => {
+            let however = dataset
+                .however_token
+                .expect("classification dataset must expose a 'however' token for the ablation rule");
+            TaskRules::Classification(vec![Box::new(SentimentContrastRule::however_rule(however))])
+        }
+        TaskKind::SequenceTagging => TaskRules::Sequence(ner_bad_rules()),
+    }
+}
+
+/// The rules a given ablation variant trains with.
+pub fn rules_for(variant: AblationVariant, dataset: &CrowdDataset) -> TaskRules {
+    match variant {
+        AblationVariant::WithoutRule | AblationVariant::MvTeacher => TaskRules::None,
+        AblationVariant::OtherRules => other_rules(dataset),
+        _ => paper_rules(dataset),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lncl_crowd::datasets::{generate_ner, generate_sentiment, NerDatasetConfig, SentimentDatasetConfig};
+
+    #[test]
+    fn names_cover_table_four() {
+        let names: Vec<&str> = AblationVariant::all().iter().map(|v| v.name()).collect();
+        assert!(names.contains(&"MV-Rule"));
+        assert!(names.contains(&"w/o-Rule"));
+        assert!(names.contains(&"our-other-rules"));
+    }
+
+    #[test]
+    fn fixed_posterior_flags() {
+        assert!(AblationVariant::MvRule.uses_fixed_posterior());
+        assert!(AblationVariant::GladRule.uses_fixed_posterior());
+        assert!(!AblationVariant::Full.uses_fixed_posterior());
+    }
+
+    #[test]
+    fn sentiment_rules_use_the_right_tokens() {
+        let data = generate_sentiment(&SentimentDatasetConfig::tiny());
+        match paper_rules(&data) {
+            TaskRules::Classification(rules) => assert_eq!(rules[0].name(), "A-but-B"),
+            _ => panic!("expected classification rules"),
+        }
+        match other_rules(&data) {
+            TaskRules::Classification(rules) => assert_eq!(rules[0].name(), "A-however-B"),
+            _ => panic!("expected classification rules"),
+        }
+    }
+
+    #[test]
+    fn ner_rules_are_transition_sets() {
+        let data = generate_ner(&NerDatasetConfig::tiny());
+        match paper_rules(&data) {
+            TaskRules::Sequence(set) => assert_eq!(set.num_classes(), 9),
+            _ => panic!("expected sequence rules"),
+        }
+        match rules_for(AblationVariant::OtherRules, &data) {
+            TaskRules::Sequence(set) => assert!(set.name.contains("bad")),
+            _ => panic!("expected sequence rules"),
+        }
+        assert!(rules_for(AblationVariant::WithoutRule, &data).is_none());
+    }
+}

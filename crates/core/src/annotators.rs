@@ -1,0 +1,191 @@
+//! The annotator-reliability model: per-annotator confusion matrices Π and
+//! their closed-form M-step update (Eq. 12 of the paper).
+
+use lncl_crowd::CrowdDataset;
+use lncl_tensor::Matrix;
+
+/// Per-annotator confusion matrices `Π^{(j)}`, where row `m`, column `n` is
+/// the probability that annotator `j` reports class `n` when the truth is
+/// class `m`.
+#[derive(Debug, Clone)]
+pub struct AnnotatorModel {
+    confusions: Vec<Matrix>,
+    num_classes: usize,
+}
+
+impl AnnotatorModel {
+    /// Initialises every annotator with a diagonally-dominant confusion
+    /// matrix (`diag` on the diagonal, the rest uniform), the usual neutral
+    /// starting point for EM.
+    pub fn new(num_annotators: usize, num_classes: usize, diag: f32) -> Self {
+        assert!(num_classes >= 2);
+        assert!((0.0..=1.0).contains(&diag));
+        let off = (1.0 - diag) / (num_classes - 1) as f32;
+        let proto = Matrix::from_fn(num_classes, num_classes, |r, c| if r == c { diag } else { off });
+        Self { confusions: vec![proto; num_annotators], num_classes }
+    }
+
+    /// Number of annotators.
+    pub fn num_annotators(&self) -> usize {
+        self.confusions.len()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Confusion matrix of annotator `j`.
+    pub fn confusion(&self, j: usize) -> &Matrix {
+        &self.confusions[j]
+    }
+
+    /// All confusion matrices.
+    pub fn confusions(&self) -> &[Matrix] {
+        &self.confusions
+    }
+
+    /// The likelihood `π^{(j)}_{m, n}` of annotator `j` reporting `observed`
+    /// when the truth is `truth`.
+    pub fn likelihood(&self, j: usize, truth: usize, observed: usize) -> f32 {
+        self.confusions[j][(truth, observed)]
+    }
+
+    /// Overall reliability (mean diagonal) per annotator — the scalar
+    /// compared against the empirical one in Figures 6b/7b.
+    pub fn reliabilities(&self) -> Vec<f32> {
+        self.confusions.iter().map(lncl_crowd::metrics::overall_reliability).collect()
+    }
+
+    /// Closed-form update of Eq. 12:
+    ///
+    /// ```text
+    /// π^{(j)}_{mn} = Σ_i q_f(t_i = m)·1[y_ij = n]  /  Σ_i q_f(t_i = m)·1[y_ij ≠ 0]
+    /// ```
+    ///
+    /// `qf` holds one distribution per *unit* in the order produced by
+    /// [`lncl_crowd::AnnotationView`]; here we work directly on the dataset
+    /// so the caller supplies `qf` per instance (outer index) and per unit
+    /// (inner index).  `smoothing` is added to every count to keep rows
+    /// well-defined for rarely observed truth classes.
+    pub fn update_from_qf(&mut self, dataset: &CrowdDataset, qf: &[Vec<Vec<f32>>], smoothing: f32) {
+        assert_eq!(qf.len(), dataset.train.len(), "qf must cover every training instance");
+        let k = self.num_classes;
+        let mut counts = vec![Matrix::full(k, k, smoothing); self.confusions.len()];
+        for (inst, q_inst) in dataset.train.iter().zip(qf) {
+            assert_eq!(q_inst.len(), inst.num_units(), "qf unit count mismatch");
+            for cl in &inst.crowd_labels {
+                for (u, &observed) in cl.labels.iter().enumerate() {
+                    for m in 0..k {
+                        counts[cl.annotator][(m, observed)] += q_inst[u][m];
+                    }
+                }
+            }
+        }
+        for c in &mut counts {
+            lncl_crowd::metrics::normalize_confusion_rows(c);
+        }
+        self.confusions = counts;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lncl_crowd::{CrowdLabel, Instance, TaskKind};
+
+    fn dataset_with_known_annotator() -> CrowdDataset {
+        // annotator 0 always reports the gold label; annotator 1 always
+        // reports class 0.
+        let mut train = Vec::new();
+        for i in 0..20 {
+            let gold = i % 2;
+            train.push(Instance {
+                tokens: vec![1],
+                gold: vec![gold],
+                crowd_labels: vec![
+                    CrowdLabel { annotator: 0, labels: vec![gold] },
+                    CrowdLabel { annotator: 1, labels: vec![0] },
+                ],
+            });
+        }
+        CrowdDataset {
+            task: TaskKind::Classification,
+            num_classes: 2,
+            num_annotators: 2,
+            vocab: vec!["<pad>".into(), "w".into()],
+            class_names: vec!["0".into(), "1".into()],
+            train,
+            dev: vec![],
+            test: vec![],
+            but_token: None,
+            however_token: None,
+        }
+    }
+
+    #[test]
+    fn initialisation_is_diagonally_dominant() {
+        let model = AnnotatorModel::new(3, 4, 0.7);
+        assert_eq!(model.num_annotators(), 3);
+        for j in 0..3 {
+            let c = model.confusion(j);
+            for r in 0..4 {
+                assert!((c.row(r).iter().sum::<f32>() - 1.0).abs() < 1e-5);
+                assert!(c[(r, r)] > c[(r, (r + 1) % 4)]);
+            }
+        }
+        assert!((model.likelihood(0, 1, 1) - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eq12_update_recovers_annotator_behaviour() {
+        let dataset = dataset_with_known_annotator();
+        // q_f equal to the gold posterior
+        let qf: Vec<Vec<Vec<f32>>> = dataset
+            .train
+            .iter()
+            .map(|inst| {
+                inst.gold
+                    .iter()
+                    .map(|&g| {
+                        let mut p = vec![0.0; 2];
+                        p[g] = 1.0;
+                        p
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut model = AnnotatorModel::new(2, 2, 0.5);
+        model.update_from_qf(&dataset, &qf, 0.01);
+        // annotator 0: near-identity
+        assert!(model.likelihood(0, 0, 0) > 0.95);
+        assert!(model.likelihood(0, 1, 1) > 0.95);
+        // annotator 1: always answers 0 regardless of truth
+        assert!(model.likelihood(1, 0, 0) > 0.95);
+        assert!(model.likelihood(1, 1, 0) > 0.95);
+        let rel = model.reliabilities();
+        assert!(rel[0] > rel[1]);
+    }
+
+    #[test]
+    fn soft_qf_interpolates_counts() {
+        let dataset = dataset_with_known_annotator();
+        // completely uninformative q_f: confusion rows should be close to the
+        // annotator's marginal label distribution for both truth classes.
+        let qf: Vec<Vec<Vec<f32>>> =
+            dataset.train.iter().map(|inst| vec![vec![0.5, 0.5]; inst.num_units()]).collect();
+        let mut model = AnnotatorModel::new(2, 2, 0.5);
+        model.update_from_qf(&dataset, &qf, 0.01);
+        // annotator 0 labels half 0 and half 1 overall
+        assert!((model.likelihood(0, 0, 0) - 0.5).abs() < 0.05);
+        assert!((model.likelihood(0, 1, 0) - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic]
+    fn update_rejects_wrong_instance_count() {
+        let dataset = dataset_with_known_annotator();
+        let mut model = AnnotatorModel::new(2, 2, 0.5);
+        model.update_from_qf(&dataset, &[], 0.01);
+    }
+}

@@ -1,0 +1,291 @@
+//! The "crowd layer" baselines CL(MW), CL(VW) and CL(VW-B) of Rodrigues &
+//! Pereira (AAAI 2018).
+//!
+//! The classifier's class scores are mapped to each annotator's label
+//! distribution by an annotator-specific transformation and the whole stack
+//! is trained end-to-end on the raw crowd labels:
+//!
+//! * **MW** — a per-annotator `K x K` matrix (identity-initialised);
+//! * **VW** — a per-annotator per-class scaling vector (ones-initialised);
+//! * **VW-B** — scaling vector plus per-class bias.
+//!
+//! As in the paper, the classifier can be pre-trained for a few epochs on
+//! majority-voting labels before the crowd layer is attached (the `MW, 5`
+//! configuration of Table III).
+
+use crate::baselines::two_stage::{one_hot_targets, train_supervised};
+use crate::config::{OptimizerKind, TrainConfig};
+use crate::predict::{evaluate_split, PredictionMode};
+use crate::report::EvalMetrics;
+use lncl_crowd::truth::{MajorityVote, TruthInference};
+use lncl_crowd::{CrowdDataset, TaskKind};
+use lncl_nn::optim::{Adadelta, Adam, Optimizer, Sgd};
+use lncl_nn::{Binding, InstanceClassifier, Module, Param};
+use lncl_tensor::{Matrix, TensorRng};
+
+/// Which annotator transformation the crowd layer uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrowdLayerKind {
+    /// Matrix-per-annotator ("MW").
+    MatrixWeight,
+    /// Vector-per-annotator ("VW").
+    VectorWeight,
+    /// Vector plus bias ("VW-B").
+    VectorWeightBias,
+}
+
+impl CrowdLayerKind {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CrowdLayerKind::MatrixWeight => "CL (MW)",
+            CrowdLayerKind::VectorWeight => "CL (VW)",
+            CrowdLayerKind::VectorWeightBias => "CL (VW-B)",
+        }
+    }
+}
+
+/// End-to-end crowd-layer trainer wrapping any [`InstanceClassifier`].
+pub struct CrowdLayerTrainer<M: InstanceClassifier + Module + Clone> {
+    /// The backbone classifier.
+    pub model: M,
+    kind: CrowdLayerKind,
+    /// Per-annotator transformation parameters.
+    weights: Vec<Param>,
+    biases: Vec<Param>,
+    config: TrainConfig,
+    /// Number of epochs of majority-voting pre-training before end-to-end
+    /// training (0 disables pre-training).
+    pub pretrain_epochs: usize,
+}
+
+impl<M: InstanceClassifier + Module + Clone> CrowdLayerTrainer<M> {
+    /// Creates a crowd-layer trainer.
+    pub fn new(model: M, dataset: &CrowdDataset, kind: CrowdLayerKind, config: TrainConfig, pretrain_epochs: usize) -> Self {
+        let k = dataset.num_classes;
+        let weights = (0..dataset.num_annotators)
+            .map(|j| match kind {
+                CrowdLayerKind::MatrixWeight => Param::new(format!("crowd_layer.w{j}"), Matrix::identity(k)),
+                _ => Param::new(format!("crowd_layer.w{j}"), Matrix::full(1, k, 1.0)),
+            })
+            .collect();
+        let biases = (0..dataset.num_annotators)
+            .map(|j| Param::new(format!("crowd_layer.b{j}"), Matrix::zeros(1, k)))
+            .collect();
+        Self { model, kind, weights, biases, config, pretrain_epochs }
+    }
+
+    fn make_optimizer(&self) -> Box<dyn Optimizer> {
+        match self.config.optimizer {
+            OptimizerKind::Sgd { lr, momentum } => Box::new(Sgd::new(lr).with_momentum(momentum)),
+            OptimizerKind::Adam { lr } => Box::new(Adam::new(lr)),
+            OptimizerKind::Adadelta { lr } => Box::new(Adadelta::new(lr)),
+        }
+    }
+
+    /// Trains the crowd layer end-to-end on the raw crowd labels.
+    pub fn train(&mut self, dataset: &CrowdDataset) -> EvalMetrics {
+        // optional pre-training on MV labels
+        if self.pretrain_epochs > 0 {
+            let view = dataset.annotation_view();
+            let mv = MajorityVote.infer(&view);
+            let targets = one_hot_targets(&mv.hard_by_instance(&view), dataset.num_classes);
+            let pre_config = TrainConfig { epochs: self.pretrain_epochs, ..self.config.clone() };
+            train_supervised(&mut self.model, dataset, &targets, &pre_config);
+        }
+
+        let mut rng = TensorRng::seed_from_u64(self.config.seed.wrapping_add(17));
+        let mut optimizer = self.make_optimizer();
+        // The crowd layer is invariant to a global class permutation (the
+        // backbone can flip classes as long as every annotator matrix flips
+        // them back).  Identity/ones initialisation plus a slow, plain-SGD
+        // update of the annotator parameters keeps the class semantics
+        // anchored to the backbone, as in the reference implementation.
+        let mut annotator_optimizer: Box<dyn Optimizer> = Box::new(Sgd::new(0.01));
+        let sequence_task = dataset.task == TaskKind::SequenceTagging;
+        let mut best_dev = f32::NEG_INFINITY;
+        let mut best_model: Option<M> = None;
+        let mut stale = 0usize;
+
+        for _epoch in 0..self.config.epochs {
+            let mut order: Vec<usize> = (0..dataset.train.len()).collect();
+            rng.shuffle(&mut order);
+            for batch in order.chunks(self.config.batch_size) {
+                self.model.zero_grad();
+                for p in self.weights.iter_mut().chain(self.biases.iter_mut()) {
+                    p.zero_grad();
+                }
+                for &i in batch {
+                    let inst = &dataset.train[i];
+                    if inst.crowd_labels.is_empty() {
+                        continue;
+                    }
+                    let mut tape = lncl_autograd::Tape::new();
+                    let mut binding = Binding::new();
+                    let logits = self.model.forward_logits(&mut tape, &mut binding, &inst.tokens, true, &mut rng);
+                    // The annotator transformation is applied to the class
+                    // scores (logits): with identity/ones initialisation the
+                    // crowd layer starts as plain cross-entropy training and
+                    // learns per-annotator distortions on top, which trains
+                    // much faster at this scale than stacking two softmaxes.
+                    let (units, k) = tape.shape(logits);
+                    let mut instance_loss: Option<lncl_autograd::Var> = None;
+                    for cl in &inst.crowd_labels {
+                        let observed = one_hot_matrix(&cl.labels, k);
+                        let scores = match self.kind {
+                            CrowdLayerKind::MatrixWeight => {
+                                let w = binding.bind(&mut tape, &self.weights[cl.annotator]);
+                                tape.matmul(logits, w)
+                            }
+                            CrowdLayerKind::VectorWeight => {
+                                let w = binding.bind(&mut tape, &self.weights[cl.annotator]);
+                                let w_rep = tape.gather_rows(w, &vec![0; units]);
+                                tape.mul(logits, w_rep)
+                            }
+                            CrowdLayerKind::VectorWeightBias => {
+                                let w = binding.bind(&mut tape, &self.weights[cl.annotator]);
+                                let b = binding.bind(&mut tape, &self.biases[cl.annotator]);
+                                let w_rep = tape.gather_rows(w, &vec![0; units]);
+                                let scaled = tape.mul(logits, w_rep);
+                                tape.add_row_broadcast(scaled, b)
+                            }
+                        };
+                        let loss = tape.softmax_cross_entropy(scores, observed);
+                        instance_loss = Some(match instance_loss {
+                            Some(total) => tape.add(total, loss),
+                            None => loss,
+                        });
+                    }
+                    let Some(instance_loss) = instance_loss else { continue };
+                    tape.backward(instance_loss);
+                    binding.accumulate(&tape, self.model.params_mut());
+                    binding.accumulate(&tape, self.weights.iter_mut().chain(self.biases.iter_mut()));
+                }
+                let scale = 1.0 / batch.len() as f32;
+                self.model.scale_grads(scale);
+                for p in self.weights.iter_mut().chain(self.biases.iter_mut()) {
+                    p.grad.map_inplace(|g| g * scale);
+                }
+                if let Some(clip) = self.config.grad_clip {
+                    self.model.clip_grad_norm(clip);
+                }
+                let mut params: Vec<&mut Param> = self.model.params_mut();
+                optimizer.step(&mut params);
+                let mut annotator_params: Vec<&mut Param> =
+                    self.weights.iter_mut().chain(self.biases.iter_mut()).collect();
+                annotator_optimizer.step(&mut annotator_params);
+            }
+            let dev_split = if dataset.dev.is_empty() { &dataset.test } else { &dataset.dev };
+            let dev = evaluate_split(
+                &self.model,
+                dev_split,
+                dataset.task,
+                PredictionMode::Student,
+                &crate::distill::TaskRules::None,
+                0.0,
+            )
+            .headline(sequence_task);
+            if dev > best_dev {
+                best_dev = dev;
+                best_model = Some(self.model.clone());
+                stale = 0;
+            } else {
+                stale += 1;
+                if stale > self.config.early_stopping_patience {
+                    break;
+                }
+            }
+        }
+        if let Some(best) = best_model {
+            self.model = best;
+        }
+        self.inference_metrics(dataset)
+    }
+
+    /// Inference quality: the classifier's own outputs on the training split
+    /// (the convention used for the CL rows of Tables II/III).
+    pub fn inference_metrics(&self, dataset: &CrowdDataset) -> EvalMetrics {
+        let predictions: Vec<Vec<usize>> =
+            dataset.train.iter().map(|inst| self.model.predict(&inst.tokens)).collect();
+        crate::baselines::two_stage::inference_metrics_of(&predictions, dataset)
+    }
+
+    /// Evaluates the backbone classifier on a split.
+    pub fn evaluate(&self, split: &[lncl_crowd::Instance], task: TaskKind) -> EvalMetrics {
+        evaluate_split(&self.model, split, task, PredictionMode::Student, &crate::distill::TaskRules::None, 0.0)
+    }
+}
+
+fn one_hot_matrix(labels: &[usize], num_classes: usize) -> Matrix {
+    let mut m = Matrix::zeros(labels.len(), num_classes);
+    for (r, &l) in labels.iter().enumerate() {
+        m[(r, l)] = 1.0;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lncl_crowd::datasets::{generate_sentiment, SentimentDatasetConfig};
+    use lncl_nn::models::{SentimentCnn, SentimentCnnConfig};
+
+    fn setup() -> (CrowdDataset, SentimentCnn, TrainConfig) {
+        let dataset = generate_sentiment(&SentimentDatasetConfig {
+            train_size: 400,
+            dev_size: 150,
+            test_size: 150,
+            num_annotators: 15,
+            filler_vocab: 40,
+            ..SentimentDatasetConfig::tiny()
+        });
+        let mut rng = TensorRng::seed_from_u64(0);
+        let model = SentimentCnn::new(
+            SentimentCnnConfig {
+                vocab_size: dataset.vocab_size(),
+                embedding_dim: 16,
+                windows: vec![2, 3],
+                filters_per_window: 8,
+                dropout_keep: 0.7,
+                num_classes: 2,
+            },
+            &mut rng,
+        );
+        let config = TrainConfig::fast(10);
+        (dataset, model, config)
+    }
+
+    #[test]
+    fn kind_names_match_paper() {
+        assert_eq!(CrowdLayerKind::MatrixWeight.name(), "CL (MW)");
+        assert_eq!(CrowdLayerKind::VectorWeight.name(), "CL (VW)");
+        assert_eq!(CrowdLayerKind::VectorWeightBias.name(), "CL (VW-B)");
+    }
+
+    #[test]
+    fn mw_training_learns_better_than_chance() {
+        let (dataset, model, config) = setup();
+        let mut trainer = CrowdLayerTrainer::new(model, &dataset, CrowdLayerKind::MatrixWeight, config, 2);
+        let inference = trainer.train(&dataset);
+        let test = trainer.evaluate(&dataset.test, dataset.task);
+        assert!(test.accuracy > 0.58, "CL(MW) test accuracy {}", test.accuracy);
+        assert!(inference.accuracy > 0.65, "CL(MW) inference accuracy {}", inference.accuracy);
+    }
+
+    #[test]
+    fn vw_variants_run_without_pretraining() {
+        let (dataset, model, config) = setup();
+        for kind in [CrowdLayerKind::VectorWeight, CrowdLayerKind::VectorWeightBias] {
+            let mut trainer = CrowdLayerTrainer::new(model.clone(), &dataset, kind, config.clone(), 0);
+            let inference = trainer.train(&dataset);
+            assert!(inference.accuracy > 0.6, "{} inference {}", kind.name(), inference.accuracy);
+        }
+    }
+
+    #[test]
+    fn one_hot_matrix_layout() {
+        let m = one_hot_matrix(&[2, 0], 3);
+        assert_eq!(m.row(0), &[0.0, 0.0, 1.0]);
+        assert_eq!(m.row(1), &[1.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,204 @@
+//! DL-DN / DL-WDN (Guan et al., 2018): train one copy of the network per
+//! annotator on that annotator's labels, then average the predictions —
+//! uniformly (DN) or weighted by how many instances each annotator labelled
+//! (WDN).
+
+use crate::baselines::two_stage::{one_hot_targets, train_supervised};
+use crate::config::TrainConfig;
+use crate::predict::evaluate_predictions;
+use crate::report::EvalMetrics;
+use lncl_crowd::{CrowdDataset, Instance};
+use lncl_nn::{InstanceClassifier, Module};
+use lncl_tensor::stats;
+
+/// Averaging scheme over the per-annotator networks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DlDnKind {
+    /// Uniform average ("DL-DN").
+    Uniform,
+    /// Average weighted by each annotator's number of labelled instances
+    /// ("DL-WDN").
+    Weighted,
+}
+
+impl DlDnKind {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DlDnKind::Uniform => "DL-DN",
+            DlDnKind::Weighted => "DL-WDN",
+        }
+    }
+}
+
+/// Configuration of the DL-DN baseline.
+#[derive(Debug, Clone)]
+pub struct DlDnConfig {
+    /// Per-annotator training configuration (kept short — each annotator has
+    /// only a small slice of the data).
+    pub train: TrainConfig,
+    /// Annotators with fewer labelled instances than this are skipped (they
+    /// cannot train a useful network and only add noise).
+    pub min_instances: usize,
+    /// Cap on the number of annotator networks (the most prolific are kept);
+    /// bounds the cost when the pool is large.
+    pub max_annotators: usize,
+}
+
+impl Default for DlDnConfig {
+    fn default() -> Self {
+        Self { train: TrainConfig::fast(4), min_instances: 20, max_annotators: 12 }
+    }
+}
+
+/// Trains the per-annotator ensemble and evaluates it on the test split.
+/// `model_factory` builds a fresh (randomly initialised) network for each
+/// annotator.  Returns `(test metrics, ensemble predictions on test)`.
+pub fn train_dl_dn<M, F>(
+    dataset: &CrowdDataset,
+    kind: DlDnKind,
+    config: &DlDnConfig,
+    mut model_factory: F,
+) -> (EvalMetrics, Vec<Vec<usize>>)
+where
+    M: InstanceClassifier + Module + Clone,
+    F: FnMut(u64) -> M,
+{
+    // pick the annotators with enough data
+    let mut counts: Vec<(usize, usize)> = (0..dataset.num_annotators)
+        .map(|a| (a, dataset.train.iter().filter(|i| i.labels_by(a).is_some()).count()))
+        .collect();
+    counts.sort_by(|x, y| y.1.cmp(&x.1));
+    let selected: Vec<(usize, usize)> = counts
+        .into_iter()
+        .filter(|&(_, n)| n >= config.min_instances)
+        .take(config.max_annotators)
+        .collect();
+    assert!(!selected.is_empty(), "DL-DN: no annotator has enough labels (min_instances too high?)");
+
+    let mut ensemble: Vec<(M, f32)> = Vec::with_capacity(selected.len());
+    for (idx, &(annotator, count)) in selected.iter().enumerate() {
+        // restrict the dataset to this annotator's labels
+        let train: Vec<Instance> = dataset
+            .train
+            .iter()
+            .filter_map(|inst| {
+                inst.labels_by(annotator).map(|labels| Instance {
+                    tokens: inst.tokens.clone(),
+                    gold: labels.to_vec(), // train on the annotator's labels as if they were gold
+                    crowd_labels: Vec::new(),
+                })
+            })
+            .collect();
+        let sub_dataset = CrowdDataset { train, ..dataset.clone() };
+        let targets = one_hot_targets(
+            &sub_dataset.train.iter().map(|i| i.gold.clone()).collect::<Vec<_>>(),
+            dataset.num_classes,
+        );
+        let mut model = model_factory(idx as u64);
+        let sub_config = TrainConfig { seed: config.train.seed.wrapping_add(idx as u64), ..config.train.clone() };
+        train_supervised(&mut model, &sub_dataset, &targets, &sub_config);
+        let weight = match kind {
+            DlDnKind::Uniform => 1.0,
+            DlDnKind::Weighted => count as f32,
+        };
+        ensemble.push((model, weight));
+    }
+
+    // ensemble prediction on the test split
+    let predictions: Vec<Vec<usize>> = dataset
+        .test
+        .iter()
+        .map(|inst| ensemble_predict(&ensemble, &inst.tokens, dataset.num_classes))
+        .collect();
+    let metrics = evaluate_predictions(&predictions, &dataset.test, dataset.task);
+    (metrics, predictions)
+}
+
+fn ensemble_predict<M: InstanceClassifier>(ensemble: &[(M, f32)], tokens: &[usize], num_classes: usize) -> Vec<usize> {
+    let mut total: Vec<Vec<f32>> = Vec::new();
+    let mut weight_sum = 0.0f32;
+    for (model, weight) in ensemble {
+        let probs = model.predict_proba(tokens);
+        if total.is_empty() {
+            total = vec![vec![0.0; num_classes]; probs.rows()];
+        }
+        for (r, acc) in total.iter_mut().enumerate() {
+            for (c, a) in acc.iter_mut().enumerate() {
+                *a += weight * probs[(r, c)];
+            }
+        }
+        weight_sum += weight;
+    }
+    total
+        .iter()
+        .map(|row| {
+            let normalised: Vec<f32> = row.iter().map(|v| v / weight_sum.max(1e-6)).collect();
+            stats::argmax(&normalised)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lncl_crowd::datasets::{generate_sentiment, SentimentDatasetConfig};
+    use lncl_nn::models::{SentimentCnn, SentimentCnnConfig};
+    use lncl_tensor::TensorRng;
+
+    fn factory(dataset: &CrowdDataset) -> impl FnMut(u64) -> SentimentCnn + '_ {
+        move |seed| {
+            let mut rng = TensorRng::seed_from_u64(seed + 100);
+            SentimentCnn::new(
+                SentimentCnnConfig {
+                    vocab_size: dataset.vocab_size(),
+                    embedding_dim: 16,
+                    windows: vec![2, 3],
+                    filters_per_window: 8,
+                    dropout_keep: 0.7,
+                    num_classes: 2,
+                },
+                &mut rng,
+            )
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(DlDnKind::Uniform.name(), "DL-DN");
+        assert_eq!(DlDnKind::Weighted.name(), "DL-WDN");
+    }
+
+    #[test]
+    fn ensemble_beats_chance_on_sentiment() {
+        // a small pool of prolific annotators so every per-annotator network
+        // has enough data to learn from
+        let dataset = generate_sentiment(&SentimentDatasetConfig {
+            train_size: 400,
+            dev_size: 100,
+            test_size: 120,
+            num_annotators: 6,
+            min_labels_per_instance: 4,
+            max_labels_per_instance: 6,
+            spammer_fraction: 0.1,
+            filler_vocab: 30,
+            ..SentimentDatasetConfig::tiny()
+        });
+        let config = DlDnConfig {
+            train: TrainConfig::fast(10),
+            min_instances: 50,
+            max_annotators: 6,
+        };
+        let (metrics, predictions) = train_dl_dn(&dataset, DlDnKind::Weighted, &config, factory(&dataset));
+        assert_eq!(predictions.len(), dataset.test.len());
+        assert!(metrics.accuracy > 0.55, "DL-WDN accuracy {}", metrics.accuracy);
+    }
+
+    #[test]
+    #[should_panic]
+    fn panics_when_no_annotator_qualifies() {
+        let dataset = generate_sentiment(&SentimentDatasetConfig::tiny());
+        let config = DlDnConfig { min_instances: 10_000, ..Default::default() };
+        let _ = train_dl_dn(&dataset, DlDnKind::Uniform, &config, factory(&dataset));
+    }
+}

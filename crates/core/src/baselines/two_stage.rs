@@ -1,0 +1,227 @@
+//! Two-stage baselines: estimate the ground truth with a truth-inference
+//! method (or use the gold labels), then train the classifier with ordinary
+//! supervised learning.  Covers MV-Classifier, GLAD-Classifier and the Gold
+//! upper bound of Tables II/III.
+
+use crate::config::{OptimizerKind, TrainConfig};
+use crate::distill::targets_matrix;
+use crate::predict::{evaluate_split, PredictionMode};
+use crate::report::EvalMetrics;
+use lncl_crowd::{CrowdDataset, TaskKind};
+use lncl_nn::optim::{Adadelta, Adam, Optimizer, Sgd};
+use lncl_nn::{Binding, InstanceClassifier, Module};
+use lncl_tensor::TensorRng;
+
+/// Report of a supervised training run.
+#[derive(Debug, Clone, Default)]
+pub struct SupervisedReport {
+    /// Mean training loss per epoch.
+    pub loss_history: Vec<f32>,
+    /// Development metric per epoch.
+    pub dev_history: Vec<f32>,
+    /// Number of epochs actually run.
+    pub epochs_run: usize,
+}
+
+fn make_optimizer(kind: OptimizerKind) -> Box<dyn Optimizer> {
+    match kind {
+        OptimizerKind::Sgd { lr, momentum } => Box::new(Sgd::new(lr).with_momentum(momentum)),
+        OptimizerKind::Adam { lr } => Box::new(Adam::new(lr)),
+        OptimizerKind::Adadelta { lr } => Box::new(Adadelta::new(lr)),
+    }
+}
+
+/// Trains `model` on the training split of `dataset` against the supplied
+/// per-instance, per-unit *soft* targets (use one-hot rows for hard labels).
+/// Early stopping follows the development split exactly as in the paper.
+pub fn train_supervised<M: InstanceClassifier + Module + Clone>(
+    model: &mut M,
+    dataset: &CrowdDataset,
+    targets: &[Vec<Vec<f32>>],
+    config: &TrainConfig,
+) -> SupervisedReport {
+    assert_eq!(targets.len(), dataset.train.len(), "one target per training instance required");
+    let mut rng = TensorRng::seed_from_u64(config.seed);
+    let mut optimizer = make_optimizer(config.optimizer);
+    let base_lr = optimizer.learning_rate();
+    let sequence_task = dataset.task == TaskKind::SequenceTagging;
+
+    let mut report = SupervisedReport::default();
+    let mut best_dev = f32::NEG_INFINITY;
+    let mut best_model: Option<M> = None;
+    let mut stale = 0usize;
+
+    for epoch in 0..config.epochs {
+        if let Some((factor, every)) = config.lr_decay {
+            optimizer.set_learning_rate(base_lr * factor.powi((epoch / every) as i32));
+        }
+        let mut order: Vec<usize> = (0..dataset.train.len()).collect();
+        rng.shuffle(&mut order);
+        let mut epoch_loss = 0.0;
+        let mut batches = 0usize;
+        for batch in order.chunks(config.batch_size) {
+            model.zero_grad();
+            let mut batch_loss = 0.0;
+            for &i in batch {
+                let inst = &dataset.train[i];
+                let mut tape = lncl_autograd::Tape::new();
+                let mut binding = Binding::new();
+                let logits = model.forward_logits(&mut tape, &mut binding, &inst.tokens, true, &mut rng);
+                let loss = tape.softmax_cross_entropy(logits, targets_matrix(&targets[i]));
+                batch_loss += tape.scalar(loss);
+                tape.backward(loss);
+                binding.accumulate(&tape, model.params_mut());
+            }
+            model.scale_grads(1.0 / batch.len() as f32);
+            if let Some(clip) = config.grad_clip {
+                model.clip_grad_norm(clip);
+            }
+            let mut params = model.params_mut();
+            optimizer.step(&mut params);
+            epoch_loss += batch_loss / batch.len() as f32;
+            batches += 1;
+        }
+        report.loss_history.push(epoch_loss / batches.max(1) as f32);
+
+        let dev_split = if dataset.dev.is_empty() { &dataset.test } else { &dataset.dev };
+        let dev = evaluate_split(model, dev_split, dataset.task, PredictionMode::Student, &crate::distill::TaskRules::None, 0.0)
+            .headline(sequence_task);
+        report.dev_history.push(dev);
+        report.epochs_run = epoch + 1;
+        if dev > best_dev {
+            best_dev = dev;
+            best_model = Some(model.clone());
+            stale = 0;
+        } else {
+            stale += 1;
+            if stale > config.early_stopping_patience {
+                break;
+            }
+        }
+    }
+    if let Some(best) = best_model {
+        *model = best;
+    }
+    report
+}
+
+/// Converts hard per-instance labels into one-hot soft targets.
+pub fn one_hot_targets(labels: &[Vec<usize>], num_classes: usize) -> Vec<Vec<Vec<f32>>> {
+    labels
+        .iter()
+        .map(|inst| {
+            inst.iter()
+                .map(|&l| {
+                    let mut row = vec![0.0f32; num_classes];
+                    row[l] = 1.0;
+                    row
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Gold-label targets of a dataset's training split (the "Gold" upper bound).
+pub fn gold_targets(dataset: &CrowdDataset) -> Vec<Vec<Vec<f32>>> {
+    one_hot_targets(&dataset.train.iter().map(|i| i.gold.clone()).collect::<Vec<_>>(), dataset.num_classes)
+}
+
+/// Evaluates the inference quality of a set of hard labels against the
+/// training gold (the "Inference" column for two-stage methods).
+pub fn inference_metrics_of(labels: &[Vec<usize>], dataset: &CrowdDataset) -> EvalMetrics {
+    let gold: Vec<Vec<usize>> = dataset.train.iter().map(|i| i.gold.clone()).collect();
+    match dataset.task {
+        TaskKind::Classification => {
+            let pred: Vec<usize> = labels.iter().map(|l| l[0]).collect();
+            let flat: Vec<usize> = gold.iter().map(|g| g[0]).collect();
+            EvalMetrics::from_accuracy(lncl_crowd::metrics::accuracy(&pred, &flat))
+        }
+        TaskKind::SequenceTagging => {
+            let prf = lncl_crowd::metrics::span_f1(labels, &gold);
+            EvalMetrics {
+                accuracy: lncl_crowd::metrics::token_accuracy(labels, &gold),
+                precision: prf.precision,
+                recall: prf.recall,
+                f1: prf.f1,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lncl_crowd::datasets::{generate_sentiment, SentimentDatasetConfig};
+    use lncl_crowd::truth::{MajorityVote, TruthInference};
+    use lncl_nn::models::{SentimentCnn, SentimentCnnConfig};
+
+    fn tiny() -> (CrowdDataset, SentimentCnn, TrainConfig) {
+        let dataset = generate_sentiment(&SentimentDatasetConfig {
+            train_size: 400,
+            dev_size: 150,
+            test_size: 150,
+            num_annotators: 15,
+            filler_vocab: 40,
+            ..SentimentDatasetConfig::tiny()
+        });
+        let mut rng = TensorRng::seed_from_u64(0);
+        let model = SentimentCnn::new(
+            SentimentCnnConfig {
+                vocab_size: dataset.vocab_size(),
+                embedding_dim: 16,
+                windows: vec![2, 3],
+                filters_per_window: 8,
+                dropout_keep: 0.7,
+                num_classes: 2,
+            },
+            &mut rng,
+        );
+        let config = TrainConfig::fast(12);
+        (dataset, model, config)
+    }
+
+    #[test]
+    fn one_hot_targets_are_valid() {
+        let t = one_hot_targets(&[vec![1, 0]], 3);
+        assert_eq!(t[0][0], vec![0.0, 1.0, 0.0]);
+        assert_eq!(t[0][1], vec![1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn gold_training_beats_chance() {
+        let (dataset, mut model, config) = tiny();
+        let report = train_supervised(&mut model, &dataset, &gold_targets(&dataset), &config);
+        assert!(report.epochs_run >= 1);
+        let acc = evaluate_split(
+            &model,
+            &dataset.test,
+            dataset.task,
+            PredictionMode::Student,
+            &crate::distill::TaskRules::None,
+            0.0,
+        )
+        .accuracy;
+        assert!(acc > 0.65, "gold-trained classifier should beat chance clearly, got {acc}");
+    }
+
+    #[test]
+    fn mv_classifier_pipeline_runs() {
+        let (dataset, mut model, config) = tiny();
+        let view = dataset.annotation_view();
+        let mv = MajorityVote.infer(&view);
+        let labels = mv.hard_by_instance(&view);
+        let inference = inference_metrics_of(&labels, &dataset);
+        assert!(inference.accuracy > 0.7, "MV inference should be decent: {}", inference.accuracy);
+        let targets = one_hot_targets(&labels, dataset.num_classes);
+        let report = train_supervised(&mut model, &dataset, &targets, &config);
+        assert!(!report.loss_history.is_empty());
+        assert!(report.loss_history.last().unwrap() < &report.loss_history[0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn target_count_mismatch_panics() {
+        let (dataset, mut model, config) = tiny();
+        let _ = train_supervised(&mut model, &dataset, &[], &config);
+    }
+}

@@ -1,0 +1,181 @@
+//! Logic knowledge distillation: construction of the rule-regularised target
+//! `q_b(t)` (Eq. 15) and of the final training target
+//! `q_f = (1 − k)·q_a + k·q_b` (Eq. 9).
+
+use lncl_logic::rule::ClassificationRule;
+use lncl_logic::{project_distribution, project_sequence, SequenceRuleSet};
+use lncl_tensor::Matrix;
+
+/// The logic rules attached to a task.
+pub enum TaskRules {
+    /// Instance-level rules for sentence classification (e.g. the
+    /// *A-but-B* rule).
+    Classification(Vec<Box<dyn ClassificationRule>>),
+    /// Transition rules for sequence tagging (e.g. the BIO rules).
+    Sequence(SequenceRuleSet),
+    /// No rules — turns Logic-LNCL into the plain EM baseline
+    /// (the `w/o-Rule` ablation, equivalent to AggNet/Raykar with a neural
+    /// classifier).
+    None,
+}
+
+impl TaskRules {
+    /// True when no rules are attached.
+    pub fn is_none(&self) -> bool {
+        matches!(self, TaskRules::None)
+    }
+
+    /// A short description used in reports.
+    pub fn describe(&self) -> String {
+        match self {
+            TaskRules::Classification(rules) => {
+                let names: Vec<&str> = rules.iter().map(|r| r.name()).collect();
+                format!("classification rules: [{}]", names.join(", "))
+            }
+            TaskRules::Sequence(set) => format!("sequence rules: {}", set.name),
+            TaskRules::None => "no rules".to_string(),
+        }
+    }
+}
+
+/// Computes `q_b` for one instance given its `q_a` (one distribution per
+/// unit), the rules, and a callback providing the classifier's probabilities
+/// for arbitrary token subsequences (needed by the sentiment but-rule, which
+/// evaluates `σΘ(clause B)` with the *current* network).
+///
+/// * For classification the instance has one unit; Eq. 15 is applied with
+///   the penalties of every grounded rule.
+/// * For sequence tagging the projection is the chain forward–backward of
+///   [`lncl_logic::sequence`].
+/// * With no rules `q_b = q_a`.
+pub fn infer_qb(
+    qa: &[Vec<f32>],
+    tokens: &[usize],
+    rules: &TaskRules,
+    regularization_c: f32,
+    clause_probs: &dyn Fn(&[usize]) -> Vec<f32>,
+) -> Vec<Vec<f32>> {
+    match rules {
+        TaskRules::None => qa.to_vec(),
+        TaskRules::Classification(rules) => {
+            assert_eq!(qa.len(), 1, "classification instances have exactly one unit");
+            let penalties = lncl_logic::grounded_penalties(rules, tokens, clause_probs, qa[0].len());
+            vec![project_distribution(&qa[0], &penalties, regularization_c)]
+        }
+        TaskRules::Sequence(set) => project_sequence(qa, set, regularization_c),
+    }
+}
+
+/// The interpolated final target `q_f = (1 − k)·q_a + k·q_b` (Eq. 9), one
+/// distribution per unit.
+pub fn interpolate_qf(qa: &[Vec<f32>], qb: &[Vec<f32>], k: f32) -> Vec<Vec<f32>> {
+    assert_eq!(qa.len(), qb.len(), "q_a and q_b must have the same number of units");
+    let k = k.clamp(0.0, 1.0);
+    qa.iter()
+        .zip(qb)
+        .map(|(a, b)| {
+            assert_eq!(a.len(), b.len(), "q_a and q_b must have the same number of classes");
+            a.iter().zip(b).map(|(&qa_k, &qb_k)| (1.0 - k) * qa_k + k * qb_k).collect()
+        })
+        .collect()
+}
+
+/// Converts a per-unit distribution list into a `units x K` matrix (the soft
+/// targets consumed by the cross-entropy loss).
+pub fn targets_matrix(q: &[Vec<f32>]) -> Matrix {
+    assert!(!q.is_empty(), "targets_matrix: empty target");
+    let k = q[0].len();
+    let mut m = Matrix::zeros(q.len(), k);
+    for (r, dist) in q.iter().enumerate() {
+        assert_eq!(dist.len(), k);
+        m.row_mut(r).copy_from_slice(dist);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lncl_logic::rules::ner_transition::ner_transition_rules;
+    use lncl_logic::rules::sentiment_but::SentimentContrastRule;
+
+    const BUT: usize = 7;
+
+    #[test]
+    fn no_rules_leaves_qa_untouched() {
+        let qa = vec![vec![0.4, 0.6]];
+        let qb = infer_qb(&qa, &[1, 2], &TaskRules::None, 5.0, &|_| vec![0.5, 0.5]);
+        assert_eq!(qa, qb);
+    }
+
+    #[test]
+    fn but_rule_moves_qb_towards_clause_b() {
+        let rules = TaskRules::Classification(vec![Box::new(SentimentContrastRule::but_rule(BUT))]);
+        let qa = vec![vec![0.7, 0.3]];
+        // clause B strongly positive
+        let qb = infer_qb(&qa, &[1, BUT, 2, 3], &rules, 5.0, &|_| vec![0.05, 0.95]);
+        assert!(qb[0][1] > qa[0][1]);
+        assert!(qb[0][1] > 0.9);
+    }
+
+    #[test]
+    fn ungrounded_rule_means_qb_equals_qa() {
+        let rules = TaskRules::Classification(vec![Box::new(SentimentContrastRule::but_rule(BUT))]);
+        let qa = vec![vec![0.7, 0.3]];
+        let qb = infer_qb(&qa, &[1, 2, 3], &rules, 5.0, &|_| vec![0.0, 1.0]);
+        assert!((qb[0][0] - 0.7).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sequence_rules_clean_orphan_i_tags() {
+        let rules = TaskRules::Sequence(ner_transition_rules(0.8, 0.2));
+        // token 0: surely O; token 1: leaning towards orphan I-PER (class 2)
+        let mut qa = vec![vec![0.02f32; 9]; 2];
+        qa[0][0] = 0.86;
+        qa[1] = vec![0.30, 0.04, 0.50, 0.04, 0.02, 0.02, 0.02, 0.03, 0.03];
+        let qb = infer_qb(&qa, &[1, 2], &rules, 5.0, &|_| vec![]);
+        assert!(qb[1][2] < qa[1][2], "orphan I-PER should shrink: {:?}", qb[1]);
+    }
+
+    #[test]
+    fn interpolation_bounds() {
+        let qa = vec![vec![0.8, 0.2]];
+        let qb = vec![vec![0.2, 0.8]];
+        let half = interpolate_qf(&qa, &qb, 0.5);
+        assert!((half[0][0] - 0.5).abs() < 1e-6);
+        let zero = interpolate_qf(&qa, &qb, 0.0);
+        assert_eq!(zero, qa);
+        let one = interpolate_qf(&qa, &qb, 1.0);
+        assert_eq!(one, qb);
+        // out-of-range k clamps
+        let clamped = interpolate_qf(&qa, &qb, 2.0);
+        assert_eq!(clamped, qb);
+    }
+
+    #[test]
+    fn interpolation_preserves_normalisation() {
+        let qa = vec![vec![0.1, 0.6, 0.3], vec![0.3, 0.3, 0.4]];
+        let qb = vec![vec![0.5, 0.25, 0.25], vec![0.2, 0.7, 0.1]];
+        for k in [0.0f32, 0.3, 0.9] {
+            for unit in interpolate_qf(&qa, &qb, k) {
+                assert!((unit.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn targets_matrix_layout() {
+        let q = vec![vec![0.2, 0.8], vec![0.9, 0.1]];
+        let m = targets_matrix(&q);
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m.row(1), &[0.9, 0.1]);
+    }
+
+    #[test]
+    fn describe_names_rules() {
+        let rules = TaskRules::Classification(vec![Box::new(SentimentContrastRule::but_rule(BUT))]);
+        assert!(rules.describe().contains("A-but-B"));
+        assert!(TaskRules::None.is_none());
+        assert!(TaskRules::Sequence(ner_transition_rules(0.8, 0.2)).describe().contains("ner-transitions"));
+    }
+}

@@ -1,0 +1,62 @@
+//! # logic-lncl
+//!
+//! A from-scratch Rust implementation of **Logic-LNCL** — *"Learning from
+//! Noisy Crowd Labels with Logics"* (Chen, Sun, He & Chen, ICDE 2023) — an
+//! EM-alike iterative logic-knowledge-distillation framework that trains a
+//! neural classifier from noisy crowd labels while injecting first-order
+//! soft logic rules.
+//!
+//! The crate provides:
+//!
+//! * [`trainer::LogicLncl`] — Algorithm 1: the pseudo-E-step (truth posterior
+//!   `q_a` of Eq. 13, rule projection `q_b` of Eq. 15, interpolation `q_f` of
+//!   Eq. 9) and the pseudo-M-step (classifier update of Eq. 8/10/11 and the
+//!   closed-form annotator update of Eq. 12);
+//! * [`config`] — the Table-I hyper-parameters (imitation schedule `k(t)`,
+//!   regularisation strength `C`, optimisers, early stopping);
+//! * [`predict`] — the student (`p(t|x)`) and teacher (rule-adapted) output
+//!   modes;
+//! * [`baselines`] — MV-/GLAD-Classifier, the CL crowd-layer variants,
+//!   DL-DN/WDN, and (via the trainer with rules disabled) Raykar/AggNet;
+//! * [`ablation`] — the Table-IV variants;
+//! * [`report`] — result records shared with the `lncl-bench` experiment
+//!   harness.
+//!
+//! ```no_run
+//! use lncl_crowd::datasets::{generate_sentiment, SentimentDatasetConfig};
+//! use lncl_nn::models::{SentimentCnn, SentimentCnnConfig};
+//! use lncl_tensor::TensorRng;
+//! use logic_lncl::ablation::paper_rules;
+//! use logic_lncl::config::TrainConfig;
+//! use logic_lncl::predict::PredictionMode;
+//! use logic_lncl::trainer::LogicLncl;
+//!
+//! let dataset = generate_sentiment(&SentimentDatasetConfig::tiny());
+//! let mut rng = TensorRng::seed_from_u64(0);
+//! let model = SentimentCnn::new(
+//!     SentimentCnnConfig { vocab_size: dataset.vocab_size(), ..Default::default() },
+//!     &mut rng,
+//! );
+//! let mut trainer = LogicLncl::new(model, &dataset, paper_rules(&dataset), TrainConfig::fast(5));
+//! let report = trainer.train(&dataset);
+//! let teacher = trainer.evaluate(&dataset.test, dataset.task, PredictionMode::Teacher);
+//! println!("teacher accuracy = {:.3} (dev best epoch {})", teacher.accuracy, report.best_epoch);
+//! ```
+
+pub mod ablation;
+pub mod annotators;
+pub mod baselines;
+pub mod config;
+pub mod distill;
+pub mod posterior;
+pub mod predict;
+pub mod report;
+pub mod trainer;
+
+pub use ablation::{paper_rules, AblationVariant};
+pub use annotators::AnnotatorModel;
+pub use config::{ImitationSchedule, MStepObjective, OptimizerKind, TrainConfig};
+pub use distill::TaskRules;
+pub use predict::PredictionMode;
+pub use report::{EvalMetrics, MethodResult, TrainReport};
+pub use trainer::{LogicLncl, PosteriorMode};

@@ -1,0 +1,113 @@
+//! The pseudo-E-step posterior `q_a(t)` (Eq. 13 of the paper).
+
+use crate::annotators::AnnotatorModel;
+use lncl_crowd::Instance;
+use lncl_tensor::{stats, Matrix};
+
+/// Computes the truth posterior `q_a` for one instance (one distribution per
+/// unit) by Bayes' rule:
+///
+/// ```text
+/// q_a(t_u = k) ∝ p(t_u = k | x; Θ_NN) · Π_{j ∈ J(i)} π^{(j)}_{k, y_uj}
+/// ```
+///
+/// `predictions` holds the classifier's class probabilities, one row per
+/// unit.  Units without crowd labels fall back to the classifier prediction.
+pub fn infer_qa(instance: &Instance, predictions: &Matrix, annotators: &AnnotatorModel) -> Vec<Vec<f32>> {
+    let units = instance.num_units();
+    let k = annotators.num_classes();
+    assert_eq!(predictions.rows(), units, "prediction rows must match instance units");
+    assert_eq!(predictions.cols(), k, "prediction columns must match class count");
+
+    let mut out = Vec::with_capacity(units);
+    for u in 0..units {
+        let mut log_post: Vec<f32> =
+            predictions.row(u).iter().map(|&p| p.max(1e-12).ln()).collect();
+        for cl in &instance.crowd_labels {
+            let observed = cl.labels[u];
+            for (m, lp) in log_post.iter_mut().enumerate() {
+                *lp += annotators.likelihood(cl.annotator, m, observed).max(1e-12).ln();
+            }
+        }
+        out.push(stats::softmax(&log_post));
+    }
+    out
+}
+
+/// Batched version of [`infer_qa`] over many instances with their cached
+/// classifier predictions.
+pub fn infer_qa_all(
+    instances: &[Instance],
+    predictions: &[Matrix],
+    annotators: &AnnotatorModel,
+) -> Vec<Vec<Vec<f32>>> {
+    assert_eq!(instances.len(), predictions.len(), "one prediction matrix per instance required");
+    instances
+        .iter()
+        .zip(predictions)
+        .map(|(inst, pred)| infer_qa(inst, pred, annotators))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lncl_crowd::CrowdLabel;
+
+    fn instance_with_labels(gold: Vec<usize>, labels: Vec<(usize, Vec<usize>)>) -> Instance {
+        Instance {
+            tokens: vec![1; gold.len()],
+            gold,
+            crowd_labels: labels.into_iter().map(|(annotator, labels)| CrowdLabel { annotator, labels }).collect(),
+        }
+    }
+
+    #[test]
+    fn without_crowd_labels_qa_equals_classifier() {
+        let annotators = AnnotatorModel::new(2, 2, 0.8);
+        let inst = instance_with_labels(vec![1], vec![]);
+        let pred = Matrix::row_vector(&[0.3, 0.7]);
+        let qa = infer_qa(&inst, &pred, &annotators);
+        assert!((qa[0][0] - 0.3).abs() < 1e-5);
+        assert!((qa[0][1] - 0.7).abs() < 1e-5);
+    }
+
+    #[test]
+    fn reliable_annotators_sharpen_the_posterior() {
+        let annotators = AnnotatorModel::new(3, 2, 0.9);
+        let inst = instance_with_labels(vec![1], vec![(0, vec![1]), (1, vec![1]), (2, vec![1])]);
+        let pred = Matrix::row_vector(&[0.5, 0.5]);
+        let qa = infer_qa(&inst, &pred, &annotators);
+        assert!(qa[0][1] > 0.97, "three agreeing reliable annotators should dominate: {qa:?}");
+    }
+
+    #[test]
+    fn classifier_and_annotators_combine_multiplicatively() {
+        let annotators = AnnotatorModel::new(1, 2, 0.8);
+        let inst = instance_with_labels(vec![0], vec![(0, vec![0])]);
+        let pred = Matrix::row_vector(&[0.2, 0.8]);
+        let qa = infer_qa(&inst, &pred, &annotators)[0].clone();
+        // manual Bayes: [0.2*0.8, 0.8*0.2] normalised = [0.5, 0.5]
+        assert!((qa[0] - 0.5).abs() < 1e-4, "{qa:?}");
+    }
+
+    #[test]
+    fn sequence_units_are_treated_independently_given_predictions() {
+        let annotators = AnnotatorModel::new(1, 3, 0.7);
+        let inst = instance_with_labels(vec![0, 2], vec![(0, vec![0, 2])]);
+        let pred = Matrix::from_rows(&[&[0.6, 0.2, 0.2], &[0.2, 0.2, 0.6]]);
+        let qa = infer_qa(&inst, &pred, &annotators);
+        assert_eq!(qa.len(), 2);
+        assert!(qa[0][0] > 0.8);
+        assert!(qa[1][2] > 0.8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn shape_mismatch_is_rejected() {
+        let annotators = AnnotatorModel::new(1, 2, 0.8);
+        let inst = instance_with_labels(vec![0, 1], vec![]);
+        let pred = Matrix::row_vector(&[0.5, 0.5]); // only one row for two units
+        let _ = infer_qa(&inst, &pred, &annotators);
+    }
+}

@@ -1,0 +1,133 @@
+//! Result records shared by the trainer, the baselines and the experiment
+//! harness in `lncl-bench`.
+
+use serde::{Deserialize, Serialize};
+
+/// Evaluation metrics of one method on one split.
+///
+/// For classification only `accuracy` is meaningful (the other fields mirror
+/// it); for sequence tagging `accuracy` holds the token-level accuracy and
+/// `precision`/`recall`/`f1` the strict span-level scores.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct EvalMetrics {
+    /// Classification accuracy (or token accuracy for sequences).
+    pub accuracy: f32,
+    /// Strict span precision (sequence tasks).
+    pub precision: f32,
+    /// Strict span recall (sequence tasks).
+    pub recall: f32,
+    /// Strict span F1 (sequence tasks); equals accuracy for classification.
+    pub f1: f32,
+}
+
+impl EvalMetrics {
+    /// Metrics for a classification result.
+    pub fn from_accuracy(accuracy: f32) -> Self {
+        Self { accuracy, precision: accuracy, recall: accuracy, f1: accuracy }
+    }
+
+    /// The "headline" number used in the paper's tables: accuracy for
+    /// classification, span F1 for sequences.
+    pub fn headline(&self, sequence_task: bool) -> f32 {
+        if sequence_task {
+            self.f1
+        } else {
+            self.accuracy
+        }
+    }
+
+    /// Element-wise mean of a set of metrics (used to average repetitions).
+    pub fn mean(samples: &[EvalMetrics]) -> EvalMetrics {
+        if samples.is_empty() {
+            return EvalMetrics::default();
+        }
+        let n = samples.len() as f32;
+        EvalMetrics {
+            accuracy: samples.iter().map(|m| m.accuracy).sum::<f32>() / n,
+            precision: samples.iter().map(|m| m.precision).sum::<f32>() / n,
+            recall: samples.iter().map(|m| m.recall).sum::<f32>() / n,
+            f1: samples.iter().map(|m| m.f1).sum::<f32>() / n,
+        }
+    }
+}
+
+/// One row of a results table: a method with its prediction metrics (test
+/// split) and inference metrics (training split), exactly the two column
+/// groups of Tables II and III.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MethodResult {
+    /// Display name ("Logic-LNCL-teacher", "AggNet", "MV-Classifier", …).
+    pub method: String,
+    /// Generalisation performance on the held-out test split.
+    pub prediction: EvalMetrics,
+    /// Inference performance on the training split (quality of the
+    /// recovered ground-truth labels), when applicable.
+    pub inference: Option<EvalMetrics>,
+}
+
+impl MethodResult {
+    /// Creates a result row.
+    pub fn new(method: impl Into<String>, prediction: EvalMetrics, inference: Option<EvalMetrics>) -> Self {
+        Self { method: method.into(), prediction, inference }
+    }
+
+    /// Average of the headline prediction and inference numbers (the
+    /// "Average" column of Tables II/IV).
+    pub fn average(&self, sequence_task: bool) -> f32 {
+        match self.inference {
+            Some(inf) => (self.prediction.headline(sequence_task) + inf.headline(sequence_task)) / 2.0,
+            None => self.prediction.headline(sequence_task),
+        }
+    }
+}
+
+/// Training history returned by the trainer.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Development metric (accuracy or span F1) per epoch.
+    pub dev_history: Vec<f32>,
+    /// Training loss per epoch (mean mini-batch loss).
+    pub loss_history: Vec<f32>,
+    /// Epoch with the best development metric (0-based).
+    pub best_epoch: usize,
+    /// Number of epochs actually run (early stopping may cut training short).
+    pub epochs_run: usize,
+    /// Inference metrics of the final `q_f` against the training gold labels.
+    pub inference: EvalMetrics,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_accuracy_mirrors_value() {
+        let m = EvalMetrics::from_accuracy(0.8);
+        assert_eq!(m.f1, 0.8);
+        assert_eq!(m.headline(false), 0.8);
+    }
+
+    #[test]
+    fn headline_picks_f1_for_sequences() {
+        let m = EvalMetrics { accuracy: 0.9, precision: 0.5, recall: 0.5, f1: 0.5 };
+        assert_eq!(m.headline(true), 0.5);
+        assert_eq!(m.headline(false), 0.9);
+    }
+
+    #[test]
+    fn mean_of_metrics() {
+        let a = EvalMetrics::from_accuracy(0.6);
+        let b = EvalMetrics::from_accuracy(0.8);
+        let mean = EvalMetrics::mean(&[a, b]);
+        assert!((mean.accuracy - 0.7).abs() < 1e-6);
+        assert_eq!(EvalMetrics::mean(&[]), EvalMetrics::default());
+    }
+
+    #[test]
+    fn method_result_average() {
+        let r = MethodResult::new("m", EvalMetrics::from_accuracy(0.8), Some(EvalMetrics::from_accuracy(0.9)));
+        assert!((r.average(false) - 0.85).abs() < 1e-6);
+        let no_inf = MethodResult::new("m", EvalMetrics::from_accuracy(0.8), None);
+        assert!((no_inf.average(false) - 0.8).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,348 @@
+//! Core data model for crowdsourced datasets.
+//!
+//! A [`CrowdDataset`] holds tokenised instances with *gold* labels (used only
+//! for evaluation, never for training), the noisy labels contributed by a
+//! pool of simulated annotators, and the vocabulary.  Both tasks of the
+//! paper fit the same model:
+//!
+//! * **Sentence classification** (sentiment): every instance has exactly one
+//!   *unit* — the sentence — and each annotator label is a single class.
+//! * **Sequence tagging** (NER): every instance has one unit per token and
+//!   each annotator label is a full BIO sequence.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Which kind of task a dataset represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// One label per instance (e.g. sentiment polarity).
+    Classification,
+    /// One label per token (e.g. NER in BIO encoding).
+    SequenceTagging,
+}
+
+/// One annotator's labelling of one instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrowdLabel {
+    /// Annotator index in `0..num_annotators`.
+    pub annotator: usize,
+    /// One class index per unit of the instance (length 1 for
+    /// classification, length = #tokens for sequence tagging).
+    pub labels: Vec<usize>,
+}
+
+/// One data instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instance {
+    /// Token ids into the dataset vocabulary (id 0 is reserved for padding).
+    pub tokens: Vec<usize>,
+    /// Gold labels, one per unit.  Present for every split but only used for
+    /// evaluation and for simulating annotators.
+    pub gold: Vec<usize>,
+    /// Noisy crowd labels (empty on the dev/test splits).
+    pub crowd_labels: Vec<CrowdLabel>,
+}
+
+impl Instance {
+    /// Number of label units (1 for classification, #tokens for tagging).
+    pub fn num_units(&self) -> usize {
+        self.gold.len()
+    }
+
+    /// Number of annotators that labelled this instance.
+    pub fn num_annotations(&self) -> usize {
+        self.crowd_labels.len()
+    }
+
+    /// Labels given by a specific annotator, if any.
+    pub fn labels_by(&self, annotator: usize) -> Option<&[usize]> {
+        self.crowd_labels.iter().find(|c| c.annotator == annotator).map(|c| c.labels.as_slice())
+    }
+}
+
+/// A complete crowdsourced dataset with train/dev/test splits.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrowdDataset {
+    /// Task kind.
+    pub task: TaskKind,
+    /// Number of classes `K`.
+    pub num_classes: usize,
+    /// Number of annotators `J`.
+    pub num_annotators: usize,
+    /// Vocabulary (index = token id); `vocab[0]` is the padding token.
+    pub vocab: Vec<String>,
+    /// Human-readable class names (length `num_classes`).
+    pub class_names: Vec<String>,
+    /// Training instances (with crowd labels).
+    pub train: Vec<Instance>,
+    /// Development instances (gold only).
+    pub dev: Vec<Instance>,
+    /// Test instances (gold only).
+    pub test: Vec<Instance>,
+    /// Token id of the contrast conjunction ("but") if the vocabulary has
+    /// one — used by the sentiment logic rule.
+    pub but_token: Option<usize>,
+    /// Token id of the weaker-contrast word ("however"), used by the
+    /// "other rules" ablation.
+    pub however_token: Option<usize>,
+}
+
+impl CrowdDataset {
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Looks a token id up by surface form.
+    pub fn token_id(&self, word: &str) -> Option<usize> {
+        self.vocab.iter().position(|w| w == word)
+    }
+
+    /// Average number of annotations per training instance.
+    pub fn avg_annotations_per_instance(&self) -> f32 {
+        if self.train.is_empty() {
+            return 0.0;
+        }
+        self.train.iter().map(|i| i.num_annotations()).sum::<usize>() as f32 / self.train.len() as f32
+    }
+
+    /// Total number of crowd labels in the training split.
+    pub fn total_crowd_labels(&self) -> usize {
+        self.train.iter().map(|i| i.num_annotations()).sum()
+    }
+
+    /// A flattened unit-level view of the crowd annotations on the training
+    /// split, suitable for the task-agnostic truth-inference baselines.
+    pub fn annotation_view(&self) -> AnnotationView {
+        AnnotationView::from_dataset(self)
+    }
+
+    /// Sanity-checks internal consistency (class ranges, unit counts,
+    /// annotator ranges).  Returns an error message on the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let check_instance = |inst: &Instance, split: &str, idx: usize| -> Result<(), String> {
+            if inst.tokens.is_empty() {
+                return Err(format!("{split}[{idx}]: empty token sequence"));
+            }
+            if inst.gold.is_empty() {
+                return Err(format!("{split}[{idx}]: no gold labels"));
+            }
+            if self.task == TaskKind::Classification && inst.gold.len() != 1 {
+                return Err(format!("{split}[{idx}]: classification instance with {} gold labels", inst.gold.len()));
+            }
+            if self.task == TaskKind::SequenceTagging && inst.gold.len() != inst.tokens.len() {
+                return Err(format!(
+                    "{split}[{idx}]: {} tokens but {} gold labels",
+                    inst.tokens.len(),
+                    inst.gold.len()
+                ));
+            }
+            for &g in &inst.gold {
+                if g >= self.num_classes {
+                    return Err(format!("{split}[{idx}]: gold class {g} out of range"));
+                }
+            }
+            for &t in &inst.tokens {
+                if t >= self.vocab.len() {
+                    return Err(format!("{split}[{idx}]: token id {t} out of range"));
+                }
+            }
+            for cl in &inst.crowd_labels {
+                if cl.annotator >= self.num_annotators {
+                    return Err(format!("{split}[{idx}]: annotator {} out of range", cl.annotator));
+                }
+                if cl.labels.len() != inst.gold.len() {
+                    return Err(format!(
+                        "{split}[{idx}]: crowd label with {} units, expected {}",
+                        cl.labels.len(),
+                        inst.gold.len()
+                    ));
+                }
+                if cl.labels.iter().any(|&l| l >= self.num_classes) {
+                    return Err(format!("{split}[{idx}]: crowd label class out of range"));
+                }
+            }
+            Ok(())
+        };
+        for (i, inst) in self.train.iter().enumerate() {
+            check_instance(inst, "train", i)?;
+        }
+        for (i, inst) in self.dev.iter().enumerate() {
+            check_instance(inst, "dev", i)?;
+        }
+        for (i, inst) in self.test.iter().enumerate() {
+            check_instance(inst, "test", i)?;
+        }
+        Ok(())
+    }
+}
+
+/// A flattened, unit-level view of the noisy annotations of a dataset:
+/// unit `u` corresponds to instance `unit_instance[u]`, position
+/// `unit_position[u]` within that instance.  This is the representation the
+/// task-agnostic truth-inference methods (MV, DS, GLAD, …) operate on.
+#[derive(Debug, Clone)]
+pub struct AnnotationView {
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Number of annotators.
+    pub num_annotators: usize,
+    /// For every unit, the (annotator, class) pairs observed.
+    pub annotations: Vec<Vec<(usize, usize)>>,
+    /// Gold class per unit (evaluation only).
+    pub gold: Vec<usize>,
+    /// Instance index of each unit.
+    pub unit_instance: Vec<usize>,
+    /// Position of each unit within its instance.
+    pub unit_position: Vec<usize>,
+    /// Number of units per instance (used to reassemble sequences).
+    pub instance_len: Vec<usize>,
+}
+
+impl AnnotationView {
+    /// Builds the view from the training split of a dataset.
+    pub fn from_dataset(dataset: &CrowdDataset) -> Self {
+        let mut annotations = Vec::new();
+        let mut gold = Vec::new();
+        let mut unit_instance = Vec::new();
+        let mut unit_position = Vec::new();
+        let mut instance_len = Vec::new();
+        for (i, inst) in dataset.train.iter().enumerate() {
+            instance_len.push(inst.num_units());
+            for u in 0..inst.num_units() {
+                let mut per_unit = Vec::with_capacity(inst.crowd_labels.len());
+                for cl in &inst.crowd_labels {
+                    per_unit.push((cl.annotator, cl.labels[u]));
+                }
+                annotations.push(per_unit);
+                gold.push(inst.gold[u]);
+                unit_instance.push(i);
+                unit_position.push(u);
+            }
+        }
+        Self {
+            num_classes: dataset.num_classes,
+            num_annotators: dataset.num_annotators,
+            annotations,
+            gold,
+            unit_instance,
+            unit_position,
+            instance_len,
+        }
+    }
+
+    /// Number of units.
+    pub fn num_units(&self) -> usize {
+        self.annotations.len()
+    }
+
+    /// Per-annotator counts of contributed labels.
+    pub fn labels_per_annotator(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_annotators];
+        for unit in &self.annotations {
+            for &(a, _) in unit {
+                counts[a] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Groups unit indices by instance (in order), used by the
+    /// sequence-aware truth-inference methods.
+    pub fn units_by_instance(&self) -> Vec<Vec<usize>> {
+        let mut map: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (u, &inst) in self.unit_instance.iter().enumerate() {
+            map.entry(inst).or_default().push(u);
+        }
+        map.into_values().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny, hand-built classification dataset shared by several tests.
+    pub(crate) fn toy_classification() -> CrowdDataset {
+        CrowdDataset {
+            task: TaskKind::Classification,
+            num_classes: 2,
+            num_annotators: 3,
+            vocab: vec!["<pad>".into(), "good".into(), "bad".into()],
+            class_names: vec!["neg".into(), "pos".into()],
+            train: vec![
+                Instance {
+                    tokens: vec![1],
+                    gold: vec![1],
+                    crowd_labels: vec![
+                        CrowdLabel { annotator: 0, labels: vec![1] },
+                        CrowdLabel { annotator: 1, labels: vec![1] },
+                        CrowdLabel { annotator: 2, labels: vec![0] },
+                    ],
+                },
+                Instance {
+                    tokens: vec![2],
+                    gold: vec![0],
+                    crowd_labels: vec![
+                        CrowdLabel { annotator: 0, labels: vec![0] },
+                        CrowdLabel { annotator: 2, labels: vec![1] },
+                    ],
+                },
+            ],
+            dev: vec![Instance { tokens: vec![1], gold: vec![1], crowd_labels: vec![] }],
+            test: vec![Instance { tokens: vec![2], gold: vec![0], crowd_labels: vec![] }],
+            but_token: None,
+            however_token: None,
+        }
+    }
+
+    #[test]
+    fn instance_accessors() {
+        let data = toy_classification();
+        let inst = &data.train[0];
+        assert_eq!(inst.num_units(), 1);
+        assert_eq!(inst.num_annotations(), 3);
+        assert_eq!(inst.labels_by(2), Some(&[0][..]));
+        assert_eq!(inst.labels_by(7), None);
+    }
+
+    #[test]
+    fn dataset_statistics() {
+        let data = toy_classification();
+        assert_eq!(data.total_crowd_labels(), 5);
+        assert!((data.avg_annotations_per_instance() - 2.5).abs() < 1e-6);
+        assert_eq!(data.vocab_size(), 3);
+        assert_eq!(data.token_id("bad"), Some(2));
+    }
+
+    #[test]
+    fn validate_accepts_consistent_dataset() {
+        assert!(toy_classification().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_class() {
+        let mut data = toy_classification();
+        data.train[0].gold[0] = 9;
+        assert!(data.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_wrong_unit_count() {
+        let mut data = toy_classification();
+        data.train[0].crowd_labels[0].labels = vec![1, 0];
+        assert!(data.validate().is_err());
+    }
+
+    #[test]
+    fn annotation_view_flattens_units() {
+        let data = toy_classification();
+        let view = data.annotation_view();
+        assert_eq!(view.num_units(), 2);
+        assert_eq!(view.annotations[0].len(), 3);
+        assert_eq!(view.gold, vec![1, 0]);
+        assert_eq!(view.labels_per_annotator(), vec![2, 1, 2]);
+        assert_eq!(view.units_by_instance(), vec![vec![0], vec![1]]);
+    }
+}

@@ -1,0 +1,8 @@
+//! Synthetic corpus generators standing in for the two MTurk datasets used
+//! by the paper (see DESIGN.md §1 for the substitution rationale).
+
+pub mod ner;
+pub mod sentiment;
+
+pub use ner::{NerDatasetConfig, generate_ner};
+pub use sentiment::{SentimentDatasetConfig, generate_sentiment};

@@ -1,0 +1,322 @@
+//! Synthetic stand-in for the CoNLL-2003 NER (MTurk) dataset.
+//!
+//! The original corpus has 5,985 training sentences annotated by 47 AMT
+//! workers whose F1 against the gold spans ranges from 17.6% to 89.1%, over
+//! 9 BIO classes (`O`, `B/I-PER`, `B/I-LOC`, `B/I-ORG`, `B/I-MISC`).  This
+//! generator builds template sentences with gazetteer entities and simulates
+//! annotators that commit the three error types the paper lists (ignore,
+//! boundary, span-type), with a wide spread of per-annotator quality.
+
+use crate::annotator::{NerAnnotator, NerErrorRates};
+use crate::data::{CrowdDataset, CrowdLabel, Instance, TaskKind};
+use lncl_tensor::TensorRng;
+
+/// Number of entity types (PER, LOC, ORG, MISC).
+pub const NUM_ENTITY_TYPES: usize = 4;
+/// Number of BIO classes (`O` + B/I per type).
+pub const NUM_BIO_CLASSES: usize = 1 + 2 * NUM_ENTITY_TYPES;
+
+/// Configuration for the synthetic NER corpus.
+#[derive(Debug, Clone)]
+pub struct NerDatasetConfig {
+    /// Number of training sentences (paper: 5,985).
+    pub train_size: usize,
+    /// Number of development sentences (paper: 2,000).
+    pub dev_size: usize,
+    /// Number of test sentences (paper: 1,250).
+    pub test_size: usize,
+    /// Number of crowd annotators (paper: 47).
+    pub num_annotators: usize,
+    /// Minimum annotators per training sentence.
+    pub min_labels_per_instance: usize,
+    /// Maximum annotators per training sentence.
+    pub max_labels_per_instance: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NerDatasetConfig {
+    fn default() -> Self {
+        Self {
+            train_size: 700,
+            dev_size: 200,
+            test_size: 200,
+            num_annotators: 30,
+            min_labels_per_instance: 3,
+            max_labels_per_instance: 6,
+            seed: 11,
+        }
+    }
+}
+
+impl NerDatasetConfig {
+    /// A configuration whose scale mirrors the paper's dataset.
+    pub fn paper_scale() -> Self {
+        Self {
+            train_size: 5985,
+            dev_size: 2000,
+            test_size: 1250,
+            num_annotators: 47,
+            ..Self::default()
+        }
+    }
+
+    /// A very small configuration for unit/integration tests.
+    pub fn tiny() -> Self {
+        Self { train_size: 80, dev_size: 30, test_size: 30, num_annotators: 10, ..Self::default() }
+    }
+}
+
+const FIRST_NAMES: &[&str] = &["john", "maria", "pedro", "yuki", "fatima", "ivan", "li", "anna", "carlos", "amara"];
+const LAST_NAMES: &[&str] = &["smith", "garcia", "tanaka", "petrov", "okafor", "mueller", "rossi", "kim", "haddad", "jensen"];
+const LOCATIONS: &[&str] = &[
+    "london", "tokyo", "nairobi", "paris", "madrid", "beijing", "cairo", "lima", "oslo", "sydney", "germany",
+    "brazil", "canada", "kenya", "france",
+];
+const ORG_HEADS: &[&str] = &["united", "national", "general", "global", "first", "royal"];
+const ORG_TAILS: &[&str] = &["bank", "university", "airlines", "motors", "institute", "press", "federation"];
+const MISC_WORDS: &[&str] = &["olympics", "ramadan", "oscar", "worldcup", "easter", "brexit", "nobel"];
+const FILLER_WORDS: &[&str] = &[
+    "the", "a", "said", "on", "in", "yesterday", "today", "officials", "reported", "met", "visited", "announced",
+    "after", "before", "during", "with", "against", "near", "talks", "match", "game", "market", "shares", "rose",
+    "fell", "percent", "season", "minister", "president", "team", "spokesman", "signed", "deal", "new", "first",
+    "week", "year", "quarter", "profits", "results",
+];
+
+struct Vocab {
+    words: Vec<String>,
+    first: Vec<usize>,
+    last: Vec<usize>,
+    loc: Vec<usize>,
+    org_head: Vec<usize>,
+    org_tail: Vec<usize>,
+    misc: Vec<usize>,
+    filler: Vec<usize>,
+}
+
+fn build_vocab() -> Vocab {
+    let mut words = vec!["<pad>".to_string()];
+    let push_all = |list: &[&str], words: &mut Vec<String>| -> Vec<usize> {
+        list.iter()
+            .map(|w| {
+                words.push(w.to_string());
+                words.len() - 1
+            })
+            .collect()
+    };
+    let first = push_all(FIRST_NAMES, &mut words);
+    let last = push_all(LAST_NAMES, &mut words);
+    let loc = push_all(LOCATIONS, &mut words);
+    let org_head = push_all(ORG_HEADS, &mut words);
+    let org_tail = push_all(ORG_TAILS, &mut words);
+    let misc = push_all(MISC_WORDS, &mut words);
+    let filler = push_all(FILLER_WORDS, &mut words);
+    Vocab { words, first, last, loc, org_head, org_tail, misc, filler }
+}
+
+/// BIO class names in index order.
+pub fn bio_class_names() -> Vec<String> {
+    vec![
+        "O".into(), "B-PER".into(), "I-PER".into(), "B-LOC".into(), "I-LOC".into(), "B-ORG".into(),
+        "I-ORG".into(), "B-MISC".into(), "I-MISC".into(),
+    ]
+}
+
+/// Generates one gold sentence: returns token ids and BIO labels.
+fn make_sentence(vocab: &Vocab, rng: &mut TensorRng) -> (Vec<usize>, Vec<usize>) {
+    let mut tokens = Vec::new();
+    let mut labels = Vec::new();
+    let pick = |ids: &[usize], rng: &mut TensorRng| ids[rng.usize_below(ids.len())];
+    let push_filler = |n: usize, tokens: &mut Vec<usize>, labels: &mut Vec<usize>, rng: &mut TensorRng| {
+        for _ in 0..n {
+            tokens.push(pick(&vocab.filler, rng));
+            labels.push(0);
+        }
+    };
+    let num_entities = 1 + rng.usize_below(3);
+    push_filler(1 + rng.usize_below(3), &mut tokens, &mut labels, rng);
+    for _ in 0..num_entities {
+        let ty = rng.usize_below(NUM_ENTITY_TYPES);
+        match ty {
+            0 => {
+                // PER: first [last]
+                tokens.push(pick(&vocab.first, rng));
+                labels.push(1);
+                if rng.bernoulli(0.7) {
+                    tokens.push(pick(&vocab.last, rng));
+                    labels.push(2);
+                }
+            }
+            1 => {
+                tokens.push(pick(&vocab.loc, rng));
+                labels.push(3);
+                if rng.bernoulli(0.2) {
+                    tokens.push(pick(&vocab.loc, rng));
+                    labels.push(4);
+                }
+            }
+            2 => {
+                // ORG: [head] tail
+                if rng.bernoulli(0.6) {
+                    tokens.push(pick(&vocab.org_head, rng));
+                    labels.push(5);
+                    tokens.push(pick(&vocab.org_tail, rng));
+                    labels.push(6);
+                } else {
+                    tokens.push(pick(&vocab.org_tail, rng));
+                    labels.push(5);
+                }
+            }
+            _ => {
+                tokens.push(pick(&vocab.misc, rng));
+                labels.push(7);
+                if rng.bernoulli(0.15) {
+                    tokens.push(pick(&vocab.misc, rng));
+                    labels.push(8);
+                }
+            }
+        }
+        push_filler(1 + rng.usize_below(4), &mut tokens, &mut labels, rng);
+    }
+    (tokens, labels)
+}
+
+/// Generates the synthetic NER corpus.
+pub fn generate_ner(config: &NerDatasetConfig) -> CrowdDataset {
+    assert!(config.num_annotators >= config.max_labels_per_instance, "annotator pool smaller than labels per instance");
+    let mut rng = TensorRng::seed_from_u64(config.seed);
+    let vocab = build_vocab();
+
+    // annotator pool with quality spanning weak to strong, long-tailed workload
+    let annotators: Vec<NerAnnotator> = (0..config.num_annotators)
+        .map(|_| {
+            let quality = rng.uniform_range(0.05, 0.95);
+            NerAnnotator::new(NUM_ENTITY_TYPES, NerErrorRates::with_quality(quality))
+        })
+        .collect();
+    let propensity: Vec<f32> = (0..config.num_annotators).map(|_| (1.0 / rng.uniform_range(0.03, 1.0)).min(40.0)).collect();
+
+    let select = |count: usize, rng: &mut TensorRng| -> Vec<usize> {
+        let count = count.min(propensity.len());
+        let mut weights = propensity.clone();
+        let mut chosen = Vec::with_capacity(count);
+        for _ in 0..count {
+            let idx = rng.categorical(&weights);
+            chosen.push(idx);
+            weights[idx] = 0.0;
+        }
+        chosen
+    };
+
+    let mut train = Vec::with_capacity(config.train_size);
+    for _ in 0..config.train_size {
+        let (tokens, gold) = make_sentence(&vocab, &mut rng);
+        let span = config.max_labels_per_instance - config.min_labels_per_instance + 1;
+        let count = config.min_labels_per_instance + rng.usize_below(span);
+        let crowd_labels = select(count, &mut rng)
+            .into_iter()
+            .map(|a| CrowdLabel { annotator: a, labels: annotators[a].annotate(&gold, &mut rng) })
+            .collect();
+        train.push(Instance { tokens, gold, crowd_labels });
+    }
+    let mut make_eval = |size: usize| -> Vec<Instance> {
+        (0..size)
+            .map(|_| {
+                let (tokens, gold) = make_sentence(&vocab, &mut rng);
+                Instance { tokens, gold, crowd_labels: Vec::new() }
+            })
+            .collect()
+    };
+    let dev = make_eval(config.dev_size);
+    let test = make_eval(config.test_size);
+
+    let dataset = CrowdDataset {
+        task: TaskKind::SequenceTagging,
+        num_classes: NUM_BIO_CLASSES,
+        num_annotators: config.num_annotators,
+        vocab: vocab.words,
+        class_names: bio_class_names(),
+        train,
+        dev,
+        test,
+        but_token: None,
+        however_token: None,
+    };
+    debug_assert!(dataset.validate().is_ok());
+    dataset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotator::gold_spans;
+
+    fn tiny() -> CrowdDataset {
+        generate_ner(&NerDatasetConfig::tiny())
+    }
+
+    #[test]
+    fn generated_dataset_is_valid() {
+        let data = tiny();
+        assert!(data.validate().is_ok());
+        assert_eq!(data.task, TaskKind::SequenceTagging);
+        assert_eq!(data.num_classes, 9);
+        assert_eq!(data.class_names.len(), 9);
+        assert_eq!(data.train.len(), 80);
+    }
+
+    #[test]
+    fn gold_sequences_are_valid_bio() {
+        let data = tiny();
+        for inst in data.train.iter().chain(&data.dev).chain(&data.test) {
+            for (i, &l) in inst.gold.iter().enumerate() {
+                if l != 0 && l % 2 == 0 {
+                    let prev = if i == 0 { 0 } else { inst.gold[i - 1] };
+                    assert!(prev == l || prev == l - 1, "invalid gold BIO at {i}: {:?}", inst.gold);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_sentence_contains_at_least_one_entity() {
+        let data = tiny();
+        for inst in &data.train {
+            assert!(!gold_spans(&inst.gold).is_empty(), "sentence without entity: {:?}", inst.gold);
+        }
+    }
+
+    #[test]
+    fn generation_is_reproducible_and_seed_sensitive() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.train, b.train);
+        let c = generate_ner(&NerDatasetConfig { seed: 99, ..NerDatasetConfig::tiny() });
+        assert_ne!(a.train, c.train);
+    }
+
+    #[test]
+    fn annotator_quality_varies_widely() {
+        // The paper reports per-annotator F1 between 17.6% and 89.1%; the
+        // simulated pool should likewise span a wide strict-F1 range.
+        let data = generate_ner(&NerDatasetConfig::default());
+        let f1s: Vec<f32> = (0..data.num_annotators)
+            .filter_map(|a| crate::metrics::annotator_span_f1(&data.train, a))
+            .collect();
+        assert!(f1s.len() > 5);
+        let min = f1s.iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = f1s.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        assert!(max - min > 0.3, "annotator F1 should span a wide range: {min}..{max}");
+        assert!(max > 0.7, "best annotator should be strong: {max}");
+    }
+
+    #[test]
+    fn crowd_labels_align_with_token_count() {
+        let data = tiny();
+        for inst in &data.train {
+            for cl in &inst.crowd_labels {
+                assert_eq!(cl.labels.len(), inst.tokens.len());
+            }
+        }
+    }
+}

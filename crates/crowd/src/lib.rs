@@ -1,0 +1,35 @@
+//! # lncl-crowd
+//!
+//! The crowdsourcing substrate of the Logic-LNCL reproduction:
+//!
+//! * [`data`] — the dataset / instance / crowd-label model and the flattened
+//!   [`AnnotationView`](data::AnnotationView) consumed by aggregation methods;
+//! * [`annotator`] — simulated annotators (confusion-matrix annotators for
+//!   classification, error-model annotators for NER);
+//! * [`datasets`] — synthetic stand-ins for the two MTurk corpora of the
+//!   paper (see DESIGN.md §1);
+//! * [`truth`] — truth-inference baselines: MV, Dawid–Skene, GLAD, IBCC, PM,
+//!   CATD, HMM-Crowd and a simplified BSC-seq;
+//! * [`metrics`] — accuracy, strict span-level P/R/F1, confusion-matrix and
+//!   reliability metrics;
+//! * [`stats`] — the per-annotator statistics behind Figure 4.
+//!
+//! ```
+//! use lncl_crowd::datasets::{generate_sentiment, SentimentDatasetConfig};
+//! use lncl_crowd::truth::{DawidSkene, MajorityVote, TruthInference};
+//!
+//! let data = generate_sentiment(&SentimentDatasetConfig::tiny());
+//! let view = data.annotation_view();
+//! let mv = MajorityVote.infer(&view).accuracy(&view.gold);
+//! let ds = DawidSkene::default().infer(&view).accuracy(&view.gold);
+//! assert!(ds >= mv - 0.05);
+//! ```
+
+pub mod annotator;
+pub mod data;
+pub mod datasets;
+pub mod metrics;
+pub mod stats;
+pub mod truth;
+
+pub use data::{AnnotationView, CrowdDataset, CrowdLabel, Instance, TaskKind};

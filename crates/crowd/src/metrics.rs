@@ -1,0 +1,301 @@
+//! Evaluation metrics: accuracy, strict span-level precision/recall/F1 for
+//! BIO tagging, empirical annotator confusion matrices and the reliability
+//! correlation used in Figures 6/7.
+
+use crate::annotator::gold_spans;
+use crate::data::{CrowdDataset, Instance};
+use lncl_tensor::{stats, Matrix};
+
+/// Simple classification accuracy between two equally-long label sequences.
+pub fn accuracy(predictions: &[usize], gold: &[usize]) -> f32 {
+    assert_eq!(predictions.len(), gold.len(), "accuracy: length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions.iter().zip(gold).filter(|(p, g)| p == g).count();
+    correct as f32 / predictions.len() as f32
+}
+
+/// Precision / recall / F1 triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionRecallF1 {
+    pub precision: f32,
+    pub recall: f32,
+    pub f1: f32,
+}
+
+impl PrecisionRecallF1 {
+    /// Builds the triple from raw counts.
+    pub fn from_counts(true_positives: usize, predicted: usize, actual: usize) -> Self {
+        let precision = if predicted == 0 { 0.0 } else { true_positives as f32 / predicted as f32 };
+        let recall = if actual == 0 { 0.0 } else { true_positives as f32 / actual as f32 };
+        let f1 = if precision + recall == 0.0 { 0.0 } else { 2.0 * precision * recall / (precision + recall) };
+        Self { precision, recall, f1 }
+    }
+}
+
+/// Strict span-level precision/recall/F1 for BIO sequences: a predicted span
+/// counts as correct only when its boundaries *and* type match a gold span
+/// exactly (the "strict criteria" the paper follows).
+///
+/// `predictions` and `gold` are parallel per-sentence label sequences.
+pub fn span_f1(predictions: &[Vec<usize>], gold: &[Vec<usize>]) -> PrecisionRecallF1 {
+    assert_eq!(predictions.len(), gold.len(), "span_f1: sentence count mismatch");
+    let mut tp = 0usize;
+    let mut predicted = 0usize;
+    let mut actual = 0usize;
+    for (pred, gold) in predictions.iter().zip(gold) {
+        assert_eq!(pred.len(), gold.len(), "span_f1: sentence length mismatch");
+        let pred_spans = gold_spans(pred);
+        let gold_spans_ = gold_spans(gold);
+        predicted += pred_spans.len();
+        actual += gold_spans_.len();
+        for span in &pred_spans {
+            if gold_spans_.contains(span) {
+                tp += 1;
+            }
+        }
+    }
+    PrecisionRecallF1::from_counts(tp, predicted, actual)
+}
+
+/// Token-level accuracy over a set of sequences.
+pub fn token_accuracy(predictions: &[Vec<usize>], gold: &[Vec<usize>]) -> f32 {
+    let flat_pred: Vec<usize> = predictions.iter().flatten().copied().collect();
+    let flat_gold: Vec<usize> = gold.iter().flatten().copied().collect();
+    accuracy(&flat_pred, &flat_gold)
+}
+
+/// Empirical confusion matrix of one annotator against the gold labels of
+/// the instances they annotated: entry `(m, n)` is `p(label = n | truth = m)`.
+/// Rows with no observations are left uniform.
+pub fn empirical_confusion(instances: &[Instance], annotator: usize, num_classes: usize) -> Matrix {
+    let mut counts = Matrix::zeros(num_classes, num_classes);
+    for inst in instances {
+        if let Some(labels) = inst.labels_by(annotator) {
+            for (&g, &l) in inst.gold.iter().zip(labels) {
+                counts[(g, l)] += 1.0;
+            }
+        }
+    }
+    normalize_confusion_rows(&mut counts);
+    counts
+}
+
+/// Normalises each row of a count matrix into a probability distribution
+/// (uniform when the row is empty).
+pub fn normalize_confusion_rows(counts: &mut Matrix) {
+    let k = counts.cols();
+    for r in 0..counts.rows() {
+        let row = counts.row_mut(r);
+        let sum: f32 = row.iter().sum();
+        if sum > 0.0 {
+            row.iter_mut().for_each(|v| *v /= sum);
+        } else {
+            row.iter_mut().for_each(|v| *v = 1.0 / k as f32);
+        }
+    }
+}
+
+/// Mean absolute difference between two confusion matrices (used to score
+/// the Figure 6/7 estimates).
+pub fn confusion_distance(a: &Matrix, b: &Matrix) -> f32 {
+    assert_eq!(a.shape(), b.shape(), "confusion_distance: shape mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| (x - y).abs()).sum::<f32>() / a.len() as f32
+}
+
+/// Overall reliability of a confusion matrix: the mean of its diagonal
+/// (the scalar plotted in Figures 6b/7b).
+pub fn overall_reliability(confusion: &Matrix) -> f32 {
+    let k = confusion.rows().min(confusion.cols());
+    if k == 0 {
+        return 0.0;
+    }
+    (0..k).map(|i| confusion[(i, i)]).sum::<f32>() / k as f32
+}
+
+/// Pearson correlation between estimated and real per-annotator reliability
+/// scores (Figures 6b and 7b report ≈0.92 / ≈0.91).
+pub fn reliability_correlation(estimated: &[f32], real: &[f32]) -> f32 {
+    stats::pearson(estimated, real)
+}
+
+/// Per-annotator accuracy (classification) on the instances they labelled.
+pub fn annotator_accuracy(instances: &[Instance], annotator: usize) -> Option<f32> {
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for inst in instances {
+        if let Some(labels) = inst.labels_by(annotator) {
+            for (&g, &l) in inst.gold.iter().zip(labels) {
+                total += 1;
+                if g == l {
+                    correct += 1;
+                }
+            }
+        }
+    }
+    (total > 0).then(|| correct as f32 / total as f32)
+}
+
+/// Per-annotator strict span F1 (sequence tagging) on the instances they
+/// labelled.
+pub fn annotator_span_f1(instances: &[Instance], annotator: usize) -> Option<f32> {
+    let mut preds = Vec::new();
+    let mut golds = Vec::new();
+    for inst in instances {
+        if let Some(labels) = inst.labels_by(annotator) {
+            preds.push(labels.to_vec());
+            golds.push(inst.gold.clone());
+        }
+    }
+    (!preds.is_empty()).then(|| span_f1(&preds, &golds).f1)
+}
+
+/// Evaluates a set of hard predictions for the *test split* of a
+/// classification dataset.
+pub fn classification_accuracy_on(dataset_split: &[Instance], predictions: &[usize]) -> f32 {
+    let gold: Vec<usize> = dataset_split.iter().map(|i| i.gold[0]).collect();
+    accuracy(predictions, &gold)
+}
+
+/// Evaluates per-sentence label-sequence predictions for the test split of a
+/// sequence dataset with the strict span criterion.
+pub fn sequence_f1_on(dataset_split: &[Instance], predictions: &[Vec<usize>]) -> PrecisionRecallF1 {
+    let gold: Vec<Vec<usize>> = dataset_split.iter().map(|i| i.gold.clone()).collect();
+    span_f1(predictions, &gold)
+}
+
+/// Majority-vote hard labels of the training split (handy gold-free sanity
+/// metric used in several tests).
+pub fn crowd_label_accuracy(dataset: &CrowdDataset) -> f32 {
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for inst in &dataset.train {
+        for cl in &inst.crowd_labels {
+            for (&g, &l) in inst.gold.iter().zip(&cl.labels) {
+                total += 1;
+                if g == l {
+                    correct += 1;
+                }
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct as f32 / total as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::CrowdLabel;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[1, 0, 1], &[1, 1, 1]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn prf_from_counts() {
+        let m = PrecisionRecallF1::from_counts(6, 10, 12);
+        assert!((m.precision - 0.6).abs() < 1e-6);
+        assert!((m.recall - 0.5).abs() < 1e-6);
+        assert!((m.f1 - 2.0 * 0.6 * 0.5 / 1.1).abs() < 1e-6);
+        let zero = PrecisionRecallF1::from_counts(0, 0, 0);
+        assert_eq!(zero.f1, 0.0);
+    }
+
+    #[test]
+    fn span_f1_perfect_match_is_one() {
+        let gold = vec![vec![0, 1, 2, 0, 3], vec![5, 6, 0]];
+        let m = span_f1(&gold, &gold);
+        assert_eq!(m.f1, 1.0);
+    }
+
+    #[test]
+    fn span_f1_strict_boundary() {
+        // predicted span B-PER at 1..2 (missing the I-PER) must not count.
+        let gold = vec![vec![0, 1, 2, 0]];
+        let pred = vec![vec![0, 1, 0, 0]];
+        let m = span_f1(&pred, &gold);
+        assert_eq!(m.f1, 0.0);
+    }
+
+    #[test]
+    fn span_f1_strict_type() {
+        // right boundaries, wrong type (LOC instead of PER).
+        let gold = vec![vec![0, 1, 2, 0]];
+        let pred = vec![vec![0, 3, 4, 0]];
+        let m = span_f1(&pred, &gold);
+        assert_eq!(m.f1, 0.0);
+        assert_eq!(m.precision, 0.0);
+    }
+
+    #[test]
+    fn span_f1_partial_credit_across_sentences() {
+        let gold = vec![vec![0, 1, 2, 0], vec![3, 0, 0]];
+        let pred = vec![vec![0, 1, 2, 0], vec![0, 0, 0]];
+        let m = span_f1(&pred, &gold);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 0.5);
+    }
+
+    #[test]
+    fn token_accuracy_flattens() {
+        let gold = vec![vec![0, 1], vec![2]];
+        let pred = vec![vec![0, 0], vec![2]];
+        assert!((token_accuracy(&pred, &gold) - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    fn annotated_instance(gold: Vec<usize>, annotator: usize, labels: Vec<usize>) -> Instance {
+        Instance { tokens: vec![1; gold.len()], gold, crowd_labels: vec![CrowdLabel { annotator, labels }] }
+    }
+
+    #[test]
+    fn empirical_confusion_counts_and_normalises() {
+        let instances = vec![
+            annotated_instance(vec![0], 3, vec![0]),
+            annotated_instance(vec![0], 3, vec![1]),
+            annotated_instance(vec![1], 3, vec![1]),
+        ];
+        let c = empirical_confusion(&instances, 3, 2);
+        assert!((c[(0, 0)] - 0.5).abs() < 1e-6);
+        assert!((c[(0, 1)] - 0.5).abs() < 1e-6);
+        assert!((c[(1, 1)] - 1.0).abs() < 1e-6);
+        // annotator never saw class... all rows normalised
+        let none = empirical_confusion(&instances, 9, 2);
+        assert!((none[(0, 0)] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overall_reliability_and_distance() {
+        let a = Matrix::from_rows(&[&[0.9, 0.1], &[0.2, 0.8]]);
+        let b = Matrix::identity(2);
+        assert!((overall_reliability(&a) - 0.85).abs() < 1e-6);
+        assert!((confusion_distance(&a, &b) - 0.15).abs() < 1e-5);
+        assert_eq!(confusion_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn annotator_accuracy_and_f1_require_participation() {
+        let instances = vec![annotated_instance(vec![0, 1, 2], 0, vec![0, 1, 0])];
+        assert!((annotator_accuracy(&instances, 0).unwrap() - 2.0 / 3.0).abs() < 1e-6);
+        assert!(annotator_accuracy(&instances, 5).is_none());
+        assert!(annotator_span_f1(&instances, 5).is_none());
+        let f1 = annotator_span_f1(&instances, 0).unwrap();
+        assert!((0.0..=1.0).contains(&f1));
+    }
+
+    #[test]
+    fn reliability_correlation_is_pearson() {
+        let est = [0.9, 0.5, 0.7];
+        let real = [0.85, 0.55, 0.75];
+        assert!(reliability_correlation(&est, &real) > 0.9);
+    }
+}

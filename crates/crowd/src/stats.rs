@@ -1,0 +1,133 @@
+//! Per-annotator workload and quality statistics — the data behind Figure 4
+//! of the paper (boxplots of the number of annotated instances and of the
+//! accuracy / F1 of the AMT annotators).
+
+use crate::data::{CrowdDataset, TaskKind};
+use crate::metrics::{annotator_accuracy, annotator_span_f1};
+use lncl_tensor::stats::five_number_summary;
+
+/// Statistics for a single annotator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnotatorStat {
+    /// Annotator index.
+    pub annotator: usize,
+    /// Number of training instances the annotator labelled.
+    pub num_instances: usize,
+    /// Accuracy (classification) or strict span F1 (sequence tagging)
+    /// against the gold labels, if the annotator labelled anything.
+    pub quality: Option<f32>,
+}
+
+/// Dataset-level summary of the annotator pool.
+#[derive(Debug, Clone)]
+pub struct AnnotatorSummary {
+    /// Per-annotator statistics (indexed by annotator id).
+    pub per_annotator: Vec<AnnotatorStat>,
+    /// Five-number summary (min, q1, median, q3, max) of the instance
+    /// counts of annotators that labelled at least one instance.
+    pub instances_boxplot: [f32; 5],
+    /// Five-number summary of the quality values.
+    pub quality_boxplot: [f32; 5],
+    /// Mean number of labels per training instance.
+    pub avg_labels_per_instance: f32,
+    /// Total number of crowd labels.
+    pub total_labels: usize,
+}
+
+/// Computes the Figure-4 statistics for a dataset.
+pub fn annotator_summary(dataset: &CrowdDataset) -> AnnotatorSummary {
+    let mut per_annotator = Vec::with_capacity(dataset.num_annotators);
+    for a in 0..dataset.num_annotators {
+        let num_instances = dataset.train.iter().filter(|i| i.labels_by(a).is_some()).count();
+        let quality = match dataset.task {
+            TaskKind::Classification => annotator_accuracy(&dataset.train, a),
+            TaskKind::SequenceTagging => annotator_span_f1(&dataset.train, a),
+        };
+        per_annotator.push(AnnotatorStat { annotator: a, num_instances, quality });
+    }
+    let counts: Vec<f32> = per_annotator
+        .iter()
+        .filter(|s| s.num_instances > 0)
+        .map(|s| s.num_instances as f32)
+        .collect();
+    let qualities: Vec<f32> = per_annotator.iter().filter_map(|s| s.quality).collect();
+    let instances_boxplot = if counts.is_empty() { [0.0; 5] } else { five_number_summary(&counts) };
+    let quality_boxplot = if qualities.is_empty() { [0.0; 5] } else { five_number_summary(&qualities) };
+    AnnotatorSummary {
+        per_annotator,
+        instances_boxplot,
+        quality_boxplot,
+        avg_labels_per_instance: dataset.avg_annotations_per_instance(),
+        total_labels: dataset.total_crowd_labels(),
+    }
+}
+
+impl AnnotatorSummary {
+    /// Indices of the `n` annotators with the most labels (the annotators
+    /// shown individually in Figures 6a/7a).
+    pub fn top_annotators(&self, n: usize) -> Vec<usize> {
+        let mut ordered: Vec<(usize, usize)> =
+            self.per_annotator.iter().map(|s| (s.annotator, s.num_instances)).collect();
+        ordered.sort_by(|a, b| b.1.cmp(&a.1));
+        ordered.into_iter().take(n).map(|(a, _)| a).collect()
+    }
+
+    /// Annotators that labelled more than `min_instances` instances (Figure
+    /// 6b excludes annotators with five or fewer labels).
+    pub fn active_annotators(&self, min_instances: usize) -> Vec<usize> {
+        self.per_annotator
+            .iter()
+            .filter(|s| s.num_instances > min_instances)
+            .map(|s| s.annotator)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{generate_sentiment, SentimentDatasetConfig};
+
+    #[test]
+    fn summary_covers_all_annotators() {
+        let data = generate_sentiment(&SentimentDatasetConfig::tiny());
+        let summary = annotator_summary(&data);
+        assert_eq!(summary.per_annotator.len(), data.num_annotators);
+        assert_eq!(summary.total_labels, data.total_crowd_labels());
+        assert!(summary.avg_labels_per_instance > 0.0);
+    }
+
+    #[test]
+    fn boxplots_are_ordered() {
+        let data = generate_sentiment(&SentimentDatasetConfig::tiny());
+        let s = annotator_summary(&data);
+        for w in s.instances_boxplot.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        for w in s.quality_boxplot.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        // sentiment annotator accuracies live in [0, 1]
+        assert!(s.quality_boxplot[0] >= 0.0 && s.quality_boxplot[4] <= 1.0);
+    }
+
+    #[test]
+    fn top_annotators_sorted_by_workload() {
+        let data = generate_sentiment(&SentimentDatasetConfig::tiny());
+        let s = annotator_summary(&data);
+        let top = s.top_annotators(3);
+        assert_eq!(top.len(), 3);
+        let count = |a: usize| s.per_annotator[a].num_instances;
+        assert!(count(top[0]) >= count(top[1]));
+        assert!(count(top[1]) >= count(top[2]));
+    }
+
+    #[test]
+    fn active_annotators_respect_threshold() {
+        let data = generate_sentiment(&SentimentDatasetConfig::tiny());
+        let s = annotator_summary(&data);
+        for a in s.active_annotators(5) {
+            assert!(s.per_annotator[a].num_instances > 5);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! CATD — confidence-aware truth discovery (Li et al., 2014), adapted to
+//! categorical crowd labels.
+
+use super::{TruthEstimate, TruthInference};
+use crate::data::AnnotationView;
+use lncl_tensor::stats;
+
+/// CATD addresses the long tail of annotators who provide very few labels:
+/// an annotator's weight is the upper bound of a chi-squared confidence
+/// interval on their (inverse) error count, so sparsely observed annotators
+/// are not over-trusted.  The chi-squared quantile is computed with the
+/// Wilson–Hilferty approximation.
+#[derive(Debug, Clone, Copy)]
+pub struct Catd {
+    /// Number of alternating iterations.
+    pub max_iters: usize,
+    /// Confidence level of the interval (the original paper uses 0.95).
+    pub confidence: f32,
+}
+
+impl Default for Catd {
+    fn default() -> Self {
+        Self { max_iters: 20, confidence: 0.95 }
+    }
+}
+
+/// Standard-normal quantile via the Acklam rational approximation (adequate
+/// for the confidence levels used here).
+fn normal_quantile(p: f32) -> f32 {
+    let p = p.clamp(1e-6, 1.0 - 1e-6) as f64;
+    // coefficients of the Acklam approximation
+    const A: [f64; 6] = [-3.969683028665376e1, 2.209460984245205e2, -2.759285104469687e2, 1.383577518672690e2, -3.066479806614716e1, 2.506628277459239];
+    const B: [f64; 5] = [-5.447609879822406e1, 1.615858368580409e2, -1.556989798598866e2, 6.680131188771972e1, -1.328068155288572e1];
+    const C: [f64; 6] = [-7.784894002430293e-3, -3.223964580411365e-1, -2.400758277161838, -2.549732539343734, 4.374664141464968, 2.938163982698783];
+    const D: [f64; 4] = [7.784695709041462e-3, 3.224671290700398e-1, 2.445134137142996, 3.754408661907416];
+    let plow = 0.02425;
+    let x = if p < plow {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - plow {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    x as f32
+}
+
+/// Chi-squared quantile with `k` degrees of freedom via Wilson–Hilferty.
+fn chi_squared_quantile(p: f32, k: f32) -> f32 {
+    if k <= 0.0 {
+        return 0.0;
+    }
+    let z = normal_quantile(p);
+    let term = 1.0 - 2.0 / (9.0 * k) + z * (2.0 / (9.0 * k)).sqrt();
+    k * term.powi(3)
+}
+
+impl TruthInference for Catd {
+    fn name(&self) -> &'static str {
+        "CATD"
+    }
+
+    fn infer(&self, view: &AnnotationView) -> TruthEstimate {
+        let k = view.num_classes;
+        let mut weights = vec![1.0f32; view.num_annotators];
+        let mut posteriors = vec![vec![1.0 / k as f32; k]; view.num_units()];
+
+        for _ in 0..self.max_iters {
+            for (u, annotations) in view.annotations.iter().enumerate() {
+                let mut scores = vec![0.0f32; k];
+                for &(annotator, class) in annotations {
+                    scores[class] += weights[annotator];
+                }
+                stats::normalize_in_place(&mut scores);
+                posteriors[u] = scores;
+            }
+            // weight update: chi^2_{alpha, n_j} / (sum of squared errors)
+            let mut errors = vec![0.0f32; view.num_annotators];
+            let mut counts = vec![0.0f32; view.num_annotators];
+            for (u, annotations) in view.annotations.iter().enumerate() {
+                let truth = stats::argmax(&posteriors[u]);
+                for &(annotator, class) in annotations {
+                    counts[annotator] += 1.0;
+                    if class != truth {
+                        errors[annotator] += 1.0;
+                    }
+                }
+            }
+            for j in 0..view.num_annotators {
+                if counts[j] > 0.0 {
+                    let quantile = chi_squared_quantile(self.confidence, counts[j]);
+                    weights[j] = quantile / (errors[j] + 0.5);
+                } else {
+                    weights[j] = 1.0;
+                }
+            }
+            // normalise weights to keep the scale stable
+            let max_w = weights.iter().cloned().fold(f32::MIN_POSITIVE, f32::max);
+            weights.iter_mut().for_each(|w| *w /= max_w);
+        }
+        TruthEstimate::from_posteriors(posteriors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::testutil::planted_view;
+    use crate::truth::{MajorityVote, TruthInference};
+
+    #[test]
+    fn normal_quantile_reference_points() {
+        assert!((normal_quantile(0.5)).abs() < 1e-3);
+        assert!((normal_quantile(0.975) - 1.96).abs() < 0.02);
+        assert!((normal_quantile(0.025) + 1.96).abs() < 0.02);
+    }
+
+    #[test]
+    fn chi_squared_quantile_reference_points() {
+        // chi2_{0.95, 1} ≈ 3.841, chi2_{0.95, 10} ≈ 18.307
+        assert!((chi_squared_quantile(0.95, 1.0) - 3.841).abs() < 0.3);
+        assert!((chi_squared_quantile(0.95, 10.0) - 18.307).abs() < 0.5);
+    }
+
+    #[test]
+    fn performs_at_least_as_well_as_mv() {
+        let view = planted_view(500, 2, &[0.93, 0.9, 0.55, 0.5, 0.52], 5, 59);
+        let mv = MajorityVote.infer(&view).accuracy(&view.gold);
+        let catd = Catd::default().infer(&view).accuracy(&view.gold);
+        assert!(catd >= mv - 0.01, "CATD {catd} vs MV {mv}");
+    }
+
+    #[test]
+    fn posteriors_are_distributions() {
+        let view = planted_view(120, 3, &[0.8, 0.7, 0.6, 0.5], 3, 61);
+        let est = Catd::default().infer(&view);
+        for p in &est.posteriors {
+            assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        }
+    }
+}

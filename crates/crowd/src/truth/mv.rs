@@ -1,0 +1,68 @@
+//! Majority voting.
+
+use super::{vote_counts, TruthEstimate, TruthInference};
+use crate::data::AnnotationView;
+use lncl_tensor::stats;
+
+/// Majority voting: the posterior of each unit is the empirical distribution
+/// of the received labels (uniform when a unit has no labels).  This is both
+/// the simplest baseline of the paper and the initialiser of Logic-LNCL
+/// (Algorithm 1, line 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MajorityVote;
+
+impl TruthInference for MajorityVote {
+    fn name(&self) -> &'static str {
+        "MV"
+    }
+
+    fn infer(&self, view: &AnnotationView) -> TruthEstimate {
+        let counts = vote_counts(view);
+        let posteriors: Vec<Vec<f32>> = (0..view.num_units())
+            .map(|u| stats::normalized(counts.row(u)))
+            .collect();
+        TruthEstimate::from_posteriors(posteriors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::testutil::planted_view;
+
+    #[test]
+    fn recovers_truth_with_accurate_annotators() {
+        let view = planted_view(300, 2, &[0.9, 0.9, 0.9, 0.9, 0.9], 5, 1);
+        let est = MajorityVote.infer(&view);
+        assert!(est.accuracy(&view.gold) > 0.95);
+    }
+
+    #[test]
+    fn posterior_is_vote_fraction() {
+        let view = planted_view(50, 3, &[0.8, 0.8, 0.8], 3, 2);
+        let est = MajorityVote.infer(&view);
+        for p in &est.posteriors {
+            assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+            // with 3 votes the fractions are multiples of 1/3
+            for &v in p {
+                let scaled = v * 3.0;
+                assert!((scaled - scaled.round()).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn struggles_against_majority_of_spammers() {
+        // 1 expert vs 4 near-random annotators: plain MV should do clearly
+        // worse than the expert alone would.
+        let view = planted_view(400, 2, &[0.95, 0.52, 0.52, 0.52, 0.52], 5, 3);
+        let est = MajorityVote.infer(&view);
+        let acc = est.accuracy(&view.gold);
+        assert!(acc < 0.9, "MV should be hurt by spammers, got {acc}");
+    }
+
+    #[test]
+    fn name_is_mv() {
+        assert_eq!(MajorityVote.name(), "MV");
+    }
+}

@@ -1,0 +1,27 @@
+//! # lncl-logic
+//!
+//! Probabilistic soft logic (PSL) machinery for Logic-LNCL:
+//!
+//! * [`soft`] — soft truth values and the Łukasiewicz relaxations of the
+//!   logical connectives (Eq. 4 of the paper);
+//! * [`rule`] — the rule abstractions the trainer consumes: grounded
+//!   classification rules (per-class rule values `v_l(x, t)`) and sequence
+//!   transition rule sets (pairwise penalties);
+//! * [`projection`] — the posterior-regularisation projection of Eq. 14/15,
+//!   i.e. `q_b(t) ∝ q_a(t) · exp{-Σ_l C·w_l·(1 - v_l(x, t))}`, plus a
+//!   brute-force reference solver used in tests;
+//! * [`sequence`] — the dynamic-programming (forward–backward) version of
+//!   the projection for label sequences, used by the NER transition rules;
+//! * [`rules`] — the concrete rules evaluated in the paper: the sentiment
+//!   *A-but-B* rule (Eq. 16/17), the NER transition rules (Eq. 18/19) and
+//!   the deliberately weaker variants used in the Table-IV ablation.
+
+pub mod projection;
+pub mod rule;
+pub mod rules;
+pub mod sequence;
+pub mod soft;
+
+pub use projection::{grounded_penalties, project_distribution};
+pub use rule::{ClassificationRule, GroundedRule, SequenceRuleSet};
+pub use sequence::project_sequence;

@@ -1,0 +1,199 @@
+//! The posterior-regularisation projection of Eq. 14/15.
+//!
+//! Given the truth posterior `q_a(t)` of an instance and the grounded rules
+//! with their weights, the rule-regularised target is the closed form
+//!
+//! ```text
+//! q_b(t) ∝ q_a(t) · exp{ − Σ_l C · w_l · (1 − v_l(x, t)) }
+//! ```
+//!
+//! which is the exact solution of the slack-relaxed KL projection problem
+//! (Section V-B of the paper).  [`project_distribution`] implements the
+//! closed form; [`solve_projection_reference`] solves the optimisation
+//! numerically on a grid and is used by the tests to confirm the closed form.
+
+use crate::rule::{ClassificationRule, ClauseProbs, GroundedRule};
+use lncl_tensor::stats;
+
+/// Total per-class penalties `Σ_l w_l (1 − v_l(x, k))` of all rules that
+/// ground on an instance.  Rules that do not ground contribute nothing.
+pub fn grounded_penalties(
+    rules: &[Box<dyn ClassificationRule>],
+    tokens: &[usize],
+    clause_probs: &ClauseProbs<'_>,
+    num_classes: usize,
+) -> Vec<f32> {
+    let mut totals = vec![0.0f32; num_classes];
+    for rule in rules {
+        if let Some(grounding) = rule.ground(tokens, clause_probs, num_classes) {
+            for (t, p) in totals.iter_mut().zip(grounding.penalties()) {
+                *t += p;
+            }
+        }
+    }
+    totals
+}
+
+/// Closed-form projection (Eq. 15): `q_b(k) ∝ q_a(k) · exp(−C · penalty_k)`.
+///
+/// `penalties[k]` must already contain `Σ_l w_l (1 − v_l(x, k))`.
+pub fn project_distribution(qa: &[f32], penalties: &[f32], regularization: f32) -> Vec<f32> {
+    assert_eq!(qa.len(), penalties.len(), "project_distribution: length mismatch");
+    assert!(regularization >= 0.0, "regularization strength must be non-negative");
+    let mut qb: Vec<f32> = qa
+        .iter()
+        .zip(penalties)
+        .map(|(&q, &p)| q.max(1e-12) * (-regularization * p).exp())
+        .collect();
+    stats::normalize_in_place(&mut qb);
+    qb
+}
+
+/// Convenience: grounds the rules and projects in one call.
+pub fn project_with_rules(
+    qa: &[f32],
+    rules: &[Box<dyn ClassificationRule>],
+    tokens: &[usize],
+    clause_probs: &ClauseProbs<'_>,
+    regularization: f32,
+) -> Vec<f32> {
+    let penalties = grounded_penalties(rules, tokens, clause_probs, qa.len());
+    project_distribution(qa, &penalties, regularization)
+}
+
+/// Expected rule penalty `E_q[Σ_l w_l (1 − v_l)]` under a distribution `q` —
+/// the quantity the slack constraints of Eq. 14 bound.
+pub fn expected_penalty(q: &[f32], penalties: &[f32]) -> f32 {
+    q.iter().zip(penalties).map(|(&qi, &pi)| qi * pi).sum()
+}
+
+/// Reference solver for the projection problem used in tests: minimises
+/// `KL(q || qa) + C · Σ_l w_l (1 − E_q[v_l])` directly by exponentiated
+/// gradient descent.  (The slack formulation of Eq. 14 with `ξ_l ≥ 0` and
+/// `η*_l = C` is equivalent to this penalised objective — see Section V-B.)
+pub fn solve_projection_reference(
+    qa: &[f32],
+    grounded: &[GroundedRule],
+    regularization: f32,
+    iterations: usize,
+) -> Vec<f32> {
+    let k = qa.len();
+    let mut q: Vec<f32> = vec![1.0 / k as f32; k];
+    let mut total_penalty = vec![0.0f32; k];
+    for g in grounded {
+        for (t, p) in total_penalty.iter_mut().zip(g.penalties()) {
+            *t += p;
+        }
+    }
+    let lr = 0.5f32;
+    for _ in 0..iterations {
+        // gradient of KL(q||qa) + C * Σ_k q_k penalty_k  w.r.t. q_k is
+        // log(q_k / qa_k) + 1 + C * penalty_k; exponentiated-gradient update.
+        let mut new_q: Vec<f32> = q
+            .iter()
+            .enumerate()
+            .map(|(kk, &qk)| {
+                let grad = (qk.max(1e-12) / qa[kk].max(1e-12)).ln() + 1.0 + regularization * total_penalty[kk];
+                qk.max(1e-12) * (-lr * grad).exp()
+            })
+            .collect();
+        stats::normalize_in_place(&mut new_q);
+        q = new_q;
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::sentiment_but::SentimentContrastRule;
+    use proptest::prelude::*;
+
+    #[test]
+    fn no_penalty_is_identity() {
+        let qa = vec![0.3, 0.7];
+        let qb = project_distribution(&qa, &[0.0, 0.0], 5.0);
+        assert!((qb[0] - 0.3).abs() < 1e-5);
+        assert!((qb[1] - 0.7).abs() < 1e-5);
+    }
+
+    #[test]
+    fn penalised_class_loses_mass() {
+        let qa = vec![0.5, 0.5];
+        let qb = project_distribution(&qa, &[1.0, 0.0], 2.0);
+        assert!(qb[0] < 0.2);
+        assert!(qb[1] > 0.8);
+        assert!((qb.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn stronger_regularisation_moves_further() {
+        let qa = vec![0.6, 0.4];
+        let weak = project_distribution(&qa, &[0.5, 0.0], 1.0);
+        let strong = project_distribution(&qa, &[0.5, 0.0], 10.0);
+        assert!(strong[0] < weak[0]);
+    }
+
+    #[test]
+    fn closed_form_matches_reference_solver() {
+        let qa = vec![0.55, 0.25, 0.20];
+        let grounded = vec![GroundedRule::new(0.9, vec![0.2, 1.0, 0.6]), GroundedRule::new(0.5, vec![1.0, 0.3, 0.9])];
+        let mut penalties = vec![0.0f32; 3];
+        for g in &grounded {
+            for (t, p) in penalties.iter_mut().zip(g.penalties()) {
+                *t += p;
+            }
+        }
+        let closed = project_distribution(&qa, &penalties, 3.0);
+        let reference = solve_projection_reference(&qa, &grounded, 3.0, 4000);
+        for (c, r) in closed.iter().zip(&reference) {
+            assert!((c - r).abs() < 5e-3, "closed {closed:?} vs reference {reference:?}");
+        }
+    }
+
+    #[test]
+    fn expected_penalty_decreases_after_projection() {
+        let qa = vec![0.5, 0.3, 0.2];
+        let penalties = vec![0.8, 0.1, 0.0];
+        let qb = project_distribution(&qa, &penalties, 5.0);
+        assert!(expected_penalty(&qb, &penalties) < expected_penalty(&qa, &penalties));
+    }
+
+    #[test]
+    fn grounded_penalties_skip_non_grounding_rules() {
+        let rule: Box<dyn ClassificationRule> =
+            Box::new(SentimentContrastRule::new("but-rule", 42, 1.0));
+        let clause = |_tokens: &[usize]| vec![0.5, 0.5];
+        // token 42 absent: rule does not ground, no penalty
+        let p = grounded_penalties(&[rule], &[1, 2, 3], &clause, 2);
+        assert_eq!(p, vec![0.0, 0.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn projection_returns_distribution(
+            qa0 in 0.01f32..0.99,
+            pen0 in 0.0f32..1.0,
+            pen1 in 0.0f32..1.0,
+            c in 0.0f32..10.0,
+        ) {
+            let qa = vec![qa0, 1.0 - qa0];
+            let qb = project_distribution(&qa, &[pen0, pen1], c);
+            prop_assert!((qb.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+            prop_assert!(qb.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+
+        #[test]
+        fn projection_never_increases_expected_penalty(
+            qa0 in 0.01f32..0.99,
+            pen0 in 0.0f32..1.0,
+            pen1 in 0.0f32..1.0,
+            c in 0.0f32..10.0,
+        ) {
+            let qa = vec![qa0, 1.0 - qa0];
+            let pens = vec![pen0, pen1];
+            let qb = project_distribution(&qa, &pens, c);
+            prop_assert!(expected_penalty(&qb, &pens) <= expected_penalty(&qa, &pens) + 1e-5);
+        }
+    }
+}

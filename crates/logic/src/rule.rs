@@ -1,0 +1,119 @@
+//! Rule abstractions consumed by the Logic-LNCL trainer.
+//!
+//! Two shapes of rules cover the paper's applications:
+//!
+//! * [`ClassificationRule`] — instance-level rules for sentence
+//!   classification.  When a rule *grounds* on an instance (e.g. the
+//!   sentence contains "but"), it yields a weight and one soft rule value
+//!   `v_l(x, t=k)` per class `k`.
+//! * [`SequenceRuleSet`] — transition rules for sequence labelling,
+//!   compiled into a `K x K` matrix of *penalties*
+//!   `penalty(prev, cur) = Σ_l w_l · (1 − v_l(prev, cur))`, which the
+//!   dynamic-programming projection of [`crate::sequence`] consumes.
+
+use lncl_tensor::Matrix;
+
+/// The grounding of one classification rule on one instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroundedRule {
+    /// Rule weight `w_l ∈ [0, 1]`.
+    pub weight: f32,
+    /// Soft rule value `v_l(x, t=k)` for every class `k`.
+    pub values: Vec<f32>,
+}
+
+impl GroundedRule {
+    /// Creates a grounding, checking ranges in debug builds.
+    pub fn new(weight: f32, values: Vec<f32>) -> Self {
+        debug_assert!((0.0..=1.0).contains(&weight), "rule weight must be in [0,1]");
+        debug_assert!(values.iter().all(|v| (-1e-4..=1.0 + 1e-4).contains(v)), "rule values must be in [0,1]");
+        Self { weight, values }
+    }
+
+    /// The per-class penalty contribution `w_l · (1 − v_l)`.
+    pub fn penalties(&self) -> Vec<f32> {
+        self.values.iter().map(|v| self.weight * (1.0 - v.clamp(0.0, 1.0))).collect()
+    }
+}
+
+/// A provider of class probabilities for arbitrary token subsequences.
+///
+/// The sentiment *A-but-B* rule needs `σΘ(clause B)` — the **current
+/// classifier's** prediction on the clause after "but" — so rules receive a
+/// callback rather than a fixed feature.  During training this closure wraps
+/// the live network; in tests it can be any function.
+pub type ClauseProbs<'a> = dyn Fn(&[usize]) -> Vec<f32> + 'a;
+
+/// An instance-level first-order rule for classification tasks.
+pub trait ClassificationRule {
+    /// Human-readable rule name (used in reports and the ablation tables).
+    fn name(&self) -> &str;
+
+    /// Attempts to ground the rule on an instance.  Returns `None` when the
+    /// rule does not apply (e.g. the sentence has no "but"), otherwise the
+    /// weight and per-class soft values `v_l(x, t=k)`.
+    fn ground(&self, tokens: &[usize], clause_probs: &ClauseProbs<'_>, num_classes: usize) -> Option<GroundedRule>;
+}
+
+/// A compiled set of transition rules for sequence labelling.
+#[derive(Debug, Clone)]
+pub struct SequenceRuleSet {
+    /// `penalty[(prev, cur)] = Σ_l w_l · (1 − v_l(prev, cur))` for every
+    /// consecutive label pair.
+    pub penalty: Matrix,
+    /// Name of the rule set (e.g. `"ner-transitions"`).
+    pub name: String,
+}
+
+impl SequenceRuleSet {
+    /// Creates a rule set from an explicit penalty matrix.
+    pub fn new(name: impl Into<String>, penalty: Matrix) -> Self {
+        assert_eq!(penalty.rows(), penalty.cols(), "penalty matrix must be square");
+        assert!(penalty.as_slice().iter().all(|&p| p >= 0.0), "penalties must be non-negative");
+        Self { penalty, name: name.into() }
+    }
+
+    /// Number of classes the rule set covers.
+    pub fn num_classes(&self) -> usize {
+        self.penalty.rows()
+    }
+
+    /// The penalty for a specific transition.
+    pub fn penalty_for(&self, prev: usize, cur: usize) -> f32 {
+        self.penalty[(prev, cur)]
+    }
+
+    /// A rule set with no penalties (logic disabled); useful for ablations.
+    pub fn empty(num_classes: usize, name: impl Into<String>) -> Self {
+        Self { penalty: Matrix::zeros(num_classes, num_classes), name: name.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grounded_rule_penalties() {
+        let g = GroundedRule::new(0.8, vec![1.0, 0.25]);
+        let p = g.penalties();
+        assert!((p[0] - 0.0).abs() < 1e-6);
+        assert!((p[1] - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sequence_rule_set_accessors() {
+        let set = SequenceRuleSet::new("test", Matrix::from_rows(&[&[0.0, 1.0], &[0.5, 0.0]]));
+        assert_eq!(set.num_classes(), 2);
+        assert_eq!(set.penalty_for(0, 1), 1.0);
+        assert_eq!(set.penalty_for(1, 0), 0.5);
+        let empty = SequenceRuleSet::empty(3, "none");
+        assert_eq!(empty.penalty.sum(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_penalties_rejected() {
+        let _ = SequenceRuleSet::new("bad", Matrix::from_rows(&[&[0.0, -1.0], &[0.0, 0.0]]));
+    }
+}

@@ -1,0 +1,7 @@
+//! Concrete rule instantiations used in the paper's evaluation.
+
+pub mod ner_transition;
+pub mod sentiment_but;
+
+pub use ner_transition::{ner_bad_rules, ner_transition_rules};
+pub use sentiment_but::SentimentContrastRule;

@@ -1,0 +1,117 @@
+//! NER transition rules (Eq. 18/19 of the paper).
+//!
+//! The rules express the BIO validity constraint as weighted soft logic:
+//!
+//! ```text
+//! equal(t_i, I-X) ⇒ equal(t_{i−1}, B-X)   (weight w_b, paper example 0.8)
+//! equal(t_i, I-X) ⇒ equal(t_{i−1}, I-X)   (weight w_i, paper example 0.2)
+//! ```
+//!
+//! For hard label pairs the rule value is 1 when the consequent holds (or
+//! the antecedent does not), 0 otherwise, so the total penalty of a
+//! transition `(prev, cur)` is
+//! `w_b·(1 − [prev = B-X]) + w_i·(1 − [prev = I-X])` when `cur = I-X`, and 0
+//! otherwise.  The label encoding follows `lncl_crowd::datasets::ner`:
+//! class 0 is `O`, odd classes are `B-type`, even (non-zero) classes are
+//! `I-type`.
+
+use crate::rule::SequenceRuleSet;
+use crate::soft;
+use lncl_tensor::Matrix;
+
+/// Number of BIO classes used by the NER task of the paper.
+pub const NER_CLASSES: usize = 9;
+
+/// Builds the paper's transition rule set over the 9 BIO classes with the
+/// given weights for the "preceded by B-X" and "preceded by I-X" rules.
+pub fn ner_transition_rules(weight_b: f32, weight_i: f32) -> SequenceRuleSet {
+    transition_rules_for(NER_CLASSES, weight_b, weight_i)
+}
+
+/// The ablation variant ("our-other-rules"): the unrealistic assumption that
+/// `I-X` may only be preceded by `B-X` (Eq. 18 alone, full weight), ignoring
+/// the `I-X ⇒ I-X` continuation rule.
+pub fn ner_bad_rules() -> SequenceRuleSet {
+    let mut set = transition_rules_for(NER_CLASSES, 1.0, 0.0);
+    set.name = "ner-bad-rules".into();
+    set
+}
+
+/// Generic constructor for any number of BIO classes (must be odd:
+/// `O` + B/I pairs).
+pub fn transition_rules_for(num_classes: usize, weight_b: f32, weight_i: f32) -> SequenceRuleSet {
+    assert!(num_classes >= 3 && num_classes % 2 == 1, "BIO class count must be odd and >= 3");
+    assert!((0.0..=1.0).contains(&weight_b) && (0.0..=1.0).contains(&weight_i));
+    let penalty = Matrix::from_fn(num_classes, num_classes, |prev, cur| {
+        if cur == 0 || cur % 2 == 1 {
+            // O and B-* carry no constraint
+            return 0.0;
+        }
+        // cur = I-X with X = (cur/2 - 1); its B tag is cur-1, its I tag is cur
+        let antecedent = 1.0; // equal(t_i, I-X) holds for this candidate labelling
+        let consequent_b = if prev == cur - 1 { 1.0 } else { 0.0 };
+        let consequent_i = if prev == cur { 1.0 } else { 0.0 };
+        let v_b = soft::implies(antecedent, consequent_b);
+        let v_i = soft::implies(antecedent, consequent_i);
+        weight_b * (1.0 - v_b) + weight_i * (1.0 - v_i)
+    });
+    SequenceRuleSet::new("ner-transitions", penalty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_continuations_have_low_penalty() {
+        let rules = ner_transition_rules(0.8, 0.2);
+        // B-PER (1) -> I-PER (2): only the I⇒I rule is violated
+        assert!((rules.penalty_for(1, 2) - 0.2).abs() < 1e-6);
+        // I-PER (2) -> I-PER (2): only the I⇒B rule is violated
+        assert!((rules.penalty_for(2, 2) - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invalid_continuations_have_full_penalty() {
+        let rules = ner_transition_rules(0.8, 0.2);
+        // O (0) -> I-PER (2): both rules violated
+        assert!((rules.penalty_for(0, 2) - 1.0).abs() < 1e-6);
+        // B-LOC (3) -> I-PER (2): both violated
+        assert!((rules.penalty_for(3, 2) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn non_i_targets_are_unconstrained() {
+        let rules = ner_transition_rules(0.8, 0.2);
+        for prev in 0..NER_CLASSES {
+            assert_eq!(rules.penalty_for(prev, 0), 0.0);
+            for b in [1, 3, 5, 7] {
+                assert_eq!(rules.penalty_for(prev, b), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn bad_rules_penalise_legitimate_i_to_i() {
+        let good = ner_transition_rules(0.8, 0.2);
+        let bad = ner_bad_rules();
+        // I-ORG (6) -> I-ORG (6) is legitimate; the bad rule set punishes it
+        // as hard as an invalid transition.
+        assert!(bad.penalty_for(6, 6) > good.penalty_for(6, 6));
+        assert!((bad.penalty_for(6, 6) - 1.0).abs() < 1e-6);
+        // while B-ORG -> I-ORG stays free under both
+        assert_eq!(bad.penalty_for(5, 6), 0.0);
+    }
+
+    #[test]
+    fn generic_constructor_validates_class_count() {
+        let small = transition_rules_for(5, 0.5, 0.5);
+        assert_eq!(small.num_classes(), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn even_class_count_rejected() {
+        let _ = transition_rules_for(4, 0.5, 0.5);
+    }
+}

@@ -1,0 +1,143 @@
+//! The sentiment *A-but-B* contrast rule (Eq. 16/17 of the paper).
+//!
+//! For a sentence with an "A but B" structure, the sentiment of the whole
+//! sentence should agree with the sentiment of clause *B*:
+//!
+//! ```text
+//! positive(sentence S) ⇒ σΘ(clause B)+
+//! negative(sentence S) ⇒ σΘ(clause B)−
+//! ```
+//!
+//! Under PSL the rule value for candidate class `k` is simply the
+//! classifier's probability of class `k` on clause B, so the projection of
+//! Eq. 15 pulls the sentence-level posterior towards the clause-B
+//! prediction.  The same struct with the "however" token and/or a smaller
+//! weight implements the `our-other-rules` ablation of Table IV.
+
+use crate::rule::{ClassificationRule, ClauseProbs, GroundedRule};
+
+/// Contrast-conjunction rule: the clause after the contrast token determines
+/// the sentence sentiment.
+#[derive(Debug, Clone)]
+pub struct SentimentContrastRule {
+    name: String,
+    /// Token id of the contrast conjunction ("but" or "however").
+    contrast_token: usize,
+    /// Rule weight `w_l` (the paper uses 1.0 for the but-rule).
+    weight: f32,
+}
+
+impl SentimentContrastRule {
+    /// Creates the rule for a given contrast token id.
+    pub fn new(name: impl Into<String>, contrast_token: usize, weight: f32) -> Self {
+        assert!((0.0..=1.0).contains(&weight), "rule weight must be in [0,1]");
+        Self { name: name.into(), contrast_token, weight }
+    }
+
+    /// The paper's but-rule with weight 1.0.
+    pub fn but_rule(but_token: usize) -> Self {
+        Self::new("A-but-B", but_token, 1.0)
+    }
+
+    /// The ablation's weaker "however" rule.
+    pub fn however_rule(however_token: usize) -> Self {
+        Self::new("A-however-B", however_token, 1.0)
+    }
+
+    /// Token id this rule triggers on.
+    pub fn contrast_token(&self) -> usize {
+        self.contrast_token
+    }
+
+    /// Extracts clause B (the tokens after the **last** occurrence of the
+    /// contrast token), or `None` when the token is absent or clause B would
+    /// be empty.
+    pub fn clause_b<'a>(&self, tokens: &'a [usize]) -> Option<&'a [usize]> {
+        let pos = tokens.iter().rposition(|&t| t == self.contrast_token)?;
+        let clause = &tokens[pos + 1..];
+        (!clause.is_empty()).then_some(clause)
+    }
+}
+
+impl ClassificationRule for SentimentContrastRule {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn ground(&self, tokens: &[usize], clause_probs: &ClauseProbs<'_>, num_classes: usize) -> Option<GroundedRule> {
+        let clause = self.clause_b(tokens)?;
+        let probs = clause_probs(clause);
+        assert_eq!(
+            probs.len(),
+            num_classes,
+            "clause probability callback returned {} classes, expected {num_classes}",
+            probs.len()
+        );
+        Some(GroundedRule::new(self.weight, probs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::projection::project_distribution;
+
+    const BUT: usize = 99;
+
+    fn clause_probs_stub(probs: Vec<f32>) -> impl Fn(&[usize]) -> Vec<f32> {
+        move |_tokens: &[usize]| probs.clone()
+    }
+
+    #[test]
+    fn does_not_ground_without_contrast_token() {
+        let rule = SentimentContrastRule::but_rule(BUT);
+        let f = clause_probs_stub(vec![0.5, 0.5]);
+        assert!(rule.ground(&[1, 2, 3], &f, 2).is_none());
+    }
+
+    #[test]
+    fn does_not_ground_when_clause_b_empty() {
+        let rule = SentimentContrastRule::but_rule(BUT);
+        let f = clause_probs_stub(vec![0.5, 0.5]);
+        assert!(rule.ground(&[1, 2, BUT], &f, 2).is_none());
+    }
+
+    #[test]
+    fn clause_b_uses_last_contrast_occurrence() {
+        let rule = SentimentContrastRule::but_rule(BUT);
+        assert_eq!(rule.clause_b(&[1, BUT, 2, BUT, 3, 4]), Some(&[3usize, 4][..]));
+    }
+
+    #[test]
+    fn grounding_returns_clause_probabilities_as_values() {
+        let rule = SentimentContrastRule::but_rule(BUT);
+        let f = clause_probs_stub(vec![0.2, 0.8]);
+        let g = rule.ground(&[1, BUT, 2, 3], &f, 2).unwrap();
+        assert_eq!(g.weight, 1.0);
+        assert_eq!(g.values, vec![0.2, 0.8]);
+    }
+
+    #[test]
+    fn projection_moves_posterior_towards_clause_b_sentiment() {
+        // q_a thinks the sentence is negative, but clause B is clearly
+        // positive: after projection the positive class should gain mass.
+        let rule = SentimentContrastRule::but_rule(BUT);
+        let f = clause_probs_stub(vec![0.1, 0.9]);
+        let g = rule.ground(&[5, BUT, 7], &f, 2).unwrap();
+        let qa = vec![0.6, 0.4];
+        let qb = project_distribution(&qa, &g.penalties(), 5.0);
+        assert!(qb[1] > qa[1], "positive mass should increase: {qb:?}");
+        assert!(qb[1] > 0.9);
+    }
+
+    #[test]
+    fn weaker_weight_moves_less() {
+        let strong = SentimentContrastRule::new("strong", BUT, 1.0);
+        let weak = SentimentContrastRule::new("weak", BUT, 0.3);
+        let f = clause_probs_stub(vec![0.05, 0.95]);
+        let qa = vec![0.7, 0.3];
+        let qs = project_distribution(&qa, &strong.ground(&[1, BUT, 2], &f, 2).unwrap().penalties(), 5.0);
+        let qw = project_distribution(&qa, &weak.ground(&[1, BUT, 2], &f, 2).unwrap().penalties(), 5.0);
+        assert!(qs[1] > qw[1]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Sequence version of the posterior-regularisation projection.
+//!
+//! For sequence labelling the rule-regularised distribution
+//! `q_b(t_1..t_T) ∝ Π_t q_a(t_t) · Π_t exp{−C · penalty(t_{t−1}, t_t)}`
+//! is a chain-structured Markov random field: unary potentials are the
+//! per-token posteriors `q_a`, pairwise potentials encode the transition
+//! rules (Eq. 18/19).  The per-token marginals of `q_b` — which is what the
+//! pseudo-M-step trains against — are computed exactly with the
+//! forward–backward algorithm, as the paper notes ("we can use dynamic
+//! programming for efficient computation in Equation 15").
+
+use crate::rule::SequenceRuleSet;
+use lncl_tensor::{stats, Matrix};
+
+/// Projects per-token posteriors `qa` (one distribution per token) onto the
+/// subspace regularised by the transition `rules`, returning the per-token
+/// marginals of `q_b`.
+pub fn project_sequence(qa: &[Vec<f32>], rules: &SequenceRuleSet, regularization: f32) -> Vec<Vec<f32>> {
+    if qa.is_empty() {
+        return Vec::new();
+    }
+    let k = qa[0].len();
+    assert_eq!(rules.num_classes(), k, "rule set covers {} classes, posteriors have {k}", rules.num_classes());
+    assert!(regularization >= 0.0, "regularization strength must be non-negative");
+    if qa.len() == 1 || regularization == 0.0 {
+        // no pairwise terms: q_b == q_a (renormalised)
+        return qa.iter().map(|p| stats::normalized(p)).collect();
+    }
+
+    let t_len = qa.len();
+    // log unary and pairwise potentials
+    let log_unary: Vec<Vec<f32>> = qa.iter().map(|p| p.iter().map(|&v| v.max(1e-12).ln()).collect()).collect();
+    let log_pair = Matrix::from_fn(k, k, |prev, cur| -regularization * rules.penalty_for(prev, cur));
+
+    // forward
+    let mut alpha = vec![vec![0.0f32; k]; t_len];
+    alpha[0].clone_from(&log_unary[0]);
+    for t in 1..t_len {
+        for cur in 0..k {
+            let scores: Vec<f32> = (0..k).map(|prev| alpha[t - 1][prev] + log_pair[(prev, cur)]).collect();
+            alpha[t][cur] = stats::log_sum_exp(&scores) + log_unary[t][cur];
+        }
+    }
+    // backward
+    let mut beta = vec![vec![0.0f32; k]; t_len];
+    for t in (0..t_len - 1).rev() {
+        for prev in 0..k {
+            let scores: Vec<f32> =
+                (0..k).map(|cur| log_pair[(prev, cur)] + log_unary[t + 1][cur] + beta[t + 1][cur]).collect();
+            beta[t][prev] = stats::log_sum_exp(&scores);
+        }
+    }
+    // marginals
+    (0..t_len)
+        .map(|t| {
+            let joint: Vec<f32> = (0..k).map(|m| alpha[t][m] + beta[t][m]).collect();
+            stats::softmax(&joint)
+        })
+        .collect()
+}
+
+/// Brute-force reference: enumerates all `K^T` label sequences and computes
+/// the exact marginals of `q_b`.  Only feasible for tiny inputs; used to
+/// validate [`project_sequence`] in tests.
+pub fn project_sequence_bruteforce(
+    qa: &[Vec<f32>],
+    rules: &SequenceRuleSet,
+    regularization: f32,
+) -> Vec<Vec<f32>> {
+    let t_len = qa.len();
+    if t_len == 0 {
+        return Vec::new();
+    }
+    let k = qa[0].len();
+    let mut marginals = vec![vec![0.0f32; k]; t_len];
+    let total_sequences = k.pow(t_len as u32);
+    let mut normaliser = 0.0f64;
+    let mut weights = Vec::with_capacity(total_sequences);
+    for code in 0..total_sequences {
+        // decode the label sequence
+        let mut labels = Vec::with_capacity(t_len);
+        let mut rest = code;
+        for _ in 0..t_len {
+            labels.push(rest % k);
+            rest /= k;
+        }
+        let mut log_w = 0.0f32;
+        for (t, &l) in labels.iter().enumerate() {
+            log_w += qa[t][l].max(1e-12).ln();
+            if t > 0 {
+                log_w -= regularization * rules.penalty_for(labels[t - 1], l);
+            }
+        }
+        let w = log_w.exp() as f64;
+        normaliser += w;
+        weights.push((labels, w));
+    }
+    for (labels, w) in weights {
+        for (t, &l) in labels.iter().enumerate() {
+            marginals[t][l] += (w / normaliser) as f32;
+        }
+    }
+    marginals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::ner_transition::ner_transition_rules;
+
+    fn toy_rules() -> SequenceRuleSet {
+        // class 1 must not follow class 0 (penalty 1), everything else free.
+        let mut penalty = Matrix::zeros(3, 3);
+        penalty[(0, 1)] = 1.0;
+        SequenceRuleSet::new("toy", penalty)
+    }
+
+    #[test]
+    fn empty_and_single_token_sequences() {
+        let rules = toy_rules();
+        assert!(project_sequence(&[], &rules, 5.0).is_empty());
+        let single = project_sequence(&[vec![0.2, 0.3, 0.5]], &rules, 5.0);
+        assert_eq!(single.len(), 1);
+        assert!((single[0][2] - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_regularisation_returns_qa() {
+        let qa = vec![vec![0.7, 0.2, 0.1], vec![0.1, 0.8, 0.1]];
+        let out = project_sequence(&qa, &toy_rules(), 0.0);
+        for (o, q) in out.iter().zip(&qa) {
+            for (a, b) in o.iter().zip(q) {
+                assert!((a - b).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn forbidden_transition_is_suppressed() {
+        // token 0 is almost surely class 0; token 1 slightly prefers class 1,
+        // but the 0 -> 1 transition is penalised, so mass should move away.
+        let qa = vec![vec![0.95, 0.04, 0.01], vec![0.30, 0.45, 0.25]];
+        let out = project_sequence(&qa, &toy_rules(), 5.0);
+        assert!(out[1][1] < 0.15, "penalised class should lose mass: {:?}", out[1]);
+        assert!((out[1][0] + out[1][2]) > 0.85);
+    }
+
+    #[test]
+    fn matches_bruteforce_on_small_chains() {
+        let qa = vec![vec![0.5, 0.3, 0.2], vec![0.2, 0.5, 0.3], vec![0.1, 0.2, 0.7], vec![0.4, 0.4, 0.2]];
+        let rules = toy_rules();
+        for c in [0.5f32, 2.0, 5.0] {
+            let dp = project_sequence(&qa, &rules, c);
+            let brute = project_sequence_bruteforce(&qa, &rules, c);
+            for (d, b) in dp.iter().zip(&brute) {
+                for (x, y) in d.iter().zip(b) {
+                    assert!((x - y).abs() < 1e-4, "C={c}: dp {dp:?} vs brute {brute:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn marginals_are_distributions() {
+        let qa = vec![vec![0.6, 0.3, 0.1]; 6];
+        let out = project_sequence(&qa, &toy_rules(), 3.0);
+        for p in out {
+            assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn ner_rules_clean_invalid_bio_sequences() {
+        // 9-class BIO. qa says token 1 is I-PER (class 2) but token 0 is O —
+        // the transition rules should push token 1 away from the orphan I-PER.
+        let rules = ner_transition_rules(0.8, 0.2);
+        let mut qa = vec![vec![0.0f32; 9], vec![0.0f32; 9]];
+        qa[0][0] = 0.9;
+        qa[0][1] = 0.1 / 8.0 * 8.0; // rest spread
+        for c in 1..9 {
+            qa[0][c] = 0.1 / 8.0;
+        }
+        qa[1][2] = 0.55; // orphan I-PER
+        qa[1][0] = 0.35;
+        for c in [1, 3, 4, 5, 6, 7, 8] {
+            qa[1][c] = 0.10 / 7.0;
+        }
+        let out = project_sequence(&qa, &rules, 5.0);
+        assert!(out[1][2] < qa[1][2], "orphan I-PER should be discouraged: {:?}", out[1]);
+        assert!(out[1][0] > qa[1][0], "O should gain mass: {:?}", out[1]);
+    }
+}

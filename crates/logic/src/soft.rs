@@ -1,0 +1,117 @@
+//! Soft truth values and the Łukasiewicz relaxations of the logical
+//! connectives used by probabilistic soft logic (Eq. 4 of the paper).
+
+/// Clamps a value into the soft-truth interval `[0, 1]`.
+#[inline]
+pub fn clamp_truth(x: f32) -> f32 {
+    x.clamp(0.0, 1.0)
+}
+
+/// Łukasiewicz conjunction: `I(a ∧ b) = max(0, I(a) + I(b) − 1)`.
+#[inline]
+pub fn and(a: f32, b: f32) -> f32 {
+    clamp_truth(a + b - 1.0)
+}
+
+/// Łukasiewicz disjunction: `I(a ∨ b) = min(1, I(a) + I(b))`.
+#[inline]
+pub fn or(a: f32, b: f32) -> f32 {
+    clamp_truth(a + b)
+}
+
+/// Łukasiewicz negation: `I(¬a) = 1 − I(a)`.
+#[inline]
+pub fn not(a: f32) -> f32 {
+    clamp_truth(1.0 - a)
+}
+
+/// Łukasiewicz implication: `I(a ⇒ b) = min(1, 1 − I(a) + I(b))`.
+///
+/// The *distance to satisfaction* of a rule `a ⇒ b` is `1 − I(a ⇒ b)`, and
+/// the rule value `v_l` used in Eq. 15 is exactly `I(a ⇒ b)`.
+#[inline]
+pub fn implies(a: f32, b: f32) -> f32 {
+    clamp_truth(1.0 - a + b)
+}
+
+/// Conjunction over many atoms.
+pub fn and_all(values: &[f32]) -> f32 {
+    clamp_truth(values.iter().sum::<f32>() - (values.len() as f32 - 1.0))
+}
+
+/// Disjunction over many atoms.
+pub fn or_all(values: &[f32]) -> f32 {
+    clamp_truth(values.iter().sum::<f32>())
+}
+
+/// Distance to satisfaction of an implication (`d_l` in PSL): how far the
+/// grounded rule is from being satisfied.
+#[inline]
+pub fn distance_to_satisfaction(antecedent: f32, consequent: f32) -> f32 {
+    1.0 - implies(antecedent, consequent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example_voting() {
+        // I(friend ∧ votesFor) with I(friend)=1, I(votesFor)=0.9 → 0.9
+        assert!((and(1.0, 0.9) - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn boolean_limits_match_classical_logic() {
+        for a in [0.0f32, 1.0] {
+            for b in [0.0f32, 1.0] {
+                assert_eq!(and(a, b), if a == 1.0 && b == 1.0 { 1.0 } else { 0.0 });
+                assert_eq!(or(a, b), if a == 1.0 || b == 1.0 { 1.0 } else { 0.0 });
+                assert_eq!(implies(a, b), if a == 1.0 && b == 0.0 { 0.0 } else { 1.0 });
+            }
+            assert_eq!(not(a), 1.0 - a);
+        }
+    }
+
+    #[test]
+    fn implication_is_satisfied_when_antecedent_false() {
+        assert_eq!(implies(0.0, 0.3), 1.0);
+        assert_eq!(distance_to_satisfaction(0.0, 0.3), 0.0);
+    }
+
+    #[test]
+    fn n_ary_operators_match_binary_composition() {
+        let vals = [0.9f32, 0.8, 0.7];
+        assert!((and_all(&vals) - and(and(0.9, 0.8), 0.7)).abs() < 1e-6);
+        assert!((or_all(&[0.2, 0.3]) - or(0.2, 0.3)).abs() < 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn operators_stay_in_unit_interval(a in 0.0f32..=1.0, b in 0.0f32..=1.0) {
+            for v in [and(a, b), or(a, b), not(a), implies(a, b)] {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+
+        #[test]
+        fn de_morgan_duality(a in 0.0f32..=1.0, b in 0.0f32..=1.0) {
+            // ¬(a ∧ b) == ¬a ∨ ¬b under the Łukasiewicz relaxation
+            let lhs = not(and(a, b));
+            let rhs = or(not(a), not(b));
+            prop_assert!((lhs - rhs).abs() < 1e-5);
+        }
+
+        #[test]
+        fn implication_equals_not_a_or_b(a in 0.0f32..=1.0, b in 0.0f32..=1.0) {
+            prop_assert!((implies(a, b) - or(not(a), b)).abs() < 1e-5);
+        }
+
+        #[test]
+        fn conjunction_commutes(a in 0.0f32..=1.0, b in 0.0f32..=1.0) {
+            prop_assert!((and(a, b) - and(b, a)).abs() < 1e-6);
+            prop_assert!((or(a, b) - or(b, a)).abs() < 1e-6);
+        }
+    }
+}

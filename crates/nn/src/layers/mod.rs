@@ -1,0 +1,13 @@
+//! Neural-network layers used by the paper's two architectures.
+
+pub mod conv_text;
+pub mod dropout;
+pub mod embedding;
+pub mod gru;
+pub mod linear;
+
+pub use conv_text::{SameConv, TextConv};
+pub use dropout::Dropout;
+pub use embedding::Embedding;
+pub use gru::{Gru, GruCell};
+pub use linear::Linear;

@@ -1,0 +1,31 @@
+//! # lncl-nn
+//!
+//! Neural-network building blocks for the Logic-LNCL reproduction:
+//!
+//! * [`module`] — [`Param`](module::Param), parameter/tape [`Binding`](module::Binding)
+//!   and the [`Module`](module::Module) trait;
+//! * [`layers`] — embeddings, linear layers, text convolutions, GRU and
+//!   dropout;
+//! * [`optim`] — SGD, Adam and Adadelta plus learning-rate schedules and
+//!   early stopping (matching the paper's Table I configuration);
+//! * [`models`] — the paper's two architectures
+//!   ([`SentimentCnn`](models::SentimentCnn), [`NerConvGru`](models::NerConvGru))
+//!   behind the [`InstanceClassifier`](models::InstanceClassifier) trait.
+//!
+//! ```
+//! use lncl_nn::models::{InstanceClassifier, SentimentCnn, SentimentCnnConfig};
+//! use lncl_tensor::TensorRng;
+//!
+//! let mut rng = TensorRng::seed_from_u64(0);
+//! let model = SentimentCnn::new(SentimentCnnConfig { vocab_size: 50, ..Default::default() }, &mut rng);
+//! let probs = model.predict_proba(&[1, 2, 3, 4, 5]);
+//! assert_eq!(probs.shape(), (1, 2));
+//! ```
+
+pub mod layers;
+pub mod models;
+pub mod module;
+pub mod optim;
+
+pub use models::InstanceClassifier;
+pub use module::{Binding, Module, Param};

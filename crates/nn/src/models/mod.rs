@@ -1,0 +1,54 @@
+//! The two classifier architectures evaluated in the paper (Figure 5),
+//! rebuilt at CPU-friendly widths, plus the [`InstanceClassifier`] trait the
+//! Logic-LNCL trainer and all baselines are written against.
+
+pub mod ner_conv_gru;
+pub mod sentiment_cnn;
+
+pub use ner_conv_gru::{NerConvGru, NerConvGruConfig};
+pub use sentiment_cnn::{SentimentCnn, SentimentCnnConfig};
+
+use crate::module::{Binding, Module};
+use lncl_autograd::{Tape, Var};
+use lncl_tensor::{stats, Matrix, TensorRng};
+
+/// A classifier that maps a token sequence to per-unit class logits.
+///
+/// * For sentence-level classification (sentiment) the output has **one
+///   row**: the class logits of the whole sentence.
+/// * For sequence labelling (NER) the output has **one row per token**.
+///
+/// This is the only interface the Logic-LNCL trainer, the EM baselines and
+/// the crowd-layer baselines need, which is what lets a single generic
+/// trainer cover both tasks exactly as the paper describes.
+pub trait InstanceClassifier: Module {
+    /// Number of classes `K`.
+    fn num_classes(&self) -> usize;
+
+    /// Runs the forward pass on the tape, returning a `units x K` logits
+    /// node.  `training` enables dropout; `rng` supplies its randomness.
+    fn forward_logits(
+        &self,
+        tape: &mut Tape,
+        binding: &mut Binding,
+        tokens: &[usize],
+        training: bool,
+        rng: &mut TensorRng,
+    ) -> Var;
+
+    /// Evaluation-mode class probabilities (`units x K`), softmax of
+    /// [`InstanceClassifier::forward_logits`] with dropout disabled.
+    fn predict_proba(&self, tokens: &[usize]) -> Matrix {
+        let mut tape = Tape::new();
+        let mut binding = Binding::new();
+        // dropout is disabled in eval mode, so the rng seed is irrelevant.
+        let mut rng = TensorRng::seed_from_u64(0);
+        let logits = self.forward_logits(&mut tape, &mut binding, tokens, false, &mut rng);
+        stats::softmax_rows(tape.value(logits))
+    }
+
+    /// Evaluation-mode hard predictions (argmax per unit).
+    fn predict(&self, tokens: &[usize]) -> Vec<usize> {
+        stats::argmax_rows(&self.predict_proba(tokens))
+    }
+}

@@ -1,0 +1,233 @@
+//! Parameters, parameter bindings and the [`Module`] trait.
+//!
+//! Layers own their parameters as plain [`Param`] values (a value matrix plus
+//! a gradient accumulator).  During a forward pass the parameters are copied
+//! onto the autograd [`Tape`] through a [`Binding`], which remembers the
+//! tape handle of each parameter so that, after `Tape::backward`, the
+//! gradients can be pulled back into the `Param` accumulators with
+//! [`Binding::accumulate`].  Optimisers then operate purely on `Param`s.
+
+use lncl_autograd::{Tape, Var};
+use lncl_tensor::Matrix;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_PARAM_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A trainable parameter: a value matrix, a gradient accumulator and a
+/// stable identity used by optimisers to attach per-parameter state.
+#[derive(Debug, Clone)]
+pub struct Param {
+    id: u64,
+    /// Human-readable name, e.g. `"sentiment_cnn.conv3.weight"`.
+    pub name: String,
+    /// Current value.
+    pub value: Matrix,
+    /// Accumulated gradient (summed over the instances seen since the last
+    /// [`Param::zero_grad`] call).
+    pub grad: Matrix,
+}
+
+impl Param {
+    /// Creates a parameter with a zeroed gradient accumulator.
+    pub fn new(name: impl Into<String>, value: Matrix) -> Self {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        Self { id: NEXT_PARAM_ID.fetch_add(1, Ordering::Relaxed), name: name.into(), value, grad }
+    }
+
+    /// Stable identity of this parameter (unique per process).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Number of scalar entries.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// True when the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Clears the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+}
+
+/// Per-forward-pass association between parameters and tape leaves.
+#[derive(Default)]
+pub struct Binding {
+    vars: HashMap<u64, Var>,
+}
+
+impl Binding {
+    /// Creates an empty binding.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the tape handle for `param`, creating a leaf holding a copy
+    /// of the parameter value on first use.
+    pub fn bind(&mut self, tape: &mut Tape, param: &Param) -> Var {
+        if let Some(&var) = self.vars.get(&param.id) {
+            return var;
+        }
+        let var = tape.leaf(param.value.clone());
+        self.vars.insert(param.id, var);
+        var
+    }
+
+    /// Whether `param` was bound during this pass.
+    pub fn is_bound(&self, param: &Param) -> bool {
+        self.vars.contains_key(&param.id)
+    }
+
+    /// Adds the tape gradients of every bound parameter into the parameter
+    /// gradient accumulators.  Call after `Tape::backward`.
+    pub fn accumulate<'a>(&self, tape: &Tape, params: impl IntoIterator<Item = &'a mut Param>) {
+        for param in params {
+            if let Some(&var) = self.vars.get(&param.id) {
+                lncl_tensor::ops::add_assign(&mut param.grad, tape.grad(var));
+            }
+        }
+    }
+
+    /// Number of bound parameters.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// True when nothing has been bound yet.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+}
+
+/// Anything that owns trainable parameters.
+pub trait Module {
+    /// Immutable views of all parameters.
+    fn params(&self) -> Vec<&Param>;
+
+    /// Mutable views of all parameters (same order as [`Module::params`]).
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Clears every gradient accumulator.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total number of scalar parameters.
+    fn num_parameters(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+
+    /// Scales every accumulated gradient by `factor` (used to average
+    /// gradients over a mini-batch before the optimiser step).
+    fn scale_grads(&mut self, factor: f32) {
+        for p in self.params_mut() {
+            p.grad.map_inplace(|g| g * factor);
+        }
+    }
+
+    /// L2 norm of the concatenated gradient vector (for clipping /
+    /// diagnostics).
+    fn grad_norm(&self) -> f32 {
+        self.params()
+            .iter()
+            .map(|p| p.grad.as_slice().iter().map(|g| g * g).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Clips the global gradient norm to `max_norm` (no-op if already
+    /// smaller).  Returns the pre-clipping norm.
+    fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            self.scale_grads(scale);
+        }
+        norm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Toy {
+        a: Param,
+        b: Param,
+    }
+
+    impl Module for Toy {
+        fn params(&self) -> Vec<&Param> {
+            vec![&self.a, &self.b]
+        }
+        fn params_mut(&mut self) -> Vec<&mut Param> {
+            vec![&mut self.a, &mut self.b]
+        }
+    }
+
+    fn toy() -> Toy {
+        Toy {
+            a: Param::new("a", Matrix::full(2, 2, 1.0)),
+            b: Param::new("b", Matrix::full(1, 3, 2.0)),
+        }
+    }
+
+    #[test]
+    fn param_ids_are_unique() {
+        let p1 = Param::new("x", Matrix::zeros(1, 1));
+        let p2 = Param::new("x", Matrix::zeros(1, 1));
+        assert_ne!(p1.id(), p2.id());
+    }
+
+    #[test]
+    fn num_parameters_counts_entries() {
+        assert_eq!(toy().num_parameters(), 7);
+    }
+
+    #[test]
+    fn binding_binds_once_and_accumulates() {
+        let mut model = toy();
+        let mut tape = Tape::new();
+        let mut binding = Binding::new();
+        let va1 = binding.bind(&mut tape, &model.a);
+        let va2 = binding.bind(&mut tape, &model.a);
+        assert_eq!(va1, va2, "same param must map to the same tape leaf");
+        let s = tape.sum_all(va1);
+        tape.backward(s);
+        binding.accumulate(&tape, model.params_mut());
+        assert!(model.a.grad.as_slice().iter().all(|&g| g == 1.0));
+        assert!(model.b.grad.as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn zero_and_scale_grads() {
+        let mut model = toy();
+        model.a.grad.fill(4.0);
+        model.scale_grads(0.5);
+        assert!(model.a.grad.as_slice().iter().all(|&g| g == 2.0));
+        model.zero_grad();
+        assert!(model.a.grad.as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down_only() {
+        let mut model = toy();
+        model.a.grad.fill(3.0);
+        let norm_before = model.grad_norm();
+        let reported = model.clip_grad_norm(1.0);
+        assert!((reported - norm_before).abs() < 1e-5);
+        assert!((model.grad_norm() - 1.0).abs() < 1e-5);
+        // already small: no change
+        let reported2 = model.clip_grad_norm(10.0);
+        assert!((reported2 - 1.0).abs() < 1e-5);
+        assert!((model.grad_norm() - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,108 @@
+//! Stochastic gradient descent with optional momentum and weight decay.
+
+use super::{apply_weight_decay, Optimizer};
+use crate::module::Param;
+use lncl_tensor::Matrix;
+use std::collections::HashMap;
+
+/// Classic SGD: `v = momentum * v + grad; value -= lr * v`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: HashMap<u64, Matrix>,
+}
+
+impl Sgd {
+    /// Creates plain SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, momentum: 0.0, weight_decay: 0.0, velocity: HashMap::new() }
+    }
+
+    /// Enables classical momentum.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Enables L2 weight decay.
+    pub fn with_weight_decay(mut self, decay: f32) -> Self {
+        self.weight_decay = decay;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        for param in params.iter_mut() {
+            apply_weight_decay(param, self.weight_decay);
+            if self.momentum > 0.0 {
+                let v = self
+                    .velocity
+                    .entry(param.id())
+                    .or_insert_with(|| Matrix::zeros(param.value.rows(), param.value.cols()));
+                for (vi, gi) in v.as_mut_slice().iter_mut().zip(param.grad.as_slice()) {
+                    *vi = self.momentum * *vi + gi;
+                }
+                let update = v.clone();
+                lncl_tensor::ops::add_scaled_assign(&mut param.value, &update, -self.lr);
+            } else {
+                let grad = param.grad.clone();
+                lncl_tensor::ops::add_scaled_assign(&mut param.value, &grad, -self.lr);
+            }
+        }
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_sgd_moves_against_gradient() {
+        let mut p = Param::new("p", Matrix::full(1, 2, 1.0));
+        p.grad = Matrix::row_vector(&[1.0, -2.0]);
+        let mut opt = Sgd::new(0.1);
+        opt.step(&mut [&mut p]);
+        assert!(p.value.approx_eq(&Matrix::row_vector(&[0.9, 1.2]), 1e-6));
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut p = Param::new("p", Matrix::full(1, 1, 0.0));
+        let mut opt = Sgd::new(1.0).with_momentum(0.5);
+        p.grad = Matrix::full(1, 1, 1.0);
+        opt.step(&mut [&mut p]);
+        assert!((p.value[(0, 0)] + 1.0).abs() < 1e-6);
+        p.grad = Matrix::full(1, 1, 1.0);
+        opt.step(&mut [&mut p]);
+        // velocity = 0.5*1 + 1 = 1.5, value = -1 - 1.5 = -2.5
+        assert!((p.value[(0, 0)] + 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_pulls_towards_zero() {
+        let mut p = Param::new("p", Matrix::full(1, 1, 10.0));
+        p.grad = Matrix::zeros(1, 1);
+        let mut opt = Sgd::new(0.1).with_weight_decay(0.5);
+        opt.step(&mut [&mut p]);
+        assert!(p.value[(0, 0)] < 10.0);
+    }
+
+    #[test]
+    fn learning_rate_setter() {
+        let mut opt = Sgd::new(0.1);
+        assert_eq!(opt.learning_rate(), 0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+}

@@ -1,0 +1,33 @@
+//! # lncl-tensor
+//!
+//! A small, dependency-light dense linear-algebra substrate used by the
+//! Logic-LNCL reproduction.  It provides a row-major `f32` [`Matrix`] type,
+//! the matrix/vector operations needed by the neural-network stack
+//! ([`ops`]), numerically stable statistical helpers ([`stats`]) and a tiny
+//! seeded random-number facade ([`rng`]) built on top of `rand`.
+//!
+//! The crate is intentionally BLAS-free: every experiment in the paper is
+//! re-run at simulator scale (thousands of short sentences, embedding widths
+//! of a few dozen), where a straightforward cache-friendly matmul is more
+//! than fast enough and keeps the build fully self-contained.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use lncl_tensor::{Matrix, ops, stats};
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::identity(2);
+//! let c = ops::matmul(&a, &b);
+//! assert_eq!(c, a);
+//! let probs = stats::softmax_rows(&a);
+//! assert!((probs.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+//! ```
+
+pub mod matrix;
+pub mod ops;
+pub mod rng;
+pub mod stats;
+
+pub use matrix::Matrix;
+pub use rng::TensorRng;

@@ -1,0 +1,412 @@
+//! The dense row-major [`Matrix`] type and its constructors/accessors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major matrix of `f32` values.
+///
+/// The type is deliberately simple: a shape plus a flat `Vec<f32>`.  All
+/// higher-level behaviour (matrix products, reductions, softmax, …) lives in
+/// the free functions of [`crate::ops`] and [`crate::stats`] so the data type
+/// itself stays small and easy to reason about.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: data length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from a slice of row slices.
+    ///
+    /// # Panics
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        if rows.is_empty() {
+            return Self::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "Matrix::from_rows: row {i} has inconsistent length");
+            data.extend_from_slice(r);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Creates a 1 x n row vector.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Self::from_vec(1, values.len(), values.to_vec())
+    }
+
+    /// Creates an n x 1 column vector.
+    pub fn col_vector(values: &[f32]) -> Self {
+        Self::from_vec(values.len(), 1, values.to_vec())
+    }
+
+    /// Creates the n x n identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the flat row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows, "row index {r} out of bounds ({} rows)", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows, "row index {r} out of bounds ({} rows)", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new vector.
+    pub fn col(&self, c: usize) -> Vec<f32> {
+        assert!(c < self.cols, "col index {c} out of bounds ({} cols)", self.cols);
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Returns entry `(r, c)`, checked.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self[(r, c)]
+    }
+
+    /// Sets entry `(r, c)`, checked.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, value: f32) {
+        self[(r, c)] = value;
+    }
+
+    /// Applies `f` to every entry in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Returns a new matrix with `f` applied to every entry.
+    pub fn map(&self, mut f: impl FnMut(f32) -> f32) -> Self {
+        let mut out = self.clone();
+        out.map_inplace(&mut f);
+        out
+    }
+
+    /// Fills every entry with `value`.
+    pub fn fill(&mut self, value: f32) {
+        self.data.iter_mut().for_each(|v| *v = value);
+    }
+
+    /// Iterator over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks(self.cols.max(1))
+    }
+
+    /// Stacks a slice of equally-wide row vectors / matrices vertically.
+    ///
+    /// # Panics
+    /// Panics if the inputs disagree on the number of columns.
+    pub fn vstack(parts: &[&Matrix]) -> Self {
+        if parts.is_empty() {
+            return Self::zeros(0, 0);
+        }
+        let cols = parts[0].cols;
+        let rows: usize = parts.iter().map(|p| p.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            assert_eq!(p.cols, cols, "vstack: inconsistent column counts");
+            data.extend_from_slice(&p.data);
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Concatenates a slice of equally-tall matrices horizontally.
+    pub fn hstack(parts: &[&Matrix]) -> Self {
+        if parts.is_empty() {
+            return Self::zeros(0, 0);
+        }
+        let rows = parts[0].rows;
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Self::zeros(rows, cols);
+        for r in 0..rows {
+            let mut offset = 0;
+            for p in parts {
+                assert_eq!(p.rows, rows, "hstack: inconsistent row counts");
+                out.row_mut(r)[offset..offset + p.cols].copy_from_slice(p.row(r));
+                offset += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Extracts the sub-matrix made of rows `[start, end)`.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Self {
+        assert!(start <= end && end <= self.rows, "slice_rows: invalid range {start}..{end}");
+        Self::from_vec(end - start, self.cols, self.data[start * self.cols..end * self.cols].to_vec())
+    }
+
+    /// Frobenius norm (sqrt of the sum of squared entries).
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all entries (0.0 for an empty matrix).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum entry (negative infinity for an empty matrix).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum entry (positive infinity for an empty matrix).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Returns true if all entries are finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Element-wise approximate equality within `tol`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f32) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 8;
+        for (i, row) in self.iter_rows().enumerate().take(max_rows) {
+            writeln!(f, "  {i:>3}: {row:?}")?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  ... ({} more rows)", self.rows - max_rows)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.len(), 12);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_rows_and_indexing() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(1, 0)], 3.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.col(0), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_vec_shape_mismatch_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn identity_is_diagonal() {
+        let id = Matrix::identity(3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(id[(r, c)], if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn map_and_fill() {
+        let mut m = Matrix::full(2, 2, 2.0);
+        let doubled = m.map(|v| v * 2.0);
+        assert_eq!(doubled, Matrix::full(2, 2, 4.0));
+        m.fill(7.0);
+        assert_eq!(m, Matrix::full(2, 2, 7.0));
+    }
+
+    #[test]
+    fn vstack_and_hstack() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let v = Matrix::vstack(&[&a, &b]);
+        assert_eq!(v.shape(), (3, 2));
+        assert_eq!(v.row(2), &[5.0, 6.0]);
+
+        let c = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let d = Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let h = Matrix::hstack(&[&c, &d]);
+        assert_eq!(h.shape(), (2, 3));
+        assert_eq!(h.row(0), &[1.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn slice_rows_extracts_block() {
+        let m = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]]);
+        let s = m.slice_rows(1, 3);
+        assert_eq!(s.shape(), (2, 1));
+        assert_eq!(s.row(0), &[2.0]);
+        assert_eq!(s.row(1), &[3.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let m = Matrix::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]]);
+        assert_eq!(m.sum(), 6.0);
+        assert_eq!(m.mean(), 1.5);
+        assert_eq!(m.max(), 4.0);
+        assert_eq!(m.min(), -2.0);
+        assert!((m.frobenius_norm() - (30.0f32).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let a = Matrix::full(2, 2, 1.0);
+        let b = Matrix::full(2, 2, 1.0005);
+        assert!(a.approx_eq(&b, 1e-3));
+        assert!(!a.approx_eq(&b, 1e-5));
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut m = Matrix::zeros(1, 2);
+        assert!(m.all_finite());
+        m[(0, 1)] = f32::NAN;
+        assert!(!m.all_finite());
+    }
+}

@@ -1,0 +1,397 @@
+//! Matrix operations: products, transposition, element-wise arithmetic and
+//! axis reductions.  All functions are shape-checked and panic with a
+//! descriptive message on mismatch (shape errors are programming errors in
+//! this workspace, not recoverable conditions).
+
+use crate::Matrix;
+
+/// Matrix product `a * b`.
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul: inner dimensions do not match ({}x{} * {}x{})",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    // i-k-j loop order keeps the innermost traversal contiguous in both
+    // `b` and `out`, which is the cache-friendly order for row-major data.
+    for i in 0..m {
+        let a_row = a.row(i);
+        let out_row = out.row_mut(i);
+        for (kk, &a_ik) in a_row.iter().enumerate().take(k) {
+            if a_ik == 0.0 {
+                continue;
+            }
+            let b_row = b.row(kk);
+            for j in 0..n {
+                out_row[j] += a_ik * b_row[j];
+            }
+        }
+    }
+    out
+}
+
+/// `a * b^T` without materialising the transpose.
+pub fn matmul_transpose_b(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_transpose_b: inner dimensions do not match ({}x{} * ({}x{})^T)",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, n) = (a.rows(), b.rows());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let out_row = out.row_mut(i);
+        for j in 0..n {
+            let b_row = b.row(j);
+            let mut acc = 0.0;
+            for (x, y) in a_row.iter().zip(b_row.iter()) {
+                acc += x * y;
+            }
+            out_row[j] = acc;
+        }
+    }
+    out
+}
+
+/// `a^T * b` without materialising the transpose.
+pub fn matmul_transpose_a(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_transpose_a: inner dimensions do not match (({}x{})^T * {}x{})",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, n) = (a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    for kk in 0..a.rows() {
+        let a_row = a.row(kk);
+        let b_row = b.row(kk);
+        for (i, &a_ki) in a_row.iter().enumerate() {
+            if a_ki == 0.0 {
+                continue;
+            }
+            let out_row = out.row_mut(i);
+            for j in 0..n {
+                out_row[j] += a_ki * b_row[j];
+            }
+        }
+    }
+    out
+}
+
+/// Transposes the matrix.
+pub fn transpose(a: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.cols(), a.rows());
+    for r in 0..a.rows() {
+        for c in 0..a.cols() {
+            out[(c, r)] = a[(r, c)];
+        }
+    }
+    out
+}
+
+fn assert_same_shape(a: &Matrix, b: &Matrix, op: &str) {
+    assert_eq!(
+        a.shape(),
+        b.shape(),
+        "{op}: shape mismatch {:?} vs {:?}",
+        a.shape(),
+        b.shape()
+    );
+}
+
+/// Element-wise sum `a + b`.
+pub fn add(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_same_shape(a, b, "add");
+    let mut out = a.clone();
+    for (o, x) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *o += x;
+    }
+    out
+}
+
+/// Element-wise difference `a - b`.
+pub fn sub(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_same_shape(a, b, "sub");
+    let mut out = a.clone();
+    for (o, x) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *o -= x;
+    }
+    out
+}
+
+/// Element-wise (Hadamard) product `a ⊙ b`.
+pub fn mul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_same_shape(a, b, "mul");
+    let mut out = a.clone();
+    for (o, x) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *o *= x;
+    }
+    out
+}
+
+/// Element-wise division `a / b`.
+pub fn div(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_same_shape(a, b, "div");
+    let mut out = a.clone();
+    for (o, x) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *o /= x;
+    }
+    out
+}
+
+/// Scalar multiple `s * a`.
+pub fn scale(a: &Matrix, s: f32) -> Matrix {
+    a.map(|v| v * s)
+}
+
+/// In-place accumulation `acc += x` (same shape required).
+pub fn add_assign(acc: &mut Matrix, x: &Matrix) {
+    assert_same_shape(acc, x, "add_assign");
+    for (o, v) in acc.as_mut_slice().iter_mut().zip(x.as_slice()) {
+        *o += v;
+    }
+}
+
+/// In-place scaled accumulation `acc += s * x`.
+pub fn add_scaled_assign(acc: &mut Matrix, x: &Matrix, s: f32) {
+    assert_same_shape(acc, x, "add_scaled_assign");
+    for (o, v) in acc.as_mut_slice().iter_mut().zip(x.as_slice()) {
+        *o += s * v;
+    }
+}
+
+/// Adds a `1 x cols` row vector to every row of `a` (broadcast add, used for
+/// bias terms).
+pub fn add_row_broadcast(a: &Matrix, row: &Matrix) -> Matrix {
+    assert_eq!(row.rows(), 1, "add_row_broadcast: bias must be a row vector");
+    assert_eq!(
+        a.cols(),
+        row.cols(),
+        "add_row_broadcast: width mismatch ({} vs {})",
+        a.cols(),
+        row.cols()
+    );
+    let mut out = a.clone();
+    for r in 0..out.rows() {
+        for (o, b) in out.row_mut(r).iter_mut().zip(row.row(0)) {
+            *o += b;
+        }
+    }
+    out
+}
+
+/// Sums each column, producing a `1 x cols` row vector.
+pub fn sum_rows(a: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(1, a.cols());
+    for r in 0..a.rows() {
+        for (o, v) in out.row_mut(0).iter_mut().zip(a.row(r)) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// Sums each row, producing a `rows x 1` column vector.
+pub fn sum_cols(a: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), 1);
+    for r in 0..a.rows() {
+        out[(r, 0)] = a.row(r).iter().sum();
+    }
+    out
+}
+
+/// Per-column mean, producing a `1 x cols` row vector.
+pub fn mean_rows(a: &Matrix) -> Matrix {
+    let n = a.rows().max(1) as f32;
+    scale(&sum_rows(a), 1.0 / n)
+}
+
+/// Column-wise maximum together with the row index achieving it for each
+/// column.  Returns `(max_values: 1 x cols, argmax_rows)`.
+///
+/// This is the "max-over-time" pooling used by the Kim-2014 text CNN.
+pub fn max_over_rows(a: &Matrix) -> (Matrix, Vec<usize>) {
+    assert!(a.rows() > 0, "max_over_rows: empty matrix");
+    let mut vals = Matrix::full(1, a.cols(), f32::NEG_INFINITY);
+    let mut idx = vec![0usize; a.cols()];
+    for r in 0..a.rows() {
+        for (c, &v) in a.row(r).iter().enumerate() {
+            if v > vals[(0, c)] {
+                vals[(0, c)] = v;
+                idx[c] = r;
+            }
+        }
+    }
+    (vals, idx)
+}
+
+/// Dot product between two equally-shaped matrices viewed as flat vectors.
+pub fn dot(a: &Matrix, b: &Matrix) -> f32 {
+    assert_same_shape(a, b, "dot");
+    a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| x * y).sum()
+}
+
+/// Outer product of two vectors given as a column (n x 1) and a row (1 x m).
+pub fn outer(col: &Matrix, row: &Matrix) -> Matrix {
+    assert_eq!(col.cols(), 1, "outer: first argument must be a column vector");
+    assert_eq!(row.rows(), 1, "outer: second argument must be a row vector");
+    let mut out = Matrix::zeros(col.rows(), row.cols());
+    for r in 0..col.rows() {
+        let cr = col[(r, 0)];
+        for c in 0..row.cols() {
+            out[(r, c)] = cr * row[(0, c)];
+        }
+    }
+    out
+}
+
+/// Clamps every entry into `[lo, hi]`.
+pub fn clamp(a: &Matrix, lo: f32, hi: f32) -> Matrix {
+    a.map(|v| v.clamp(lo, hi))
+}
+
+/// Extracts the rows listed in `indices` (gather), preserving order and
+/// allowing repeats.  Used for embedding lookups and window gathers.
+pub fn gather_rows(a: &Matrix, indices: &[usize]) -> Matrix {
+    let mut out = Matrix::zeros(indices.len(), a.cols());
+    for (r, &idx) in indices.iter().enumerate() {
+        assert!(idx < a.rows(), "gather_rows: index {idx} out of bounds ({} rows)", a.rows());
+        out.row_mut(r).copy_from_slice(a.row(idx));
+    }
+    out
+}
+
+/// Scatter-add of `src` rows into `dst` at the listed row indices (the
+/// adjoint of [`gather_rows`]).
+pub fn scatter_add_rows(dst: &mut Matrix, indices: &[usize], src: &Matrix) {
+    assert_eq!(indices.len(), src.rows(), "scatter_add_rows: index/src length mismatch");
+    assert_eq!(dst.cols(), src.cols(), "scatter_add_rows: column mismatch");
+    for (r, &idx) in indices.iter().enumerate() {
+        assert!(idx < dst.rows(), "scatter_add_rows: index {idx} out of bounds");
+        for (d, s) in dst.row_mut(idx).iter_mut().zip(src.row(r)) {
+            *d += s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m22(a: f32, b: f32, c: f32, d: f32) -> Matrix {
+        Matrix::from_rows(&[&[a, b], &[c, d]])
+    }
+
+    #[test]
+    fn matmul_matches_hand_computed() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let b = m22(5.0, 6.0, 7.0, 8.0);
+        let c = matmul(&a, &b);
+        assert_eq!(c, m22(19.0, 22.0, 43.0, 50.0));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(matmul(&a, &Matrix::identity(3)), a);
+    }
+
+    #[test]
+    #[should_panic]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn transpose_variants_agree() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.5, -1.0], &[2.0, 0.0, 3.0]]);
+        // a * b^T
+        assert!(matmul_transpose_b(&a, &b).approx_eq(&matmul(&a, &transpose(&b)), 1e-6));
+        // a^T * b
+        assert!(matmul_transpose_a(&a, &b).approx_eq(&matmul(&transpose(&a), &b), 1e-6));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let b = m22(4.0, 3.0, 2.0, 1.0);
+        assert_eq!(add(&a, &b), Matrix::full(2, 2, 5.0));
+        assert_eq!(sub(&a, &b), m22(-3.0, -1.0, 1.0, 3.0));
+        assert_eq!(mul(&a, &b), m22(4.0, 6.0, 6.0, 4.0));
+        assert_eq!(div(&a, &b), m22(0.25, 2.0 / 3.0, 1.5, 4.0));
+        assert_eq!(scale(&a, 2.0), m22(2.0, 4.0, 6.0, 8.0));
+    }
+
+    #[test]
+    fn broadcast_bias() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let bias = Matrix::row_vector(&[10.0, 20.0]);
+        assert_eq!(add_row_broadcast(&a, &bias), m22(11.0, 22.0, 13.0, 24.0));
+    }
+
+    #[test]
+    fn reductions_by_axis() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        assert_eq!(sum_rows(&a), Matrix::row_vector(&[9.0, 12.0]));
+        assert_eq!(sum_cols(&a), Matrix::col_vector(&[3.0, 7.0, 11.0]));
+        assert_eq!(mean_rows(&a), Matrix::row_vector(&[3.0, 4.0]));
+    }
+
+    #[test]
+    fn max_over_rows_tracks_argmax() {
+        let a = Matrix::from_rows(&[&[1.0, 9.0], &[7.0, 2.0], &[3.0, 4.0]]);
+        let (vals, idx) = max_over_rows(&a);
+        assert_eq!(vals, Matrix::row_vector(&[7.0, 9.0]));
+        assert_eq!(idx, vec![1, 0]);
+    }
+
+    #[test]
+    fn dot_and_outer() {
+        let a = Matrix::row_vector(&[1.0, 2.0, 3.0]);
+        let b = Matrix::row_vector(&[4.0, 5.0, 6.0]);
+        assert_eq!(dot(&a, &b), 32.0);
+        let o = outer(&Matrix::col_vector(&[1.0, 2.0]), &Matrix::row_vector(&[3.0, 4.0]));
+        assert_eq!(o, m22(3.0, 4.0, 6.0, 8.0));
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let table = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let g = gather_rows(&table, &[2, 0, 2]);
+        assert_eq!(g.row(0), &[3.0, 3.0]);
+        assert_eq!(g.row(2), &[3.0, 3.0]);
+
+        let mut grad = Matrix::zeros(3, 2);
+        scatter_add_rows(&mut grad, &[2, 0, 2], &Matrix::full(3, 2, 1.0));
+        assert_eq!(grad.row(0), &[1.0, 1.0]);
+        assert_eq!(grad.row(1), &[0.0, 0.0]);
+        assert_eq!(grad.row(2), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn clamp_limits_range() {
+        let a = Matrix::row_vector(&[-2.0, 0.5, 3.0]);
+        assert_eq!(clamp(&a, 0.0, 1.0), Matrix::row_vector(&[0.0, 0.5, 1.0]));
+    }
+}

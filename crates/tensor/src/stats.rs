@@ -1,0 +1,275 @@
+//! Numerically stable statistical helpers: softmax, log-sum-exp, entropy,
+//! argmax and simple normalisation utilities shared by the probabilistic
+//! models in the workspace.
+
+use crate::Matrix;
+
+/// Numerically stable softmax of a slice.
+///
+/// Returns a vector of the same length summing to 1.  An empty input returns
+/// an empty vector.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    if logits.is_empty() {
+        return Vec::new();
+    }
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    if sum > 0.0 {
+        for e in &mut exps {
+            *e /= sum;
+        }
+    } else {
+        let uniform = 1.0 / exps.len() as f32;
+        exps.iter_mut().for_each(|e| *e = uniform);
+    }
+    exps
+}
+
+/// Row-wise softmax of a matrix.
+pub fn softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        let probs = softmax(logits.row(r));
+        out.row_mut(r).copy_from_slice(&probs);
+    }
+    out
+}
+
+/// Numerically stable `log(sum(exp(x)))`.
+pub fn log_sum_exp(values: &[f32]) -> f32 {
+    if values.is_empty() {
+        return f32::NEG_INFINITY;
+    }
+    let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if !max.is_finite() {
+        return max;
+    }
+    let sum: f32 = values.iter().map(|&v| (v - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// Index of the maximum element (first one on ties).  Panics on empty input.
+pub fn argmax(values: &[f32]) -> usize {
+    assert!(!values.is_empty(), "argmax: empty slice");
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate() {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Row-wise argmax.
+pub fn argmax_rows(m: &Matrix) -> Vec<usize> {
+    (0..m.rows()).map(|r| argmax(m.row(r))).collect()
+}
+
+/// Shannon entropy (nats) of a probability vector.  Zero-probability entries
+/// contribute zero.
+pub fn entropy(probs: &[f32]) -> f32 {
+    probs
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| -p * p.ln())
+        .sum()
+}
+
+/// KL divergence `KL(p || q)` in nats.  Entries where `p == 0` contribute 0;
+/// entries where `q == 0` but `p > 0` contribute infinity.
+pub fn kl_divergence(p: &[f32], q: &[f32]) -> f32 {
+    assert_eq!(p.len(), q.len(), "kl_divergence: length mismatch");
+    let mut acc = 0.0;
+    for (&pi, &qi) in p.iter().zip(q.iter()) {
+        if pi > 0.0 {
+            if qi <= 0.0 {
+                return f32::INFINITY;
+            }
+            acc += pi * (pi / qi).ln();
+        }
+    }
+    acc
+}
+
+/// Cross-entropy `H(p, q) = -sum p log q` in nats, clamping `q` away from 0.
+pub fn cross_entropy(p: &[f32], q: &[f32]) -> f32 {
+    assert_eq!(p.len(), q.len(), "cross_entropy: length mismatch");
+    let eps = 1e-12f32;
+    p.iter().zip(q.iter()).map(|(&pi, &qi)| -pi * qi.max(eps).ln()).sum()
+}
+
+/// Normalises a non-negative slice in place so it sums to 1.  If the sum is
+/// zero the result is the uniform distribution.
+pub fn normalize_in_place(values: &mut [f32]) {
+    let sum: f32 = values.iter().sum();
+    if sum > 0.0 && sum.is_finite() {
+        values.iter_mut().for_each(|v| *v /= sum);
+    } else if !values.is_empty() {
+        let uniform = 1.0 / values.len() as f32;
+        values.iter_mut().for_each(|v| *v = uniform);
+    }
+}
+
+/// Returns a normalised copy of `values` (see [`normalize_in_place`]).
+pub fn normalized(values: &[f32]) -> Vec<f32> {
+    let mut out = values.to_vec();
+    normalize_in_place(&mut out);
+    out
+}
+
+/// Pearson correlation coefficient between two equally-long samples.
+/// Returns 0.0 when either sample has zero variance or fewer than 2 points.
+pub fn pearson(xs: &[f32], ys: &[f32]) -> f32 {
+    assert_eq!(xs.len(), ys.len(), "pearson: length mismatch");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f32;
+    let mx = xs.iter().sum::<f32>() / nf;
+    let my = ys.iter().sum::<f32>() / nf;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys.iter()) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Mean and (population) standard deviation of a sample.
+pub fn mean_std(values: &[f32]) -> (f32, f32) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f32;
+    let mean = values.iter().sum::<f32>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    (mean, var.sqrt())
+}
+
+/// Five-number summary (min, q1, median, q3, max) used for the Figure-4
+/// style boxplots.  Quartiles use linear interpolation.
+pub fn five_number_summary(values: &[f32]) -> [f32; 5] {
+    assert!(!values.is_empty(), "five_number_summary: empty input");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in five_number_summary input"));
+    let q = |p: f32| -> f32 {
+        let pos = p * (sorted.len() - 1) as f32;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f32;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    };
+    [sorted[0], q(0.25), q(0.5), q(0.75), sorted[sorted.len() - 1]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[101.0, 102.0, 103.0]);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_extreme_logits() {
+        let p = softmax(&[1000.0, -1000.0]);
+        assert!(p[0] > 0.999 && p[1] < 1e-3);
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn log_sum_exp_matches_naive_on_small_values() {
+        let v = [0.1f32, 0.2, 0.3];
+        let naive = v.iter().map(|x| x.exp()).sum::<f32>().ln();
+        assert!((log_sum_exp(&v) - naive).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_sum_exp_ge_max() {
+        let v = [3.0f32, -2.0, 7.5];
+        assert!(log_sum_exp(&v) >= 7.5);
+    }
+
+    #[test]
+    fn argmax_first_on_tie() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+    }
+
+    #[test]
+    fn entropy_uniform_is_log_k() {
+        let h = entropy(&[0.25; 4]);
+        assert!((h - (4.0f32).ln()).abs() < 1e-6);
+        assert_eq!(entropy(&[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn kl_zero_iff_equal() {
+        let p = [0.2, 0.3, 0.5];
+        assert!(kl_divergence(&p, &p).abs() < 1e-7);
+        assert!(kl_divergence(&p, &[0.5, 0.3, 0.2]) > 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_ge_entropy() {
+        let p = [0.7, 0.3];
+        let q = [0.5, 0.5];
+        assert!(cross_entropy(&p, &q) >= entropy(&p) - 1e-6);
+    }
+
+    #[test]
+    fn normalize_handles_zero_sum() {
+        let mut v = [0.0f32, 0.0];
+        normalize_in_place(&mut v);
+        assert_eq!(v, [0.5, 0.5]);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-6);
+        let z = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &z) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_std_of_constant_is_zero_std() {
+        let (m, s) = mean_std(&[2.0, 2.0, 2.0]);
+        assert_eq!(m, 2.0);
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn five_number_summary_sorted_input() {
+        let s = five_number_summary(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s, [1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn softmax_rows_normalises_each_row() {
+        let m = Matrix::from_rows(&[&[0.0, 0.0], &[10.0, 0.0]]);
+        let p = softmax_rows(&m);
+        assert!((p.row(0)[0] - 0.5).abs() < 1e-6);
+        assert!(p.row(1)[0] > 0.99);
+    }
+}

@@ -1,0 +1,9 @@
+//! Workspace-level umbrella crate: re-exports the public crates so the
+//! examples and integration tests in this repository have a single import
+//! surface.
+pub use lncl_autograd as autograd;
+pub use lncl_crowd as crowd;
+pub use lncl_logic as logic;
+pub use lncl_nn as nn;
+pub use lncl_tensor as tensor;
+pub use logic_lncl as lncl;

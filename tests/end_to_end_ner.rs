@@ -1,0 +1,51 @@
+//! End-to-end integration test on the NER task: the full pipeline (synthetic
+//! corpus → Logic-LNCL with transition rules → strict span evaluation) runs
+//! and produces coherent metrics.
+
+use lncl_crowd::datasets::{generate_ner, NerDatasetConfig};
+use lncl_nn::models::{NerConvGru, NerConvGruConfig};
+use lncl_tensor::TensorRng;
+use logic_lncl::ablation::paper_rules;
+use logic_lncl::predict::PredictionMode;
+use logic_lncl::{ImitationSchedule, LogicLncl, MStepObjective, TrainConfig};
+
+#[test]
+fn logic_lncl_end_to_end_ner() {
+    let dataset = generate_ner(&NerDatasetConfig {
+        train_size: 150,
+        dev_size: 50,
+        test_size: 50,
+        num_annotators: 12,
+        ..NerDatasetConfig::default()
+    });
+    let mut rng = TensorRng::seed_from_u64(4);
+    let model = NerConvGru::new(
+        NerConvGruConfig {
+            vocab_size: dataset.vocab_size(),
+            embedding_dim: 12,
+            conv_window: 3,
+            conv_features: 16,
+            gru_hidden: 12,
+            dropout_keep: 0.7,
+            num_classes: dataset.num_classes,
+        },
+        &mut rng,
+    );
+    let mut config = TrainConfig::fast(6);
+    config.imitation = ImitationSchedule::ner_paper();
+    config.objective = MStepObjective::AnnotationWeighted;
+
+    let mut trainer = LogicLncl::new(model, &dataset, paper_rules(&dataset), config);
+    let report = trainer.train(&dataset);
+
+    // the inferred q_f must recover spans far better than chance
+    assert!(report.inference.f1 > 0.5, "inference span F1 {}", report.inference.f1);
+    assert!(report.inference.accuracy > 0.8, "inference token accuracy {}", report.inference.accuracy);
+
+    // predictions are well-formed for every test sentence
+    let student = trainer.evaluate(&dataset.test, dataset.task, PredictionMode::Student);
+    let teacher = trainer.evaluate(&dataset.test, dataset.task, PredictionMode::Teacher);
+    assert!(student.accuracy > 0.5, "student token accuracy {}", student.accuracy);
+    assert!(teacher.accuracy >= student.accuracy - 0.05, "teacher should not collapse: {} vs {}", teacher.accuracy, student.accuracy);
+    assert!((0.0..=1.0).contains(&teacher.f1));
+}

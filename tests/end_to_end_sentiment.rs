@@ -1,0 +1,55 @@
+//! End-to-end integration test on the sentiment task: Logic-LNCL must beat
+//! majority voting on inference and produce sensible annotator estimates.
+
+use lncl_crowd::datasets::{generate_sentiment, SentimentDatasetConfig};
+use lncl_crowd::metrics::crowd_label_accuracy;
+use lncl_crowd::truth::{MajorityVote, TruthInference};
+use lncl_nn::models::{SentimentCnn, SentimentCnnConfig};
+use lncl_tensor::TensorRng;
+use logic_lncl::ablation::paper_rules;
+use logic_lncl::predict::PredictionMode;
+use logic_lncl::{LogicLncl, TrainConfig};
+
+#[test]
+fn logic_lncl_end_to_end_sentiment() {
+    let dataset = generate_sentiment(&SentimentDatasetConfig {
+        train_size: 500,
+        dev_size: 150,
+        test_size: 150,
+        num_annotators: 25,
+        ..SentimentDatasetConfig::default()
+    });
+    let mut rng = TensorRng::seed_from_u64(2);
+    let model = SentimentCnn::new(
+        SentimentCnnConfig {
+            vocab_size: dataset.vocab_size(),
+            embedding_dim: 16,
+            windows: vec![2, 3],
+            filters_per_window: 8,
+            dropout_keep: 0.7,
+            num_classes: 2,
+        },
+        &mut rng,
+    );
+    let mut trainer = LogicLncl::new(model, &dataset, paper_rules(&dataset), TrainConfig::fast(10));
+    let report = trainer.train(&dataset);
+
+    // inference must beat both the raw crowd labels and majority voting
+    let view = dataset.annotation_view();
+    let mv = MajorityVote.infer(&view).accuracy(&view.gold);
+    assert!(report.inference.accuracy > crowd_label_accuracy(&dataset));
+    assert!(
+        report.inference.accuracy >= mv - 0.01,
+        "Logic-LNCL inference {} should not lose to MV {mv}",
+        report.inference.accuracy
+    );
+
+    // prediction must clearly beat chance, and the teacher must stay a valid predictor
+    let student = trainer.evaluate(&dataset.test, dataset.task, PredictionMode::Student);
+    let teacher = trainer.evaluate(&dataset.test, dataset.task, PredictionMode::Teacher);
+    assert!(student.accuracy > 0.6, "student accuracy {}", student.accuracy);
+    assert!(teacher.accuracy > 0.6, "teacher accuracy {}", teacher.accuracy);
+
+    // estimated reliabilities stay in [0, 1]
+    assert!(trainer.annotators.reliabilities().iter().all(|&r| (0.0..=1.0).contains(&r)));
+}

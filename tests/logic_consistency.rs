@@ -1,0 +1,95 @@
+//! Cross-crate integration tests of the logic machinery: PSL projection,
+//! sentiment but-rule and NER transition rules working against the real
+//! datasets and classifiers.
+
+use lncl_crowd::datasets::{generate_ner, generate_sentiment, NerDatasetConfig, SentimentDatasetConfig};
+use lncl_logic::rules::ner_transition::ner_transition_rules;
+use lncl_logic::rules::sentiment_but::SentimentContrastRule;
+use lncl_logic::{project_distribution, project_sequence};
+use lncl_nn::models::{InstanceClassifier, SentimentCnn, SentimentCnnConfig};
+use lncl_tensor::TensorRng;
+use logic_lncl::ablation::paper_rules;
+use logic_lncl::distill::{infer_qb, interpolate_qf, TaskRules};
+
+#[test]
+fn but_rule_grounds_on_generated_but_sentences() {
+    let dataset = generate_sentiment(&SentimentDatasetConfig::tiny());
+    let but = dataset.but_token.unwrap();
+    let rule = SentimentContrastRule::but_rule(but);
+    let mut grounded = 0usize;
+    for inst in &dataset.train {
+        if inst.tokens.contains(&but) {
+            assert!(rule.clause_b(&inst.tokens).is_some());
+            grounded += 1;
+        }
+    }
+    assert!(grounded > 10, "expected a reasonable number of but-sentences, got {grounded}");
+}
+
+#[test]
+fn qb_projection_with_live_classifier_is_a_distribution() {
+    let dataset = generate_sentiment(&SentimentDatasetConfig::tiny());
+    let mut rng = TensorRng::seed_from_u64(0);
+    let model = SentimentCnn::new(
+        SentimentCnnConfig { vocab_size: dataset.vocab_size(), ..Default::default() },
+        &mut rng,
+    );
+    let rules = paper_rules(&dataset);
+    let clause = |tokens: &[usize]| model.predict_proba(tokens).row(0).to_vec();
+    for inst in dataset.train.iter().take(40) {
+        let qa = vec![vec![0.5f32, 0.5]];
+        let qb = infer_qb(&qa, &inst.tokens, &rules, 5.0, &clause);
+        assert_eq!(qb.len(), 1);
+        assert!((qb[0].iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        let qf = interpolate_qf(&qa, &qb, 0.7);
+        assert!((qf[0].iter().sum::<f32>() - 1.0).abs() < 1e-4);
+    }
+}
+
+#[test]
+fn ner_projection_reduces_invalid_bio_transitions() {
+    let dataset = generate_ner(&NerDatasetConfig::tiny());
+    let rules = ner_transition_rules(0.8, 0.2);
+    // count O -> I-* argmax transitions before/after projection on noisy posteriors
+    let mut rng = TensorRng::seed_from_u64(3);
+    let mut invalid_before = 0usize;
+    let mut invalid_after = 0usize;
+    for inst in dataset.train.iter().take(60) {
+        let qa: Vec<Vec<f32>> = inst.gold.iter().map(|_| rng.dirichlet(9, 0.5)).collect();
+        let qb = project_sequence(&qa, &rules, 5.0);
+        let count_invalid = |q: &[Vec<f32>]| {
+            let labels: Vec<usize> = q.iter().map(|p| lncl_tensor::stats::argmax(p)).collect();
+            labels
+                .windows(2)
+                .filter(|w| {
+                    let (prev, cur) = (w[0], w[1]);
+                    cur != 0 && cur % 2 == 0 && prev != cur && prev != cur - 1
+                })
+                .count()
+        };
+        invalid_before += count_invalid(&qa);
+        invalid_after += count_invalid(&qb);
+    }
+    assert!(
+        invalid_after < invalid_before,
+        "projection should reduce invalid BIO transitions: {invalid_before} -> {invalid_after}"
+    );
+}
+
+#[test]
+fn rule_projection_respects_regularisation_strength() {
+    let qa = vec![0.7f32, 0.3];
+    let weak = project_distribution(&qa, &[0.8, 0.0], 0.5);
+    let strong = project_distribution(&qa, &[0.8, 0.0], 8.0);
+    assert!(strong[0] < weak[0]);
+    assert!(weak[0] < qa[0]);
+}
+
+#[test]
+fn task_rules_describe_is_informative() {
+    let sentiment = generate_sentiment(&SentimentDatasetConfig::tiny());
+    let ner = generate_ner(&NerDatasetConfig::tiny());
+    assert!(paper_rules(&sentiment).describe().contains("A-but-B"));
+    assert!(paper_rules(&ner).describe().contains("ner-transitions"));
+    assert!(TaskRules::None.is_none());
+}

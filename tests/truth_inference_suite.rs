@@ -1,0 +1,66 @@
+//! Integration tests of the truth-inference baselines on the synthetic
+//! corpora: orderings that the paper's tables rely on.
+
+use lncl_crowd::datasets::{generate_ner, generate_sentiment, NerDatasetConfig, SentimentDatasetConfig};
+use lncl_crowd::metrics::span_f1;
+use lncl_crowd::truth::*;
+
+#[test]
+fn model_based_methods_beat_mv_on_sentiment() {
+    let dataset = generate_sentiment(&SentimentDatasetConfig {
+        train_size: 700,
+        num_annotators: 40,
+        spammer_fraction: 0.35,
+        ..SentimentDatasetConfig::default()
+    });
+    let view = dataset.annotation_view();
+    let mv = MajorityVote.infer(&view).accuracy(&view.gold);
+    let ds = DawidSkene::default().infer(&view).accuracy(&view.gold);
+    let glad = Glad::default().infer(&view).accuracy(&view.gold);
+    let ibcc = Ibcc::default().infer(&view).accuracy(&view.gold);
+    assert!(ds > mv, "DS {ds} should beat MV {mv}");
+    assert!(glad >= mv - 0.005, "GLAD {glad} should not lose to MV {mv}");
+    assert!(ibcc > mv, "IBCC {ibcc} should beat MV {mv}");
+}
+
+#[test]
+fn sequence_aware_methods_beat_mv_on_ner_spans() {
+    let dataset = generate_ner(&NerDatasetConfig {
+        train_size: 250,
+        num_annotators: 20,
+        min_labels_per_instance: 2,
+        max_labels_per_instance: 4,
+        ..NerDatasetConfig::default()
+    });
+    let view = dataset.annotation_view();
+    let gold: Vec<Vec<usize>> = dataset.train.iter().map(|i| i.gold.clone()).collect();
+    let f1 = |est: &TruthEstimate| span_f1(&est.hard_by_instance(&view), &gold).f1;
+    let mv = f1(&MajorityVote.infer(&view));
+    let hmm = f1(&HmmCrowd::default().infer(&view));
+    let bsc = f1(&BscSeq::default().infer(&view));
+    assert!(hmm > mv, "HMM-Crowd {hmm} should beat MV {mv}");
+    assert!(bsc > mv, "BSC-seq {bsc} should beat MV {mv}");
+}
+
+#[test]
+fn all_methods_produce_valid_posteriors() {
+    let dataset = generate_sentiment(&SentimentDatasetConfig::tiny());
+    let view = dataset.annotation_view();
+    let methods: Vec<Box<dyn TruthInference>> = vec![
+        Box::new(MajorityVote),
+        Box::new(DawidSkene::default()),
+        Box::new(Glad::default()),
+        Box::new(Ibcc::default()),
+        Box::new(Pm::default()),
+        Box::new(Catd::default()),
+    ];
+    for method in &methods {
+        let estimate = method.infer(&view);
+        assert_eq!(estimate.posteriors.len(), view.num_units(), "{}", method.name());
+        for p in &estimate.posteriors {
+            assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-3, "{} posterior not normalised", method.name());
+        }
+        let accuracy = estimate.accuracy(&view.gold);
+        assert!(accuracy > 0.6, "{} accuracy {accuracy} suspiciously low", method.name());
+    }
+}
