@@ -83,10 +83,7 @@ where
 {
     let reports = check_gradients(inputs, epsilon, f);
     for (i, report) in reports.iter().enumerate() {
-        assert!(
-            report.passes(tol),
-            "gradient check failed for input {i}: {report:?} (tol {tol})"
-        );
+        assert!(report.passes(tol), "gradient check failed for input {i}: {report:?} (tol {tol})");
     }
 }
 
@@ -128,19 +125,14 @@ mod tests {
         let out_w = rng.normal_matrix(4, 2, 0.5);
         let out_b = rng.normal_matrix(1, 2, 0.1);
         let targets = Matrix::row_vector(&[0.2, 0.8]);
-        assert_gradients_close(
-            &[sentence, conv_w, conv_b, out_w, out_b],
-            1e-2,
-            2e-2,
-            move |tape, vars| {
-                let cols = tape.im2col(vars[0], 2);
-                let conv = tape.affine(cols, vars[1], vars[2]);
-                let act = tape.relu(conv);
-                let pooled = tape.max_over_rows(act);
-                let logits = tape.affine(pooled, vars[3], vars[4]);
-                tape.softmax_cross_entropy(logits, targets.clone())
-            },
-        );
+        assert_gradients_close(&[sentence, conv_w, conv_b, out_w, out_b], 1e-2, 2e-2, move |tape, vars| {
+            let cols = tape.im2col(vars[0], 2);
+            let conv = tape.affine(cols, vars[1], vars[2]);
+            let act = tape.relu(conv);
+            let pooled = tape.max_over_rows(act);
+            let logits = tape.affine(pooled, vars[3], vars[4]);
+            tape.softmax_cross_entropy(logits, targets.clone())
+        });
     }
 
     #[test]

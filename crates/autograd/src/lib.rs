@@ -35,8 +35,8 @@
 //! assert_eq!(tape.grad(w).row(1), &[2.0]);
 //! ```
 
-mod ops;
 pub mod gradcheck;
+mod ops;
 
 pub use ops::Op;
 
@@ -140,12 +140,7 @@ impl Tape {
     /// # Panics
     /// Panics if `loss` is not a scalar (1x1) node.
     pub fn backward(&mut self, loss: Var) {
-        assert_eq!(
-            self.shape(loss),
-            (1, 1),
-            "backward: loss must be a 1x1 scalar node, got {:?}",
-            self.shape(loss)
-        );
+        assert_eq!(self.shape(loss), (1, 1), "backward: loss must be a 1x1 scalar node, got {:?}", self.shape(loss));
         self.nodes[loss.0].grad = Matrix::full(1, 1, 1.0);
         for i in (0..=loss.0).rev() {
             self.backward_node(i);

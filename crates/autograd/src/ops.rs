@@ -207,12 +207,7 @@ impl Tape {
             return self.push(value, Op::Dropout(a, mask));
         }
         assert!(keep > 0.0, "dropout: keep probability must be positive");
-        assert!(
-            uniforms.len() >= input.len(),
-            "dropout: need {} uniform samples, got {}",
-            input.len(),
-            uniforms.len()
-        );
+        assert!(uniforms.len() >= input.len(), "dropout: need {} uniform samples, got {}", input.len(), uniforms.len());
         let inv_keep = 1.0 / keep;
         let mut mask = Matrix::zeros(input.rows(), input.cols());
         for (i, m) in mask.as_mut_slice().iter_mut().enumerate() {

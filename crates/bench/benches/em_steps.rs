@@ -1,12 +1,13 @@
-//! Criterion micro-benchmarks of the Logic-LNCL pseudo-E-step components:
+//! Micro-benchmarks of the Logic-LNCL pseudo-E-step components:
 //! the q_a posterior (Eq. 13) and the annotator update (Eq. 12).
-use criterion::{criterion_group, criterion_main, Criterion};
+use lncl_bench::timing::bench;
 use lncl_crowd::datasets::{generate_sentiment, SentimentDatasetConfig};
 use lncl_tensor::stats;
 use logic_lncl::annotators::AnnotatorModel;
 use logic_lncl::posterior::infer_qa;
 
-fn bench_em_steps(c: &mut Criterion) {
+fn main() {
+    println!("em_steps");
     let dataset = generate_sentiment(&SentimentDatasetConfig {
         train_size: 500,
         dev_size: 10,
@@ -15,37 +16,18 @@ fn bench_em_steps(c: &mut Criterion) {
         ..SentimentDatasetConfig::default()
     });
     let annotators = AnnotatorModel::new(dataset.num_annotators, dataset.num_classes, 0.7);
-    let predictions: Vec<lncl_tensor::Matrix> = dataset
-        .train
-        .iter()
-        .map(|_| lncl_tensor::Matrix::row_vector(&[0.45, 0.55]))
-        .collect();
+    let predictions: Vec<lncl_tensor::Matrix> =
+        dataset.train.iter().map(|_| lncl_tensor::Matrix::row_vector(&[0.45, 0.55])).collect();
 
-    c.bench_function("eq13_posterior_full_train_split", |b| {
-        b.iter(|| {
-            dataset
-                .train
-                .iter()
-                .zip(&predictions)
-                .map(|(inst, pred)| infer_qa(inst, pred, &annotators))
-                .collect::<Vec<_>>()
-        })
+    bench("eq13_posterior_full_train_split", || {
+        dataset.train.iter().zip(&predictions).map(|(inst, pred)| infer_qa(inst, pred, &annotators)).collect::<Vec<_>>()
     });
 
-    let qf: Vec<Vec<Vec<f32>>> = dataset
-        .train
-        .iter()
-        .zip(&predictions)
-        .map(|(inst, pred)| infer_qa(inst, pred, &annotators))
-        .collect();
-    c.bench_function("eq12_annotator_update", |b| {
-        b.iter(|| {
-            let mut model = AnnotatorModel::new(dataset.num_annotators, dataset.num_classes, 0.7);
-            model.update_from_qf(&dataset, &qf, 0.01);
-            stats::argmax(&model.reliabilities())
-        })
+    let qf: Vec<Vec<Vec<f32>>> =
+        dataset.train.iter().zip(&predictions).map(|(inst, pred)| infer_qa(inst, pred, &annotators)).collect();
+    bench("eq12_annotator_update", || {
+        let mut model = AnnotatorModel::new(dataset.num_annotators, dataset.num_classes, 0.7);
+        model.update_from_qf(&dataset, &qf, 0.01);
+        stats::argmax(&model.reliabilities())
     });
 }
-
-criterion_group!(benches, bench_em_steps);
-criterion_main!(benches);

@@ -1,29 +1,18 @@
-//! Criterion micro-benchmarks of the posterior-regularisation projection
-//! (Eq. 15): the classification closed form and the sequence DP.
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//! Micro-benchmarks of the posterior-regularisation projection (Eq. 15):
+//! the classification closed form and the sequence DP.
+use lncl_bench::timing::bench;
 use lncl_logic::rules::ner_transition::ner_transition_rules;
 use lncl_logic::{project_distribution, project_sequence};
 use lncl_tensor::TensorRng;
 
-fn bench_projection(c: &mut Criterion) {
-    let mut group = c.benchmark_group("logic_projection");
+fn main() {
+    println!("logic_projection");
     let mut rng = TensorRng::seed_from_u64(0);
-    let qa: Vec<f32> = {
-        let v = rng.dirichlet(2, 1.0);
-        v
-    };
-    group.bench_function("closed_form_binary", |b| {
-        b.iter(|| project_distribution(&qa, &[0.7, 0.1], 5.0));
-    });
+    let qa: Vec<f32> = rng.dirichlet(2, 1.0);
+    bench("closed_form_binary", || project_distribution(&qa, &[0.7, 0.1], 5.0));
     let rules = ner_transition_rules(0.8, 0.2);
     for &len in &[10usize, 30, 60] {
         let seq: Vec<Vec<f32>> = (0..len).map(|_| rng.dirichlet(9, 1.0)).collect();
-        group.bench_with_input(BenchmarkId::new("sequence_dp", len), &seq, |b, s| {
-            b.iter(|| project_sequence(s, &rules, 5.0));
-        });
+        bench(&format!("sequence_dp/{len}"), || project_sequence(&seq, &rules, 5.0));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_projection);
-criterion_main!(benches);

@@ -1,34 +1,30 @@
-//! Criterion micro-benchmarks of the two classifier architectures
+//! Micro-benchmarks of the two classifier architectures
 //! (forward pass and forward+backward).
-use criterion::{criterion_group, criterion_main, Criterion};
 use lncl_autograd::Tape;
+use lncl_bench::timing::bench;
 use lncl_nn::models::{InstanceClassifier, NerConvGru, NerConvGruConfig, SentimentCnn, SentimentCnnConfig};
 use lncl_nn::{Binding, Module};
 use lncl_tensor::{Matrix, TensorRng};
 
-fn bench_models(c: &mut Criterion) {
+fn main() {
+    println!("nn_forward");
     let mut rng = TensorRng::seed_from_u64(0);
     let cnn = SentimentCnn::new(SentimentCnnConfig { vocab_size: 500, ..Default::default() }, &mut rng);
     let tokens: Vec<usize> = (1..18).collect();
-    c.bench_function("sentiment_cnn_forward", |b| b.iter(|| cnn.predict_proba(&tokens)));
-    c.bench_function("sentiment_cnn_forward_backward", |b| {
-        b.iter(|| {
-            let mut model = cnn.clone();
-            let mut tape = Tape::new();
-            let mut binding = Binding::new();
-            let mut drng = TensorRng::seed_from_u64(1);
-            let logits = model.forward_logits(&mut tape, &mut binding, &tokens, true, &mut drng);
-            let loss = tape.softmax_cross_entropy(logits, Matrix::row_vector(&[0.3, 0.7]));
-            tape.backward(loss);
-            binding.accumulate(&tape, model.params_mut());
-            model.grad_norm()
-        })
+    bench("sentiment_cnn_forward", || cnn.predict_proba(&tokens));
+    bench("sentiment_cnn_forward_backward", || {
+        let mut model = cnn.clone();
+        let mut tape = Tape::new();
+        let mut binding = Binding::new();
+        let mut drng = TensorRng::seed_from_u64(1);
+        let logits = model.forward_logits(&mut tape, &mut binding, &tokens, true, &mut drng);
+        let loss = tape.softmax_cross_entropy(logits, Matrix::row_vector(&[0.3, 0.7]));
+        tape.backward(loss);
+        binding.accumulate(&tape, model.params_mut());
+        model.grad_norm()
     });
 
     let ner = NerConvGru::new(NerConvGruConfig { vocab_size: 500, ..Default::default() }, &mut rng);
     let sentence: Vec<usize> = (1..15).collect();
-    c.bench_function("ner_conv_gru_forward", |b| b.iter(|| ner.predict_proba(&sentence)));
+    bench("ner_conv_gru_forward", || ner.predict_proba(&sentence));
 }
-
-criterion_group!(benches, bench_models);
-criterion_main!(benches);

@@ -1,11 +1,11 @@
-//! Criterion micro-benchmarks of the truth-inference baselines on growing
-//! synthetic label matrices.
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//! Micro-benchmarks of the truth-inference baselines on growing synthetic
+//! label matrices (plain timing harness; see `lncl_bench::timing`).
+use lncl_bench::timing::bench;
 use lncl_crowd::datasets::{generate_sentiment, SentimentDatasetConfig};
 use lncl_crowd::truth::*;
 
-fn bench_truth_inference(c: &mut Criterion) {
-    let mut group = c.benchmark_group("truth_inference");
+fn main() {
+    println!("truth_inference");
     for &size in &[200usize, 600] {
         let dataset = generate_sentiment(&SentimentDatasetConfig {
             train_size: size,
@@ -15,18 +15,10 @@ fn bench_truth_inference(c: &mut Criterion) {
             ..SentimentDatasetConfig::default()
         });
         let view = dataset.annotation_view();
-        group.bench_with_input(BenchmarkId::new("mv", size), &view, |b, v| b.iter(|| MajorityVote.infer(v)));
-        group.bench_with_input(BenchmarkId::new("dawid_skene", size), &view, |b, v| {
-            b.iter(|| DawidSkene { max_iters: 20, ..Default::default() }.infer(v))
-        });
-        group.bench_with_input(BenchmarkId::new("glad", size), &view, |b, v| {
-            b.iter(|| Glad { max_iters: 10, ..Default::default() }.infer(v))
-        });
-        group.bench_with_input(BenchmarkId::new("pm", size), &view, |b, v| b.iter(|| Pm::default().infer(v)));
-        group.bench_with_input(BenchmarkId::new("catd", size), &view, |b, v| b.iter(|| Catd::default().infer(v)));
+        bench(&format!("mv/{size}"), || MajorityVote.infer(&view));
+        bench(&format!("dawid_skene/{size}"), || DawidSkene { max_iters: 20, ..Default::default() }.infer(&view));
+        bench(&format!("glad/{size}"), || Glad { max_iters: 10, ..Default::default() }.infer(&view));
+        bench(&format!("pm/{size}"), || Pm::default().infer(&view));
+        bench(&format!("catd/{size}"), || Catd::default().infer(&view));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_truth_inference);
-criterion_main!(benches);

@@ -8,8 +8,18 @@ fn main() {
     let study = reliability_study(&dataset, scale, 7, 6);
     println!("Figure 6 — annotator reliability estimation (sentiment, scale {scale:?})\n");
     for (i, &annotator) in study.top_annotators.iter().enumerate() {
-        println!("{}", render_confusion(&format!("Annotator {annotator} — Real (empirical)"), &study.class_names, &study.real[i]));
-        println!("{}", render_confusion(&format!("Annotator {annotator} — Logic-LNCL estimate"), &study.class_names, &study.estimated[i]));
+        println!(
+            "{}",
+            render_confusion(&format!("Annotator {annotator} — Real (empirical)"), &study.class_names, &study.real[i])
+        );
+        println!(
+            "{}",
+            render_confusion(
+                &format!("Annotator {annotator} — Logic-LNCL estimate"),
+                &study.class_names,
+                &study.estimated[i]
+            )
+        );
     }
     println!("(b) Overall reliability: Pearson correlation (estimated vs real) = {:.4}", study.pearson);
 }

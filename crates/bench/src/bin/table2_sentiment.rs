@@ -1,10 +1,19 @@
 //! Regenerates Table II: prediction + inference accuracy of every compared
-//! method on the (synthetic) Sentiment Polarity dataset.
-use lncl_bench::{render_classification_table, table2, Scale};
+//! method on the (synthetic) Sentiment Polarity dataset.  The rows are a
+//! data-driven loop over `MethodRegistry` lookups (`TABLE2_METHODS`).
+use lncl_bench::{render_classification_table, table2, Scale, TABLE2_METHODS};
 
 fn main() {
     let scale = Scale::from_env();
-    println!("Table II — Sentiment Polarity (scale {scale:?}, {} repetition(s), {} epochs)", scale.repetitions(), scale.epochs());
+    println!(
+        "Table II — Sentiment Polarity (scale {scale:?}, {} repetition(s), {} epochs)",
+        scale.repetitions(),
+        scale.epochs()
+    );
+    println!("registry methods: {}", TABLE2_METHODS.join(", "));
     let rows = table2(scale);
-    println!("{}", render_classification_table("Performance (accuracy, %) on the synthetic Sentiment Polarity dataset", &rows));
+    println!(
+        "{}",
+        render_classification_table("Performance (accuracy, %) on the synthetic Sentiment Polarity dataset", &rows)
+    );
 }

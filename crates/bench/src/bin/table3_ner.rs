@@ -1,10 +1,19 @@
 //! Regenerates Table III: prediction + inference P/R/F1 of every compared
-//! method on the (synthetic) CoNLL-2003 NER dataset.
-use lncl_bench::{render_sequence_table, table3, Scale};
+//! method on the (synthetic) CoNLL-2003 NER dataset.  The rows are a
+//! data-driven loop over `MethodRegistry` lookups (`TABLE3_METHODS`).
+use lncl_bench::{render_sequence_table, table3, Scale, TABLE3_METHODS};
 
 fn main() {
     let scale = Scale::from_env();
-    println!("Table III — CoNLL-2003 NER (scale {scale:?}, {} repetition(s), {} epochs)", scale.repetitions(), scale.epochs());
+    println!(
+        "Table III — CoNLL-2003 NER (scale {scale:?}, {} repetition(s), {} epochs)",
+        scale.repetitions(),
+        scale.epochs()
+    );
+    println!("registry methods: {}", TABLE3_METHODS.join(", "));
     let rows = table3(scale);
-    println!("{}", render_sequence_table("Performance (%) on the synthetic CoNLL-2003 NER dataset (strict span metrics)", &rows));
+    println!(
+        "{}",
+        render_sequence_table("Performance (%) on the synthetic CoNLL-2003 NER dataset (strict span metrics)", &rows)
+    );
 }

@@ -1,9 +1,11 @@
-//! Regenerates Table IV: the ablation study on both datasets.
-use lncl_bench::{render_classification_table, render_sequence_table, table4_for, Scale};
+//! Regenerates Table IV: the ablation study on both datasets.  The rows are
+//! a data-driven loop over `MethodRegistry` lookups (`TABLE4_METHODS`).
+use lncl_bench::{render_classification_table, render_sequence_table, table4_for, Scale, TABLE4_METHODS};
 
 fn main() {
     let scale = Scale::from_env();
     println!("Table IV — ablation study (scale {scale:?}, {} epochs)", scale.epochs());
+    println!("registry methods: {}", TABLE4_METHODS.join(", "));
     let sentiment = scale.sentiment_dataset(7);
     let rows = table4_for(&sentiment, scale, 7);
     println!("{}", render_classification_table("Ablation on the sentiment dataset (accuracy, %)", &rows));

@@ -1,50 +1,57 @@
 //! Experiment drivers: one function per paper table / figure.
 //!
-//! Training runs for independent methods are executed on separate threads
-//! (crossbeam scoped threads); every run is seeded, so results are
-//! reproducible regardless of the parallelism.
+//! Every method is looked up in the [`MethodRegistry`] by key and run
+//! through the polymorphic [`CrowdMethod`](logic_lncl::CrowdMethod) API —
+//! the tables are data-driven loops over the key lists in
+//! [`crate::methods`].  Independent methods are executed on separate scoped
+//! threads; every run is seeded, so results are reproducible regardless of
+//! the parallelism.
 
-use crate::methods::*;
-use crate::scale::{ner_model, sentiment_model, Scale};
+use crate::methods::{validate_methods, TABLE2_METHODS, TABLE3_METHODS, TABLE4_METHODS};
+use crate::scale::Scale;
 use crate::tables::average_repetitions;
 use lncl_crowd::metrics::{empirical_confusion, overall_reliability, reliability_correlation};
 use lncl_crowd::stats::annotator_summary;
-use lncl_crowd::truth::{Glad, MajorityVote};
-use lncl_crowd::{CrowdDataset, TaskKind};
+use lncl_crowd::CrowdDataset;
 use lncl_tensor::Matrix;
 use logic_lncl::ablation::paper_rules;
-use logic_lncl::baselines::{CrowdLayerKind, DlDnKind};
+use logic_lncl::method::{MethodRegistry, RunContext};
 use logic_lncl::{EvalMetrics, LogicLncl, MethodResult};
+
+/// Runs the named registry methods on a dataset and returns their rows
+/// concatenated in list order.  Methods run on scoped threads, at most
+/// `available_parallelism()` training runs at a time so large tables do not
+/// oversubscribe small machines.
+pub fn run_methods(
+    registry: &MethodRegistry,
+    names: &[&str],
+    dataset: &CrowdDataset,
+    ctx: &RunContext,
+) -> Vec<MethodResult> {
+    validate_methods(registry, names);
+    let max_parallel = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut rows = Vec::new();
+    for chunk in names.chunks(max_parallel.max(1)) {
+        let chunk_rows: Vec<Vec<MethodResult>> = std::thread::scope(|s| {
+            let handles: Vec<_> = chunk
+                .iter()
+                .map(|&name| {
+                    let method = registry.get(name).expect("validated above");
+                    s.spawn(move || method.run(dataset, ctx))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("method thread panicked")).collect()
+        });
+        rows.extend(chunk_rows.into_iter().flatten());
+    }
+    rows
+}
 
 /// Runs all Table-II (sentiment) methods for one repetition.
 pub fn table2_single_run(scale: Scale, seed: u64) -> Vec<MethodResult> {
     let dataset = scale.sentiment_dataset(seed);
-    let config = scale.sentiment_train_config(seed);
-    let data = &dataset;
-    let cfg = &config;
-
-    let mut groups: Vec<(usize, Vec<MethodResult>)> = crossbeam::thread::scope(|s| {
-        let mut handles = Vec::new();
-        handles.push((0usize, s.spawn(move |_| vec![run_two_stage("MV-Classifier", &MajorityVote, data, cfg, |sd| sentiment_model(data, sd))])));
-        handles.push((1, s.spawn(move |_| vec![run_two_stage("GLAD-Classifier", &Glad::default(), data, cfg, |sd| sentiment_model(data, sd))])));
-        handles.push((2, s.spawn(move |_| vec![run_aggnet(data, cfg, |sd| sentiment_model(data, sd))])));
-        handles.push((3, s.spawn(move |_| vec![
-            run_crowd_layer(CrowdLayerKind::VectorWeight, 0, data, cfg, |sd| sentiment_model(data, sd)),
-            run_crowd_layer(CrowdLayerKind::VectorWeightBias, 0, data, cfg, |sd| sentiment_model(data, sd)),
-            run_crowd_layer(CrowdLayerKind::MatrixWeight, 0, data, cfg, |sd| sentiment_model(data, sd)),
-        ])));
-        handles.push((4, s.spawn(move |_| {
-            let (student, teacher) = run_logic_lncl(data, cfg, |sd| sentiment_model(data, sd));
-            vec![student, teacher]
-        })));
-        handles.push((5, s.spawn(move |_| sentiment_truth_inference_rows(data))));
-        handles.push((6, s.spawn(move |_| vec![run_gold(data, cfg, |sd| sentiment_model(data, sd))])));
-        handles.into_iter().map(|(i, h)| (i, h.join().expect("experiment thread panicked"))).collect()
-    })
-    .expect("crossbeam scope failed");
-
-    groups.sort_by_key(|(i, _)| *i);
-    groups.into_iter().flat_map(|(_, rows)| rows).collect()
+    let ctx = scale.run_context(&dataset, seed);
+    run_methods(&MethodRegistry::standard(), TABLE2_METHODS, &dataset, &ctx)
 }
 
 /// Table II averaged over the scale's repetitions.
@@ -57,38 +64,8 @@ pub fn table2(scale: Scale) -> Vec<MethodResult> {
 /// Runs all Table-III (NER) methods for one repetition.
 pub fn table3_single_run(scale: Scale, seed: u64) -> Vec<MethodResult> {
     let dataset = scale.ner_dataset(seed);
-    let config = scale.ner_train_config(seed);
-    let data = &dataset;
-    let cfg = &config;
-
-    let mut groups: Vec<(usize, Vec<MethodResult>)> = crossbeam::thread::scope(|s| {
-        let mut handles = Vec::new();
-        handles.push((0usize, s.spawn(move |_| vec![run_two_stage("MV-Classifier", &MajorityVote, data, cfg, |sd| ner_model(data, sd))])));
-        handles.push((1, s.spawn(move |_| vec![run_aggnet(data, cfg, |sd| ner_model(data, sd))])));
-        handles.push((2, s.spawn(move |_| vec![
-            run_crowd_layer(CrowdLayerKind::VectorWeight, 2, data, cfg, |sd| ner_model(data, sd)),
-            run_crowd_layer(CrowdLayerKind::VectorWeightBias, 2, data, cfg, |sd| ner_model(data, sd)),
-        ])));
-        handles.push((3, s.spawn(move |_| vec![
-            run_crowd_layer(CrowdLayerKind::MatrixWeight, 2, data, cfg, |sd| ner_model(data, sd)),
-            run_crowd_layer(CrowdLayerKind::MatrixWeight, 0, data, cfg, |sd| ner_model(data, sd)),
-        ])));
-        handles.push((4, s.spawn(move |_| {
-            let (student, teacher) = run_logic_lncl(data, cfg, |sd| ner_model(data, sd));
-            vec![student, teacher]
-        })));
-        handles.push((5, s.spawn(move |_| vec![
-            run_dl_dn(DlDnKind::Uniform, data, cfg, |sd| ner_model(data, sd)),
-            run_dl_dn(DlDnKind::Weighted, data, cfg, |sd| ner_model(data, sd)),
-        ])));
-        handles.push((6, s.spawn(move |_| ner_truth_inference_rows(data))));
-        handles.push((7, s.spawn(move |_| vec![run_gold(data, cfg, |sd| ner_model(data, sd))])));
-        handles.into_iter().map(|(i, h)| (i, h.join().expect("experiment thread panicked"))).collect()
-    })
-    .expect("crossbeam scope failed");
-
-    groups.sort_by_key(|(i, _)| *i);
-    groups.into_iter().flat_map(|(_, rows)| rows).collect()
+    let ctx = scale.run_context(&dataset, seed);
+    run_methods(&MethodRegistry::standard(), TABLE3_METHODS, &dataset, &ctx)
 }
 
 /// Table III averaged over the scale's repetitions.
@@ -100,28 +77,8 @@ pub fn table3(scale: Scale) -> Vec<MethodResult> {
 
 /// Runs the Table-IV ablation on one dataset.
 pub fn table4_for(dataset: &CrowdDataset, scale: Scale, seed: u64) -> Vec<MethodResult> {
-    let config = match dataset.task {
-        TaskKind::Classification => scale.sentiment_train_config(seed),
-        TaskKind::SequenceTagging => scale.ner_train_config(seed),
-    };
-    let cfg = &config;
-    let variants = ablation_variants();
-    let mut groups: Vec<(usize, Vec<MethodResult>)> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = variants
-            .iter()
-            .enumerate()
-            .map(|(i, &variant)| {
-                (i, s.spawn(move |_| match dataset.task {
-                    TaskKind::Classification => run_ablation(variant, dataset, cfg, |sd| sentiment_model(dataset, sd)),
-                    TaskKind::SequenceTagging => run_ablation(variant, dataset, cfg, |sd| ner_model(dataset, sd)),
-                }))
-            })
-            .collect();
-        handles.into_iter().map(|(i, h)| (i, h.join().expect("ablation thread panicked"))).collect()
-    })
-    .expect("crossbeam scope failed");
-    groups.sort_by_key(|(i, _)| *i);
-    groups.into_iter().flat_map(|(_, rows)| rows).collect()
+    let ctx = scale.run_context(dataset, seed);
+    run_methods(&MethodRegistry::standard(), TABLE4_METHODS, dataset, &ctx)
 }
 
 /// Figure 6/7: trains Logic-LNCL and compares its estimated annotator
@@ -140,27 +97,16 @@ pub struct ReliabilityStudy {
     pub class_names: Vec<String>,
 }
 
-/// Runs the reliability study on a dataset.
+/// Runs the reliability study on a dataset.  This is the one experiment
+/// that needs more than [`MethodResult`] rows (the trained annotator
+/// model), so it drives the [`LogicLncl`] trainer directly through the
+/// builder API.
 pub fn reliability_study(dataset: &CrowdDataset, scale: Scale, seed: u64, top_n: usize) -> ReliabilityStudy {
-    let config = match dataset.task {
-        TaskKind::Classification => scale.sentiment_train_config(seed),
-        TaskKind::SequenceTagging => scale.ner_train_config(seed),
-    };
-    let mut trainer = match dataset.task {
-        TaskKind::Classification => {
-            let model = sentiment_model(dataset, seed);
-            let mut t = LogicLncl::new(model, dataset, paper_rules(dataset), config);
-            t.train(dataset);
-            t.annotators.confusions().to_vec()
-        }
-        TaskKind::SequenceTagging => {
-            let model = ner_model(dataset, seed);
-            let mut t = LogicLncl::new(model, dataset, paper_rules(dataset), config);
-            t.train(dataset);
-            t.annotators.confusions().to_vec()
-        }
-    };
-    let estimated_all = std::mem::take(&mut trainer);
+    let ctx = scale.run_context(dataset, seed);
+    let mut trainer =
+        LogicLncl::builder(ctx.model(seed)).rules(paper_rules(dataset)).config(ctx.config.clone()).build(dataset);
+    trainer.train(dataset);
+    let estimated_all = trainer.annotators.confusions().to_vec();
 
     let summary = annotator_summary(dataset);
     let top_annotators = summary.top_annotators(top_n);
@@ -171,8 +117,10 @@ pub fn reliability_study(dataset: &CrowdDataset, scale: Scale, seed: u64, top_n:
     // reliability scatter over annotators with more than 5 labelled instances
     let active = summary.active_annotators(5);
     let est_rel: Vec<f32> = active.iter().map(|&a| overall_reliability(&estimated_all[a])).collect();
-    let real_rel: Vec<f32> =
-        active.iter().map(|&a| overall_reliability(&empirical_confusion(&dataset.train, a, dataset.num_classes))).collect();
+    let real_rel: Vec<f32> = active
+        .iter()
+        .map(|&a| overall_reliability(&empirical_confusion(&dataset.train, a, dataset.num_classes)))
+        .collect();
     let pearson = reliability_correlation(&est_rel, &real_rel);
 
     ReliabilityStudy { top_annotators, estimated, real, pearson, class_names: dataset.class_names.clone() }
@@ -182,17 +130,19 @@ pub fn reliability_study(dataset: &CrowdDataset, scale: Scale, seed: u64, top_n:
 /// (AggNet) on growing fractions of the training data and reports the test
 /// metric for each fraction.
 pub fn sample_efficiency(scale: Scale, fractions: &[f32], seed: u64) -> Vec<(f32, EvalMetrics, EvalMetrics)> {
+    let registry = MethodRegistry::standard();
     let full = scale.sentiment_dataset(seed);
-    let config = scale.sentiment_train_config(seed);
     fractions
         .iter()
         .map(|&fraction| {
             let take = ((full.train.len() as f32 * fraction).round() as usize).max(20);
             let mut dataset = full.clone();
             dataset.train.truncate(take);
-            let (_, teacher) = run_logic_lncl(&dataset, &config, |sd| sentiment_model(&dataset, sd));
-            let aggnet = run_aggnet(&dataset, &config, |sd| sentiment_model(&dataset, sd));
-            (fraction, teacher.prediction, aggnet.prediction)
+            let ctx = scale.run_context(&dataset, seed);
+            let logic = registry.run("logic-lncl", &dataset, &ctx).expect("logic-lncl registered");
+            let teacher = logic.last().expect("student + teacher rows").prediction;
+            let aggnet = registry.run("aggnet", &dataset, &ctx).expect("aggnet registered")[0].prediction;
+            (fraction, teacher, aggnet)
         })
         .collect()
 }

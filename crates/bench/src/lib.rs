@@ -23,6 +23,7 @@ pub mod experiments;
 pub mod methods;
 pub mod scale;
 pub mod tables;
+pub mod timing;
 
 pub use experiments::*;
 pub use methods::*;

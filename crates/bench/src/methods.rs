@@ -1,250 +1,87 @@
-//! Per-method runners: each function trains one of the compared methods on a
-//! dataset and returns the `MethodResult` row the paper's tables report.
+//! Method selection for the paper's tables.
+//!
+//! Every compared method is constructed and run through the
+//! [`MethodRegistry`](logic_lncl::MethodRegistry) — there are no per-method
+//! runner functions any more.  This module only names *which* registry keys
+//! each table reports, in the paper's row order; the generic execution loop
+//! lives in [`crate::experiments`].
 
-use lncl_crowd::truth::{
-    BscSeq, Catd, DawidSkene, Glad, HmmCrowd, Ibcc, MajorityVote, Pm, TruthEstimate, TruthInference,
-};
-use lncl_crowd::{CrowdDataset, TaskKind};
-use lncl_nn::{InstanceClassifier, Module};
-use logic_lncl::ablation::{other_rules, paper_rules, rules_for, AblationVariant};
-use logic_lncl::baselines::two_stage::{gold_targets, inference_metrics_of, one_hot_targets, train_supervised};
-use logic_lncl::baselines::{CrowdLayerKind, CrowdLayerTrainer, DlDnConfig, DlDnKind};
-use logic_lncl::predict::{evaluate_split, PredictionMode};
-use logic_lncl::{EvalMetrics, LogicLncl, MethodResult, TaskRules, TrainConfig};
+use logic_lncl::MethodRegistry;
 
-/// Converts a flat truth estimate into per-instance targets.
-pub fn estimate_to_targets(estimate: &TruthEstimate, dataset: &CrowdDataset) -> Vec<Vec<Vec<f32>>> {
-    let view = dataset.annotation_view();
-    let mut targets: Vec<Vec<Vec<f32>>> = dataset.train.iter().map(|_| Vec::new()).collect();
-    for (u, post) in estimate.posteriors.iter().enumerate() {
-        targets[view.unit_instance[u]].push(post.clone());
-    }
-    targets
-}
+/// Registry keys of the Table-II (sentiment) rows, in table order.
+pub const TABLE2_METHODS: &[&str] = &[
+    "mv-classifier",
+    "glad-classifier",
+    "aggnet",
+    "cl-vw",
+    "cl-vw-b",
+    "cl-mw",
+    "logic-lncl",
+    "mv",
+    "dawid-skene",
+    "glad",
+    "pm",
+    "catd",
+    "ibcc",
+    "gold",
+];
 
-/// Runs a two-stage baseline: aggregate with `inference`, then train the
-/// classifier on the hard labels.
-pub fn run_two_stage<M, F>(
-    name: &str,
-    inference: &dyn TruthInference,
-    dataset: &CrowdDataset,
-    config: &TrainConfig,
-    model_factory: F,
-) -> MethodResult
-where
-    M: InstanceClassifier + Module + Clone,
-    F: FnOnce(u64) -> M,
-{
-    let view = dataset.annotation_view();
-    let estimate = inference.infer(&view);
-    let hard = estimate.hard_by_instance(&view);
-    let inference_metrics = inference_metrics_of(&hard, dataset);
-    let targets = one_hot_targets(&hard, dataset.num_classes);
-    let mut model = model_factory(config.seed);
-    train_supervised(&mut model, dataset, &targets, config);
-    let prediction = evaluate_split(&model, &dataset.test, dataset.task, PredictionMode::Student, &TaskRules::None, 0.0);
-    MethodResult::new(name, prediction, Some(inference_metrics))
-}
+/// Registry keys of the Table-III (NER) rows, in table order.
+pub const TABLE3_METHODS: &[&str] = &[
+    "mv-classifier",
+    "aggnet",
+    "cl-vw+pre2",
+    "cl-vw-b+pre2",
+    "cl-mw+pre2",
+    "cl-mw",
+    "logic-lncl",
+    "dl-dn",
+    "dl-wdn",
+    "mv",
+    "dawid-skene",
+    "ibcc",
+    "bsc-seq",
+    "hmm-crowd",
+    "gold",
+];
 
-/// Runs the Gold upper bound (training on the true labels).
-pub fn run_gold<M, F>(dataset: &CrowdDataset, config: &TrainConfig, model_factory: F) -> MethodResult
-where
-    M: InstanceClassifier + Module + Clone,
-    F: FnOnce(u64) -> M,
-{
-    let mut model = model_factory(config.seed);
-    train_supervised(&mut model, dataset, &gold_targets(dataset), config);
-    let prediction = evaluate_split(&model, &dataset.test, dataset.task, PredictionMode::Student, &TaskRules::None, 0.0);
-    MethodResult::new("Gold", prediction, Some(EvalMetrics::from_accuracy(1.0)))
-}
+/// Registry keys of the Table-IV (ablation) rows, in table order.
+pub const TABLE4_METHODS: &[&str] = &["mv-rule", "glad-rule", "wo-rule", "mv-teacher", "other-rules", "logic-lncl"];
 
-/// Runs the EM baseline without rules (AggNet with a neural classifier; the
-/// inference column doubles as the Raykar row of Table II).
-pub fn run_aggnet<M, F>(dataset: &CrowdDataset, config: &TrainConfig, model_factory: F) -> MethodResult
-where
-    M: InstanceClassifier + Module + Clone,
-    F: FnOnce(u64) -> M,
-{
-    let model = model_factory(config.seed);
-    let mut trainer = LogicLncl::new(model, dataset, TaskRules::None, config.clone());
-    let report = trainer.train(dataset);
-    let prediction = trainer.evaluate(&dataset.test, dataset.task, PredictionMode::Student);
-    MethodResult::new("AggNet", prediction, Some(report.inference))
-}
-
-/// Runs one crowd-layer variant.
-pub fn run_crowd_layer<M, F>(
-    kind: CrowdLayerKind,
-    pretrain_epochs: usize,
-    dataset: &CrowdDataset,
-    config: &TrainConfig,
-    model_factory: F,
-) -> MethodResult
-where
-    M: InstanceClassifier + Module + Clone,
-    F: FnOnce(u64) -> M,
-{
-    let model = model_factory(config.seed);
-    let mut trainer = CrowdLayerTrainer::new(model, dataset, kind, config.clone(), pretrain_epochs);
-    let inference = trainer.train(dataset);
-    let prediction = trainer.evaluate(&dataset.test, dataset.task);
-    let name = if pretrain_epochs > 0 { format!("{} [{} pretrain]", kind.name(), pretrain_epochs) } else { kind.name().to_string() };
-    MethodResult::new(name, prediction, Some(inference))
-}
-
-/// Runs DL-DN / DL-WDN.
-pub fn run_dl_dn<M, F>(
-    kind: DlDnKind,
-    dataset: &CrowdDataset,
-    config: &TrainConfig,
-    model_factory: F,
-) -> MethodResult
-where
-    M: InstanceClassifier + Module + Clone,
-    F: FnMut(u64) -> M,
-{
-    let dl_config = DlDnConfig {
-        train: TrainConfig { epochs: (config.epochs / 2).max(3), ..config.clone() },
-        min_instances: 20,
-        max_annotators: 10,
-    };
-    let (prediction, _) = logic_lncl::baselines::train_dl_dn(dataset, kind, &dl_config, model_factory);
-    MethodResult::new(kind.name(), prediction, None)
-}
-
-/// Runs the full Logic-LNCL and returns the student and teacher rows (one
-/// training run, two prediction modes).
-pub fn run_logic_lncl<M, F>(dataset: &CrowdDataset, config: &TrainConfig, model_factory: F) -> (MethodResult, MethodResult)
-where
-    M: InstanceClassifier + Module + Clone,
-    F: FnOnce(u64) -> M,
-{
-    let model = model_factory(config.seed);
-    let mut trainer = LogicLncl::new(model, dataset, paper_rules(dataset), config.clone());
-    let report = trainer.train(dataset);
-    let student = trainer.evaluate(&dataset.test, dataset.task, PredictionMode::Student);
-    let teacher = trainer.evaluate(&dataset.test, dataset.task, PredictionMode::Teacher);
-    (
-        MethodResult::new("Logic-LNCL-student", student, Some(report.inference)),
-        MethodResult::new("Logic-LNCL-teacher", teacher, Some(report.inference)),
-    )
-}
-
-/// Runs one ablation variant of Table IV (student and teacher outputs where
-/// applicable).
-pub fn run_ablation<M, F>(
-    variant: AblationVariant,
-    dataset: &CrowdDataset,
-    config: &TrainConfig,
-    model_factory: F,
-) -> Vec<MethodResult>
-where
-    M: InstanceClassifier + Module + Clone,
-    F: FnOnce(u64) -> M,
-{
-    match variant {
-        AblationVariant::Full => {
-            let (s, t) = run_logic_lncl(dataset, config, model_factory);
-            vec![s, t]
-        }
-        AblationVariant::WithoutRule => {
-            let result = run_aggnet(dataset, config, model_factory);
-            vec![MethodResult::new("w/o-Rule", result.prediction, result.inference)]
-        }
-        AblationVariant::MvTeacher => {
-            // MV-Classifier whose *test-time* prediction applies the rules.
-            let view = dataset.annotation_view();
-            let mv = MajorityVote.infer(&view);
-            let hard = mv.hard_by_instance(&view);
-            let inference = inference_metrics_of(&hard, dataset);
-            let targets = one_hot_targets(&hard, dataset.num_classes);
-            let mut model = model_factory(config.seed);
-            train_supervised(&mut model, dataset, &targets, config);
-            let rules = paper_rules(dataset);
-            let prediction =
-                evaluate_split(&model, &dataset.test, dataset.task, PredictionMode::Teacher, &rules, config.regularization_c);
-            vec![MethodResult::new("MV-t", prediction, Some(inference))]
-        }
-        AblationVariant::MvRule | AblationVariant::GladRule => {
-            let view = dataset.annotation_view();
-            let estimate = if variant == AblationVariant::MvRule {
-                MajorityVote.infer(&view)
-            } else if dataset.task == TaskKind::Classification {
-                Glad::default().infer(&view)
-            } else {
-                // GLAD is not applicable to NER; the paper substitutes the
-                // AggNet estimate, which Dawid–Skene approximates here.
-                DawidSkene::default().infer(&view)
-            };
-            let fixed = estimate_to_targets(&estimate, dataset);
-            let model = model_factory(config.seed);
-            let mut trainer =
-                LogicLncl::new(model, dataset, paper_rules(dataset), config.clone()).with_fixed_posterior(fixed);
-            let report = trainer.train(dataset);
-            let prediction = trainer.evaluate(&dataset.test, dataset.task, PredictionMode::Student);
-            vec![MethodResult::new(variant.name(), prediction, Some(report.inference))]
-        }
-        AblationVariant::OtherRules => {
-            let model = model_factory(config.seed);
-            let mut trainer = LogicLncl::new(model, dataset, other_rules(dataset), config.clone());
-            let report = trainer.train(dataset);
-            let student = trainer.evaluate(&dataset.test, dataset.task, PredictionMode::Student);
-            let teacher = trainer.evaluate(&dataset.test, dataset.task, PredictionMode::Teacher);
-            vec![
-                MethodResult::new("our-other-rules-student", student, Some(report.inference)),
-                MethodResult::new("our-other-rules-teacher", teacher, Some(report.inference)),
-            ]
-        }
+/// Checks a method list against a registry, panicking on unknown keys —
+/// run at the top of every table binary so a typo fails fast.
+pub fn validate_methods(registry: &MethodRegistry, names: &[&str]) {
+    for &name in names {
+        assert!(registry.get(name).is_some(), "method {name:?} is not in the registry (known: {:?})", registry.names());
     }
 }
 
-/// The truth-inference-only rows of Table II (sentiment).
-pub fn sentiment_truth_inference_rows(dataset: &CrowdDataset) -> Vec<MethodResult> {
-    let view = dataset.annotation_view();
-    let methods: Vec<Box<dyn TruthInference>> = vec![
-        Box::new(MajorityVote),
-        Box::new(DawidSkene::default()),
-        Box::new(Glad::default()),
-        Box::new(Pm::default()),
-        Box::new(Catd::default()),
-        Box::new(Ibcc::default()),
-    ];
-    methods
-        .iter()
-        .map(|m| {
-            let estimate = m.infer(&view);
-            let hard = estimate.hard_by_instance(&view);
-            MethodResult::new(m.name(), EvalMetrics::default(), Some(inference_metrics_of(&hard, dataset)))
-        })
-        .collect()
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
 
-/// The truth-inference-only rows of Table III (NER).
-pub fn ner_truth_inference_rows(dataset: &CrowdDataset) -> Vec<MethodResult> {
-    let view = dataset.annotation_view();
-    let methods: Vec<Box<dyn TruthInference>> = vec![
-        Box::new(MajorityVote),
-        Box::new(DawidSkene::default()),
-        Box::new(Ibcc::default()),
-        Box::new(BscSeq::default()),
-        Box::new(HmmCrowd::default()),
-    ];
-    methods
-        .iter()
-        .map(|m| {
-            let estimate = m.infer(&view);
-            let hard = estimate.hard_by_instance(&view);
-            MethodResult::new(m.name(), EvalMetrics::default(), Some(inference_metrics_of(&hard, dataset)))
-        })
-        .collect()
-}
+    #[test]
+    fn table_method_lists_resolve_in_the_standard_registry() {
+        let registry = MethodRegistry::standard();
+        validate_methods(&registry, TABLE2_METHODS);
+        validate_methods(&registry, TABLE3_METHODS);
+        validate_methods(&registry, TABLE4_METHODS);
+    }
 
-/// Convenience used by the ablation binary: all Table-IV variants.
-pub fn ablation_variants() -> Vec<AblationVariant> {
-    AblationVariant::all().to_vec()
-}
+    #[test]
+    #[should_panic(expected = "not in the registry")]
+    fn unknown_method_key_fails_fast() {
+        validate_methods(&MethodRegistry::standard(), &["no-such-method"]);
+    }
 
-/// Rules helper re-exported for binaries that need the rule set of a dataset.
-pub fn dataset_rules(dataset: &CrowdDataset, variant: AblationVariant) -> TaskRules {
-    rules_for(variant, dataset)
+    #[test]
+    fn table_methods_support_their_task() {
+        let registry = MethodRegistry::standard();
+        for &name in TABLE2_METHODS {
+            assert!(registry.get(name).unwrap().descriptor().supports(lncl_crowd::TaskKind::Classification), "{name}");
+        }
+        for &name in TABLE3_METHODS {
+            assert!(registry.get(name).unwrap().descriptor().supports(lncl_crowd::TaskKind::SequenceTagging), "{name}");
+        }
+    }
 }

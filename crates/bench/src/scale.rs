@@ -1,11 +1,10 @@
-//! Experiment scale selection and dataset / model builders shared by every
-//! bench binary.
+//! Experiment scale selection and dataset / run-context builders shared by
+//! every bench binary.
 
 use lncl_crowd::datasets::{generate_ner, generate_sentiment, NerDatasetConfig, SentimentDatasetConfig};
-use lncl_crowd::CrowdDataset;
-use lncl_nn::models::{NerConvGru, NerConvGruConfig, SentimentCnn, SentimentCnnConfig};
-use lncl_tensor::TensorRng;
+use lncl_crowd::{CrowdDataset, TaskKind};
 use logic_lncl::config::TrainConfig;
+use logic_lncl::method::RunContext;
 
 /// How large the regenerated experiments are.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,7 +92,6 @@ impl Scale {
                 min_labels_per_instance: 2,
                 max_labels_per_instance: 4,
                 seed,
-                ..NerDatasetConfig::default()
             },
             Scale::Medium => NerDatasetConfig {
                 train_size: 1200,
@@ -103,7 +101,6 @@ impl Scale {
                 min_labels_per_instance: 2,
                 max_labels_per_instance: 4,
                 seed,
-                ..NerDatasetConfig::default()
             },
             Scale::Paper => NerDatasetConfig { seed, ..NerDatasetConfig::paper_scale() },
         };
@@ -117,42 +114,25 @@ impl Scale {
 
     /// Training configuration used for NER experiments at this scale.
     pub fn ner_train_config(&self, seed: u64) -> TrainConfig {
-        let mut config = TrainConfig::fast(self.epochs()).with_seed(seed);
-        config.imitation = logic_lncl::ImitationSchedule::ner_paper();
-        config.objective = logic_lncl::MStepObjective::AnnotationWeighted;
-        config
+        TrainConfig::builder_from(TrainConfig::fast(self.epochs()))
+            .seed(seed)
+            .imitation(logic_lncl::ImitationSchedule::ner_paper())
+            .objective(logic_lncl::MStepObjective::AnnotationWeighted)
+            .build()
     }
-}
 
-/// Builds the (reduced-width) sentiment CNN for a dataset.
-pub fn sentiment_model(dataset: &CrowdDataset, seed: u64) -> SentimentCnn {
-    let mut rng = TensorRng::seed_from_u64(seed);
-    SentimentCnn::new(
-        SentimentCnnConfig {
-            vocab_size: dataset.vocab_size(),
-            embedding_dim: 24,
-            windows: vec![3, 4, 5],
-            filters_per_window: 12,
-            dropout_keep: 0.7,
-            num_classes: dataset.num_classes,
-        },
-        &mut rng,
-    )
-}
+    /// The task-appropriate training configuration for a dataset.
+    pub fn train_config(&self, task: TaskKind, seed: u64) -> TrainConfig {
+        match task {
+            TaskKind::Classification => self.sentiment_train_config(seed),
+            TaskKind::SequenceTagging => self.ner_train_config(seed),
+        }
+    }
 
-/// Builds the (reduced-width) NER tagger for a dataset.
-pub fn ner_model(dataset: &CrowdDataset, seed: u64) -> NerConvGru {
-    let mut rng = TensorRng::seed_from_u64(seed);
-    NerConvGru::new(
-        NerConvGruConfig {
-            vocab_size: dataset.vocab_size(),
-            embedding_dim: 20,
-            conv_window: 5,
-            conv_features: 24,
-            gru_hidden: 20,
-            dropout_keep: 0.7,
-            num_classes: dataset.num_classes,
-        },
-        &mut rng,
-    )
+    /// The [`RunContext`] every registry method runs under at this scale:
+    /// the task-appropriate training configuration plus the default
+    /// reduced-width model factory for the dataset.
+    pub fn run_context(&self, dataset: &CrowdDataset, seed: u64) -> RunContext {
+        RunContext::for_dataset(dataset, self.train_config(dataset.task, seed))
+    }
 }

@@ -11,7 +11,11 @@ pub fn render_classification_table(title: &str, rows: &[MethodResult]) -> String
     out.push_str(&"-".repeat(72));
     out.push('\n');
     for row in rows {
-        let pred = if row.prediction.accuracy > 0.0 { format!("{:.2}", row.prediction.accuracy * 100.0) } else { "-".to_string() };
+        let pred = if row.prediction.accuracy > 0.0 {
+            format!("{:.2}", row.prediction.accuracy * 100.0)
+        } else {
+            "-".to_string()
+        };
         let inf = match row.inference {
             Some(m) => format!("{:.2}", m.accuracy * 100.0),
             None => "-".to_string(),
@@ -108,7 +112,11 @@ mod tests {
     #[test]
     fn classification_table_contains_rows() {
         let rows = vec![
-            MethodResult::new("MV-Classifier", EvalMetrics::from_accuracy(0.78), Some(EvalMetrics::from_accuracy(0.88))),
+            MethodResult::new(
+                "MV-Classifier",
+                EvalMetrics::from_accuracy(0.78),
+                Some(EvalMetrics::from_accuracy(0.88)),
+            ),
             MethodResult::new("MV", EvalMetrics::default(), Some(EvalMetrics::from_accuracy(0.88))),
         ];
         let table = render_classification_table("Table II", &rows);
@@ -119,7 +127,11 @@ mod tests {
 
     #[test]
     fn sequence_table_handles_missing_metrics() {
-        let rows = vec![MethodResult::new("DL-DN", EvalMetrics { accuracy: 0.9, precision: 0.7, recall: 0.5, f1: 0.58 }, None)];
+        let rows = vec![MethodResult::new(
+            "DL-DN",
+            EvalMetrics { accuracy: 0.9, precision: 0.7, recall: 0.5, f1: 0.58 },
+            None,
+        )];
         let table = render_sequence_table("Table III", &rows);
         assert!(table.contains("DL-DN"));
         assert!(table.contains("58.00"));

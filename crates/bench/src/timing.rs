@@ -1,0 +1,58 @@
+//! A dependency-free micro-benchmark harness used by the `benches/` targets
+//! (the container has no crates.io access, so criterion is not available).
+//!
+//! Each bench target is a plain `harness = false` binary that calls
+//! [`bench`] for every case; the output is one line per case with the mean
+//! wall-clock time per iteration.
+
+use std::time::Instant;
+
+/// Number of timed iterations (`LNCL_BENCH_ITERS` overrides, default 20).
+pub fn bench_iters() -> usize {
+    std::env::var("LNCL_BENCH_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(20).max(1)
+}
+
+/// Times `f` over [`bench_iters`] iterations (after one warm-up call) and
+/// prints `name: <mean per iter>`.  Returns the mean duration in seconds.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> f64 {
+    let iters = bench_iters();
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let secs = start.elapsed().as_secs_f64() / iters as f64;
+    println!("{name:<44} {}", format_duration(secs));
+    secs
+}
+
+fn format_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:>10.3} s/iter")
+    } else if secs >= 1e-3 {
+        format!("{:>10.3} ms/iter", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:>10.3} µs/iter", secs * 1e6)
+    } else {
+        format!("{:>10.1} ns/iter", secs * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_times() {
+        let secs = bench("noop", || 1 + 1);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert!(format_duration(2.0).contains("s/iter"));
+        assert!(format_duration(2e-3).contains("ms/iter"));
+        assert!(format_duration(2e-6).contains("µs/iter"));
+        assert!(format_duration(2e-9).contains("ns/iter"));
+    }
+}

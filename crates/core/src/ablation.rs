@@ -66,9 +66,8 @@ impl AblationVariant {
 pub fn paper_rules(dataset: &CrowdDataset) -> TaskRules {
     match dataset.task {
         TaskKind::Classification => {
-            let but = dataset
-                .but_token
-                .expect("classification dataset must expose a 'but' token for the contrast rule");
+            let but =
+                dataset.but_token.expect("classification dataset must expose a 'but' token for the contrast rule");
             TaskRules::Classification(vec![Box::new(SentimentContrastRule::but_rule(but))])
         }
         TaskKind::SequenceTagging => TaskRules::Sequence(ner_transition_rules(0.8, 0.2)),

@@ -172,8 +172,7 @@ mod tests {
         let dataset = dataset_with_known_annotator();
         // completely uninformative q_f: confusion rows should be close to the
         // annotator's marginal label distribution for both truth classes.
-        let qf: Vec<Vec<Vec<f32>>> =
-            dataset.train.iter().map(|inst| vec![vec![0.5, 0.5]; inst.num_units()]).collect();
+        let qf: Vec<Vec<Vec<f32>>> = dataset.train.iter().map(|inst| vec![vec![0.5, 0.5]; inst.num_units()]).collect();
         let mut model = AnnotatorModel::new(2, 2, 0.5);
         model.update_from_qf(&dataset, &qf, 0.01);
         // annotator 0 labels half 0 and half 1 overall

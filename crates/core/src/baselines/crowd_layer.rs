@@ -61,7 +61,13 @@ pub struct CrowdLayerTrainer<M: InstanceClassifier + Module + Clone> {
 
 impl<M: InstanceClassifier + Module + Clone> CrowdLayerTrainer<M> {
     /// Creates a crowd-layer trainer.
-    pub fn new(model: M, dataset: &CrowdDataset, kind: CrowdLayerKind, config: TrainConfig, pretrain_epochs: usize) -> Self {
+    pub fn new(
+        model: M,
+        dataset: &CrowdDataset,
+        kind: CrowdLayerKind,
+        config: TrainConfig,
+        pretrain_epochs: usize,
+    ) -> Self {
         let k = dataset.num_classes;
         let weights = (0..dataset.num_annotators)
             .map(|j| match kind {
@@ -69,9 +75,8 @@ impl<M: InstanceClassifier + Module + Clone> CrowdLayerTrainer<M> {
                 _ => Param::new(format!("crowd_layer.w{j}"), Matrix::full(1, k, 1.0)),
             })
             .collect();
-        let biases = (0..dataset.num_annotators)
-            .map(|j| Param::new(format!("crowd_layer.b{j}"), Matrix::zeros(1, k)))
-            .collect();
+        let biases =
+            (0..dataset.num_annotators).map(|j| Param::new(format!("crowd_layer.b{j}"), Matrix::zeros(1, k))).collect();
         Self { model, kind, weights, biases, config, pretrain_epochs }
     }
 
@@ -205,8 +210,7 @@ impl<M: InstanceClassifier + Module + Clone> CrowdLayerTrainer<M> {
     /// Inference quality: the classifier's own outputs on the training split
     /// (the convention used for the CL rows of Tables II/III).
     pub fn inference_metrics(&self, dataset: &CrowdDataset) -> EvalMetrics {
-        let predictions: Vec<Vec<usize>> =
-            dataset.train.iter().map(|inst| self.model.predict(&inst.tokens)).collect();
+        let predictions: Vec<Vec<usize>> = dataset.train.iter().map(|inst| self.model.predict(&inst.tokens)).collect();
         crate::baselines::two_stage::inference_metrics_of(&predictions, dataset)
     }
 
@@ -237,6 +241,7 @@ mod tests {
             test_size: 150,
             num_annotators: 15,
             filler_vocab: 40,
+            seed: 0,
             ..SentimentDatasetConfig::tiny()
         });
         let mut rng = TensorRng::seed_from_u64(0);

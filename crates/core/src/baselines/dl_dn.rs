@@ -68,12 +68,9 @@ where
     let mut counts: Vec<(usize, usize)> = (0..dataset.num_annotators)
         .map(|a| (a, dataset.train.iter().filter(|i| i.labels_by(a).is_some()).count()))
         .collect();
-    counts.sort_by(|x, y| y.1.cmp(&x.1));
-    let selected: Vec<(usize, usize)> = counts
-        .into_iter()
-        .filter(|&(_, n)| n >= config.min_instances)
-        .take(config.max_annotators)
-        .collect();
+    counts.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
+    let selected: Vec<(usize, usize)> =
+        counts.into_iter().filter(|&(_, n)| n >= config.min_instances).take(config.max_annotators).collect();
     assert!(!selected.is_empty(), "DL-DN: no annotator has enough labels (min_instances too high?)");
 
     let mut ensemble: Vec<(M, f32)> = Vec::with_capacity(selected.len());
@@ -91,10 +88,8 @@ where
             })
             .collect();
         let sub_dataset = CrowdDataset { train, ..dataset.clone() };
-        let targets = one_hot_targets(
-            &sub_dataset.train.iter().map(|i| i.gold.clone()).collect::<Vec<_>>(),
-            dataset.num_classes,
-        );
+        let targets =
+            one_hot_targets(&sub_dataset.train.iter().map(|i| i.gold.clone()).collect::<Vec<_>>(), dataset.num_classes);
         let mut model = model_factory(idx as u64);
         let sub_config = TrainConfig { seed: config.train.seed.wrapping_add(idx as u64), ..config.train.clone() };
         train_supervised(&mut model, &sub_dataset, &targets, &sub_config);
@@ -106,11 +101,8 @@ where
     }
 
     // ensemble prediction on the test split
-    let predictions: Vec<Vec<usize>> = dataset
-        .test
-        .iter()
-        .map(|inst| ensemble_predict(&ensemble, &inst.tokens, dataset.num_classes))
-        .collect();
+    let predictions: Vec<Vec<usize>> =
+        dataset.test.iter().map(|inst| ensemble_predict(&ensemble, &inst.tokens, dataset.num_classes)).collect();
     let metrics = evaluate_predictions(&predictions, &dataset.test, dataset.task);
     (metrics, predictions)
 }
@@ -184,11 +176,7 @@ mod tests {
             filler_vocab: 30,
             ..SentimentDatasetConfig::tiny()
         });
-        let config = DlDnConfig {
-            train: TrainConfig::fast(10),
-            min_instances: 50,
-            max_annotators: 6,
-        };
+        let config = DlDnConfig { train: TrainConfig::fast(10), min_instances: 50, max_annotators: 6 };
         let (metrics, predictions) = train_dl_dn(&dataset, DlDnKind::Weighted, &config, factory(&dataset));
         assert_eq!(predictions.len(), dataset.test.len());
         assert!(metrics.accuracy > 0.55, "DL-WDN accuracy {}", metrics.accuracy);

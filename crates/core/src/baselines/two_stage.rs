@@ -84,8 +84,15 @@ pub fn train_supervised<M: InstanceClassifier + Module + Clone>(
         report.loss_history.push(epoch_loss / batches.max(1) as f32);
 
         let dev_split = if dataset.dev.is_empty() { &dataset.test } else { &dataset.dev };
-        let dev = evaluate_split(model, dev_split, dataset.task, PredictionMode::Student, &crate::distill::TaskRules::None, 0.0)
-            .headline(sequence_task);
+        let dev = evaluate_split(
+            model,
+            dev_split,
+            dataset.task,
+            PredictionMode::Student,
+            &crate::distill::TaskRules::None,
+            0.0,
+        )
+        .headline(sequence_task);
         report.dev_history.push(dev);
         report.epochs_run = epoch + 1;
         if dev > best_dev {
@@ -162,6 +169,7 @@ mod tests {
             test_size: 150,
             num_annotators: 15,
             filler_vocab: 40,
+            seed: 0,
             ..SentimentDatasetConfig::tiny()
         });
         let mut rng = TensorRng::seed_from_u64(0);

@@ -1,10 +1,8 @@
 //! Training configuration mirroring Table I of the paper.
 
-use serde::{Deserialize, Serialize};
-
 /// The imitation-strength schedule `k(t)` balancing the two learning targets
 /// in the pseudo-M-step (Eq. 7/9).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ImitationSchedule {
     /// A fixed `k`.
     Constant(f32),
@@ -44,7 +42,7 @@ impl ImitationSchedule {
 
 /// Which M-step objective to use: Eq. 6 (plain expectation) or Eq. 5
 /// (weighted by the number of annotations of each instance).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MStepObjective {
     /// Eq. 6 — every instance contributes equally.
     Unweighted,
@@ -54,7 +52,7 @@ pub enum MStepObjective {
 
 /// Optimiser selection (the paper uses Adadelta for sentiment and Adam for
 /// NER).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum OptimizerKind {
     /// SGD with momentum.
     Sgd { lr: f32, momentum: f32 },
@@ -66,7 +64,7 @@ pub enum OptimizerKind {
 
 /// Full training configuration of the Logic-LNCL trainer and of the EM /
 /// crowd-layer baselines that share its loop.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TrainConfig {
     /// Maximum number of epochs (Table I: 30).
     pub epochs: usize,
@@ -151,6 +149,102 @@ impl TrainConfig {
         self.epochs = epochs;
         self
     }
+
+    /// Starts a builder from the [`TrainConfig::fast`] defaults.
+    ///
+    /// ```
+    /// use logic_lncl::config::{OptimizerKind, TrainConfig};
+    ///
+    /// let config = TrainConfig::builder()
+    ///     .epochs(8)
+    ///     .batch_size(32)
+    ///     .optimizer(OptimizerKind::Adam { lr: 0.005 })
+    ///     .seed(7)
+    ///     .build();
+    /// assert_eq!(config.epochs, 8);
+    /// ```
+    pub fn builder() -> TrainConfigBuilder {
+        TrainConfigBuilder { config: TrainConfig::fast(12) }
+    }
+
+    /// Starts a builder from an existing configuration (e.g. the Table-I
+    /// `sentiment_paper()` / `ner_paper()` presets).
+    pub fn builder_from(config: TrainConfig) -> TrainConfigBuilder {
+        TrainConfigBuilder { config }
+    }
+}
+
+/// Builder for [`TrainConfig`]; see [`TrainConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct TrainConfigBuilder {
+    config: TrainConfig,
+}
+
+impl TrainConfigBuilder {
+    /// Maximum number of epochs.
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.config.epochs = epochs;
+        self
+    }
+
+    /// Mini-batch size.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.config.batch_size = batch_size;
+        self
+    }
+
+    /// Posterior-regularisation strength `C`.
+    pub fn regularization_c(mut self, c: f32) -> Self {
+        self.config.regularization_c = c;
+        self
+    }
+
+    /// Imitation-strength schedule `k(t)`.
+    pub fn imitation(mut self, schedule: ImitationSchedule) -> Self {
+        self.config.imitation = schedule;
+        self
+    }
+
+    /// M-step objective (Eq. 5 vs Eq. 6).
+    pub fn objective(mut self, objective: MStepObjective) -> Self {
+        self.config.objective = objective;
+        self
+    }
+
+    /// Early-stopping patience on the development metric.
+    pub fn early_stopping_patience(mut self, patience: usize) -> Self {
+        self.config.early_stopping_patience = patience;
+        self
+    }
+
+    /// Optimiser.
+    pub fn optimizer(mut self, optimizer: OptimizerKind) -> Self {
+        self.config.optimizer = optimizer;
+        self
+    }
+
+    /// Learning-rate step decay `(factor, every_epochs)`; `None` disables.
+    pub fn lr_decay(mut self, decay: Option<(f32, usize)>) -> Self {
+        self.config.lr_decay = decay;
+        self
+    }
+
+    /// Global gradient-norm clip; `None` disables.
+    pub fn grad_clip(mut self, clip: Option<f32>) -> Self {
+        self.config.grad_clip = clip;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> TrainConfig {
+        self.config
+    }
 }
 
 #[cfg(test)]
@@ -202,5 +296,38 @@ mod tests {
         let c = TrainConfig::fast(3).with_seed(99).with_epochs(7);
         assert_eq!(c.epochs, 7);
         assert_eq!(c.seed, 99);
+    }
+
+    #[test]
+    fn full_builder_sets_every_field() {
+        let c = TrainConfig::builder()
+            .epochs(9)
+            .batch_size(17)
+            .regularization_c(3.0)
+            .imitation(ImitationSchedule::Constant(0.5))
+            .objective(MStepObjective::AnnotationWeighted)
+            .early_stopping_patience(2)
+            .optimizer(OptimizerKind::Sgd { lr: 0.1, momentum: 0.9 })
+            .lr_decay(Some((0.5, 3)))
+            .grad_clip(None)
+            .seed(41)
+            .build();
+        assert_eq!(c.epochs, 9);
+        assert_eq!(c.batch_size, 17);
+        assert_eq!(c.regularization_c, 3.0);
+        assert_eq!(c.imitation, ImitationSchedule::Constant(0.5));
+        assert_eq!(c.objective, MStepObjective::AnnotationWeighted);
+        assert_eq!(c.early_stopping_patience, 2);
+        assert!(matches!(c.optimizer, OptimizerKind::Sgd { .. }));
+        assert_eq!(c.lr_decay, Some((0.5, 3)));
+        assert_eq!(c.grad_clip, None);
+        assert_eq!(c.seed, 41);
+    }
+
+    #[test]
+    fn builder_from_preserves_preset() {
+        let c = TrainConfig::builder_from(TrainConfig::ner_paper()).seed(5).build();
+        assert_eq!(c.batch_size, 64);
+        assert_eq!(c.seed, 5);
     }
 }

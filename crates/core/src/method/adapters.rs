@@ -1,0 +1,346 @@
+//! [`CrowdMethod`] adapters for every compared method of the paper.
+//!
+//! Each adapter owns its method-specific knobs (crowd-layer kind,
+//! pre-training epochs, ablation variant, …) and reads everything shared —
+//! training configuration and model factory — from the [`RunContext`], so
+//! the bench harness and the examples construct methods exclusively through
+//! the [`MethodRegistry`](super::MethodRegistry).
+
+use super::{CrowdMethod, Family, MethodDescriptor, RunContext, TaskSupport};
+use crate::ablation::{other_rules, paper_rules, AblationVariant};
+use crate::baselines::two_stage::{gold_targets, inference_metrics_of, one_hot_targets, train_supervised};
+use crate::baselines::{train_dl_dn, CrowdLayerKind, CrowdLayerTrainer, DlDnConfig, DlDnKind};
+use crate::config::TrainConfig;
+use crate::distill::TaskRules;
+use crate::predict::{evaluate_split, PredictionMode};
+use crate::report::{EvalMetrics, MethodResult};
+use crate::trainer::LogicLncl;
+use lncl_crowd::truth::{DawidSkene, Glad, MajorityVote, TruthEstimate, TruthInference};
+use lncl_crowd::{CrowdDataset, TaskKind};
+
+/// Converts a flat truth estimate into per-instance soft targets (one
+/// distribution per unit), the layout consumed by the fixed-posterior
+/// trainer mode.
+pub fn estimate_to_targets(estimate: &TruthEstimate, dataset: &CrowdDataset) -> Vec<Vec<Vec<f32>>> {
+    let view = dataset.annotation_view();
+    let mut targets: Vec<Vec<Vec<f32>>> = dataset.train.iter().map(|_| Vec::new()).collect();
+    for (u, post) in estimate.posteriors.iter().enumerate() {
+        targets[view.unit_instance[u]].push(post.clone());
+    }
+    targets
+}
+
+/// A truth-inference baseline contributing an inference-only table row
+/// (the "Truth Inference" blocks of Tables II/III).
+pub struct TruthOnly<I: TruthInference + Send + Sync> {
+    name: String,
+    inner: I,
+    tasks: TaskSupport,
+}
+
+impl<I: TruthInference + Send + Sync> TruthOnly<I> {
+    /// Wraps a truth-inference method under a registry key.
+    pub fn new(name: impl Into<String>, inner: I, tasks: TaskSupport) -> Self {
+        Self { name: name.into(), inner, tasks }
+    }
+}
+
+impl<I: TruthInference + Send + Sync> CrowdMethod for TruthOnly<I> {
+    fn descriptor(&self) -> MethodDescriptor {
+        MethodDescriptor::new(self.name.clone(), self.inner.name(), Family::TruthInference, self.tasks)
+    }
+
+    fn run(&self, dataset: &CrowdDataset, _ctx: &RunContext) -> Vec<MethodResult> {
+        let view = dataset.annotation_view();
+        let estimate = self.inner.infer(&view);
+        let hard = estimate.hard_by_instance(&view);
+        vec![MethodResult::new(self.inner.name(), EvalMetrics::default(), Some(inference_metrics_of(&hard, dataset)))]
+    }
+}
+
+/// A two-stage baseline: aggregate with the wrapped truth-inference method,
+/// then train the classifier on the hard labels (MV-Classifier,
+/// GLAD-Classifier).
+pub struct TwoStage<I: TruthInference + Send + Sync> {
+    name: String,
+    label: String,
+    inference: I,
+    tasks: TaskSupport,
+}
+
+impl<I: TruthInference + Send + Sync> TwoStage<I> {
+    /// Wraps a truth-inference method into a two-stage pipeline.
+    pub fn new(name: impl Into<String>, label: impl Into<String>, inference: I, tasks: TaskSupport) -> Self {
+        Self { name: name.into(), label: label.into(), inference, tasks }
+    }
+}
+
+/// The two-stage pipeline shared by the [`TwoStage`] adapter and the `MV-t`
+/// ablation: aggregate, train supervised on the hard labels, then evaluate
+/// the classifier under the given output mode.
+fn run_two_stage_pipeline(
+    inference: &dyn TruthInference,
+    label: &str,
+    mode: PredictionMode,
+    rules: &TaskRules,
+    regularization_c: f32,
+    dataset: &CrowdDataset,
+    ctx: &RunContext,
+) -> Vec<MethodResult> {
+    let view = dataset.annotation_view();
+    let estimate = inference.infer(&view);
+    let hard = estimate.hard_by_instance(&view);
+    let inference_metrics = inference_metrics_of(&hard, dataset);
+    let targets = one_hot_targets(&hard, dataset.num_classes);
+    let mut model = ctx.model(ctx.config.seed);
+    train_supervised(&mut model, dataset, &targets, &ctx.config);
+    let prediction = evaluate_split(&model, &dataset.test, dataset.task, mode, rules, regularization_c);
+    vec![MethodResult::new(label, prediction, Some(inference_metrics))]
+}
+
+impl<I: TruthInference + Send + Sync> CrowdMethod for TwoStage<I> {
+    fn descriptor(&self) -> MethodDescriptor {
+        MethodDescriptor::new(self.name.clone(), self.label.clone(), Family::TwoStage, self.tasks)
+    }
+
+    fn run(&self, dataset: &CrowdDataset, ctx: &RunContext) -> Vec<MethodResult> {
+        run_two_stage_pipeline(
+            &self.inference,
+            &self.label,
+            PredictionMode::Student,
+            &TaskRules::None,
+            0.0,
+            dataset,
+            ctx,
+        )
+    }
+}
+
+/// The Gold upper bound: supervised training on the true labels.
+pub struct GoldUpperBound;
+
+impl CrowdMethod for GoldUpperBound {
+    fn descriptor(&self) -> MethodDescriptor {
+        MethodDescriptor::new("gold", "Gold", Family::Gold, TaskSupport::Both)
+    }
+
+    fn run(&self, dataset: &CrowdDataset, ctx: &RunContext) -> Vec<MethodResult> {
+        let mut model = ctx.model(ctx.config.seed);
+        train_supervised(&mut model, dataset, &gold_targets(dataset), &ctx.config);
+        let prediction =
+            evaluate_split(&model, &dataset.test, dataset.task, PredictionMode::Student, &TaskRules::None, 0.0);
+        vec![MethodResult::new("Gold", prediction, Some(EvalMetrics::from_accuracy(1.0)))]
+    }
+}
+
+/// The EM baseline without rules (AggNet with a neural classifier; the
+/// inference column doubles as the Raykar row of Table II).
+pub struct AggNet;
+
+impl CrowdMethod for AggNet {
+    fn descriptor(&self) -> MethodDescriptor {
+        MethodDescriptor::new("aggnet", "AggNet", Family::NeuralEm, TaskSupport::Both)
+    }
+
+    fn run(&self, dataset: &CrowdDataset, ctx: &RunContext) -> Vec<MethodResult> {
+        let mut trainer = LogicLncl::builder(ctx.model(ctx.config.seed)).config(ctx.config.clone()).build(dataset);
+        let report = trainer.train(dataset);
+        let prediction = trainer.evaluate(&dataset.test, dataset.task, PredictionMode::Student);
+        vec![MethodResult::new("AggNet", prediction, Some(report.inference))]
+    }
+}
+
+/// One crowd-layer variant (Rodrigues & Pereira 2018), optionally with a few
+/// epochs of majority-voting pre-training (the `MW, 5` configuration of
+/// Table III).
+pub struct CrowdLayerMethod {
+    kind: CrowdLayerKind,
+    pretrain_epochs: usize,
+}
+
+impl CrowdLayerMethod {
+    /// Creates the variant; `pretrain_epochs == 0` disables pre-training.
+    pub fn new(kind: CrowdLayerKind, pretrain_epochs: usize) -> Self {
+        Self { kind, pretrain_epochs }
+    }
+
+    fn key(&self) -> String {
+        let base = match self.kind {
+            CrowdLayerKind::MatrixWeight => "cl-mw",
+            CrowdLayerKind::VectorWeight => "cl-vw",
+            CrowdLayerKind::VectorWeightBias => "cl-vw-b",
+        };
+        if self.pretrain_epochs > 0 {
+            // the epoch count is part of the key so differently pre-trained
+            // variants of the same kind can coexist in one registry
+            format!("{base}+pre{}", self.pretrain_epochs)
+        } else {
+            base.to_string()
+        }
+    }
+
+    fn label(&self) -> String {
+        if self.pretrain_epochs > 0 {
+            format!("{} [{} pretrain]", self.kind.name(), self.pretrain_epochs)
+        } else {
+            self.kind.name().to_string()
+        }
+    }
+}
+
+impl CrowdMethod for CrowdLayerMethod {
+    fn descriptor(&self) -> MethodDescriptor {
+        MethodDescriptor::new(self.key(), self.label(), Family::CrowdLayer, TaskSupport::Both)
+    }
+
+    fn run(&self, dataset: &CrowdDataset, ctx: &RunContext) -> Vec<MethodResult> {
+        let model = ctx.model(ctx.config.seed);
+        let mut trainer = CrowdLayerTrainer::new(model, dataset, self.kind, ctx.config.clone(), self.pretrain_epochs);
+        let inference = trainer.train(dataset);
+        let prediction = trainer.evaluate(&dataset.test, dataset.task);
+        vec![MethodResult::new(self.label(), prediction, Some(inference))]
+    }
+}
+
+/// DL-DN / DL-WDN (Guan et al. 2018): one network per annotator with
+/// (weighted) prediction averaging.
+pub struct DlDnMethod {
+    kind: DlDnKind,
+}
+
+impl DlDnMethod {
+    /// Creates the variant.
+    pub fn new(kind: DlDnKind) -> Self {
+        Self { kind }
+    }
+}
+
+impl CrowdMethod for DlDnMethod {
+    fn descriptor(&self) -> MethodDescriptor {
+        let key = match self.kind {
+            DlDnKind::Uniform => "dl-dn",
+            DlDnKind::Weighted => "dl-wdn",
+        };
+        MethodDescriptor::new(key, self.kind.name(), Family::DlDn, TaskSupport::Both)
+    }
+
+    fn run(&self, dataset: &CrowdDataset, ctx: &RunContext) -> Vec<MethodResult> {
+        let dl_config = DlDnConfig {
+            train: TrainConfig { epochs: (ctx.config.epochs / 2).max(3), ..ctx.config.clone() },
+            min_instances: 20,
+            max_annotators: 10,
+        };
+        let (prediction, _) = train_dl_dn(dataset, self.kind, &dl_config, |seed| ctx.model(seed));
+        vec![MethodResult::new(self.kind.name(), prediction, None)]
+    }
+}
+
+/// The full Logic-LNCL: one training run contributing the student and
+/// teacher rows.
+pub struct LogicLnclMethod;
+
+impl CrowdMethod for LogicLnclMethod {
+    fn descriptor(&self) -> MethodDescriptor {
+        MethodDescriptor::new("logic-lncl", "Logic-LNCL", Family::LogicLncl, TaskSupport::Both)
+    }
+
+    fn run(&self, dataset: &CrowdDataset, ctx: &RunContext) -> Vec<MethodResult> {
+        let mut trainer = LogicLncl::builder(ctx.model(ctx.config.seed))
+            .rules(paper_rules(dataset))
+            .config(ctx.config.clone())
+            .build(dataset);
+        let report = trainer.train(dataset);
+        let student = trainer.evaluate(&dataset.test, dataset.task, PredictionMode::Student);
+        let teacher = trainer.evaluate(&dataset.test, dataset.task, PredictionMode::Teacher);
+        vec![
+            MethodResult::new("Logic-LNCL-student", student, Some(report.inference)),
+            MethodResult::new("Logic-LNCL-teacher", teacher, Some(report.inference)),
+        ]
+    }
+}
+
+/// One Table-IV ablation variant.  [`AblationVariant::Full`] delegates to
+/// [`LogicLnclMethod`] (it is registered under `"logic-lncl"`).
+pub struct AblationMethod {
+    variant: AblationVariant,
+}
+
+impl AblationMethod {
+    /// Creates the variant runner.
+    pub fn new(variant: AblationVariant) -> Self {
+        Self { variant }
+    }
+
+    fn key(&self) -> &'static str {
+        match self.variant {
+            AblationVariant::MvRule => "mv-rule",
+            AblationVariant::GladRule => "glad-rule",
+            AblationVariant::WithoutRule => "wo-rule",
+            AblationVariant::MvTeacher => "mv-teacher",
+            AblationVariant::OtherRules => "other-rules",
+            AblationVariant::Full => "logic-lncl",
+        }
+    }
+}
+
+impl CrowdMethod for AblationMethod {
+    fn descriptor(&self) -> MethodDescriptor {
+        MethodDescriptor::new(self.key(), self.variant.name(), Family::Ablation, TaskSupport::Both)
+    }
+
+    fn run(&self, dataset: &CrowdDataset, ctx: &RunContext) -> Vec<MethodResult> {
+        match self.variant {
+            AblationVariant::Full => LogicLnclMethod.run(dataset, ctx),
+            AblationVariant::WithoutRule => {
+                let rows = AggNet.run(dataset, ctx);
+                rows.into_iter().map(|r| MethodResult::new("w/o-Rule", r.prediction, r.inference)).collect()
+            }
+            AblationVariant::MvTeacher => {
+                // MV-Classifier whose *test-time* prediction applies the rules.
+                run_two_stage_pipeline(
+                    &MajorityVote,
+                    "MV-t",
+                    PredictionMode::Teacher,
+                    &paper_rules(dataset),
+                    ctx.config.regularization_c,
+                    dataset,
+                    ctx,
+                )
+            }
+            AblationVariant::MvRule | AblationVariant::GladRule => {
+                let view = dataset.annotation_view();
+                let estimate = if self.variant == AblationVariant::MvRule {
+                    MajorityVote.infer(&view)
+                } else if dataset.task == TaskKind::Classification {
+                    Glad::default().infer(&view)
+                } else {
+                    // GLAD is not applicable to NER; the paper substitutes the
+                    // AggNet estimate, which Dawid–Skene approximates here.
+                    DawidSkene::default().infer(&view)
+                };
+                let fixed = estimate_to_targets(&estimate, dataset);
+                let mut trainer = LogicLncl::builder(ctx.model(ctx.config.seed))
+                    .rules(paper_rules(dataset))
+                    .config(ctx.config.clone())
+                    .fixed_posterior(fixed)
+                    .build(dataset);
+                let report = trainer.train(dataset);
+                let prediction = trainer.evaluate(&dataset.test, dataset.task, PredictionMode::Student);
+                vec![MethodResult::new(self.variant.name(), prediction, Some(report.inference))]
+            }
+            AblationVariant::OtherRules => {
+                let mut trainer = LogicLncl::builder(ctx.model(ctx.config.seed))
+                    .rules(other_rules(dataset))
+                    .config(ctx.config.clone())
+                    .build(dataset);
+                let report = trainer.train(dataset);
+                let student = trainer.evaluate(&dataset.test, dataset.task, PredictionMode::Student);
+                let teacher = trainer.evaluate(&dataset.test, dataset.task, PredictionMode::Teacher);
+                vec![
+                    MethodResult::new("our-other-rules-student", student, Some(report.inference)),
+                    MethodResult::new("our-other-rules-teacher", teacher, Some(report.inference)),
+                ]
+            }
+        }
+    }
+}

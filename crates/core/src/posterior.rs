@@ -21,8 +21,7 @@ pub fn infer_qa(instance: &Instance, predictions: &Matrix, annotators: &Annotato
 
     let mut out = Vec::with_capacity(units);
     for u in 0..units {
-        let mut log_post: Vec<f32> =
-            predictions.row(u).iter().map(|&p| p.max(1e-12).ln()).collect();
+        let mut log_post: Vec<f32> = predictions.row(u).iter().map(|&p| p.max(1e-12).ln()).collect();
         for cl in &instance.crowd_labels {
             let observed = cl.labels[u];
             for (m, lp) in log_post.iter_mut().enumerate() {
@@ -36,17 +35,9 @@ pub fn infer_qa(instance: &Instance, predictions: &Matrix, annotators: &Annotato
 
 /// Batched version of [`infer_qa`] over many instances with their cached
 /// classifier predictions.
-pub fn infer_qa_all(
-    instances: &[Instance],
-    predictions: &[Matrix],
-    annotators: &AnnotatorModel,
-) -> Vec<Vec<Vec<f32>>> {
+pub fn infer_qa_all(instances: &[Instance], predictions: &[Matrix], annotators: &AnnotatorModel) -> Vec<Vec<Vec<f32>>> {
     assert_eq!(instances.len(), predictions.len(), "one prediction matrix per instance required");
-    instances
-        .iter()
-        .zip(predictions)
-        .map(|(inst, pred)| infer_qa(inst, pred, annotators))
-        .collect()
+    instances.iter().zip(predictions).map(|(inst, pred)| infer_qa(inst, pred, annotators)).collect()
 }
 
 #[cfg(test)]

@@ -49,10 +49,7 @@ pub fn predict_labels<M: InstanceClassifier>(
     rules: &TaskRules,
     regularization_c: f32,
 ) -> Vec<usize> {
-    predict_proba(model, tokens, mode, rules, regularization_c)
-        .iter()
-        .map(|p| stats::argmax(p))
-        .collect()
+    predict_proba(model, tokens, mode, rules, regularization_c).iter().map(|p| stats::argmax(p)).collect()
 }
 
 /// Evaluates a model on a dataset split (dev or test), producing accuracy
@@ -66,10 +63,8 @@ pub fn evaluate_split<M: InstanceClassifier>(
     rules: &TaskRules,
     regularization_c: f32,
 ) -> EvalMetrics {
-    let predictions: Vec<Vec<usize>> = split
-        .iter()
-        .map(|inst| predict_labels(model, &inst.tokens, mode, rules, regularization_c))
-        .collect();
+    let predictions: Vec<Vec<usize>> =
+        split.iter().map(|inst| predict_labels(model, &inst.tokens, mode, rules, regularization_c)).collect();
     evaluate_predictions(&predictions, split, task)
 }
 
@@ -100,7 +95,13 @@ mod tests {
     fn tiny_model() -> SentimentCnn {
         let mut rng = TensorRng::seed_from_u64(3);
         SentimentCnn::new(
-            SentimentCnnConfig { vocab_size: 20, embedding_dim: 6, windows: vec![2], filters_per_window: 4, ..Default::default() },
+            SentimentCnnConfig {
+                vocab_size: 20,
+                embedding_dim: 6,
+                windows: vec![2],
+                filters_per_window: 4,
+                ..Default::default()
+            },
             &mut rng,
         )
     }

@@ -1,14 +1,12 @@
 //! Result records shared by the trainer, the baselines and the experiment
 //! harness in `lncl-bench`.
 
-use serde::{Deserialize, Serialize};
-
 /// Evaluation metrics of one method on one split.
 ///
 /// For classification only `accuracy` is meaningful (the other fields mirror
 /// it); for sequence tagging `accuracy` holds the token-level accuracy and
 /// `precision`/`recall`/`f1` the strict span-level scores.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EvalMetrics {
     /// Classification accuracy (or token accuracy for sequences).
     pub accuracy: f32,
@@ -54,7 +52,7 @@ impl EvalMetrics {
 /// One row of a results table: a method with its prediction metrics (test
 /// split) and inference metrics (training split), exactly the two column
 /// groups of Tables II and III.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MethodResult {
     /// Display name ("Logic-LNCL-teacher", "AggNet", "MV-Classifier", …).
     pub method: String,
@@ -82,7 +80,7 @@ impl MethodResult {
 }
 
 /// Training history returned by the trainer.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TrainReport {
     /// Development metric (accuracy or span F1) per epoch.
     pub dev_history: Vec<f32>,

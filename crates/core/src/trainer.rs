@@ -27,6 +27,7 @@ use lncl_nn::{Binding, InstanceClassifier, Module};
 use lncl_tensor::{stats, Matrix, TensorRng};
 
 /// Where the truth posterior `q_a` comes from.
+#[derive(Debug, Clone)]
 pub enum PosteriorMode {
     /// Full Logic-LNCL: Eq. 13 with the live classifier and annotator model,
     /// refreshed every epoch.
@@ -53,14 +54,98 @@ pub struct LogicLncl<M: InstanceClassifier + Module + Clone> {
     best_model: Option<M>,
 }
 
+/// Builder for the [`LogicLncl`] trainer; see [`LogicLncl::builder`].
+///
+/// Defaults: no rules (the AggNet / w/o-Rule configuration), the
+/// [`TrainConfig::fast`] configuration and the iterative posterior.
+pub struct LogicLnclBuilder<M: InstanceClassifier + Module + Clone> {
+    model: M,
+    rules: TaskRules,
+    config: TrainConfig,
+    posterior: PosteriorMode,
+}
+
+impl<M: InstanceClassifier + Module + Clone> LogicLnclBuilder<M> {
+    /// Attaches logic rules (e.g. [`crate::ablation::paper_rules`]).
+    pub fn rules(mut self, rules: TaskRules) -> Self {
+        self.rules = rules;
+        self
+    }
+
+    /// Sets the training configuration.
+    pub fn config(mut self, config: TrainConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the posterior mode (iterative vs fixed).
+    pub fn posterior(mut self, posterior: PosteriorMode) -> Self {
+        self.posterior = posterior;
+        self
+    }
+
+    /// Freezes `q_a` to an external per-instance estimate (the MV-Rule /
+    /// GLAD-Rule ablation); shorthand for
+    /// `.posterior(PosteriorMode::Fixed(..))`.
+    pub fn fixed_posterior(self, posterior: Vec<Vec<Vec<f32>>>) -> Self {
+        self.posterior(PosteriorMode::Fixed(posterior))
+    }
+
+    /// Finishes the builder, sizing the annotator model for `dataset`.
+    pub fn build(self, dataset: &CrowdDataset) -> LogicLncl<M> {
+        let mut trainer = LogicLncl::new(self.model, dataset, self.rules, self.config);
+        trainer.posterior_mode = self.posterior;
+        trainer
+    }
+}
+
 impl<M: InstanceClassifier + Module + Clone> LogicLncl<M> {
     /// Creates a trainer for a dataset.
     pub fn new(model: M, dataset: &CrowdDataset, rules: TaskRules, config: TrainConfig) -> Self {
         let annotators = AnnotatorModel::new(dataset.num_annotators, dataset.num_classes, 0.7);
-        Self { model, annotators, rules, config, posterior_mode: PosteriorMode::Iterative, qf: Vec::new(), best_model: None }
+        Self {
+            model,
+            annotators,
+            rules,
+            config,
+            posterior_mode: PosteriorMode::Iterative,
+            qf: Vec::new(),
+            best_model: None,
+        }
+    }
+
+    /// Starts a builder around a classifier:
+    ///
+    /// ```no_run
+    /// # use lncl_crowd::datasets::{generate_sentiment, SentimentDatasetConfig};
+    /// # use lncl_nn::models::{SentimentCnn, SentimentCnnConfig};
+    /// # use lncl_tensor::TensorRng;
+    /// use logic_lncl::ablation::paper_rules;
+    /// use logic_lncl::{LogicLncl, TrainConfig};
+    ///
+    /// # let dataset = generate_sentiment(&SentimentDatasetConfig::tiny());
+    /// # let mut rng = TensorRng::seed_from_u64(0);
+    /// # let model = SentimentCnn::new(
+    /// #     SentimentCnnConfig { vocab_size: dataset.vocab_size(), ..Default::default() },
+    /// #     &mut rng,
+    /// # );
+    /// let mut trainer = LogicLncl::builder(model)
+    ///     .rules(paper_rules(&dataset))
+    ///     .config(TrainConfig::builder().epochs(10).seed(7).build())
+    ///     .build(&dataset);
+    /// let report = trainer.train(&dataset);
+    /// ```
+    pub fn builder(model: M) -> LogicLnclBuilder<M> {
+        LogicLnclBuilder {
+            model,
+            rules: TaskRules::None,
+            config: TrainConfig::fast(12),
+            posterior: PosteriorMode::Iterative,
+        }
     }
 
     /// Switches to a fixed external posterior (MV-Rule / GLAD-Rule ablation).
+    #[deprecated(since = "0.1.0", note = "use `LogicLncl::builder(model).fixed_posterior(..)` instead")]
     pub fn with_fixed_posterior(mut self, posterior: Vec<Vec<Vec<f32>>>) -> Self {
         self.posterior_mode = PosteriorMode::Fixed(posterior);
         self
@@ -84,7 +169,8 @@ impl<M: InstanceClassifier + Module + Clone> LogicLncl<M> {
     fn initialize_qf(&mut self, dataset: &CrowdDataset) {
         let view = dataset.annotation_view();
         let mv = MajorityVote.infer(&view);
-        let mut qf: Vec<Vec<Vec<f32>>> = dataset.train.iter().map(|inst| Vec::with_capacity(inst.num_units())).collect();
+        let mut qf: Vec<Vec<Vec<f32>>> =
+            dataset.train.iter().map(|inst| Vec::with_capacity(inst.num_units())).collect();
         for (u, post) in mv.posteriors.iter().enumerate() {
             qf[view.unit_instance[u]].push(post.clone());
         }
@@ -254,6 +340,7 @@ mod tests {
             test_size: 150,
             num_annotators: 15,
             filler_vocab: 40,
+            seed: 0,
             ..SentimentDatasetConfig::tiny()
         })
     }
@@ -285,15 +372,9 @@ mod tests {
     fn training_improves_over_initialisation() {
         let dataset = tiny_dataset();
         let model = tiny_model(&dataset, 1);
-        let untrained_acc = evaluate_split(
-            &model,
-            &dataset.test,
-            dataset.task,
-            PredictionMode::Student,
-            &TaskRules::None,
-            5.0,
-        )
-        .accuracy;
+        let untrained_acc =
+            evaluate_split(&model, &dataset.test, dataset.task, PredictionMode::Student, &TaskRules::None, 5.0)
+                .accuracy;
         let mut trainer = LogicLncl::new(model, &dataset, but_rules(&dataset), fast_config(10));
         let report = trainer.train(&dataset);
         let trained_acc = trainer.evaluate(&dataset.test, dataset.task, PredictionMode::Student).accuracy;
@@ -340,8 +421,8 @@ mod tests {
             fixed[view.unit_instance[u]].push(post.clone());
         }
         let model = tiny_model(&dataset, 4);
-        let mut trainer = LogicLncl::new(model, &dataset, TaskRules::None, fast_config(2))
-            .with_fixed_posterior(fixed.clone());
+        let mut trainer =
+            LogicLncl::builder(model).config(fast_config(2)).fixed_posterior(fixed.clone()).build(&dataset);
         let _ = trainer.train(&dataset);
         // with no rules and a fixed posterior, q_f must equal the fixed MV estimate
         for (qf_inst, mv_inst) in trainer.qf().iter().zip(&fixed) {
@@ -363,11 +444,11 @@ mod tests {
         // empirical reliability from the data
         let mut est = Vec::new();
         let mut real = Vec::new();
-        for a in 0..dataset.num_annotators {
+        for (a, &estimated_reliability) in estimated.iter().enumerate() {
             if let Some(acc) = metrics::annotator_accuracy(&dataset.train, a) {
                 let labels = dataset.train.iter().filter(|i| i.labels_by(a).is_some()).count();
                 if labels >= 5 {
-                    est.push(estimated[a]);
+                    est.push(estimated_reliability);
                     real.push(acc);
                 }
             }

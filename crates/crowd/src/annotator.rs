@@ -107,12 +107,7 @@ impl AnnotatorPool {
     /// Generates `num_annotators` annotators whose accuracies are drawn from
     /// a mixture: `spammer_fraction` of them are near-random (accuracy ≈ 1/K
     /// … 0.6) and the rest are competent (accuracy ≈ 0.6 … 0.95).
-    pub fn generate(
-        num_annotators: usize,
-        num_classes: usize,
-        spammer_fraction: f32,
-        rng: &mut TensorRng,
-    ) -> Self {
+    pub fn generate(num_annotators: usize, num_classes: usize, spammer_fraction: f32, rng: &mut TensorRng) -> Self {
         assert!(num_annotators > 0, "need at least one annotator");
         let mut annotators = Vec::with_capacity(num_annotators);
         let mut propensity = Vec::with_capacity(num_annotators);
@@ -284,7 +279,7 @@ pub fn gold_spans(labels: &[usize]) -> Vec<(usize, usize, usize)> {
     let mut i = 0;
     while i < labels.len() {
         let l = labels[i];
-        if l != 0 && (l - 1) % 2 == 0 {
+        if l != 0 && (l - 1).is_multiple_of(2) {
             // B-<type>
             let ty = (l - 1) / 2;
             let mut j = i + 1;
@@ -422,7 +417,7 @@ mod tests {
             let noisy = a.annotate(&gold, &mut rng);
             for i in 0..noisy.len() {
                 let l = noisy[i];
-                if l != 0 && l % 2 == 0 {
+                if l != 0 && l.is_multiple_of(2) {
                     // I- tag: previous must be the matching B- or I-
                     let prev = if i == 0 { 0 } else { noisy[i - 1] };
                     assert!(prev == l || prev == l - 1, "invalid BIO transition at {i}: {:?}", noisy);

@@ -10,11 +10,10 @@
 //! * **Sequence tagging** (NER): every instance has one unit per token and
 //!   each annotator label is a full BIO sequence.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Which kind of task a dataset represents.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TaskKind {
     /// One label per instance (e.g. sentiment polarity).
     Classification,
@@ -23,7 +22,7 @@ pub enum TaskKind {
 }
 
 /// One annotator's labelling of one instance.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CrowdLabel {
     /// Annotator index in `0..num_annotators`.
     pub annotator: usize,
@@ -33,7 +32,7 @@ pub struct CrowdLabel {
 }
 
 /// One data instance.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Instance {
     /// Token ids into the dataset vocabulary (id 0 is reserved for padding).
     pub tokens: Vec<usize>,
@@ -62,7 +61,7 @@ impl Instance {
 }
 
 /// A complete crowdsourced dataset with train/dev/test splits.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CrowdDataset {
     /// Task kind.
     pub task: TaskKind,

@@ -4,5 +4,5 @@
 pub mod ner;
 pub mod sentiment;
 
-pub use ner::{NerDatasetConfig, generate_ner};
-pub use sentiment::{SentimentDatasetConfig, generate_sentiment};
+pub use ner::{generate_ner, NerDatasetConfig};
+pub use sentiment::{generate_sentiment, SentimentDatasetConfig};

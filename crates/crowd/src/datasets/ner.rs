@@ -52,13 +52,7 @@ impl Default for NerDatasetConfig {
 impl NerDatasetConfig {
     /// A configuration whose scale mirrors the paper's dataset.
     pub fn paper_scale() -> Self {
-        Self {
-            train_size: 5985,
-            dev_size: 2000,
-            test_size: 1250,
-            num_annotators: 47,
-            ..Self::default()
-        }
+        Self { train_size: 5985, dev_size: 2000, test_size: 1250, num_annotators: 47, ..Self::default() }
     }
 
     /// A very small configuration for unit/integration tests.
@@ -68,19 +62,56 @@ impl NerDatasetConfig {
 }
 
 const FIRST_NAMES: &[&str] = &["john", "maria", "pedro", "yuki", "fatima", "ivan", "li", "anna", "carlos", "amara"];
-const LAST_NAMES: &[&str] = &["smith", "garcia", "tanaka", "petrov", "okafor", "mueller", "rossi", "kim", "haddad", "jensen"];
+const LAST_NAMES: &[&str] =
+    &["smith", "garcia", "tanaka", "petrov", "okafor", "mueller", "rossi", "kim", "haddad", "jensen"];
 const LOCATIONS: &[&str] = &[
-    "london", "tokyo", "nairobi", "paris", "madrid", "beijing", "cairo", "lima", "oslo", "sydney", "germany",
-    "brazil", "canada", "kenya", "france",
+    "london", "tokyo", "nairobi", "paris", "madrid", "beijing", "cairo", "lima", "oslo", "sydney", "germany", "brazil",
+    "canada", "kenya", "france",
 ];
 const ORG_HEADS: &[&str] = &["united", "national", "general", "global", "first", "royal"];
 const ORG_TAILS: &[&str] = &["bank", "university", "airlines", "motors", "institute", "press", "federation"];
 const MISC_WORDS: &[&str] = &["olympics", "ramadan", "oscar", "worldcup", "easter", "brexit", "nobel"];
 const FILLER_WORDS: &[&str] = &[
-    "the", "a", "said", "on", "in", "yesterday", "today", "officials", "reported", "met", "visited", "announced",
-    "after", "before", "during", "with", "against", "near", "talks", "match", "game", "market", "shares", "rose",
-    "fell", "percent", "season", "minister", "president", "team", "spokesman", "signed", "deal", "new", "first",
-    "week", "year", "quarter", "profits", "results",
+    "the",
+    "a",
+    "said",
+    "on",
+    "in",
+    "yesterday",
+    "today",
+    "officials",
+    "reported",
+    "met",
+    "visited",
+    "announced",
+    "after",
+    "before",
+    "during",
+    "with",
+    "against",
+    "near",
+    "talks",
+    "match",
+    "game",
+    "market",
+    "shares",
+    "rose",
+    "fell",
+    "percent",
+    "season",
+    "minister",
+    "president",
+    "team",
+    "spokesman",
+    "signed",
+    "deal",
+    "new",
+    "first",
+    "week",
+    "year",
+    "quarter",
+    "profits",
+    "results",
 ];
 
 struct Vocab {
@@ -117,8 +148,15 @@ fn build_vocab() -> Vocab {
 /// BIO class names in index order.
 pub fn bio_class_names() -> Vec<String> {
     vec![
-        "O".into(), "B-PER".into(), "I-PER".into(), "B-LOC".into(), "I-LOC".into(), "B-ORG".into(),
-        "I-ORG".into(), "B-MISC".into(), "I-MISC".into(),
+        "O".into(),
+        "B-PER".into(),
+        "I-PER".into(),
+        "B-LOC".into(),
+        "I-LOC".into(),
+        "B-ORG".into(),
+        "I-ORG".into(),
+        "B-MISC".into(),
+        "I-MISC".into(),
     ]
 }
 
@@ -194,7 +232,8 @@ pub fn generate_ner(config: &NerDatasetConfig) -> CrowdDataset {
             NerAnnotator::new(NUM_ENTITY_TYPES, NerErrorRates::with_quality(quality))
         })
         .collect();
-    let propensity: Vec<f32> = (0..config.num_annotators).map(|_| (1.0 / rng.uniform_range(0.03, 1.0)).min(40.0)).collect();
+    let propensity: Vec<f32> =
+        (0..config.num_annotators).map(|_| (1.0 / rng.uniform_range(0.03, 1.0)).min(40.0)).collect();
 
     let select = |count: usize, rng: &mut TensorRng| -> Vec<usize> {
         let count = count.min(propensity.len());
@@ -300,9 +339,8 @@ mod tests {
         // The paper reports per-annotator F1 between 17.6% and 89.1%; the
         // simulated pool should likewise span a wide strict-F1 range.
         let data = generate_ner(&NerDatasetConfig::default());
-        let f1s: Vec<f32> = (0..data.num_annotators)
-            .filter_map(|a| crate::metrics::annotator_span_f1(&data.train, a))
-            .collect();
+        let f1s: Vec<f32> =
+            (0..data.num_annotators).filter_map(|a| crate::metrics::annotator_span_f1(&data.train, a)).collect();
         assert!(f1s.len() > 5);
         let min = f1s.iter().cloned().fold(f32::INFINITY, f32::min);
         let max = f1s.iter().cloned().fold(f32::NEG_INFINITY, f32::max);

@@ -75,43 +75,82 @@ impl SentimentDatasetConfig {
     /// train; used by the full experiment harness when `--paper-scale` is
     /// requested).
     pub fn paper_scale() -> Self {
-        Self {
-            train_size: 4999,
-            dev_size: 3000,
-            test_size: 2789,
-            num_annotators: 203,
-            ..Self::default()
-        }
+        Self { train_size: 4999, dev_size: 3000, test_size: 2789, num_annotators: 203, ..Self::default() }
     }
 
     /// A very small configuration for unit/integration tests.
     pub fn tiny() -> Self {
-        Self {
-            train_size: 120,
-            dev_size: 40,
-            test_size: 40,
-            num_annotators: 15,
-            filler_vocab: 40,
-            ..Self::default()
-        }
+        Self { train_size: 120, dev_size: 40, test_size: 40, num_annotators: 15, filler_vocab: 40, ..Self::default() }
     }
 }
 
 const POSITIVE_WORDS: &[&str] = &[
-    "wonderful", "delightful", "brilliant", "charming", "moving", "gripping", "hilarious", "beautiful",
-    "masterful", "refreshing", "touching", "enjoyable", "inventive", "captivating", "superb", "engaging",
-    "heartfelt", "stunning", "clever", "triumphant",
+    "wonderful",
+    "delightful",
+    "brilliant",
+    "charming",
+    "moving",
+    "gripping",
+    "hilarious",
+    "beautiful",
+    "masterful",
+    "refreshing",
+    "touching",
+    "enjoyable",
+    "inventive",
+    "captivating",
+    "superb",
+    "engaging",
+    "heartfelt",
+    "stunning",
+    "clever",
+    "triumphant",
 ];
 
 const NEGATIVE_WORDS: &[&str] = &[
-    "dull", "tedious", "clumsy", "boring", "shallow", "predictable", "bland", "awful",
-    "disappointing", "lifeless", "incoherent", "annoying", "pretentious", "forgettable", "messy", "painful",
-    "uninspired", "hollow", "stale", "dreadful",
+    "dull",
+    "tedious",
+    "clumsy",
+    "boring",
+    "shallow",
+    "predictable",
+    "bland",
+    "awful",
+    "disappointing",
+    "lifeless",
+    "incoherent",
+    "annoying",
+    "pretentious",
+    "forgettable",
+    "messy",
+    "painful",
+    "uninspired",
+    "hollow",
+    "stale",
+    "dreadful",
 ];
 
 const NEUTRAL_SEED_WORDS: &[&str] = &[
-    "movie", "film", "plot", "story", "actor", "scene", "director", "screenplay", "character", "dialogue",
-    "ending", "camera", "score", "performance", "audience", "narrative", "pacing", "sequel", "premise", "cast",
+    "movie",
+    "film",
+    "plot",
+    "story",
+    "actor",
+    "scene",
+    "director",
+    "screenplay",
+    "character",
+    "dialogue",
+    "ending",
+    "camera",
+    "score",
+    "performance",
+    "audience",
+    "narrative",
+    "pacing",
+    "sequel",
+    "premise",
+    "cast",
 ];
 
 /// Generates the synthetic sentiment corpus.
@@ -125,8 +164,8 @@ pub fn generate_sentiment(config: &SentimentDatasetConfig) -> CrowdDataset {
 
     // ---- vocabulary ------------------------------------------------------
     let mut vocab: Vec<String> = vec!["<pad>".to_string(), "but".to_string(), "however".to_string()];
-    let but_token = Some(1usize);
-    let however_token = Some(2usize);
+    let but_token = 1usize;
+    let however_token = 2usize;
     let pos_start = vocab.len();
     vocab.extend(POSITIVE_WORDS.iter().map(|s| s.to_string()));
     let neg_start = vocab.len();
@@ -174,7 +213,7 @@ pub fn generate_sentiment(config: &SentimentDatasetConfig) -> CrowdDataset {
             let a = make_clause(1 - label, 3 + rng.usize_below(5), rng);
             let b = make_clause(label, 3 + rng.usize_below(5), rng);
             let mut tokens = a;
-            tokens.push(but_token.unwrap());
+            tokens.push(but_token);
             tokens.extend(b);
             (tokens, label)
         } else if draw < config.but_fraction + config.however_fraction {
@@ -184,7 +223,7 @@ pub fn generate_sentiment(config: &SentimentDatasetConfig) -> CrowdDataset {
             let a = make_clause(1 - label, 3 + rng.usize_below(5), rng);
             let b = make_clause(b_label, 3 + rng.usize_below(5), rng);
             let mut tokens = a;
-            tokens.push(however_token.unwrap());
+            tokens.push(however_token);
             tokens.extend(b);
             (tokens, label)
         } else {
@@ -228,8 +267,8 @@ pub fn generate_sentiment(config: &SentimentDatasetConfig) -> CrowdDataset {
         train,
         dev,
         test,
-        but_token,
-        however_token,
+        but_token: Some(but_token),
+        however_token: Some(however_token),
     };
     debug_assert!(dataset.validate().is_ok());
     dataset
@@ -284,18 +323,10 @@ mod tests {
 
     #[test]
     fn but_sentences_exist_and_signal_label() {
-        let data = generate_sentiment(&SentimentDatasetConfig {
-            train_size: 600,
-            ..SentimentDatasetConfig::tiny()
-        });
+        let data = generate_sentiment(&SentimentDatasetConfig { train_size: 600, ..SentimentDatasetConfig::tiny() });
         let but = data.but_token.unwrap();
-        let but_sentences: Vec<&Instance> =
-            data.train.iter().filter(|i| i.tokens.contains(&but)).collect();
-        assert!(
-            but_sentences.len() > 100,
-            "expected roughly 30% but-sentences, got {}",
-            but_sentences.len()
-        );
+        let but_sentences: Vec<&Instance> = data.train.iter().filter(|i| i.tokens.contains(&but)).collect();
+        assert!(but_sentences.len() > 100, "expected roughly 30% but-sentences, got {}", but_sentences.len());
         // words after "but" should lean towards the gold polarity
         let pos_range = 3..3 + POSITIVE_WORDS.len();
         let neg_range = 3 + POSITIVE_WORDS.len()..3 + POSITIVE_WORDS.len() + NEGATIVE_WORDS.len();

@@ -45,11 +45,8 @@ pub fn annotator_summary(dataset: &CrowdDataset) -> AnnotatorSummary {
         };
         per_annotator.push(AnnotatorStat { annotator: a, num_instances, quality });
     }
-    let counts: Vec<f32> = per_annotator
-        .iter()
-        .filter(|s| s.num_instances > 0)
-        .map(|s| s.num_instances as f32)
-        .collect();
+    let counts: Vec<f32> =
+        per_annotator.iter().filter(|s| s.num_instances > 0).map(|s| s.num_instances as f32).collect();
     let qualities: Vec<f32> = per_annotator.iter().filter_map(|s| s.quality).collect();
     let instances_boxplot = if counts.is_empty() { [0.0; 5] } else { five_number_summary(&counts) };
     let quality_boxplot = if qualities.is_empty() { [0.0; 5] } else { five_number_summary(&qualities) };
@@ -68,18 +65,14 @@ impl AnnotatorSummary {
     pub fn top_annotators(&self, n: usize) -> Vec<usize> {
         let mut ordered: Vec<(usize, usize)> =
             self.per_annotator.iter().map(|s| (s.annotator, s.num_instances)).collect();
-        ordered.sort_by(|a, b| b.1.cmp(&a.1));
+        ordered.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
         ordered.into_iter().take(n).map(|(a, _)| a).collect()
     }
 
     /// Annotators that labelled more than `min_instances` instances (Figure
     /// 6b excludes annotators with five or fewer labels).
     pub fn active_annotators(&self, min_instances: usize) -> Vec<usize> {
-        self.per_annotator
-            .iter()
-            .filter(|s| s.num_instances > min_instances)
-            .map(|s| s.annotator)
-            .collect()
+        self.per_annotator.iter().filter(|s| s.num_instances > min_instances).map(|s| s.annotator).collect()
     }
 }
 

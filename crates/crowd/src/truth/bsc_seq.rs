@@ -41,10 +41,11 @@ impl Default for BscSeq {
 impl BscSeq {
     fn estimate_confusions_map(&self, view: &AnnotationView, posteriors: &[Vec<f32>]) -> Vec<Matrix> {
         let k = view.num_classes;
-        let mut confusions = vec![
-            Matrix::from_fn(k, k, |r, c| if r == c { self.confusion_diag_prior } else { self.confusion_off_prior });
-            view.num_annotators
-        ];
+        let mut confusions =
+            vec![
+                Matrix::from_fn(k, k, |r, c| if r == c { self.confusion_diag_prior } else { self.confusion_off_prior });
+                view.num_annotators
+            ];
         for (u, annotations) in view.annotations.iter().enumerate() {
             for &(annotator, class) in annotations {
                 for m in 0..k {
@@ -69,10 +70,7 @@ impl TruthInference for BscSeq {
         let sentences = view.units_by_instance();
         let mut posteriors = MajorityVote.infer(view).posteriors;
         let mut confusions = self.estimate_confusions_map(view, &posteriors);
-        let mut params = HmmParams {
-            initial: vec![1.0 / k as f32; k],
-            transition: Matrix::full(k, k, 1.0 / k as f32),
-        };
+        let mut params = HmmParams { initial: vec![1.0 / k as f32; k], transition: Matrix::full(k, k, 1.0 / k as f32) };
 
         for _ in 0..self.max_iters {
             let mut init_counts = vec![self.transition_prior; k];
@@ -123,7 +121,14 @@ mod tests {
 
     #[test]
     fn beats_majority_voting_on_ner() {
-        let data = generate_ner(&NerDatasetConfig { train_size: 150, ..NerDatasetConfig::tiny() });
+        let data = generate_ner(&NerDatasetConfig {
+            train_size: 250,
+            num_annotators: 20,
+            min_labels_per_instance: 2,
+            max_labels_per_instance: 4,
+            seed: 1,
+            ..NerDatasetConfig::default()
+        });
         let view = data.annotation_view();
         let gold: Vec<Vec<usize>> = data.train.iter().map(|i| i.gold.clone()).collect();
         let mv_f1 = span_f1(&MajorityVote.infer(&view).hard_by_instance(&view), &gold).f1;

@@ -46,12 +46,8 @@ impl TruthInference for DawidSkene {
                     }
                 }
                 let new_post = stats::softmax(&log_post);
-                let delta: f32 = new_post
-                    .iter()
-                    .zip(&posteriors[u])
-                    .map(|(a, b)| (a - b).abs())
-                    .sum::<f32>()
-                    / k as f32;
+                let delta: f32 =
+                    new_post.iter().zip(&posteriors[u]).map(|(a, b)| (a - b).abs()).sum::<f32>() / k as f32;
                 max_delta = max_delta.max(delta);
                 posteriors[u] = new_post;
             }

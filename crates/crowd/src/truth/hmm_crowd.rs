@@ -88,10 +88,7 @@ pub(crate) fn sentence_log_emissions(
 /// Runs forward–backward over one sentence given per-token log-emission
 /// scores; returns per-token posterior marginals and the expected transition
 /// counts.
-pub(crate) fn forward_backward(
-    log_emissions: &[Vec<f32>],
-    params: &HmmParams,
-) -> (Vec<Vec<f32>>, Matrix) {
+pub(crate) fn forward_backward(log_emissions: &[Vec<f32>], params: &HmmParams) -> (Vec<Vec<f32>>, Matrix) {
     let t_len = log_emissions.len();
     let k = params.initial.len();
     assert!(t_len > 0, "forward_backward: empty sequence");
@@ -131,8 +128,7 @@ pub(crate) fn forward_backward(
         let mut scores = Matrix::zeros(k, k);
         for m in 0..k {
             for n in 0..k {
-                scores[(m, n)] =
-                    alpha[t][m] + log_trans[(m, n)] + log_emissions[t + 1][n] + beta[t + 1][n];
+                scores[(m, n)] = alpha[t][m] + log_trans[(m, n)] + log_emissions[t + 1][n] + beta[t + 1][n];
             }
         }
         let flat: Vec<f32> = scores.as_slice().to_vec();
@@ -195,10 +191,7 @@ impl TruthInference for HmmCrowd {
         let sentences = view.units_by_instance();
         let mut posteriors = MajorityVote.infer(view).posteriors;
         let mut confusions = estimate_confusions(view, &posteriors, self.smoothing);
-        let mut params = HmmParams {
-            initial: vec![1.0 / k as f32; k],
-            transition: Matrix::full(k, k, 1.0 / k as f32),
-        };
+        let mut params = HmmParams { initial: vec![1.0 / k as f32; k], transition: Matrix::full(k, k, 1.0 / k as f32) };
 
         for _ in 0..self.max_iters {
             let mut init_counts = vec![self.smoothing; k];
@@ -268,10 +261,8 @@ mod tests {
     fn forward_backward_transitions_propagate_information() {
         // transition strongly favours staying in the same state; only the
         // first token has an informative emission.
-        let params = HmmParams {
-            initial: vec![0.5, 0.5],
-            transition: Matrix::from_rows(&[&[0.95, 0.05], &[0.05, 0.95]]),
-        };
+        let params =
+            HmmParams { initial: vec![0.5, 0.5], transition: Matrix::from_rows(&[&[0.95, 0.05], &[0.05, 0.95]]) };
         let log_em = vec![vec![0.0, -4.0], vec![0.0, 0.0], vec![0.0, 0.0]];
         let (marginals, _) = forward_backward(&log_em, &params);
         assert!(marginals[2][0] > 0.6, "sticky transitions should carry class 0 forward: {:?}", marginals);
@@ -279,7 +270,14 @@ mod tests {
 
     #[test]
     fn improves_over_token_level_ds_on_ner_spans() {
-        let data = generate_ner(&NerDatasetConfig { train_size: 150, ..NerDatasetConfig::tiny() });
+        let data = generate_ner(&NerDatasetConfig {
+            train_size: 250,
+            num_annotators: 20,
+            min_labels_per_instance: 2,
+            max_labels_per_instance: 4,
+            seed: 1,
+            ..NerDatasetConfig::default()
+        });
         let view = data.annotation_view();
         let gold: Vec<Vec<usize>> = data.train.iter().map(|i| i.gold.clone()).collect();
 

@@ -59,10 +59,11 @@ impl TruthInference for Ibcc {
 impl Ibcc {
     fn m_step(&self, view: &AnnotationView, posteriors: &[Vec<f32>]) -> Vec<Matrix> {
         let k = view.num_classes;
-        let mut confusions = vec![
-            Matrix::from_fn(k, k, |r, c| if r == c { self.diag_prior } else { self.off_diag_prior });
-            view.num_annotators
-        ];
+        let mut confusions =
+            vec![
+                Matrix::from_fn(k, k, |r, c| if r == c { self.diag_prior } else { self.off_diag_prior });
+                view.num_annotators
+            ];
         for (u, annotations) in view.annotations.iter().enumerate() {
             for &(annotator, class) in annotations {
                 for m in 0..k {

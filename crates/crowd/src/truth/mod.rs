@@ -105,11 +105,7 @@ pub(crate) fn class_prior(posteriors: &[Vec<f32>], num_classes: usize) -> Vec<f3
 
 /// Estimates per-annotator confusion matrices from soft posteriors
 /// (the M-step shared by DS-family methods), with additive smoothing.
-pub(crate) fn estimate_confusions(
-    view: &AnnotationView,
-    posteriors: &[Vec<f32>],
-    smoothing: f32,
-) -> Vec<Matrix> {
+pub(crate) fn estimate_confusions(view: &AnnotationView, posteriors: &[Vec<f32>], smoothing: f32) -> Vec<Matrix> {
     let k = view.num_classes;
     let mut confusions = vec![Matrix::full(k, k, smoothing); view.num_annotators];
     for (u, annotations) in view.annotations.iter().enumerate() {

@@ -18,9 +18,7 @@ impl TruthInference for MajorityVote {
 
     fn infer(&self, view: &AnnotationView) -> TruthEstimate {
         let counts = vote_counts(view);
-        let posteriors: Vec<Vec<f32>> = (0..view.num_units())
-            .map(|u| stats::normalized(counts.row(u)))
-            .collect();
+        let posteriors: Vec<Vec<f32>> = (0..view.num_units()).map(|u| stats::normalized(counts.row(u))).collect();
         TruthEstimate::from_posteriors(posteriors)
     }
 }

@@ -62,11 +62,7 @@ pub fn project_sequence(qa: &[Vec<f32>], rules: &SequenceRuleSet, regularization
 /// Brute-force reference: enumerates all `K^T` label sequences and computes
 /// the exact marginals of `q_b`.  Only feasible for tiny inputs; used to
 /// validate [`project_sequence`] in tests.
-pub fn project_sequence_bruteforce(
-    qa: &[Vec<f32>],
-    rules: &SequenceRuleSet,
-    regularization: f32,
-) -> Vec<Vec<f32>> {
+pub fn project_sequence_bruteforce(qa: &[Vec<f32>], rules: &SequenceRuleSet, regularization: f32) -> Vec<Vec<f32>> {
     let t_len = qa.len();
     if t_len == 0 {
         return Vec::new();
@@ -176,9 +172,9 @@ mod tests {
         let rules = ner_transition_rules(0.8, 0.2);
         let mut qa = vec![vec![0.0f32; 9], vec![0.0f32; 9]];
         qa[0][0] = 0.9;
-        qa[0][1] = 0.1 / 8.0 * 8.0; // rest spread
-        for c in 1..9 {
-            qa[0][c] = 0.1 / 8.0;
+        // the remaining 0.1 mass spread evenly over the 8 entity classes
+        for q in qa[0].iter_mut().skip(1) {
+            *q = 0.1 / 8.0;
         }
         qa[1][2] = 0.55; // orphan I-PER
         qa[1][0] = 0.35;

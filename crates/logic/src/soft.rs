@@ -54,7 +54,6 @@ pub fn distance_to_satisfaction(antecedent: f32, consequent: f32) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn paper_example_voting() {
@@ -87,31 +86,43 @@ mod tests {
         assert!((or_all(&[0.2, 0.3]) - or(0.2, 0.3)).abs() < 1e-6);
     }
 
-    proptest! {
-        #[test]
-        fn operators_stay_in_unit_interval(a in 0.0f32..=1.0, b in 0.0f32..=1.0) {
+    /// Deterministic stand-in for the former proptest sweep: a dense grid
+    /// over the unit square.
+    fn unit_grid() -> impl Iterator<Item = (f32, f32)> {
+        (0..=20).flat_map(|i| (0..=20).map(move |j| (i as f32 / 20.0, j as f32 / 20.0)))
+    }
+
+    #[test]
+    fn operators_stay_in_unit_interval() {
+        for (a, b) in unit_grid() {
             for v in [and(a, b), or(a, b), not(a), implies(a, b)] {
-                prop_assert!((0.0..=1.0).contains(&v));
+                assert!((0.0..=1.0).contains(&v), "operator left unit interval at ({a}, {b})");
             }
         }
+    }
 
-        #[test]
-        fn de_morgan_duality(a in 0.0f32..=1.0, b in 0.0f32..=1.0) {
-            // ¬(a ∧ b) == ¬a ∨ ¬b under the Łukasiewicz relaxation
+    #[test]
+    fn de_morgan_duality() {
+        // ¬(a ∧ b) == ¬a ∨ ¬b under the Łukasiewicz relaxation
+        for (a, b) in unit_grid() {
             let lhs = not(and(a, b));
             let rhs = or(not(a), not(b));
-            prop_assert!((lhs - rhs).abs() < 1e-5);
+            assert!((lhs - rhs).abs() < 1e-5, "De Morgan violated at ({a}, {b})");
         }
+    }
 
-        #[test]
-        fn implication_equals_not_a_or_b(a in 0.0f32..=1.0, b in 0.0f32..=1.0) {
-            prop_assert!((implies(a, b) - or(not(a), b)).abs() < 1e-5);
+    #[test]
+    fn implication_equals_not_a_or_b() {
+        for (a, b) in unit_grid() {
+            assert!((implies(a, b) - or(not(a), b)).abs() < 1e-5, "implication mismatch at ({a}, {b})");
         }
+    }
 
-        #[test]
-        fn conjunction_commutes(a in 0.0f32..=1.0, b in 0.0f32..=1.0) {
-            prop_assert!((and(a, b) - and(b, a)).abs() < 1e-6);
-            prop_assert!((or(a, b) - or(b, a)).abs() < 1e-6);
+    #[test]
+    fn conjunction_commutes() {
+        for (a, b) in unit_grid() {
+            assert!((and(a, b) - and(b, a)).abs() < 1e-6);
+            assert!((or(a, b) - or(b, a)).abs() < 1e-6);
         }
     }
 }

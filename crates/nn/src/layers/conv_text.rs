@@ -31,21 +31,12 @@ pub struct TextConv {
 impl TextConv {
     /// Creates filter banks for each window size with `num_filters` filters
     /// per window.
-    pub fn new(
-        name: &str,
-        emb_dim: usize,
-        windows: &[usize],
-        num_filters: usize,
-        rng: &mut TensorRng,
-    ) -> Self {
+    pub fn new(name: &str, emb_dim: usize, windows: &[usize], num_filters: usize, rng: &mut TensorRng) -> Self {
         assert!(!windows.is_empty(), "TextConv: need at least one window size");
         let filters = windows
             .iter()
             .map(|&w| ConvFilter {
-                weight: Param::new(
-                    format!("{name}.conv{w}.weight"),
-                    rng.xavier_uniform(w * emb_dim, num_filters),
-                ),
+                weight: Param::new(format!("{name}.conv{w}.weight"), rng.xavier_uniform(w * emb_dim, num_filters)),
                 bias: Param::new(format!("{name}.conv{w}.bias"), Matrix::zeros(1, num_filters)),
                 window: w,
             })

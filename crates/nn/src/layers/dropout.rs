@@ -29,11 +29,8 @@ impl Dropout {
     /// Applies dropout to `x`.
     pub fn forward(&self, tape: &mut Tape, x: Var, rng: &mut TensorRng, training: bool) -> Var {
         let (rows, cols) = tape.shape(x);
-        let uniforms: Vec<f32> = if training && self.keep < 1.0 {
-            (0..rows * cols).map(|_| rng.uniform()).collect()
-        } else {
-            Vec::new()
-        };
+        let uniforms: Vec<f32> =
+            if training && self.keep < 1.0 { (0..rows * cols).map(|_| rng.uniform()).collect() } else { Vec::new() };
         tape.dropout(x, self.keep, &uniforms, training && self.keep < 1.0)
     }
 }

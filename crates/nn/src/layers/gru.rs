@@ -114,8 +114,15 @@ impl Module for GruCell {
     }
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![
-            &mut self.wz, &mut self.uz, &mut self.bz, &mut self.wr, &mut self.ur, &mut self.br,
-            &mut self.wh, &mut self.uh, &mut self.bh,
+            &mut self.wz,
+            &mut self.uz,
+            &mut self.bz,
+            &mut self.wr,
+            &mut self.ur,
+            &mut self.br,
+            &mut self.wh,
+            &mut self.uh,
+            &mut self.bh,
         ]
     }
 }

@@ -61,13 +61,8 @@ impl NerConvGru {
     pub fn new(config: NerConvGruConfig, rng: &mut TensorRng) -> Self {
         assert!(config.num_classes >= 2, "NerConvGru: need at least two classes");
         let embedding = Embedding::new("ner_conv_gru.embedding", config.vocab_size, config.embedding_dim, rng);
-        let conv = SameConv::new(
-            "ner_conv_gru.conv",
-            config.embedding_dim,
-            config.conv_features,
-            config.conv_window,
-            rng,
-        );
+        let conv =
+            SameConv::new("ner_conv_gru.conv", config.embedding_dim, config.conv_features, config.conv_window, rng);
         let dropout = Dropout::new(config.dropout_keep);
         let gru = Gru::new("ner_conv_gru.gru", config.conv_features, config.gru_hidden, rng);
         let output = Linear::new("ner_conv_gru.output", config.gru_hidden, config.num_classes, rng);

@@ -59,13 +59,8 @@ impl SentimentCnn {
     pub fn new(config: SentimentCnnConfig, rng: &mut TensorRng) -> Self {
         assert!(config.num_classes >= 2, "SentimentCnn: need at least two classes");
         let embedding = Embedding::new("sentiment_cnn.embedding", config.vocab_size, config.embedding_dim, rng);
-        let conv = TextConv::new(
-            "sentiment_cnn",
-            config.embedding_dim,
-            &config.windows,
-            config.filters_per_window,
-            rng,
-        );
+        let conv =
+            TextConv::new("sentiment_cnn", config.embedding_dim, &config.windows, config.filters_per_window, rng);
         let dropout = Dropout::new(config.dropout_keep);
         let output = Linear::new("sentiment_cnn.output", conv.output_dim(), config.num_classes, rng);
         Self { embedding, conv, dropout, output, config }

@@ -136,11 +136,7 @@ pub trait Module {
     /// L2 norm of the concatenated gradient vector (for clipping /
     /// diagnostics).
     fn grad_norm(&self) -> f32 {
-        self.params()
-            .iter()
-            .map(|p| p.grad.as_slice().iter().map(|g| g * g).sum::<f32>())
-            .sum::<f32>()
-            .sqrt()
+        self.params().iter().map(|p| p.grad.as_slice().iter().map(|g| g * g).sum::<f32>()).sum::<f32>().sqrt()
     }
 
     /// Clips the global gradient norm to `max_norm` (no-op if already
@@ -174,10 +170,7 @@ mod tests {
     }
 
     fn toy() -> Toy {
-        Toy {
-            a: Param::new("a", Matrix::full(2, 2, 1.0)),
-            b: Param::new("b", Matrix::full(1, 3, 2.0)),
-        }
+        Toy { a: Param::new("a", Matrix::full(2, 2, 1.0)), b: Param::new("b", Matrix::full(1, 3, 2.0)) }
     }
 
     #[test]

@@ -1,6 +1,5 @@
 //! The dense row-major [`Matrix`] type and its constructors/accessors.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -10,7 +9,7 @@ use std::ops::{Index, IndexMut};
 /// higher-level behaviour (matrix products, reductions, softmax, …) lives in
 /// the free functions of [`crate::ops`] and [`crate::stats`] so the data type
 /// itself stays small and easy to reason about.
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -273,12 +272,7 @@ impl Matrix {
 
     /// Element-wise approximate equality within `tol`.
     pub fn approx_eq(&self, other: &Matrix, tol: f32) -> bool {
-        self.shape() == other.shape()
-            && self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .all(|(a, b)| (a - b).abs() <= tol)
+        self.shape() == other.shape() && self.data.iter().zip(other.data.iter()).all(|(a, b)| (a - b).abs() <= tol)
     }
 }
 

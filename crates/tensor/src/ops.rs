@@ -55,13 +55,13 @@ pub fn matmul_transpose_b(a: &Matrix, b: &Matrix) -> Matrix {
     for i in 0..m {
         let a_row = a.row(i);
         let out_row = out.row_mut(i);
-        for j in 0..n {
+        for (j, out_val) in out_row.iter_mut().enumerate() {
             let b_row = b.row(j);
             let mut acc = 0.0;
             for (x, y) in a_row.iter().zip(b_row.iter()) {
                 acc += x * y;
             }
-            out_row[j] = acc;
+            *out_val = acc;
         }
     }
     out
@@ -108,13 +108,7 @@ pub fn transpose(a: &Matrix) -> Matrix {
 }
 
 fn assert_same_shape(a: &Matrix, b: &Matrix, op: &str) {
-    assert_eq!(
-        a.shape(),
-        b.shape(),
-        "{op}: shape mismatch {:?} vs {:?}",
-        a.shape(),
-        b.shape()
-    );
+    assert_eq!(a.shape(), b.shape(), "{op}: shape mismatch {:?} vs {:?}", a.shape(), b.shape());
 }
 
 /// Element-wise sum `a + b`.
@@ -182,13 +176,7 @@ pub fn add_scaled_assign(acc: &mut Matrix, x: &Matrix, s: f32) {
 /// bias terms).
 pub fn add_row_broadcast(a: &Matrix, row: &Matrix) -> Matrix {
     assert_eq!(row.rows(), 1, "add_row_broadcast: bias must be a row vector");
-    assert_eq!(
-        a.cols(),
-        row.cols(),
-        "add_row_broadcast: width mismatch ({} vs {})",
-        a.cols(),
-        row.cols()
-    );
+    assert_eq!(a.cols(), row.cols(), "add_row_broadcast: width mismatch ({} vs {})", a.cols(), row.cols());
     let mut out = a.clone();
     for r in 0..out.rows() {
         for (o, b) in out.row_mut(r).iter_mut().zip(row.row(0)) {

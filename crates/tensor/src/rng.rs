@@ -1,36 +1,61 @@
 //! A thin, seedable RNG facade used across the workspace.
 //!
 //! Every experiment in the reproduction is seeded so that tables and figures
-//! are regenerable bit-for-bit.  [`TensorRng`] wraps `rand::rngs::StdRng`
-//! and adds the sampling helpers the rest of the workspace needs (normal
-//! variates via Box–Muller, categorical sampling, Dirichlet-ish simplex
-//! noise and matrix initialisers).
+//! are regenerable bit-for-bit.  [`TensorRng`] is a self-contained
+//! xoshiro256** generator (seeded through SplitMix64, so any 64-bit seed
+//! gives a well-mixed state) with the sampling helpers the rest of the
+//! workspace needs (normal variates via Box–Muller, categorical sampling,
+//! Dirichlet-ish simplex noise and matrix initialisers).
 
 use crate::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Seedable random number generator with matrix-initialisation helpers.
 #[derive(Clone, Debug)]
 pub struct TensorRng {
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl TensorRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        Self { inner: StdRng::seed_from_u64(seed) }
+        // SplitMix64 expansion of the seed into the xoshiro256** state.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self { state: [next(), next(), next(), next()] }
+    }
+
+    /// Next raw 64-bit output (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
     }
 
     /// Derives an independent child generator; handy for giving each
     /// repetition / component its own stream while staying reproducible.
     pub fn fork(&mut self) -> Self {
-        Self::seed_from_u64(self.inner.gen::<u64>())
+        Self::seed_from_u64(self.next_u64())
     }
 
     /// Uniform sample in `[0, 1)`.
     pub fn uniform(&mut self) -> f32 {
-        self.inner.gen::<f32>()
+        // 24 high-quality bits -> [0, 1) with full f32 mantissa coverage.
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -41,7 +66,15 @@ impl TensorRng {
     /// Uniform integer in `[0, n)`.  Panics if `n == 0`.
     pub fn usize_below(&mut self, n: usize) -> usize {
         assert!(n > 0, "usize_below: n must be positive");
-        self.inner.gen_range(0..n)
+        // Lemire-style rejection sampling to avoid modulo bias.
+        let n64 = n as u64;
+        let zone = u64::MAX - (u64::MAX % n64);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return (v % n64) as usize;
+            }
+        }
     }
 
     /// Bernoulli draw with success probability `p`.
@@ -151,12 +184,6 @@ impl TensorRng {
     pub fn xavier_uniform(&mut self, fan_in: usize, fan_out: usize) -> Matrix {
         let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
         self.uniform_matrix(fan_in, fan_out, bound)
-    }
-
-    /// Access to the underlying `rand` generator for anything not covered by
-    /// the helpers above.
-    pub fn raw(&mut self) -> &mut StdRng {
-        &mut self.inner
     }
 }
 

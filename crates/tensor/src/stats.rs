@@ -69,11 +69,7 @@ pub fn argmax_rows(m: &Matrix) -> Vec<usize> {
 /// Shannon entropy (nats) of a probability vector.  Zero-probability entries
 /// contribute zero.
 pub fn entropy(probs: &[f32]) -> f32 {
-    probs
-        .iter()
-        .filter(|&&p| p > 0.0)
-        .map(|&p| -p * p.ln())
-        .sum()
+    probs.iter().filter(|&&p| p > 0.0).map(|&p| -p * p.ln()).sum()
 }
 
 /// KL divergence `KL(p || q)` in nats.  Entries where `p == 0` contribute 0;

@@ -1,16 +1,15 @@
 //! NER scenario: trains the convolution+GRU tagger from noisy crowd BIO
 //! labels with the paper's transition rules (Eq. 18/19) and reports strict
-//! span-level metrics, mirroring Table III at small scale.
+//! span-level metrics, mirroring Table III at small scale.  Logic-LNCL and
+//! the sequence-aware aggregation baselines all run through the
+//! `MethodRegistry`.
 //!
 //! Run with: `cargo run --release --example ner_crowd`
 
 use lncl_crowd::datasets::{generate_ner, NerDatasetConfig};
 use lncl_crowd::truth::{MajorityVote, TruthInference};
-use lncl_nn::models::{NerConvGru, NerConvGruConfig};
-use lncl_tensor::TensorRng;
-use logic_lncl::ablation::paper_rules;
-use logic_lncl::predict::PredictionMode;
-use logic_lncl::{ImitationSchedule, LogicLncl, MStepObjective, TrainConfig};
+use logic_lncl::method::{MethodRegistry, RunContext};
+use logic_lncl::{ImitationSchedule, MStepObjective, TrainConfig};
 
 fn main() {
     let dataset = generate_ner(&NerDatasetConfig {
@@ -24,21 +23,26 @@ fn main() {
     let mv = MajorityVote.infer(&view);
     println!("majority-voting token accuracy on the training split: {:.3}", mv.accuracy(&view.gold));
 
-    let mut rng = TensorRng::seed_from_u64(5);
-    let model = NerConvGru::new(
-        NerConvGruConfig { vocab_size: dataset.vocab_size(), num_classes: dataset.num_classes, ..Default::default() },
-        &mut rng,
-    );
-    let mut config = TrainConfig::fast(10);
-    config.imitation = ImitationSchedule::ner_paper();
-    config.objective = MStepObjective::AnnotationWeighted;
+    let config = TrainConfig::builder()
+        .epochs(10)
+        .seed(5)
+        .imitation(ImitationSchedule::ner_paper())
+        .objective(MStepObjective::AnnotationWeighted)
+        .build();
+    let ctx = RunContext::for_dataset(&dataset, config);
+    let registry = MethodRegistry::standard();
 
-    let mut trainer = LogicLncl::new(model, &dataset, paper_rules(&dataset), config);
-    let report = trainer.train(&dataset);
-    let student = trainer.evaluate(&dataset.test, dataset.task, PredictionMode::Student);
-    let teacher = trainer.evaluate(&dataset.test, dataset.task, PredictionMode::Teacher);
-
-    println!("inference (training split): P={:.3} R={:.3} F1={:.3}", report.inference.precision, report.inference.recall, report.inference.f1);
-    println!("student  (test split):      P={:.3} R={:.3} F1={:.3}", student.precision, student.recall, student.f1);
-    println!("teacher  (test split):      P={:.3} R={:.3} F1={:.3}", teacher.precision, teacher.recall, teacher.f1);
+    println!("{:<24} {:>10} {:>7} {:>7} {:>7}", "method", "split", "P", "R", "F1");
+    for key in ["hmm-crowd", "bsc-seq"] {
+        let method = registry.get(key).expect("registered method");
+        for row in method.run(&dataset, &ctx) {
+            // aggregation-only methods report training-split inference quality
+            let m = row.inference.expect("truth-inference methods report inference metrics");
+            println!("{:<24} {:>10} {:>7.3} {:>7.3} {:>7.3}", row.method, "train", m.precision, m.recall, m.f1);
+        }
+    }
+    for row in registry.run("logic-lncl", &dataset, &ctx).expect("registered method") {
+        let m = row.prediction;
+        println!("{:<24} {:>10} {:>7.3} {:>7.3} {:>7.3}", row.method, "test", m.precision, m.recall, m.f1);
+    }
 }

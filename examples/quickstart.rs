@@ -1,6 +1,6 @@
 //! Quickstart: generate a small synthetic crowdsourced sentiment dataset,
-//! train Logic-LNCL with the paper's A-but-B rule, and compare the student
-//! and teacher outputs against a majority-voting baseline.
+//! train Logic-LNCL through the builder API, and compare against a
+//! registry-constructed baseline.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -9,6 +9,7 @@ use lncl_crowd::truth::{MajorityVote, TruthInference};
 use lncl_nn::models::{SentimentCnn, SentimentCnnConfig};
 use lncl_tensor::TensorRng;
 use logic_lncl::ablation::paper_rules;
+use logic_lncl::method::{MethodRegistry, RunContext};
 use logic_lncl::predict::PredictionMode;
 use logic_lncl::{LogicLncl, TrainConfig};
 
@@ -34,13 +35,13 @@ fn main() {
     let mv = MajorityVote.infer(&view);
     println!("majority-voting inference accuracy on the training split: {:.3}", mv.accuracy(&view.gold));
 
-    // 3. train Logic-LNCL (Algorithm 1) with the A-but-B rule
+    // 3. train Logic-LNCL (Algorithm 1) with the A-but-B rule, configured
+    //    through the builder APIs
     let mut rng = TensorRng::seed_from_u64(1);
-    let model = SentimentCnn::new(
-        SentimentCnnConfig { vocab_size: dataset.vocab_size(), ..Default::default() },
-        &mut rng,
-    );
-    let mut trainer = LogicLncl::new(model, &dataset, paper_rules(&dataset), TrainConfig::fast(12));
+    let model =
+        SentimentCnn::new(SentimentCnnConfig { vocab_size: dataset.vocab_size(), ..Default::default() }, &mut rng);
+    let config = TrainConfig::builder().epochs(12).seed(1).build();
+    let mut trainer = LogicLncl::builder(model).rules(paper_rules(&dataset)).config(config.clone()).build(&dataset);
     let report = trainer.train(&dataset);
     println!(
         "trained for {} epochs (best dev epoch {}), q_f inference accuracy {:.3}",
@@ -52,4 +53,12 @@ fn main() {
     let teacher = trainer.evaluate(&dataset.test, dataset.task, PredictionMode::Teacher);
     println!("Logic-LNCL-student test accuracy: {:.3}", student.accuracy);
     println!("Logic-LNCL-teacher test accuracy: {:.3}", teacher.accuracy);
+
+    // 5. any compared method is one registry lookup away — here the
+    //    MV-Classifier baseline, run through the same polymorphic API
+    let registry = MethodRegistry::standard();
+    let ctx = RunContext::for_dataset(&dataset, config);
+    for row in registry.run("mv-classifier", &dataset, &ctx).expect("registered method") {
+        println!("{}: test accuracy {:.3}", row.method, row.prediction.accuracy);
+    }
 }

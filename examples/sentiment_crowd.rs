@@ -1,22 +1,14 @@
 //! Sentiment-classification scenario: compares the two-stage MV-Classifier,
 //! the EM baseline (AggNet) and Logic-LNCL on the same synthetic crowd data,
-//! reproducing the qualitative ordering of Table II.
+//! reproducing the qualitative ordering of Table II.  Every method is
+//! constructed by the `MethodRegistry` and run through the `CrowdMethod`
+//! trait — the comparison is a data-driven loop over registry keys.
 //!
 //! Run with: `cargo run --release --example sentiment_crowd`
 
 use lncl_crowd::datasets::{generate_sentiment, SentimentDatasetConfig};
-use lncl_crowd::truth::MajorityVote;
-use lncl_nn::models::{SentimentCnn, SentimentCnnConfig};
-use lncl_tensor::TensorRng;
-use logic_lncl::baselines::two_stage::{inference_metrics_of, one_hot_targets, train_supervised};
-use logic_lncl::predict::{evaluate_split, PredictionMode};
-use logic_lncl::{ablation::paper_rules, LogicLncl, TaskRules, TrainConfig};
-use lncl_crowd::truth::TruthInference;
-
-fn model_for(dataset: &lncl_crowd::CrowdDataset, seed: u64) -> SentimentCnn {
-    let mut rng = TensorRng::seed_from_u64(seed);
-    SentimentCnn::new(SentimentCnnConfig { vocab_size: dataset.vocab_size(), ..Default::default() }, &mut rng)
-}
+use logic_lncl::method::{MethodRegistry, RunContext};
+use logic_lncl::TrainConfig;
 
 fn main() {
     let dataset = generate_sentiment(&SentimentDatasetConfig {
@@ -26,31 +18,16 @@ fn main() {
         num_annotators: 40,
         ..SentimentDatasetConfig::default()
     });
-    let config = TrainConfig::fast(12);
-
-    // --- two-stage: MV + supervised training --------------------------------
-    let view = dataset.annotation_view();
-    let mv = MajorityVote.infer(&view);
-    let hard = mv.hard_by_instance(&view);
-    let mv_inference = inference_metrics_of(&hard, &dataset);
-    let mut mv_model = model_for(&dataset, 1);
-    train_supervised(&mut mv_model, &dataset, &one_hot_targets(&hard, dataset.num_classes), &config);
-    let mv_test = evaluate_split(&mv_model, &dataset.test, dataset.task, PredictionMode::Student, &TaskRules::None, 0.0);
-
-    // --- one-stage EM without rules (AggNet) ---------------------------------
-    let mut aggnet = LogicLncl::new(model_for(&dataset, 2), &dataset, TaskRules::None, config.clone());
-    let aggnet_report = aggnet.train(&dataset);
-    let aggnet_test = aggnet.evaluate(&dataset.test, dataset.task, PredictionMode::Student);
-
-    // --- Logic-LNCL with the A-but-B rule ------------------------------------
-    let mut logic = LogicLncl::new(model_for(&dataset, 3), &dataset, paper_rules(&dataset), config);
-    let logic_report = logic.train(&dataset);
-    let student = logic.evaluate(&dataset.test, dataset.task, PredictionMode::Student);
-    let teacher = logic.evaluate(&dataset.test, dataset.task, PredictionMode::Teacher);
+    let config = TrainConfig::builder().epochs(12).build();
+    let ctx = RunContext::for_dataset(&dataset, config);
+    let registry = MethodRegistry::standard();
 
     println!("{:<22} {:>12} {:>12}", "method", "prediction", "inference");
-    println!("{:<22} {:>12.3} {:>12.3}", "MV-Classifier", mv_test.accuracy, mv_inference.accuracy);
-    println!("{:<22} {:>12.3} {:>12.3}", "AggNet (EM, no rules)", aggnet_test.accuracy, aggnet_report.inference.accuracy);
-    println!("{:<22} {:>12.3} {:>12.3}", "Logic-LNCL-student", student.accuracy, logic_report.inference.accuracy);
-    println!("{:<22} {:>12.3} {:>12.3}", "Logic-LNCL-teacher", teacher.accuracy, logic_report.inference.accuracy);
+    for key in ["mv-classifier", "aggnet", "logic-lncl"] {
+        let method = registry.get(key).expect("registered method");
+        for row in method.run(&dataset, &ctx) {
+            let inference = row.inference.map(|m| format!("{:.3}", m.accuracy)).unwrap_or_else(|| "-".into());
+            println!("{:<22} {:>12.3} {:>12}", row.method, row.prediction.accuracy, inference);
+        }
+    }
 }

@@ -1,49 +1,44 @@
-//! Truth-inference playground: runs every aggregation baseline in the
-//! workspace on the same synthetic crowd data and prints their inference
-//! accuracy, mirroring the bottom blocks of Tables II and III.
+//! Truth-inference playground: enumerates the `Family::TruthInference`
+//! block of the `MethodRegistry` on the same synthetic crowd data and
+//! prints each method's inference quality, mirroring the bottom blocks of
+//! Tables II and III — no per-method wiring, just a loop over descriptors.
 //!
 //! Run with: `cargo run --release --example truth_inference`
 
 use lncl_crowd::datasets::{generate_ner, generate_sentiment, NerDatasetConfig, SentimentDatasetConfig};
-use lncl_crowd::metrics::span_f1;
-use lncl_crowd::truth::*;
+use lncl_crowd::CrowdDataset;
+use logic_lncl::method::{Family, MethodRegistry, RunContext};
+use logic_lncl::TrainConfig;
+
+fn run_block(registry: &MethodRegistry, dataset: &CrowdDataset, metric: &str) {
+    let ctx = RunContext::for_dataset(dataset, TrainConfig::fast(1));
+    for method in registry.family(Family::TruthInference) {
+        let descriptor = method.descriptor();
+        if !descriptor.supports(dataset.task) {
+            continue;
+        }
+        for row in method.run(dataset, &ctx) {
+            let m = row.inference.expect("truth-inference methods report inference metrics");
+            let value = if metric == "accuracy" { m.accuracy } else { m.f1 };
+            println!("  {:<12} ({:<10}) {metric} = {value:.3}", row.method, descriptor.name);
+        }
+    }
+}
 
 fn main() {
+    let registry = MethodRegistry::standard();
+
     // classification
     let sentiment = generate_sentiment(&SentimentDatasetConfig {
         train_size: 800,
         num_annotators: 40,
         ..SentimentDatasetConfig::default()
     });
-    let view = sentiment.annotation_view();
-    println!("Sentiment (binary classification), {} units:", view.num_units());
-    let methods: Vec<Box<dyn TruthInference>> = vec![
-        Box::new(MajorityVote),
-        Box::new(DawidSkene::default()),
-        Box::new(Glad::default()),
-        Box::new(Ibcc::default()),
-        Box::new(Pm::default()),
-        Box::new(Catd::default()),
-    ];
-    for m in &methods {
-        println!("  {:<12} accuracy = {:.3}", m.name(), m.infer(&view).accuracy(&view.gold));
-    }
+    println!("Sentiment (binary classification), {} units:", sentiment.annotation_view().num_units());
+    run_block(&registry, &sentiment, "accuracy");
 
     // sequence tagging
     let ner = generate_ner(&NerDatasetConfig { train_size: 300, num_annotators: 20, ..NerDatasetConfig::default() });
-    let view = ner.annotation_view();
-    let gold: Vec<Vec<usize>> = ner.train.iter().map(|i| i.gold.clone()).collect();
     println!("NER (9-class BIO tagging), {} sentences:", ner.train.len());
-    let methods: Vec<Box<dyn TruthInference>> = vec![
-        Box::new(MajorityVote),
-        Box::new(DawidSkene::default()),
-        Box::new(Ibcc::default()),
-        Box::new(HmmCrowd::default()),
-        Box::new(BscSeq::default()),
-    ];
-    for m in &methods {
-        let est = m.infer(&view);
-        let f1 = span_f1(&est.hard_by_instance(&view), &gold).f1;
-        println!("  {:<12} strict span F1 = {:.3}", m.name(), f1);
-    }
+    run_block(&registry, &ner, "span F1");
 }

@@ -1,6 +1,13 @@
 //! Workspace-level umbrella crate: re-exports the public crates so the
 //! examples and integration tests in this repository have a single import
 //! surface.
+//!
+//! The primary entry point for running any of the paper's compared methods
+//! is the unified method API in [`logic_lncl::method`]: construct a
+//! [`MethodRegistry`](logic_lncl::MethodRegistry), look methods up by key
+//! (`"dawid-skene"`, `"logic-lncl"`, …) and run them through the
+//! [`CrowdMethod`](logic_lncl::CrowdMethod) trait with a
+//! [`RunContext`](logic_lncl::RunContext).
 pub use lncl_autograd as autograd;
 pub use lncl_crowd as crowd;
 pub use lncl_logic as logic;

@@ -46,6 +46,11 @@ fn logic_lncl_end_to_end_ner() {
     let student = trainer.evaluate(&dataset.test, dataset.task, PredictionMode::Student);
     let teacher = trainer.evaluate(&dataset.test, dataset.task, PredictionMode::Teacher);
     assert!(student.accuracy > 0.5, "student token accuracy {}", student.accuracy);
-    assert!(teacher.accuracy >= student.accuracy - 0.05, "teacher should not collapse: {} vs {}", teacher.accuracy, student.accuracy);
+    assert!(
+        teacher.accuracy >= student.accuracy - 0.05,
+        "teacher should not collapse: {} vs {}",
+        teacher.accuracy,
+        student.accuracy
+    );
     assert!((0.0..=1.0).contains(&teacher.f1));
 }

@@ -19,7 +19,7 @@ fn logic_lncl_end_to_end_sentiment() {
         num_annotators: 25,
         ..SentimentDatasetConfig::default()
     });
-    let mut rng = TensorRng::seed_from_u64(2);
+    let mut rng = TensorRng::seed_from_u64(3);
     let model = SentimentCnn::new(
         SentimentCnnConfig {
             vocab_size: dataset.vocab_size(),
@@ -31,7 +31,8 @@ fn logic_lncl_end_to_end_sentiment() {
         },
         &mut rng,
     );
-    let mut trainer = LogicLncl::new(model, &dataset, paper_rules(&dataset), TrainConfig::fast(10));
+    let mut trainer =
+        LogicLncl::builder(model).rules(paper_rules(&dataset)).config(TrainConfig::fast(14)).build(&dataset);
     let report = trainer.train(&dataset);
 
     // inference must beat both the raw crowd labels and majority voting

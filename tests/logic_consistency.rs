@@ -30,10 +30,8 @@ fn but_rule_grounds_on_generated_but_sentences() {
 fn qb_projection_with_live_classifier_is_a_distribution() {
     let dataset = generate_sentiment(&SentimentDatasetConfig::tiny());
     let mut rng = TensorRng::seed_from_u64(0);
-    let model = SentimentCnn::new(
-        SentimentCnnConfig { vocab_size: dataset.vocab_size(), ..Default::default() },
-        &mut rng,
-    );
+    let model =
+        SentimentCnn::new(SentimentCnnConfig { vocab_size: dataset.vocab_size(), ..Default::default() }, &mut rng);
     let rules = paper_rules(&dataset);
     let clause = |tokens: &[usize]| model.predict_proba(tokens).row(0).to_vec();
     for inst in dataset.train.iter().take(40) {
