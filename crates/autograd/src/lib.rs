@@ -101,8 +101,9 @@ impl Tape {
     }
 
     pub(crate) fn push(&mut self, value: Matrix, op: Op) -> Var {
-        let grad = Matrix::zeros(value.rows(), value.cols());
-        self.nodes.push(Node { value, grad, op });
+        // Gradient buffers are materialised lazily by `backward`; a
+        // forward-only pass (e.g. `predict_proba`) never allocates them.
+        self.nodes.push(Node { value, grad: Matrix::zeros(0, 0), op });
         Var(self.nodes.len() - 1)
     }
 
@@ -111,8 +112,9 @@ impl Tape {
         &self.nodes[v.0].value
     }
 
-    /// Immutable access to a node's accumulated gradient (all zeros before
-    /// [`Tape::backward`] is called).
+    /// Immutable access to a node's accumulated gradient.  Gradient buffers
+    /// are allocated lazily: before the first [`Tape::backward`] call this
+    /// returns an empty (0x0) matrix.
     pub fn grad(&self, v: Var) -> &Matrix {
         &self.nodes[v.0].grad
     }
@@ -141,6 +143,12 @@ impl Tape {
     /// Panics if `loss` is not a scalar (1x1) node.
     pub fn backward(&mut self, loss: Var) {
         assert_eq!(self.shape(loss), (1, 1), "backward: loss must be a 1x1 scalar node, got {:?}", self.shape(loss));
+        // materialise any gradient buffers the (lazy) forward pass skipped
+        for node in &mut self.nodes {
+            if node.grad.shape() != node.value.shape() {
+                node.grad = Matrix::zeros(node.value.rows(), node.value.cols());
+            }
+        }
         self.nodes[loss.0].grad = Matrix::full(1, 1, 1.0);
         for i in (0..=loss.0).rev() {
             self.backward_node(i);

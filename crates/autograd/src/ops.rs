@@ -53,6 +53,19 @@ pub enum Op {
     Dropout(Var, Matrix),
     /// Extraction of a single row as a `1 x cols` matrix.
     RowSlice(Var, usize),
+    /// Fused affine map `x * w + bias` (bias broadcast over rows).
+    Affine { x: Var, w: Var, bias: Var },
+    /// Fused `relu(x * w + bias)`; the stored output doubles as the ReLU
+    /// mask in the backward rule.
+    AffineRelu { x: Var, w: Var, bias: Var },
+    /// Fused dual affine map `x * w + h * u + bias` (a GRU gate
+    /// pre-activation).
+    DualAffine { x: Var, w: Var, h: Var, u: Var, bias: Var },
+    /// Fused text-convolution window: `relu(im2col(x, window) * w + bias)`
+    /// as one node.  Stores the im2col matrix (needed for the weight
+    /// gradient); the intermediate never gets a node or a gradient buffer,
+    /// and its backward scatters straight into `x`.
+    ConvWindow { x: Var, w: Var, bias: Var, window: usize, cols: Matrix },
     /// Fused row-softmax + cross-entropy against fixed soft targets,
     /// averaged over rows.  Stores the softmax probabilities.
     SoftmaxCrossEntropy { logits: Var, targets: Matrix, probs: Matrix },
@@ -170,22 +183,7 @@ impl Tape {
     /// # Panics
     /// Panics if the input has fewer rows than the window size.
     pub fn im2col(&mut self, a: Var, window: usize) -> Var {
-        let input = self.value(a);
-        assert!(window >= 1, "im2col: window must be >= 1");
-        assert!(
-            input.rows() >= window,
-            "im2col: input has {} rows but window is {window}; pad the sequence first",
-            input.rows()
-        );
-        let positions = input.rows() - window + 1;
-        let d = input.cols();
-        let mut value = Matrix::zeros(positions, window * d);
-        for p in 0..positions {
-            for w in 0..window {
-                let dst = &mut value.row_mut(p)[w * d..(w + 1) * d];
-                dst.copy_from_slice(input.row(p + w));
-            }
-        }
+        let value = ops::im2col(self.value(a), window);
         self.push(value, Op::Im2Col(a, window))
     }
 
@@ -200,12 +198,11 @@ impl Tape {
     /// from the supplied uniform numbers in `[0,1)`, one per entry, so the
     /// caller controls the randomness (and reproducibility).
     pub fn dropout(&mut self, a: Var, keep: f32, uniforms: &[f32], training: bool) -> Var {
-        let input = self.value(a);
         if !training || keep >= 1.0 {
-            let value = input.clone();
-            let mask = Matrix::full(input.rows(), input.cols(), 1.0);
-            return self.push(value, Op::Dropout(a, mask));
+            // identity in eval mode: no node, no mask, no copy
+            return a;
         }
+        let input = self.value(a);
         assert!(keep > 0.0, "dropout: keep probability must be positive");
         assert!(uniforms.len() >= input.len(), "dropout: need {} uniform samples, got {}", input.len(), uniforms.len());
         let inv_keep = 1.0 / keep;
@@ -228,23 +225,11 @@ impl Tape {
     /// Fused softmax + cross-entropy against fixed soft targets, averaged
     /// over rows.  `targets` must have the same shape as `logits` and each
     /// row should be a probability distribution (the "soft label" `q_f(t)`
-    /// of the paper).  Returns a scalar node.
+    /// of the paper).  Returns a scalar node.  Forward runs as the single
+    /// fused pass [`ops::softmax_xent_rows`], whose probabilities are kept
+    /// for the backward rule.
     pub fn softmax_cross_entropy(&mut self, logits: Var, targets: Matrix) -> Var {
-        let logit_values = self.value(logits);
-        assert_eq!(
-            logit_values.shape(),
-            targets.shape(),
-            "softmax_cross_entropy: logits {:?} vs targets {:?}",
-            logit_values.shape(),
-            targets.shape()
-        );
-        let probs = stats::softmax_rows(logit_values);
-        let rows = probs.rows().max(1);
-        let mut loss = 0.0;
-        for r in 0..probs.rows() {
-            loss += stats::cross_entropy(targets.row(r), probs.row(r));
-        }
-        loss /= rows as f32;
+        let (loss, probs) = ops::softmax_xent_rows(self.value(logits), &targets);
         let value = Matrix::full(1, 1, loss);
         self.push(value, Op::SoftmaxCrossEntropy { logits, targets, probs })
     }
@@ -259,10 +244,36 @@ impl Tape {
         self.mean_all(sq)
     }
 
-    /// Affine layer helper: `x * w + bias` with bias broadcast over rows.
+    /// Fused affine layer `x * w + bias` with bias broadcast over rows: one
+    /// node and one output allocation instead of the matmul + broadcast
+    /// composition.
     pub fn affine(&mut self, x: Var, w: Var, bias: Var) -> Var {
-        let xw = self.matmul(x, w);
-        self.add_row_broadcast(xw, bias)
+        let value = ops::affine(self.value(x), self.value(w), self.value(bias));
+        self.push(value, Op::Affine { x, w, bias })
+    }
+
+    /// Fused `relu(x * w + bias)` — the convolution-layer activation — as a
+    /// single node.
+    pub fn affine_relu(&mut self, x: Var, w: Var, bias: Var) -> Var {
+        let value = ops::affine_relu(self.value(x), self.value(w), self.value(bias));
+        self.push(value, Op::AffineRelu { x, w, bias })
+    }
+
+    /// Fused dual affine map `x * w + h * u + bias` (bias broadcast over
+    /// rows), the pre-activation of a GRU gate: one node instead of the
+    /// two-matmul + add + broadcast composition.
+    pub fn dual_affine(&mut self, x: Var, w: Var, h: Var, u: Var, bias: Var) -> Var {
+        let value = ops::dual_affine(self.value(x), self.value(w), self.value(h), self.value(u), self.value(bias));
+        self.push(value, Op::DualAffine { x, w, h, u, bias })
+    }
+
+    /// Fused text-convolution window `relu(im2col(x, window) * w + bias)`:
+    /// the whole conv block is one node, so the sliding-window matrix never
+    /// gets a gradient buffer and its backward scatters directly into `x`.
+    pub fn conv_window(&mut self, x: Var, w: Var, bias: Var, window: usize) -> Var {
+        let cols = ops::im2col(self.value(x), window);
+        let value = ops::affine_relu(&cols, self.value(w), self.value(bias));
+        self.push(value, Op::ConvWindow { x, w, bias, window, cols })
     }
 
     // ---------------------------------------------------------------------
@@ -270,10 +281,12 @@ impl Tape {
     // ---------------------------------------------------------------------
 
     pub(crate) fn backward_node(&mut self, index: usize) {
-        // Temporarily take the op and upstream gradient out of the node so
-        // we can mutate other nodes' gradients without aliasing.
-        let upstream = self.nodes[index].grad.clone();
+        // Temporarily move the op and upstream gradient out of the node so
+        // we can mutate other nodes' gradients without aliasing (moved, not
+        // cloned — they are restored below).
+        let upstream = std::mem::replace(&mut self.nodes[index].grad, Matrix::zeros(0, 0));
         if upstream.as_slice().iter().all(|&g| g == 0.0) {
+            self.nodes[index].grad = upstream;
             return;
         }
         let op = std::mem::replace(&mut self.nodes[index].op, Op::Leaf);
@@ -404,6 +417,69 @@ impl Tape {
                     *dst += s;
                 }
             }
+            Op::Affine { x, w, bias } => {
+                let dx = ops::matmul_transpose_b(&upstream, &self.nodes[w.0].value);
+                let dw = ops::matmul_transpose_a(&self.nodes[x.0].value, &upstream);
+                let dbias = ops::sum_rows(&upstream);
+                ops::add_assign(&mut self.nodes[x.0].grad, &dx);
+                ops::add_assign(&mut self.nodes[w.0].grad, &dw);
+                ops::add_assign(&mut self.nodes[bias.0].grad, &dbias);
+            }
+            Op::AffineRelu { x, w, bias } => {
+                // mask the upstream by the ReLU output, then the affine rule
+                let y = &self.nodes[index].value;
+                let mut masked = upstream.clone();
+                for (g, &v) in masked.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                    if v <= 0.0 {
+                        *g = 0.0;
+                    }
+                }
+                let dx = ops::matmul_transpose_b(&masked, &self.nodes[w.0].value);
+                let dw = ops::matmul_transpose_a(&self.nodes[x.0].value, &masked);
+                let dbias = ops::sum_rows(&masked);
+                ops::add_assign(&mut self.nodes[x.0].grad, &dx);
+                ops::add_assign(&mut self.nodes[w.0].grad, &dw);
+                ops::add_assign(&mut self.nodes[bias.0].grad, &dbias);
+            }
+            Op::DualAffine { x, w, h, u, bias } => {
+                let dx = ops::matmul_transpose_b(&upstream, &self.nodes[w.0].value);
+                let dw = ops::matmul_transpose_a(&self.nodes[x.0].value, &upstream);
+                let dh = ops::matmul_transpose_b(&upstream, &self.nodes[u.0].value);
+                let du = ops::matmul_transpose_a(&self.nodes[h.0].value, &upstream);
+                let dbias = ops::sum_rows(&upstream);
+                ops::add_assign(&mut self.nodes[x.0].grad, &dx);
+                ops::add_assign(&mut self.nodes[w.0].grad, &dw);
+                ops::add_assign(&mut self.nodes[h.0].grad, &dh);
+                ops::add_assign(&mut self.nodes[u.0].grad, &du);
+                ops::add_assign(&mut self.nodes[bias.0].grad, &dbias);
+            }
+            Op::ConvWindow { x, w, bias, window, cols } => {
+                // mask the upstream by the ReLU output, then the affine
+                // rules against the stored im2col matrix
+                let y = &self.nodes[index].value;
+                let mut masked = upstream.clone();
+                for (g, &v) in masked.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                    if v <= 0.0 {
+                        *g = 0.0;
+                    }
+                }
+                let dw = ops::matmul_transpose_a(cols, &masked);
+                let dbias = ops::sum_rows(&masked);
+                ops::add_assign(&mut self.nodes[w.0].grad, &dw);
+                ops::add_assign(&mut self.nodes[bias.0].grad, &dbias);
+                // dcols scattered straight into x (the im2col adjoint)
+                let dcols = ops::matmul_transpose_b(&masked, &self.nodes[w.0].value);
+                let d = self.nodes[x.0].value.cols();
+                let grad = &mut self.nodes[x.0].grad;
+                for p in 0..dcols.rows() {
+                    for wnd in 0..*window {
+                        let src = &dcols.row(p)[wnd * d..(wnd + 1) * d];
+                        for (dst, s) in grad.row_mut(p + wnd).iter_mut().zip(src) {
+                            *dst += s;
+                        }
+                    }
+                }
+            }
             Op::SoftmaxCrossEntropy { logits, targets, probs } => {
                 let g = upstream[(0, 0)];
                 let rows = probs.rows().max(1) as f32;
@@ -413,6 +489,7 @@ impl Tape {
             }
         }
         self.nodes[index].op = op;
+        self.nodes[index].grad = upstream;
     }
 }
 
@@ -575,6 +652,166 @@ mod tests {
         let loss = tape.sum_all(y);
         tape.backward(loss);
         assert_eq!(tape.grad(b), &Matrix::row_vector(&[2.0]));
+    }
+
+    #[test]
+    fn fused_affine_matches_composed_forward_and_backward() {
+        let x_val = Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 3.0]]);
+        let w_val = Matrix::from_rows(&[&[0.5, 1.0, -1.0], &[2.0, 0.0, 0.5]]);
+        let b_val = Matrix::row_vector(&[0.1, -0.2, 0.3]);
+
+        let mut fused = Tape::new();
+        let (fx, fw, fb) = (fused.leaf(x_val.clone()), fused.leaf(w_val.clone()), fused.leaf(b_val.clone()));
+        let fy = fused.affine(fx, fw, fb);
+        let floss = fused.sum_all(fy);
+        fused.backward(floss);
+
+        let mut composed = Tape::new();
+        let (cx, cw, cb) = (composed.leaf(x_val), composed.leaf(w_val), composed.leaf(b_val));
+        let xw = composed.matmul(cx, cw);
+        let cy = composed.add_row_broadcast(xw, cb);
+        let closs = composed.sum_all(cy);
+        composed.backward(closs);
+
+        assert_eq!(fused.value(fy), composed.value(cy));
+        assert_eq!(fused.grad(fx), composed.grad(cx));
+        assert_eq!(fused.grad(fw), composed.grad(cw));
+        assert_eq!(fused.grad(fb), composed.grad(cb));
+    }
+
+    #[test]
+    fn fused_affine_relu_matches_composition() {
+        let x_val = Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 3.0]]);
+        let w_val = Matrix::from_rows(&[&[0.5, 1.0], &[2.0, -0.5]]);
+        let b_val = Matrix::row_vector(&[0.1, -0.2]);
+
+        let mut fused = Tape::new();
+        let (fx, fw, fb) = (fused.leaf(x_val.clone()), fused.leaf(w_val.clone()), fused.leaf(b_val.clone()));
+        let fy = fused.affine_relu(fx, fw, fb);
+        let floss = fused.sum_all(fy);
+        fused.backward(floss);
+
+        let mut composed = Tape::new();
+        let (cx, cw, cb) = (composed.leaf(x_val), composed.leaf(w_val), composed.leaf(b_val));
+        let pre = composed.affine(cx, cw, cb);
+        let cy = composed.relu(pre);
+        let closs = composed.sum_all(cy);
+        composed.backward(closs);
+
+        assert_eq!(fused.value(fy), composed.value(cy));
+        assert_eq!(fused.grad(fx), composed.grad(cx));
+        assert_eq!(fused.grad(fw), composed.grad(cw));
+        assert_eq!(fused.grad(fb), composed.grad(cb));
+    }
+
+    #[test]
+    fn fused_dual_affine_matches_composition() {
+        let x_val = Matrix::from_rows(&[&[1.0, -0.5]]);
+        let w_val = Matrix::from_rows(&[&[0.5, 1.0], &[2.0, -0.5]]);
+        let h_val = Matrix::from_rows(&[&[0.25, 0.75, -1.0]]);
+        let u_val = Matrix::from_rows(&[&[1.0, 0.0], &[0.5, -0.5], &[0.0, 2.0]]);
+        let b_val = Matrix::row_vector(&[0.1, 0.2]);
+
+        let mut fused = Tape::new();
+        let fx = fused.leaf(x_val.clone());
+        let fw = fused.leaf(w_val.clone());
+        let fh = fused.leaf(h_val.clone());
+        let fu = fused.leaf(u_val.clone());
+        let fb = fused.leaf(b_val.clone());
+        let fy = fused.dual_affine(fx, fw, fh, fu, fb);
+        let floss = fused.sum_all(fy);
+        fused.backward(floss);
+
+        let mut composed = Tape::new();
+        let cx = composed.leaf(x_val);
+        let cw = composed.leaf(w_val);
+        let ch = composed.leaf(h_val);
+        let cu = composed.leaf(u_val);
+        let cb = composed.leaf(b_val);
+        let xw = composed.matmul(cx, cw);
+        let hu = composed.matmul(ch, cu);
+        let sum = composed.add(xw, hu);
+        let cy = composed.add_row_broadcast(sum, cb);
+        let closs = composed.sum_all(cy);
+        composed.backward(closs);
+
+        assert_eq!(fused.value(fy), composed.value(cy));
+        assert_eq!(fused.grad(fx), composed.grad(cx));
+        assert_eq!(fused.grad(fw), composed.grad(cw));
+        assert_eq!(fused.grad(fh), composed.grad(ch));
+        assert_eq!(fused.grad(fu), composed.grad(cu));
+        assert_eq!(fused.grad(fb), composed.grad(cb));
+    }
+
+    #[test]
+    fn fused_ops_pass_gradcheck() {
+        use crate::gradcheck::assert_gradients_close;
+        let x = Matrix::from_rows(&[&[0.3, -0.6], &[0.1, 0.8]]);
+        let w = Matrix::from_rows(&[&[0.5, 0.2], &[-0.4, 0.7]]);
+        let h = Matrix::from_rows(&[&[0.2, -0.1], &[0.6, 0.4]]);
+        let u = Matrix::from_rows(&[&[0.9, -0.3], &[0.2, 0.5]]);
+        let b = Matrix::row_vector(&[0.05, -0.15]);
+        assert_gradients_close(&[x.clone(), w.clone(), b.clone()], 1e-2, 1e-2, |tape, v| {
+            let y = tape.affine(v[0], v[1], v[2]);
+            let t = tape.tanh(y);
+            tape.sum_all(t)
+        });
+        assert_gradients_close(&[x.clone(), w.clone(), b.clone()], 1e-2, 1e-2, |tape, v| {
+            let y = tape.affine_relu(v[0], v[1], v[2]);
+            tape.sum_all(y)
+        });
+        assert_gradients_close(&[x, w, h, u, b], 1e-2, 1e-2, |tape, v| {
+            let y = tape.dual_affine(v[0], v[1], v[2], v[3], v[4]);
+            let t = tape.sigmoid(y);
+            tape.sum_all(t)
+        });
+    }
+
+    #[test]
+    fn fused_conv_window_matches_composition() {
+        let x_val = Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 3.0], &[-1.0, 0.25], &[2.0, 1.0]]);
+        let w_val = Matrix::from_rows(&[&[0.5, 1.0, -1.0], &[2.0, 0.0, 0.5], &[-0.5, 0.25, 1.0], &[1.0, -1.0, 0.0]]);
+        let b_val = Matrix::row_vector(&[0.1, -0.2, 0.3]);
+
+        let mut fused = Tape::new();
+        let (fx, fw, fb) = (fused.leaf(x_val.clone()), fused.leaf(w_val.clone()), fused.leaf(b_val.clone()));
+        let fy = fused.conv_window(fx, fw, fb, 2);
+        let floss = fused.sum_all(fy);
+        fused.backward(floss);
+
+        let mut composed = Tape::new();
+        let (cx, cw, cb) = (composed.leaf(x_val), composed.leaf(w_val), composed.leaf(b_val));
+        let cols = composed.im2col(cx, 2);
+        let cy = composed.affine_relu(cols, cw, cb);
+        let closs = composed.sum_all(cy);
+        composed.backward(closs);
+
+        assert_eq!(fused.value(fy), composed.value(cy));
+        assert_eq!(fused.grad(fx), composed.grad(cx));
+        assert_eq!(fused.grad(fw), composed.grad(cw));
+        assert_eq!(fused.grad(fb), composed.grad(cb));
+    }
+
+    #[test]
+    fn fused_conv_window_passes_gradcheck() {
+        use crate::gradcheck::assert_gradients_close;
+        let x = Matrix::from_rows(&[&[0.3, -0.6], &[0.1, 0.8], &[0.5, -0.2], &[-0.4, 0.9]]);
+        let w = Matrix::from_rows(&[&[0.5, 0.2], &[-0.4, 0.7], &[0.3, -0.8], &[0.6, 0.1]]);
+        let b = Matrix::row_vector(&[0.07, -0.11]);
+        assert_gradients_close(&[x, w, b], 1e-2, 2e-2, |tape, v| {
+            let y = tape.conv_window(v[0], v[1], v[2], 2);
+            tape.sum_all(y)
+        });
+    }
+
+    #[test]
+    fn eval_mode_dropout_adds_no_node() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::row_vector(&[1.0, 2.0]));
+        let before = tape.len();
+        let y = tape.dropout(x, 0.5, &[], false);
+        assert_eq!(y, x, "eval-mode dropout must be the identity node");
+        assert_eq!(tape.len(), before);
     }
 
     #[test]

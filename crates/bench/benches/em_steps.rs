@@ -1,13 +1,15 @@
-//! Micro-benchmarks of the Logic-LNCL pseudo-E-step components:
-//! the q_a posterior (Eq. 13) and the annotator update (Eq. 12).
-use lncl_bench::timing::bench;
+//! Micro-benchmarks of the Logic-LNCL pseudo-E-step components — the q_a
+//! posterior (Eq. 13) and the annotator update (Eq. 12), both through the
+//! flat batched APIs the trainer uses; writes `BENCH_em_steps.json`.
+use lncl_bench::timing::BenchReport;
 use lncl_crowd::datasets::{generate_sentiment, SentimentDatasetConfig};
 use lncl_tensor::stats;
 use logic_lncl::annotators::AnnotatorModel;
-use logic_lncl::posterior::infer_qa;
+use logic_lncl::posterior::infer_qa_split;
 
 fn main() {
     println!("em_steps");
+    let mut report = BenchReport::new("em_steps");
     let dataset = generate_sentiment(&SentimentDatasetConfig {
         train_size: 500,
         dev_size: 10,
@@ -19,15 +21,15 @@ fn main() {
     let predictions: Vec<lncl_tensor::Matrix> =
         dataset.train.iter().map(|_| lncl_tensor::Matrix::row_vector(&[0.45, 0.55])).collect();
 
-    bench("eq13_posterior_full_train_split", || {
-        dataset.train.iter().zip(&predictions).map(|(inst, pred)| infer_qa(inst, pred, &annotators)).collect::<Vec<_>>()
-    });
+    report.bench("eq13_posterior_full_train_split", || infer_qa_split(&dataset.train, &predictions, &annotators));
 
-    let qf: Vec<Vec<Vec<f32>>> =
-        dataset.train.iter().zip(&predictions).map(|(inst, pred)| infer_qa(inst, pred, &annotators)).collect();
-    bench("eq12_annotator_update", || {
+    let qf = infer_qa_split(&dataset.train, &predictions, &annotators);
+    report.bench("eq12_annotator_update", || {
         let mut model = AnnotatorModel::new(dataset.num_annotators, dataset.num_classes, 0.7);
         model.update_from_qf(&dataset, &qf, 0.01);
         stats::argmax(&model.reliabilities())
     });
+
+    let path = report.write().expect("write benchmark report");
+    println!("wrote {}", path.display());
 }

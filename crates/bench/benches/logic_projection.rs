@@ -1,18 +1,22 @@
 //! Micro-benchmarks of the posterior-regularisation projection (Eq. 15):
-//! the classification closed form and the sequence DP.
-use lncl_bench::timing::bench;
+//! the classification closed form and the sequence DP; writes
+//! `BENCH_logic_projection.json`.
+use lncl_bench::timing::BenchReport;
 use lncl_logic::rules::ner_transition::ner_transition_rules;
 use lncl_logic::{project_distribution, project_sequence};
 use lncl_tensor::TensorRng;
 
 fn main() {
     println!("logic_projection");
+    let mut report = BenchReport::new("logic_projection");
     let mut rng = TensorRng::seed_from_u64(0);
     let qa: Vec<f32> = rng.dirichlet(2, 1.0);
-    bench("closed_form_binary", || project_distribution(&qa, &[0.7, 0.1], 5.0));
+    report.bench("closed_form_binary", || project_distribution(&qa, &[0.7, 0.1], 5.0));
     let rules = ner_transition_rules(0.8, 0.2);
     for &len in &[10usize, 30, 60] {
         let seq: Vec<Vec<f32>> = (0..len).map(|_| rng.dirichlet(9, 1.0)).collect();
-        bench(&format!("sequence_dp/{len}"), || project_sequence(&seq, &rules, 5.0));
+        report.bench(&format!("sequence_dp/{len}"), || project_sequence(&seq, &rules, 5.0));
     }
+    let path = report.write().expect("write benchmark report");
+    println!("wrote {}", path.display());
 }

@@ -1,18 +1,19 @@
 //! Micro-benchmarks of the two classifier architectures
-//! (forward pass and forward+backward).
+//! (forward pass and forward+backward); writes `BENCH_nn_forward.json`.
 use lncl_autograd::Tape;
-use lncl_bench::timing::bench;
+use lncl_bench::timing::BenchReport;
 use lncl_nn::models::{InstanceClassifier, NerConvGru, NerConvGruConfig, SentimentCnn, SentimentCnnConfig};
 use lncl_nn::{Binding, Module};
 use lncl_tensor::{Matrix, TensorRng};
 
 fn main() {
     println!("nn_forward");
+    let mut report = BenchReport::new("nn_forward");
     let mut rng = TensorRng::seed_from_u64(0);
     let cnn = SentimentCnn::new(SentimentCnnConfig { vocab_size: 500, ..Default::default() }, &mut rng);
     let tokens: Vec<usize> = (1..18).collect();
-    bench("sentiment_cnn_forward", || cnn.predict_proba(&tokens));
-    bench("sentiment_cnn_forward_backward", || {
+    report.bench("sentiment_cnn_forward", || cnn.predict_proba(&tokens));
+    report.bench("sentiment_cnn_forward_backward", || {
         let mut model = cnn.clone();
         let mut tape = Tape::new();
         let mut binding = Binding::new();
@@ -26,5 +27,8 @@ fn main() {
 
     let ner = NerConvGru::new(NerConvGruConfig { vocab_size: 500, ..Default::default() }, &mut rng);
     let sentence: Vec<usize> = (1..15).collect();
-    bench("ner_conv_gru_forward", || ner.predict_proba(&sentence));
+    report.bench("ner_conv_gru_forward", || ner.predict_proba(&sentence));
+
+    let path = report.write().expect("write benchmark report");
+    println!("wrote {}", path.display());
 }

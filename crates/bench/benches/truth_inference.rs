@@ -1,11 +1,12 @@
 //! Micro-benchmarks of the truth-inference baselines on growing synthetic
-//! label matrices (plain timing harness; see `lncl_bench::timing`).
-use lncl_bench::timing::bench;
+//! label matrices; writes `BENCH_truth_inference.json`.
+use lncl_bench::timing::BenchReport;
 use lncl_crowd::datasets::{generate_sentiment, SentimentDatasetConfig};
 use lncl_crowd::truth::*;
 
 fn main() {
     println!("truth_inference");
+    let mut report = BenchReport::new("truth_inference");
     for &size in &[200usize, 600] {
         let dataset = generate_sentiment(&SentimentDatasetConfig {
             train_size: size,
@@ -15,10 +16,13 @@ fn main() {
             ..SentimentDatasetConfig::default()
         });
         let view = dataset.annotation_view();
-        bench(&format!("mv/{size}"), || MajorityVote.infer(&view));
-        bench(&format!("dawid_skene/{size}"), || DawidSkene { max_iters: 20, ..Default::default() }.infer(&view));
-        bench(&format!("glad/{size}"), || Glad { max_iters: 10, ..Default::default() }.infer(&view));
-        bench(&format!("pm/{size}"), || Pm::default().infer(&view));
-        bench(&format!("catd/{size}"), || Catd::default().infer(&view));
+        report.bench(&format!("mv/{size}"), || MajorityVote.infer(&view));
+        report
+            .bench(&format!("dawid_skene/{size}"), || DawidSkene { max_iters: 20, ..Default::default() }.infer(&view));
+        report.bench(&format!("glad/{size}"), || Glad { max_iters: 10, ..Default::default() }.infer(&view));
+        report.bench(&format!("pm/{size}"), || Pm::default().infer(&view));
+        report.bench(&format!("catd/{size}"), || Catd::default().infer(&view));
     }
+    let path = report.write().expect("write benchmark report");
+    println!("wrote {}", path.display());
 }

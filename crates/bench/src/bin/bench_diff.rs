@@ -1,0 +1,173 @@
+//! Before/after comparison of `BENCH_*.json` benchmark reports — the tool
+//! behind the CI perf gate and the local workflow documented in the crate
+//! README.
+//!
+//! ```text
+//! bench_diff compare <baseline.json> <current.json>... [--gate <factor>]
+//! bench_diff merge <out.json> <in.json>...
+//! ```
+//!
+//! * `compare` prints a before/after table.  Cases are keyed
+//!   `target/case_name`; with `--gate F` the exit code is 1 if any case's
+//!   mean regresses by more than `F`x against the baseline.
+//! * `merge` combines several reports into one (cases renamed to
+//!   `target/case_name`), which is how `bench_baseline.json` is produced.
+
+use lncl_bench::timing::{BenchReport, CaseStats};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_diff compare <baseline.json> <current.json>... [--gate <factor>]");
+    eprintln!("       bench_diff merge <out.json> <in.json>...");
+    ExitCode::from(2)
+}
+
+fn qualified_cases(report: &BenchReport) -> Vec<CaseStats> {
+    report
+        .cases
+        .iter()
+        .map(|c| {
+            // merged reports already carry target-qualified names
+            let name = if c.name.starts_with(&format!("{}/", report.target)) || report.target == "merged" {
+                c.name.clone()
+            } else {
+                format!("{}/{}", report.target, c.name)
+            };
+            CaseStats { name, ..c.clone() }
+        })
+        .collect()
+}
+
+fn load(path: &str) -> Result<BenchReport, String> {
+    BenchReport::load(Path::new(path))
+}
+
+fn format_secs(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn compare(args: &[String]) -> ExitCode {
+    let mut gate: Option<f64> = None;
+    let mut files = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--gate" {
+            match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(f) if f > 0.0 => gate = Some(f),
+                _ => {
+                    eprintln!("bench_diff: --gate needs a positive factor");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            files.push(arg.clone());
+        }
+    }
+    if files.len() < 2 {
+        return usage();
+    }
+    let baseline = match load(&files[0]) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline_cases = qualified_cases(&baseline);
+    let mut current_cases = Vec::new();
+    for file in &files[1..] {
+        match load(file) {
+            Ok(r) => current_cases.extend(qualified_cases(&r)),
+            Err(e) => {
+                eprintln!("bench_diff: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    println!("{:<44} {:>12} {:>12} {:>8}  status", "case", "baseline", "current", "ratio");
+    println!("{}", "-".repeat(92));
+    let mut regressions = 0usize;
+    for case in &current_cases {
+        match baseline_cases.iter().find(|b| b.name == case.name) {
+            None => println!("{:<44} {:>12} {:>12} {:>8}  new", case.name, "-", format_secs(case.mean_s), "-"),
+            Some(base) => {
+                let ratio = case.mean_s / base.mean_s;
+                let status = match gate {
+                    Some(f) if ratio > f => {
+                        regressions += 1;
+                        "REGRESSED"
+                    }
+                    _ if ratio > 1.1 => "slower",
+                    _ if ratio < 0.9 => "faster",
+                    _ => "ok",
+                };
+                println!(
+                    "{:<44} {:>12} {:>12} {:>7.2}x  {status}",
+                    case.name,
+                    format_secs(base.mean_s),
+                    format_secs(case.mean_s),
+                    ratio
+                );
+            }
+        }
+    }
+    let mut missing = 0usize;
+    for base in &baseline_cases {
+        if !current_cases.iter().any(|c| c.name == base.name) {
+            missing += 1;
+            println!("{:<44} {:>12} {:>12} {:>8}  missing", base.name, format_secs(base.mean_s), "-", "-");
+        }
+    }
+    if let Some(f) = gate {
+        // a vanished baseline case is a lost perf protection, not a pass
+        if regressions > 0 || missing > 0 {
+            eprintln!(
+                "bench_diff: {regressions} case(s) regressed by more than {f}x, {missing} baseline case(s) missing"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("gate ok: no case regressed by more than {f}x and none went missing");
+    }
+    ExitCode::SUCCESS
+}
+
+fn merge(args: &[String]) -> ExitCode {
+    if args.len() < 2 {
+        return usage();
+    }
+    let mut merged = BenchReport::new("merged");
+    for file in &args[1..] {
+        match load(file) {
+            Ok(report) => merged.cases.extend(qualified_cases(&report)),
+            Err(e) => {
+                eprintln!("bench_diff: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&args[0], merged.to_json()) {
+        eprintln!("bench_diff: {}: {e}", args[0]);
+        return ExitCode::FAILURE;
+    }
+    println!("merged {} case(s) into {}", merged.cases.len(), args[0]);
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("compare") => compare(&args[1..]),
+        Some("merge") => merge(&args[1..]),
+        _ => usage(),
+    }
+}

@@ -1,7 +1,9 @@
 //! Regenerates Table II: prediction + inference accuracy of every compared
 //! method on the (synthetic) Sentiment Polarity dataset.  The rows are a
-//! data-driven loop over `MethodRegistry` lookups (`TABLE2_METHODS`).
-use lncl_bench::{render_classification_table, table2, Scale, TABLE2_METHODS};
+//! data-driven loop over `MethodRegistry` lookups (`TABLE2_METHODS`); the
+//! per-method wall-clock times land in `BENCH_table2_sentiment.json`.
+use lncl_bench::timing::BenchReport;
+use lncl_bench::{render_classification_table, table2_timed, Scale, TABLE2_METHODS};
 
 fn main() {
     let scale = Scale::from_env();
@@ -11,9 +13,18 @@ fn main() {
         scale.epochs()
     );
     println!("registry methods: {}", TABLE2_METHODS.join(", "));
-    let rows = table2(scale);
+    let timed = table2_timed(scale);
     println!(
         "{}",
-        render_classification_table("Performance (accuracy, %) on the synthetic Sentiment Polarity dataset", &rows)
+        render_classification_table(
+            "Performance (accuracy, %) on the synthetic Sentiment Polarity dataset",
+            &timed.rows
+        )
     );
+    let mut report = BenchReport::new("table2_sentiment");
+    for (method, samples) in &timed.timings {
+        report.record(method, samples.len(), samples);
+    }
+    let path = report.write().expect("write benchmark report");
+    println!("wrote {}", path.display());
 }

@@ -1,7 +1,9 @@
 //! Regenerates Table III: prediction + inference P/R/F1 of every compared
 //! method on the (synthetic) CoNLL-2003 NER dataset.  The rows are a
-//! data-driven loop over `MethodRegistry` lookups (`TABLE3_METHODS`).
-use lncl_bench::{render_sequence_table, table3, Scale, TABLE3_METHODS};
+//! data-driven loop over `MethodRegistry` lookups (`TABLE3_METHODS`); the
+//! per-method wall-clock times land in `BENCH_table3_ner.json`.
+use lncl_bench::timing::BenchReport;
+use lncl_bench::{render_sequence_table, table3_timed, Scale, TABLE3_METHODS};
 
 fn main() {
     let scale = Scale::from_env();
@@ -11,9 +13,18 @@ fn main() {
         scale.epochs()
     );
     println!("registry methods: {}", TABLE3_METHODS.join(", "));
-    let rows = table3(scale);
+    let timed = table3_timed(scale);
     println!(
         "{}",
-        render_sequence_table("Performance (%) on the synthetic CoNLL-2003 NER dataset (strict span metrics)", &rows)
+        render_sequence_table(
+            "Performance (%) on the synthetic CoNLL-2003 NER dataset (strict span metrics)",
+            &timed.rows
+        )
     );
+    let mut report = BenchReport::new("table3_ner");
+    for (method, samples) in &timed.timings {
+        report.record(method, samples.len(), samples);
+    }
+    let path = report.write().expect("write benchmark report");
+    println!("wrote {}", path.display());
 }

@@ -18,33 +18,71 @@ use logic_lncl::ablation::paper_rules;
 use logic_lncl::method::{MethodRegistry, RunContext};
 use logic_lncl::{EvalMetrics, LogicLncl, MethodResult};
 
-/// Runs the named registry methods on a dataset and returns their rows
-/// concatenated in list order.  Methods run on scoped threads, at most
-/// `available_parallelism()` training runs at a time so large tables do not
-/// oversubscribe small machines.
+/// Runs the named registry methods on a dataset, returning their rows
+/// concatenated in list order plus each method's wall-clock runtime in
+/// seconds (keyed by registry name, in list order).  Methods run on scoped
+/// threads, at most [`lncl_tensor::par::max_threads`] training runs at a
+/// time (`LNCL_THREADS` overrides) so large tables do not oversubscribe
+/// small machines.
+pub fn run_methods_timed(
+    registry: &MethodRegistry,
+    names: &[&str],
+    dataset: &CrowdDataset,
+    ctx: &RunContext,
+) -> (Vec<MethodResult>, Vec<(String, f64)>) {
+    validate_methods(registry, names);
+    let max_parallel = lncl_tensor::par::max_threads();
+    let mut rows = Vec::new();
+    let mut timings = Vec::with_capacity(names.len());
+    for chunk in names.chunks(max_parallel.max(1)) {
+        let chunk_rows: Vec<(Vec<MethodResult>, f64)> = std::thread::scope(|s| {
+            let handles: Vec<_> = chunk
+                .iter()
+                .map(|&name| {
+                    let method = registry.get(name).expect("validated above");
+                    s.spawn(move || {
+                        let start = std::time::Instant::now();
+                        let result = method.run(dataset, ctx);
+                        (result, start.elapsed().as_secs_f64())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("method thread panicked")).collect()
+        });
+        for (&name, (method_rows, secs)) in chunk.iter().zip(chunk_rows) {
+            rows.extend(method_rows);
+            timings.push((name.to_string(), secs));
+        }
+    }
+    (rows, timings)
+}
+
+/// [`run_methods_timed`] without the timings.
 pub fn run_methods(
     registry: &MethodRegistry,
     names: &[&str],
     dataset: &CrowdDataset,
     ctx: &RunContext,
 ) -> Vec<MethodResult> {
-    validate_methods(registry, names);
-    let max_parallel = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let mut rows = Vec::new();
-    for chunk in names.chunks(max_parallel.max(1)) {
-        let chunk_rows: Vec<Vec<MethodResult>> = std::thread::scope(|s| {
-            let handles: Vec<_> = chunk
-                .iter()
-                .map(|&name| {
-                    let method = registry.get(name).expect("validated above");
-                    s.spawn(move || method.run(dataset, ctx))
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("method thread panicked")).collect()
-        });
-        rows.extend(chunk_rows.into_iter().flatten());
+    run_methods_timed(registry, names, dataset, ctx).0
+}
+
+/// A table's averaged rows plus per-method runtime samples (one sample per
+/// repetition, keyed by registry name) for the benchmark report.
+pub struct TimedTable {
+    /// Rows averaged over the repetitions.
+    pub rows: Vec<MethodResult>,
+    /// Per-method wall-clock samples in seconds, one per repetition.
+    pub timings: Vec<(String, Vec<f64>)>,
+}
+
+fn merge_timings(into: &mut Vec<(String, Vec<f64>)>, rep: Vec<(String, f64)>) {
+    for (name, secs) in rep {
+        match into.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, samples)) => samples.push(secs),
+            None => into.push((name, vec![secs])),
+        }
     }
-    rows
 }
 
 /// Runs all Table-II (sentiment) methods for one repetition.
@@ -54,11 +92,25 @@ pub fn table2_single_run(scale: Scale, seed: u64) -> Vec<MethodResult> {
     run_methods(&MethodRegistry::standard(), TABLE2_METHODS, &dataset, &ctx)
 }
 
+/// Table II averaged over the scale's repetitions, with per-method timings.
+pub fn table2_timed(scale: Scale) -> TimedTable {
+    let mut timings = Vec::new();
+    let reps: Vec<Vec<MethodResult>> = (0..scale.repetitions())
+        .map(|r| {
+            let seed = 7 + r as u64;
+            let dataset = scale.sentiment_dataset(seed);
+            let ctx = scale.run_context(&dataset, seed);
+            let (rows, rep_timings) = run_methods_timed(&MethodRegistry::standard(), TABLE2_METHODS, &dataset, &ctx);
+            merge_timings(&mut timings, rep_timings);
+            rows
+        })
+        .collect();
+    TimedTable { rows: average_repetitions(&reps), timings }
+}
+
 /// Table II averaged over the scale's repetitions.
 pub fn table2(scale: Scale) -> Vec<MethodResult> {
-    let reps: Vec<Vec<MethodResult>> =
-        (0..scale.repetitions()).map(|r| table2_single_run(scale, 7 + r as u64)).collect();
-    average_repetitions(&reps)
+    table2_timed(scale).rows
 }
 
 /// Runs all Table-III (NER) methods for one repetition.
@@ -68,17 +120,39 @@ pub fn table3_single_run(scale: Scale, seed: u64) -> Vec<MethodResult> {
     run_methods(&MethodRegistry::standard(), TABLE3_METHODS, &dataset, &ctx)
 }
 
+/// Table III averaged over the scale's repetitions, with per-method timings.
+pub fn table3_timed(scale: Scale) -> TimedTable {
+    let mut timings = Vec::new();
+    let reps: Vec<Vec<MethodResult>> = (0..scale.repetitions())
+        .map(|r| {
+            let seed = 11 + r as u64;
+            let dataset = scale.ner_dataset(seed);
+            let ctx = scale.run_context(&dataset, seed);
+            let (rows, rep_timings) = run_methods_timed(&MethodRegistry::standard(), TABLE3_METHODS, &dataset, &ctx);
+            merge_timings(&mut timings, rep_timings);
+            rows
+        })
+        .collect();
+    TimedTable { rows: average_repetitions(&reps), timings }
+}
+
 /// Table III averaged over the scale's repetitions.
 pub fn table3(scale: Scale) -> Vec<MethodResult> {
-    let reps: Vec<Vec<MethodResult>> =
-        (0..scale.repetitions()).map(|r| table3_single_run(scale, 11 + r as u64)).collect();
-    average_repetitions(&reps)
+    table3_timed(scale).rows
+}
+
+/// Runs the Table-IV ablation on one dataset, with per-method timings.
+pub fn table4_for_timed(dataset: &CrowdDataset, scale: Scale, seed: u64) -> TimedTable {
+    let ctx = scale.run_context(dataset, seed);
+    let (rows, rep_timings) = run_methods_timed(&MethodRegistry::standard(), TABLE4_METHODS, dataset, &ctx);
+    let mut timings = Vec::new();
+    merge_timings(&mut timings, rep_timings);
+    TimedTable { rows, timings }
 }
 
 /// Runs the Table-IV ablation on one dataset.
 pub fn table4_for(dataset: &CrowdDataset, scale: Scale, seed: u64) -> Vec<MethodResult> {
-    let ctx = scale.run_context(dataset, seed);
-    run_methods(&MethodRegistry::standard(), TABLE4_METHODS, dataset, &ctx)
+    table4_for_timed(dataset, scale, seed).rows
 }
 
 /// Figure 6/7: trains Logic-LNCL and compares its estimated annotator
@@ -106,7 +180,7 @@ pub fn reliability_study(dataset: &CrowdDataset, scale: Scale, seed: u64, top_n:
     let mut trainer =
         LogicLncl::builder(ctx.model(seed)).rules(paper_rules(dataset)).config(ctx.config.clone()).build(dataset);
     trainer.train(dataset);
-    let estimated_all = trainer.annotators.confusions().to_vec();
+    let estimated_all = trainer.annotators.confusions();
 
     let summary = annotator_summary(dataset);
     let top_annotators = summary.top_annotators(top_n);

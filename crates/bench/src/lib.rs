@@ -16,10 +16,17 @@
 //!
 //! Each binary accepts the environment variables `LNCL_SCALE`
 //! (`small` (default) / `medium` / `paper`), `LNCL_REPS` (number of repeated
-//! runs averaged per method) and `LNCL_EPOCHS` to trade fidelity for wall
-//! time; the defaults finish in minutes on a laptop-class CPU.
+//! runs averaged per method), `LNCL_EPOCHS`, `LNCL_BENCH_ITERS` (timed
+//! iterations per bench case) and `LNCL_THREADS` (worker-thread cap) to
+//! trade fidelity for wall time; the defaults finish in minutes on a
+//! laptop-class CPU.  Bench targets and the table binaries additionally
+//! write machine-readable `BENCH_<target>.json` reports ([`timing`],
+//! [`json`]) that the CI perf gate compares against the checked-in
+//! `bench_baseline.json` via the `bench_diff` binary — see the crate
+//! README for the schema and workflow.
 
 pub mod experiments;
+pub mod json;
 pub mod methods;
 pub mod scale;
 pub mod tables;

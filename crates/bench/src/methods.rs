@@ -1,7 +1,7 @@
 //! Method selection for the paper's tables.
 //!
 //! Every compared method is constructed and run through the
-//! [`MethodRegistry`](logic_lncl::MethodRegistry) — there are no per-method
+//! [`MethodRegistry`] — there are no per-method
 //! runner functions any more.  This module only names *which* registry keys
 //! each table reports, in the paper's row order; the generic execution loop
 //! lives in [`crate::experiments`].

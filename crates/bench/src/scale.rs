@@ -27,12 +27,12 @@ impl Scale {
         }
     }
 
-    /// Number of repeated runs averaged per method (`LNCL_REPS` overrides).
+    /// Number of repeated runs averaged per method (`LNCL_REPS` overrides;
+    /// an invalid value warns on stderr and falls back to the per-scale
+    /// default).
     pub fn repetitions(&self) -> usize {
-        if let Ok(reps) = std::env::var("LNCL_REPS") {
-            if let Ok(n) = reps.parse::<usize>() {
-                return n.max(1);
-            }
+        if let Some(n) = crate::timing::env_usize("LNCL_REPS") {
+            return n.max(1);
         }
         match self {
             Scale::Small => 1,
@@ -41,12 +41,11 @@ impl Scale {
         }
     }
 
-    /// Number of training epochs (`LNCL_EPOCHS` overrides).
+    /// Number of training epochs (`LNCL_EPOCHS` overrides; an invalid value
+    /// warns on stderr and falls back to the per-scale default).
     pub fn epochs(&self) -> usize {
-        if let Ok(e) = std::env::var("LNCL_EPOCHS") {
-            if let Ok(n) = e.parse::<usize>() {
-                return n.max(1);
-            }
+        if let Some(n) = crate::timing::env_usize("LNCL_EPOCHS") {
+            return n.max(1);
         }
         match self {
             Scale::Small => 12,

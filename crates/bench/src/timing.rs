@@ -1,29 +1,224 @@
 //! A dependency-free micro-benchmark harness used by the `benches/` targets
 //! (the container has no crates.io access, so criterion is not available).
 //!
-//! Each bench target is a plain `harness = false` binary that calls
-//! [`bench`] for every case; the output is one line per case with the mean
-//! wall-clock time per iteration.
+//! Each bench target is a plain `harness = false` binary that builds a
+//! [`BenchReport`], times its cases through [`BenchReport::bench`] (printing
+//! one human-readable line per case, as before) and finally writes the
+//! machine-readable `BENCH_<target>.json` via [`BenchReport::write`].  The
+//! JSON files are what the CI `bench-smoke` job archives and gates on (see
+//! the crate README and `bench_diff`).
 
+use crate::json::Json;
+use std::path::PathBuf;
 use std::time::Instant;
+
+/// Reads a `usize` environment variable.  Unset returns `None`; set but
+/// invalid also returns `None` **with a warning on stderr** (a silently
+/// ignored `LNCL_REPS=ten` cost real debugging time).
+pub fn env_usize(name: &str) -> Option<usize> {
+    match std::env::var(name) {
+        Err(_) => None,
+        Ok(raw) => match raw.parse::<usize>() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("warning: ignoring invalid {name}={raw:?} (expected a non-negative integer)");
+                None
+            }
+        },
+    }
+}
 
 /// Number of timed iterations (`LNCL_BENCH_ITERS` overrides, default 20).
 pub fn bench_iters() -> usize {
-    std::env::var("LNCL_BENCH_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(20).max(1)
+    env_usize("LNCL_BENCH_ITERS").unwrap_or(20).max(1)
+}
+
+/// Statistics of one benchmark case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseStats {
+    /// Case name (unique within a report).
+    pub name: String,
+    /// Total number of timed iterations.
+    pub iters: usize,
+    /// Mean seconds per iteration.
+    pub mean_s: f64,
+    /// Fastest sample, seconds per iteration.
+    pub min_s: f64,
+    /// Population standard deviation across samples, seconds per iteration.
+    pub stddev_s: f64,
+}
+
+impl CaseStats {
+    /// Computes the statistics from per-iteration samples (seconds each).
+    pub fn from_samples(name: impl Into<String>, iters: usize, samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "CaseStats::from_samples: no samples");
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+        Self { name: name.into(), iters, mean_s: mean, min_s: min, stddev_s: var.sqrt() }
+    }
+}
+
+/// A machine-readable benchmark report: environment metadata plus per-case
+/// mean/min/stddev, serialised as `BENCH_<target>.json` (schema documented
+/// in the crate README).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// The bench target name (`nn_forward`, `table2_sentiment`, …).
+    pub target: String,
+    /// Environment metadata as ordered key/value pairs.
+    pub environment: Vec<(String, String)>,
+    /// Timed cases in execution order.
+    pub cases: Vec<CaseStats>,
+}
+
+impl BenchReport {
+    /// Creates a report for `target` and captures the environment metadata
+    /// (OS, architecture, iteration count, thread cap, scale, package
+    /// version).
+    pub fn new(target: impl Into<String>) -> Self {
+        let scale = std::env::var("LNCL_SCALE").unwrap_or_else(|_| "small".to_string());
+        let environment = vec![
+            ("os".to_string(), std::env::consts::OS.to_string()),
+            ("arch".to_string(), std::env::consts::ARCH.to_string()),
+            ("iters".to_string(), bench_iters().to_string()),
+            ("threads".to_string(), lncl_tensor::par::max_threads().to_string()),
+            ("scale".to_string(), scale),
+            ("package_version".to_string(), env!("CARGO_PKG_VERSION").to_string()),
+        ];
+        Self { target: target.into(), environment, cases: Vec::new() }
+    }
+
+    /// Times `f` over [`bench_iters`] iterations (after one warm-up call),
+    /// prints the usual `name: <mean per iter>` line, records the case and
+    /// returns the mean seconds per iteration.
+    ///
+    /// Iterations are grouped into up to 10 samples so the min/stddev
+    /// columns are meaningful without paying a clock read per iteration.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> f64 {
+        let iters = bench_iters();
+        let num_samples = iters.min(10);
+        let per_sample = iters.div_ceil(num_samples);
+        std::hint::black_box(f());
+        let mut samples = Vec::with_capacity(num_samples);
+        let mut done = 0usize;
+        while done < iters {
+            let batch = per_sample.min(iters - done);
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            samples.push(start.elapsed().as_secs_f64() / batch as f64);
+            done += batch;
+        }
+        self.record(name, iters, &samples)
+    }
+
+    /// Records a case from externally collected per-iteration samples
+    /// (seconds each), printing the usual one-line summary.  Returns the
+    /// mean.
+    pub fn record(&mut self, name: &str, iters: usize, samples: &[f64]) -> f64 {
+        let stats = CaseStats::from_samples(name, iters, samples);
+        println!("{name:<44} {}", format_duration(stats.mean_s));
+        let mean = stats.mean_s;
+        self.cases.push(stats);
+        mean
+    }
+
+    /// The file this report writes to: `BENCH_<target>.json`.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.target)
+    }
+
+    /// Serialises to the JSON schema documented in the crate README.
+    pub fn to_json(&self) -> String {
+        let environment = Json::Obj(self.environment.iter().map(|(k, v)| (k.clone(), Json::Str(v.clone()))).collect());
+        let cases = Json::Arr(
+            self.cases
+                .iter()
+                .map(|c| {
+                    Json::Obj(vec![
+                        ("name".to_string(), Json::Str(c.name.clone())),
+                        ("iters".to_string(), Json::Num(c.iters as f64)),
+                        ("mean_s".to_string(), Json::Num(c.mean_s)),
+                        ("min_s".to_string(), Json::Num(c.min_s)),
+                        ("stddev_s".to_string(), Json::Num(c.stddev_s)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("schema_version".to_string(), Json::Num(1.0)),
+            ("target".to_string(), Json::Str(self.target.clone())),
+            ("environment".to_string(), environment),
+            ("cases".to_string(), cases),
+        ])
+        .render()
+    }
+
+    /// Parses a report back from its JSON form.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = Json::parse(text)?;
+        let target = doc.get("target").and_then(Json::as_str).ok_or("missing \"target\"")?.to_string();
+        let environment = match doc.get("environment") {
+            Some(Json::Obj(members)) => members
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), v.as_str().ok_or("non-string environment value")?.to_string())))
+                .collect::<Result<Vec<_>, String>>()?,
+            _ => return Err("missing \"environment\" object".to_string()),
+        };
+        let cases = doc
+            .get("cases")
+            .and_then(Json::as_array)
+            .ok_or("missing \"cases\" array")?
+            .iter()
+            .map(|c| {
+                let field = |key: &str| c.get(key).and_then(Json::as_f64).ok_or(format!("case missing {key:?}"));
+                Ok(CaseStats {
+                    name: c.get("name").and_then(Json::as_str).ok_or("case missing \"name\"")?.to_string(),
+                    iters: field("iters")? as usize,
+                    mean_s: field("mean_s")?,
+                    min_s: field("min_s")?,
+                    stddev_s: field("stddev_s")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Self { target, environment, cases })
+    }
+
+    /// Writes `BENCH_<target>.json` and returns the path.  The directory
+    /// is `LNCL_BENCH_DIR` when set; otherwise the nearest ancestor of the
+    /// current directory containing a `Cargo.lock` (the workspace root —
+    /// cargo runs bench binaries from the package directory), falling back
+    /// to the current directory.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let dir = match std::env::var("LNCL_BENCH_DIR") {
+            Ok(dir) => PathBuf::from(dir),
+            Err(_) => {
+                let cwd = std::env::current_dir()?;
+                cwd.ancestors().find(|a| a.join("Cargo.lock").is_file()).unwrap_or(&cwd).to_path_buf()
+            }
+        };
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Reads a report from a JSON file.
+    pub fn load(path: &std::path::Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_json(&text)
+    }
 }
 
 /// Times `f` over [`bench_iters`] iterations (after one warm-up call) and
 /// prints `name: <mean per iter>`.  Returns the mean duration in seconds.
-pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> f64 {
-    let iters = bench_iters();
-    std::hint::black_box(f());
-    let start = Instant::now();
-    for _ in 0..iters {
-        std::hint::black_box(f());
-    }
-    let secs = start.elapsed().as_secs_f64() / iters as f64;
-    println!("{name:<44} {}", format_duration(secs));
-    secs
+///
+/// Thin wrapper kept for ad-hoc timing; bench targets should go through
+/// [`BenchReport`] so the case lands in the JSON report.
+pub fn bench<R>(name: &str, f: impl FnMut() -> R) -> f64 {
+    BenchReport::new("adhoc").bench(name, f)
 }
 
 fn format_duration(secs: f64) -> String {
@@ -54,5 +249,41 @@ mod tests {
         assert!(format_duration(2e-3).contains("ms/iter"));
         assert!(format_duration(2e-6).contains("µs/iter"));
         assert!(format_duration(2e-9).contains("ns/iter"));
+    }
+
+    #[test]
+    fn case_stats_from_samples() {
+        let stats = CaseStats::from_samples("c", 30, &[1.0, 2.0, 3.0]);
+        assert_eq!(stats.iters, 30);
+        assert!((stats.mean_s - 2.0).abs() < 1e-12);
+        assert_eq!(stats.min_s, 1.0);
+        assert!((stats.stddev_s - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_collects_cases() {
+        let mut report = BenchReport::new("unit_test");
+        report.bench("fast_case", || 40 + 2);
+        assert_eq!(report.cases.len(), 1);
+        assert_eq!(report.cases[0].name, "fast_case");
+        assert!(report.cases[0].min_s <= report.cases[0].mean_s);
+        assert!(report.environment.iter().any(|(k, _)| k == "os"));
+        assert_eq!(report.file_name(), "BENCH_unit_test.json");
+    }
+
+    #[test]
+    fn json_round_trip_preserves_report_exactly() {
+        let mut report = BenchReport::new("roundtrip");
+        report.record("case/a", 20, &[1.5e-6, 2.5e-6, 2.0e-6]);
+        report.record("case/b", 20, &[4.2e-3]);
+        let back = BenchReport::from_json(&report.to_json()).expect("parse");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_reports() {
+        assert!(BenchReport::from_json("{}").is_err());
+        assert!(BenchReport::from_json("{\"target\": \"x\"}").is_err());
+        assert!(BenchReport::from_json("not json").is_err());
     }
 }

@@ -4,13 +4,12 @@
 //! upper bound of Tables II/III.
 
 use crate::config::{OptimizerKind, TrainConfig};
-use crate::distill::targets_matrix;
 use crate::predict::{evaluate_split, PredictionMode};
 use crate::report::EvalMetrics;
 use lncl_crowd::{CrowdDataset, TaskKind};
 use lncl_nn::optim::{Adadelta, Adam, Optimizer, Sgd};
 use lncl_nn::{Binding, InstanceClassifier, Module};
-use lncl_tensor::TensorRng;
+use lncl_tensor::{Matrix, TensorRng};
 
 /// Report of a supervised training run.
 #[derive(Debug, Clone, Default)]
@@ -32,12 +31,13 @@ fn make_optimizer(kind: OptimizerKind) -> Box<dyn Optimizer> {
 }
 
 /// Trains `model` on the training split of `dataset` against the supplied
-/// per-instance, per-unit *soft* targets (use one-hot rows for hard labels).
-/// Early stopping follows the development split exactly as in the paper.
+/// per-instance *soft* target matrices (`units x K`; use one-hot rows for
+/// hard labels).  Early stopping follows the development split exactly as
+/// in the paper.
 pub fn train_supervised<M: InstanceClassifier + Module + Clone>(
     model: &mut M,
     dataset: &CrowdDataset,
-    targets: &[Vec<Vec<f32>>],
+    targets: &[Matrix],
     config: &TrainConfig,
 ) -> SupervisedReport {
     assert_eq!(targets.len(), dataset.train.len(), "one target per training instance required");
@@ -67,7 +67,7 @@ pub fn train_supervised<M: InstanceClassifier + Module + Clone>(
                 let mut tape = lncl_autograd::Tape::new();
                 let mut binding = Binding::new();
                 let logits = model.forward_logits(&mut tape, &mut binding, &inst.tokens, true, &mut rng);
-                let loss = tape.softmax_cross_entropy(logits, targets_matrix(&targets[i]));
+                let loss = tape.softmax_cross_entropy(logits, targets[i].clone());
                 batch_loss += tape.scalar(loss);
                 tape.backward(loss);
                 binding.accumulate(&tape, model.params_mut());
@@ -112,24 +112,16 @@ pub fn train_supervised<M: InstanceClassifier + Module + Clone>(
     report
 }
 
-/// Converts hard per-instance labels into one-hot soft targets.
-pub fn one_hot_targets(labels: &[Vec<usize>], num_classes: usize) -> Vec<Vec<Vec<f32>>> {
+/// Converts hard per-instance labels into one-hot soft-target matrices.
+pub fn one_hot_targets(labels: &[Vec<usize>], num_classes: usize) -> Vec<Matrix> {
     labels
         .iter()
-        .map(|inst| {
-            inst.iter()
-                .map(|&l| {
-                    let mut row = vec![0.0f32; num_classes];
-                    row[l] = 1.0;
-                    row
-                })
-                .collect()
-        })
+        .map(|inst| Matrix::from_fn(inst.len(), num_classes, |u, c| if inst[u] == c { 1.0 } else { 0.0 }))
         .collect()
 }
 
 /// Gold-label targets of a dataset's training split (the "Gold" upper bound).
-pub fn gold_targets(dataset: &CrowdDataset) -> Vec<Vec<Vec<f32>>> {
+pub fn gold_targets(dataset: &CrowdDataset) -> Vec<Matrix> {
     one_hot_targets(&dataset.train.iter().map(|i| i.gold.clone()).collect::<Vec<_>>(), dataset.num_classes)
 }
 
@@ -191,8 +183,8 @@ mod tests {
     #[test]
     fn one_hot_targets_are_valid() {
         let t = one_hot_targets(&[vec![1, 0]], 3);
-        assert_eq!(t[0][0], vec![0.0, 1.0, 0.0]);
-        assert_eq!(t[0][1], vec![1.0, 0.0, 0.0]);
+        assert_eq!(t[0].row(0), &[0.0, 1.0, 0.0]);
+        assert_eq!(t[0].row(1), &[1.0, 0.0, 0.0]);
     }
 
     #[test]

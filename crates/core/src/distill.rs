@@ -38,10 +38,10 @@ impl TaskRules {
     }
 }
 
-/// Computes `q_b` for one instance given its `q_a` (one distribution per
-/// unit), the rules, and a callback providing the classifier's probabilities
-/// for arbitrary token subsequences (needed by the sentiment but-rule, which
-/// evaluates `σΘ(clause B)` with the *current* network).
+/// Computes `q_b` for one instance given its `q_a` (a `units x K` matrix,
+/// one row per unit), the rules, and a callback providing the classifier's
+/// probabilities for arbitrary token subsequences (needed by the sentiment
+/// but-rule, which evaluates `σΘ(clause B)` with the *current* network).
 ///
 /// * For classification the instance has one unit; Eq. 15 is applied with
 ///   the penalties of every grounded rule.
@@ -49,44 +49,48 @@ impl TaskRules {
 ///   [`lncl_logic::sequence`].
 /// * With no rules `q_b = q_a`.
 pub fn infer_qb(
-    qa: &[Vec<f32>],
+    qa: &Matrix,
     tokens: &[usize],
     rules: &TaskRules,
     regularization_c: f32,
     clause_probs: &dyn Fn(&[usize]) -> Vec<f32>,
-) -> Vec<Vec<f32>> {
+) -> Matrix {
     match rules {
-        TaskRules::None => qa.to_vec(),
+        TaskRules::None => qa.clone(),
         TaskRules::Classification(rules) => {
-            assert_eq!(qa.len(), 1, "classification instances have exactly one unit");
-            let penalties = lncl_logic::grounded_penalties(rules, tokens, clause_probs, qa[0].len());
-            vec![project_distribution(&qa[0], &penalties, regularization_c)]
+            assert_eq!(qa.rows(), 1, "classification instances have exactly one unit");
+            let penalties = lncl_logic::grounded_penalties(rules, tokens, clause_probs, qa.cols());
+            Matrix::from_vec(1, qa.cols(), project_distribution(qa.row(0), &penalties, regularization_c))
         }
-        TaskRules::Sequence(set) => project_sequence(qa, set, regularization_c),
+        TaskRules::Sequence(set) => {
+            let rows: Vec<&[f32]> = (0..qa.rows()).map(|u| qa.row(u)).collect();
+            matrix_from_rows(project_sequence(&rows, set, regularization_c), qa.cols())
+        }
     }
 }
 
 /// The interpolated final target `q_f = (1 − k)·q_a + k·q_b` (Eq. 9), one
-/// distribution per unit.
-pub fn interpolate_qf(qa: &[Vec<f32>], qb: &[Vec<f32>], k: f32) -> Vec<Vec<f32>> {
-    assert_eq!(qa.len(), qb.len(), "q_a and q_b must have the same number of units");
+/// row per unit.
+pub fn interpolate_qf(qa: &Matrix, qb: &Matrix, k: f32) -> Matrix {
+    assert_eq!(qa.shape(), qb.shape(), "q_a and q_b must have the same shape");
     let k = k.clamp(0.0, 1.0);
-    qa.iter()
-        .zip(qb)
-        .map(|(a, b)| {
-            assert_eq!(a.len(), b.len(), "q_a and q_b must have the same number of classes");
-            a.iter().zip(b).map(|(&qa_k, &qb_k)| (1.0 - k) * qa_k + k * qb_k).collect()
-        })
-        .collect()
+    let mut out = qa.clone();
+    for (o, &b) in out.as_mut_slice().iter_mut().zip(qb.as_slice()) {
+        *o = (1.0 - k) * *o + k * b;
+    }
+    out
 }
 
 /// Converts a per-unit distribution list into a `units x K` matrix (the soft
 /// targets consumed by the cross-entropy loss).
 pub fn targets_matrix(q: &[Vec<f32>]) -> Matrix {
     assert!(!q.is_empty(), "targets_matrix: empty target");
-    let k = q[0].len();
-    let mut m = Matrix::zeros(q.len(), k);
-    for (r, dist) in q.iter().enumerate() {
+    matrix_from_rows(q.to_vec(), q[0].len())
+}
+
+fn matrix_from_rows(rows: Vec<Vec<f32>>, k: usize) -> Matrix {
+    let mut m = Matrix::zeros(rows.len(), k);
+    for (r, dist) in rows.iter().enumerate() {
         assert_eq!(dist.len(), k);
         m.row_mut(r).copy_from_slice(dist);
     }
@@ -103,7 +107,7 @@ mod tests {
 
     #[test]
     fn no_rules_leaves_qa_untouched() {
-        let qa = vec![vec![0.4, 0.6]];
+        let qa = Matrix::row_vector(&[0.4, 0.6]);
         let qb = infer_qb(&qa, &[1, 2], &TaskRules::None, 5.0, &|_| vec![0.5, 0.5]);
         assert_eq!(qa, qb);
     }
@@ -111,38 +115,38 @@ mod tests {
     #[test]
     fn but_rule_moves_qb_towards_clause_b() {
         let rules = TaskRules::Classification(vec![Box::new(SentimentContrastRule::but_rule(BUT))]);
-        let qa = vec![vec![0.7, 0.3]];
+        let qa = Matrix::row_vector(&[0.7, 0.3]);
         // clause B strongly positive
         let qb = infer_qb(&qa, &[1, BUT, 2, 3], &rules, 5.0, &|_| vec![0.05, 0.95]);
-        assert!(qb[0][1] > qa[0][1]);
-        assert!(qb[0][1] > 0.9);
+        assert!(qb[(0, 1)] > qa[(0, 1)]);
+        assert!(qb[(0, 1)] > 0.9);
     }
 
     #[test]
     fn ungrounded_rule_means_qb_equals_qa() {
         let rules = TaskRules::Classification(vec![Box::new(SentimentContrastRule::but_rule(BUT))]);
-        let qa = vec![vec![0.7, 0.3]];
+        let qa = Matrix::row_vector(&[0.7, 0.3]);
         let qb = infer_qb(&qa, &[1, 2, 3], &rules, 5.0, &|_| vec![0.0, 1.0]);
-        assert!((qb[0][0] - 0.7).abs() < 1e-5);
+        assert!((qb[(0, 0)] - 0.7).abs() < 1e-5);
     }
 
     #[test]
     fn sequence_rules_clean_orphan_i_tags() {
         let rules = TaskRules::Sequence(ner_transition_rules(0.8, 0.2));
         // token 0: surely O; token 1: leaning towards orphan I-PER (class 2)
-        let mut qa = vec![vec![0.02f32; 9]; 2];
-        qa[0][0] = 0.86;
-        qa[1] = vec![0.30, 0.04, 0.50, 0.04, 0.02, 0.02, 0.02, 0.03, 0.03];
+        let mut qa = Matrix::full(2, 9, 0.02);
+        qa[(0, 0)] = 0.86;
+        qa.row_mut(1).copy_from_slice(&[0.30, 0.04, 0.50, 0.04, 0.02, 0.02, 0.02, 0.03, 0.03]);
         let qb = infer_qb(&qa, &[1, 2], &rules, 5.0, &|_| vec![]);
-        assert!(qb[1][2] < qa[1][2], "orphan I-PER should shrink: {:?}", qb[1]);
+        assert!(qb[(1, 2)] < qa[(1, 2)], "orphan I-PER should shrink: {:?}", qb.row(1));
     }
 
     #[test]
     fn interpolation_bounds() {
-        let qa = vec![vec![0.8, 0.2]];
-        let qb = vec![vec![0.2, 0.8]];
+        let qa = Matrix::row_vector(&[0.8, 0.2]);
+        let qb = Matrix::row_vector(&[0.2, 0.8]);
         let half = interpolate_qf(&qa, &qb, 0.5);
-        assert!((half[0][0] - 0.5).abs() < 1e-6);
+        assert!((half[(0, 0)] - 0.5).abs() < 1e-6);
         let zero = interpolate_qf(&qa, &qb, 0.0);
         assert_eq!(zero, qa);
         let one = interpolate_qf(&qa, &qb, 1.0);
@@ -154,11 +158,12 @@ mod tests {
 
     #[test]
     fn interpolation_preserves_normalisation() {
-        let qa = vec![vec![0.1, 0.6, 0.3], vec![0.3, 0.3, 0.4]];
-        let qb = vec![vec![0.5, 0.25, 0.25], vec![0.2, 0.7, 0.1]];
+        let qa = Matrix::from_rows(&[&[0.1, 0.6, 0.3], &[0.3, 0.3, 0.4]]);
+        let qb = Matrix::from_rows(&[&[0.5, 0.25, 0.25], &[0.2, 0.7, 0.1]]);
         for k in [0.0f32, 0.3, 0.9] {
-            for unit in interpolate_qf(&qa, &qb, k) {
-                assert!((unit.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+            let qf = interpolate_qf(&qa, &qb, k);
+            for r in 0..qf.rows() {
+                assert!((qf.row(r).iter().sum::<f32>() - 1.0).abs() < 1e-5);
             }
         }
     }

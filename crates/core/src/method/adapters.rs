@@ -18,14 +18,17 @@ use crate::trainer::LogicLncl;
 use lncl_crowd::truth::{DawidSkene, Glad, MajorityVote, TruthEstimate, TruthInference};
 use lncl_crowd::{CrowdDataset, TaskKind};
 
-/// Converts a flat truth estimate into per-instance soft targets (one
-/// distribution per unit), the layout consumed by the fixed-posterior
-/// trainer mode.
-pub fn estimate_to_targets(estimate: &TruthEstimate, dataset: &CrowdDataset) -> Vec<Vec<Vec<f32>>> {
+/// Converts a flat truth estimate into per-instance soft-target matrices
+/// (`units x K`), the layout consumed by the fixed-posterior trainer mode.
+pub fn estimate_to_targets(estimate: &TruthEstimate, dataset: &CrowdDataset) -> Vec<lncl_tensor::Matrix> {
     let view = dataset.annotation_view();
-    let mut targets: Vec<Vec<Vec<f32>>> = dataset.train.iter().map(|_| Vec::new()).collect();
+    let mut targets: Vec<lncl_tensor::Matrix> =
+        dataset.train.iter().map(|inst| lncl_tensor::Matrix::zeros(inst.num_units(), dataset.num_classes)).collect();
+    let mut cursor = vec![0usize; targets.len()];
     for (u, post) in estimate.posteriors.iter().enumerate() {
-        targets[view.unit_instance[u]].push(post.clone());
+        let i = view.unit_instance[u];
+        targets[i].row_mut(cursor[i]).copy_from_slice(post);
+        cursor[i] += 1;
     }
     targets
 }

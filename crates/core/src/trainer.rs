@@ -16,15 +16,15 @@
 
 use crate::annotators::AnnotatorModel;
 use crate::config::{MStepObjective, OptimizerKind, TrainConfig};
-use crate::distill::{infer_qb, interpolate_qf, targets_matrix, TaskRules};
-use crate::posterior::infer_qa;
+use crate::distill::{infer_qb, TaskRules};
+use crate::posterior::{infer_qa_into, FlatPosteriors};
 use crate::predict::{evaluate_split, PredictionMode};
 use crate::report::{EvalMetrics, TrainReport};
 use lncl_crowd::truth::{MajorityVote, TruthInference};
 use lncl_crowd::{metrics, CrowdDataset, TaskKind};
 use lncl_nn::optim::{Adadelta, Adam, Optimizer, Sgd};
 use lncl_nn::{Binding, InstanceClassifier, Module};
-use lncl_tensor::{stats, Matrix, TensorRng};
+use lncl_tensor::{Matrix, TensorRng};
 
 /// Where the truth posterior `q_a` comes from.
 #[derive(Debug, Clone)]
@@ -33,8 +33,9 @@ pub enum PosteriorMode {
     /// refreshed every epoch.
     Iterative,
     /// Ablation mode (MV-Rule / GLAD-Rule): `q_a` is frozen to an external
-    /// per-instance estimate and never refined.
-    Fixed(Vec<Vec<Vec<f32>>>),
+    /// per-instance estimate (one `units x K` matrix per instance) and never
+    /// refined.
+    Fixed(Vec<Matrix>),
 }
 
 /// The Logic-LNCL trainer.
@@ -49,8 +50,8 @@ pub struct LogicLncl<M: InstanceClassifier + Module + Clone> {
     pub config: TrainConfig,
     /// Posterior mode (iterative vs fixed).
     pub posterior_mode: PosteriorMode,
-    /// Current per-instance, per-unit training target `q_f`.
-    qf: Vec<Vec<Vec<f32>>>,
+    /// Current training target `q_f` for the whole split, stored flat.
+    qf: FlatPosteriors,
     best_model: Option<M>,
 }
 
@@ -87,7 +88,7 @@ impl<M: InstanceClassifier + Module + Clone> LogicLnclBuilder<M> {
     /// Freezes `q_a` to an external per-instance estimate (the MV-Rule /
     /// GLAD-Rule ablation); shorthand for
     /// `.posterior(PosteriorMode::Fixed(..))`.
-    pub fn fixed_posterior(self, posterior: Vec<Vec<Vec<f32>>>) -> Self {
+    pub fn fixed_posterior(self, posterior: Vec<Matrix>) -> Self {
         self.posterior(PosteriorMode::Fixed(posterior))
     }
 
@@ -109,7 +110,7 @@ impl<M: InstanceClassifier + Module + Clone> LogicLncl<M> {
             rules,
             config,
             posterior_mode: PosteriorMode::Iterative,
-            qf: Vec::new(),
+            qf: FlatPosteriors::zeros(&[], dataset.num_classes),
             best_model: None,
         }
     }
@@ -144,16 +145,10 @@ impl<M: InstanceClassifier + Module + Clone> LogicLncl<M> {
         }
     }
 
-    /// Switches to a fixed external posterior (MV-Rule / GLAD-Rule ablation).
-    #[deprecated(since = "0.1.0", note = "use `LogicLncl::builder(model).fixed_posterior(..)` instead")]
-    pub fn with_fixed_posterior(mut self, posterior: Vec<Vec<Vec<f32>>>) -> Self {
-        self.posterior_mode = PosteriorMode::Fixed(posterior);
-        self
-    }
-
-    /// Current `q_f` targets (per instance, per unit), e.g. for inspecting
-    /// the inference quality during experiments.
-    pub fn qf(&self) -> &[Vec<Vec<f32>>] {
+    /// Current `q_f` targets for the whole training split (flat storage,
+    /// one `units x K` block per instance), e.g. for inspecting the
+    /// inference quality during experiments.
+    pub fn qf(&self) -> &FlatPosteriors {
         &self.qf
     }
 
@@ -169,10 +164,14 @@ impl<M: InstanceClassifier + Module + Clone> LogicLncl<M> {
     fn initialize_qf(&mut self, dataset: &CrowdDataset) {
         let view = dataset.annotation_view();
         let mv = MajorityVote.infer(&view);
-        let mut qf: Vec<Vec<Vec<f32>>> =
-            dataset.train.iter().map(|inst| Vec::with_capacity(inst.num_units())).collect();
+        let k = dataset.num_classes;
+        let mut qf = FlatPosteriors::zeros(&dataset.train, k);
+        let mut cursor = vec![0usize; dataset.train.len()];
         for (u, post) in mv.posteriors.iter().enumerate() {
-            qf[view.unit_instance[u]].push(post.clone());
+            let i = view.unit_instance[u];
+            let unit = cursor[i];
+            qf.instance_slice_mut(i)[unit * k..(unit + 1) * k].copy_from_slice(post);
+            cursor[i] += 1;
         }
         self.qf = qf;
     }
@@ -183,19 +182,40 @@ impl<M: InstanceClassifier + Module + Clone> LogicLncl<M> {
     }
 
     /// The pseudo-E-step: recompute `q_a`, `q_b`, `q_f` and update Π.
+    ///
+    /// All of `q_a` and `q_f` live in one [`FlatPosteriors`] allocation;
+    /// with no rules attached the rule projection and Eq. 9 interpolation
+    /// run in place on it, so the whole step allocates nothing per
+    /// instance.  Per-instance work only happens on the rules path, where
+    /// the projection algorithms allocate their own results anyway.
     fn pseudo_e_step(&mut self, dataset: &CrowdDataset, imitation_k: f32) {
         let predictions = self.train_predictions(dataset);
         let model = &self.model;
         let clause = |tokens: &[usize]| model.predict_proba(tokens).row(0).to_vec();
+        let imitation_k = imitation_k.clamp(0.0, 1.0);
 
-        let mut new_qf = Vec::with_capacity(dataset.train.len());
+        let mut new_qf = FlatPosteriors::zeros(&dataset.train, dataset.num_classes);
         for (i, inst) in dataset.train.iter().enumerate() {
-            let qa = match &self.posterior_mode {
-                PosteriorMode::Iterative => infer_qa(inst, &predictions[i], &self.annotators),
-                PosteriorMode::Fixed(fixed) => fixed[i].clone(),
-            };
-            let qb = infer_qb(&qa, &inst.tokens, &self.rules, self.config.regularization_c, &clause);
-            new_qf.push(interpolate_qf(&qa, &qb, imitation_k));
+            match &self.posterior_mode {
+                PosteriorMode::Iterative => {
+                    infer_qa_into(inst, &predictions[i], &self.annotators, new_qf.instance_slice_mut(i));
+                }
+                PosteriorMode::Fixed(fixed) => {
+                    new_qf.instance_slice_mut(i).copy_from_slice(fixed[i].as_slice());
+                }
+            }
+            if self.rules.is_none() {
+                // q_b == q_a: Eq. 9 in place
+                for v in new_qf.instance_slice_mut(i) {
+                    *v = (1.0 - imitation_k) * *v + imitation_k * *v;
+                }
+            } else {
+                let qa = new_qf.instance_matrix(i);
+                let qb = infer_qb(&qa, &inst.tokens, &self.rules, self.config.regularization_c, &clause);
+                for ((f, &a), &b) in new_qf.instance_slice_mut(i).iter_mut().zip(qa.as_slice()).zip(qb.as_slice()) {
+                    *f = (1.0 - imitation_k) * a + imitation_k * b;
+                }
+            }
         }
         self.qf = new_qf;
         // Eq. 12: closed-form annotator update from q_f.
@@ -236,8 +256,7 @@ impl<M: InstanceClassifier + Module + Clone> LogicLncl<M> {
                     let mut tape = lncl_autograd::Tape::new();
                     let mut binding = Binding::new();
                     let logits = self.model.forward_logits(&mut tape, &mut binding, &inst.tokens, true, &mut rng);
-                    let targets = targets_matrix(&self.qf[i]);
-                    let mut loss = tape.softmax_cross_entropy(logits, targets);
+                    let mut loss = tape.softmax_cross_entropy(logits, self.qf.instance_matrix(i));
                     if self.config.objective == MStepObjective::AnnotationWeighted {
                         loss = tape.scale(loss, inst.num_annotations().max(1) as f32);
                     }
@@ -296,11 +315,10 @@ impl<M: InstanceClassifier + Module + Clone> LogicLncl<M> {
     /// Inference quality of the current `q_f` against the training gold
     /// labels (the "Inference" columns of Tables II/III).
     pub fn inference_metrics(&self, dataset: &CrowdDataset) -> EvalMetrics {
-        if self.qf.is_empty() {
+        if self.qf.num_instances() == 0 {
             return EvalMetrics::default();
         }
-        let predictions: Vec<Vec<usize>> =
-            self.qf.iter().map(|inst| inst.iter().map(|p| stats::argmax(p)).collect()).collect();
+        let predictions: Vec<Vec<usize>> = (0..self.qf.num_instances()).map(|i| self.qf.instance_argmax(i)).collect();
         let gold: Vec<Vec<usize>> = dataset.train.iter().map(|i| i.gold.clone()).collect();
         match dataset.task {
             TaskKind::Classification => {
@@ -416,21 +434,21 @@ mod tests {
         let dataset = tiny_dataset();
         let view = dataset.annotation_view();
         let mv = MajorityVote.infer(&view);
-        let mut fixed: Vec<Vec<Vec<f32>>> = dataset.train.iter().map(|_| Vec::new()).collect();
+        let mut fixed: Vec<Matrix> =
+            dataset.train.iter().map(|inst| Matrix::zeros(inst.num_units(), dataset.num_classes)).collect();
+        let mut cursor = vec![0usize; fixed.len()];
         for (u, post) in mv.posteriors.iter().enumerate() {
-            fixed[view.unit_instance[u]].push(post.clone());
+            let i = view.unit_instance[u];
+            fixed[i].row_mut(cursor[i]).copy_from_slice(post);
+            cursor[i] += 1;
         }
         let model = tiny_model(&dataset, 4);
         let mut trainer =
             LogicLncl::builder(model).config(fast_config(2)).fixed_posterior(fixed.clone()).build(&dataset);
         let _ = trainer.train(&dataset);
         // with no rules and a fixed posterior, q_f must equal the fixed MV estimate
-        for (qf_inst, mv_inst) in trainer.qf().iter().zip(&fixed) {
-            for (a, b) in qf_inst.iter().zip(mv_inst) {
-                for (x, y) in a.iter().zip(b) {
-                    assert!((x - y).abs() < 1e-5);
-                }
-            }
+        for (i, mv_inst) in fixed.iter().enumerate() {
+            assert!(trainer.qf().instance_matrix(i).approx_eq(mv_inst, 1e-5));
         }
     }
 

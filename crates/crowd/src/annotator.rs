@@ -165,7 +165,7 @@ pub struct NerErrorRates {
     pub boundary: f32,
     /// Probability that an entity's type is replaced by another type.
     pub span_type: f32,
-    /// Per-token probability of spuriously tagging an O token as B-<type>.
+    /// Per-token probability of spuriously tagging an O token as B-`<type>`.
     pub spurious: f32,
 }
 
@@ -280,7 +280,7 @@ pub fn gold_spans(labels: &[usize]) -> Vec<(usize, usize, usize)> {
     while i < labels.len() {
         let l = labels[i];
         if l != 0 && (l - 1).is_multiple_of(2) {
-            // B-<type>
+            // B-`<type>`
             let ty = (l - 1) / 2;
             let mut j = i + 1;
             while j < labels.len() && labels[j] == l + 1 {

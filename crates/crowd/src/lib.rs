@@ -3,7 +3,7 @@
 //! The crowdsourcing substrate of the Logic-LNCL reproduction:
 //!
 //! * [`data`] — the dataset / instance / crowd-label model and the flattened
-//!   [`AnnotationView`](data::AnnotationView) consumed by aggregation methods;
+//!   [`AnnotationView`] consumed by aggregation methods;
 //! * [`annotator`] — simulated annotators (confusion-matrix annotators for
 //!   classification, error-model annotators for NER);
 //! * [`datasets`] — synthetic stand-ins for the two MTurk corpora of the

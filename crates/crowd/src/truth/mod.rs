@@ -4,7 +4,7 @@
 //! "Truth Inference" blocks of Tables II and III: Majority Voting,
 //! Dawid–Skene, GLAD, IBCC, PM, CATD, plus the sequence-aware HMM-Crowd and
 //! a simplified BSC-seq.  They all consume the flattened
-//! [`AnnotationView`](crate::data::AnnotationView) of a dataset and produce a
+//! [`AnnotationView`] of a dataset and produce a
 //! [`TruthEstimate`].
 
 pub mod bsc_seq;

@@ -15,21 +15,24 @@ use lncl_tensor::{stats, Matrix};
 /// Projects per-token posteriors `qa` (one distribution per token) onto the
 /// subspace regularised by the transition `rules`, returning the per-token
 /// marginals of `q_b`.
-pub fn project_sequence(qa: &[Vec<f32>], rules: &SequenceRuleSet, regularization: f32) -> Vec<Vec<f32>> {
+///
+/// Generic over the per-token storage so callers can pass `&[Vec<f32>]` or
+/// a vector of matrix-row slices without copying.
+pub fn project_sequence<S: AsRef<[f32]>>(qa: &[S], rules: &SequenceRuleSet, regularization: f32) -> Vec<Vec<f32>> {
     if qa.is_empty() {
         return Vec::new();
     }
-    let k = qa[0].len();
+    let k = qa[0].as_ref().len();
     assert_eq!(rules.num_classes(), k, "rule set covers {} classes, posteriors have {k}", rules.num_classes());
     assert!(regularization >= 0.0, "regularization strength must be non-negative");
     if qa.len() == 1 || regularization == 0.0 {
         // no pairwise terms: q_b == q_a (renormalised)
-        return qa.iter().map(|p| stats::normalized(p)).collect();
+        return qa.iter().map(|p| stats::normalized(p.as_ref())).collect();
     }
 
     let t_len = qa.len();
     // log unary and pairwise potentials
-    let log_unary: Vec<Vec<f32>> = qa.iter().map(|p| p.iter().map(|&v| v.max(1e-12).ln()).collect()).collect();
+    let log_unary: Vec<Vec<f32>> = qa.iter().map(|p| p.as_ref().iter().map(|&v| v.max(1e-12).ln()).collect()).collect();
     let log_pair = Matrix::from_fn(k, k, |prev, cur| -regularization * rules.penalty_for(prev, cur));
 
     // forward
@@ -114,7 +117,7 @@ mod tests {
     #[test]
     fn empty_and_single_token_sequences() {
         let rules = toy_rules();
-        assert!(project_sequence(&[], &rules, 5.0).is_empty());
+        assert!(project_sequence::<Vec<f32>>(&[], &rules, 5.0).is_empty());
         let single = project_sequence(&[vec![0.2, 0.3, 0.5]], &rules, 5.0);
         assert_eq!(single.len(), 1);
         assert!((single[0][2] - 0.5).abs() < 1e-5);

@@ -77,12 +77,28 @@ impl TextConv {
         for filter in &self.filters {
             let w = binding.bind(tape, &filter.weight);
             let b = binding.bind(tape, &filter.bias);
-            let cols = tape.im2col(embedded, filter.window);
-            let conv = tape.affine(cols, w, b);
-            let act = tape.relu(conv);
+            let act = tape.conv_window(embedded, w, b, filter.window);
             pooled.push(tape.max_over_rows(act));
         }
         tape.hstack(&pooled)
+    }
+
+    /// Eval-mode forward on a raw `T x emb_dim` matrix (no tape): the same
+    /// im2col → fused affine+ReLU → max-over-time pipeline through the
+    /// fused tensor ops.
+    pub fn forward_matrix(&self, embedded: &Matrix) -> Matrix {
+        use lncl_tensor::ops;
+        assert_eq!(embedded.cols(), self.emb_dim, "TextConv: embedding dim mismatch");
+        let pooled: Vec<Matrix> = self
+            .filters
+            .iter()
+            .map(|filter| {
+                let cols = ops::im2col(embedded, filter.window);
+                let act = ops::affine_relu(&cols, &filter.weight.value, &filter.bias.value);
+                ops::max_over_rows(&act).0
+            })
+            .collect();
+        Matrix::hstack(&pooled.iter().collect::<Vec<_>>())
     }
 }
 
@@ -146,9 +162,23 @@ impl SameConv {
         let padded = if half > 0 { tape.vstack(&[pad, x, pad]) } else { x };
         let w = binding.bind(tape, &self.weight);
         let b = binding.bind(tape, &self.bias);
-        let cols_node = tape.im2col(padded, self.window);
-        let conv = tape.affine(cols_node, w, b);
-        tape.relu(conv)
+        tape.conv_window(padded, w, b, self.window)
+    }
+
+    /// Eval-mode forward on a raw `T x in_dim` matrix (no tape).
+    pub fn forward_matrix(&self, x: &Matrix) -> Matrix {
+        use lncl_tensor::ops;
+        assert_eq!(x.cols(), self.in_dim, "SameConv: input dim mismatch");
+        assert!(x.rows() > 0, "SameConv: empty sequence");
+        let half = (self.window - 1) / 2;
+        let padded = if half > 0 {
+            let pad = Matrix::zeros(half, self.in_dim);
+            Matrix::vstack(&[&pad, x, &pad])
+        } else {
+            x.clone()
+        };
+        let cols = ops::im2col(&padded, self.window);
+        ops::affine_relu(&cols, &self.weight.value, &self.bias.value)
     }
 }
 

@@ -41,6 +41,10 @@ impl Embedding {
 
     /// Looks up `tokens`, producing a `tokens.len() x dim` node.
     ///
+    /// Only the looked-up rows are copied onto the tape (a gathered
+    /// binding), so the cost of a forward pass scales with the sentence
+    /// length, not the vocabulary size.
+    ///
     /// # Panics
     /// Panics if any token id is outside the vocabulary.
     pub fn forward(&self, tape: &mut Tape, binding: &mut Binding, tokens: &[usize]) -> Var {
@@ -48,8 +52,7 @@ impl Embedding {
         for &t in tokens {
             assert!(t < self.vocab_size, "token id {t} out of vocabulary (size {})", self.vocab_size);
         }
-        let table = binding.bind(tape, &self.table);
-        tape.gather_rows(table, tokens)
+        binding.bind_gathered(tape, &self.table, tokens)
     }
 
     /// Eval-mode lookup returning a plain matrix.

@@ -78,26 +78,17 @@ impl GruCell {
         let uh = binding.bind(tape, &self.uh);
         let bh = binding.bind(tape, &self.bh);
 
-        // z = sigmoid(x Wz + h Uz + bz)
-        let xz = tape.matmul(x, wz);
-        let hz = tape.matmul(h, uz);
-        let sz = tape.add(xz, hz);
-        let sz = tape.add_row_broadcast(sz, bz);
+        // z = sigmoid(x Wz + h Uz + bz), fused gate pre-activation
+        let sz = tape.dual_affine(x, wz, h, uz, bz);
         let z = tape.sigmoid(sz);
 
         // r = sigmoid(x Wr + h Ur + br)
-        let xr = tape.matmul(x, wr);
-        let hr = tape.matmul(h, ur);
-        let sr = tape.add(xr, hr);
-        let sr = tape.add_row_broadcast(sr, br);
+        let sr = tape.dual_affine(x, wr, h, ur, br);
         let r = tape.sigmoid(sr);
 
         // candidate = tanh(x Wh + (r ⊙ h) Uh + bh)
         let rh = tape.mul(r, h);
-        let xh = tape.matmul(x, wh);
-        let rhu = tape.matmul(rh, uh);
-        let sh = tape.add(xh, rhu);
-        let sh = tape.add_row_broadcast(sh, bh);
+        let sh = tape.dual_affine(x, wh, rh, uh, bh);
         let cand = tape.tanh(sh);
 
         // h' = (1-z) ⊙ h + z ⊙ candidate
@@ -160,6 +151,47 @@ impl Gru {
             outputs.push(h);
         }
         tape.vstack(&outputs)
+    }
+
+    /// Eval-mode unroll on a raw `T x in_dim` matrix (no tape).  The input
+    /// projections of all three gates are batched into three matrix
+    /// products up front; the recurrent part runs per step.  Produces
+    /// exactly the values of the tape unroll.
+    pub fn forward_matrix(&self, x: &Matrix) -> Matrix {
+        use lncl_tensor::ops;
+        let steps = x.rows();
+        assert!(steps > 0, "Gru::forward_matrix: empty sequence");
+        let hid = self.cell.hidden_dim();
+        let c = &self.cell;
+        let xz = ops::matmul(x, &c.wz.value);
+        let xr = ops::matmul(x, &c.wr.value);
+        let xh = ops::matmul(x, &c.wh.value);
+        let mut out = Matrix::zeros(steps, hid);
+        let mut h = Matrix::zeros(1, hid);
+        for t in 0..steps {
+            let hz = ops::matmul(&h, &c.uz.value);
+            let hr = ops::matmul(&h, &c.ur.value);
+            let mut z = Matrix::zeros(1, hid);
+            let mut r = Matrix::zeros(1, hid);
+            for j in 0..hid {
+                let sz = (xz[(t, j)] + hz[(0, j)]) + c.bz.value[(0, j)];
+                z[(0, j)] = 1.0 / (1.0 + (-sz).exp());
+                let sr = (xr[(t, j)] + hr[(0, j)]) + c.br.value[(0, j)];
+                r[(0, j)] = 1.0 / (1.0 + (-sr).exp());
+            }
+            let rh = ops::mul(&r, &h);
+            let rhu = ops::matmul(&rh, &c.uh.value);
+            let out_row = out.row_mut(t);
+            for j in 0..hid {
+                let sh = (xh[(t, j)] + rhu[(0, j)]) + c.bh.value[(0, j)];
+                let cand = sh.tanh();
+                let keep = (1.0 - z[(0, j)]) * h[(0, j)];
+                let update = z[(0, j)] * cand;
+                out_row[j] = keep + update;
+            }
+            h.as_mut_slice().copy_from_slice(out.row(t));
+        }
+        out
     }
 }
 

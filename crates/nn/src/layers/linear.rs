@@ -42,8 +42,7 @@ impl Linear {
 
     /// Convenience eval-mode forward on raw data (no tape bookkeeping kept).
     pub fn forward_matrix(&self, x: &Matrix) -> Matrix {
-        let xw = lncl_tensor::ops::matmul(x, &self.weight.value);
-        lncl_tensor::ops::add_row_broadcast(&xw, &self.bias.value)
+        lncl_tensor::ops::affine(x, &self.weight.value, &self.bias.value)
     }
 }
 

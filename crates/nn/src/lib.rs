@@ -2,15 +2,15 @@
 //!
 //! Neural-network building blocks for the Logic-LNCL reproduction:
 //!
-//! * [`module`] — [`Param`](module::Param), parameter/tape [`Binding`](module::Binding)
-//!   and the [`Module`](module::Module) trait;
+//! * [`module`] — [`Param`], parameter/tape [`Binding`]
+//!   and the [`Module`] trait;
 //! * [`layers`] — embeddings, linear layers, text convolutions, GRU and
 //!   dropout;
 //! * [`optim`] — SGD, Adam and Adadelta plus learning-rate schedules and
 //!   early stopping (matching the paper's Table I configuration);
 //! * [`models`] — the paper's two architectures
 //!   ([`SentimentCnn`](models::SentimentCnn), [`NerConvGru`](models::NerConvGru))
-//!   behind the [`InstanceClassifier`](models::InstanceClassifier) trait.
+//!   behind the [`InstanceClassifier`] trait.
 //!
 //! ```
 //! use lncl_nn::models::{InstanceClassifier, SentimentCnn, SentimentCnnConfig};

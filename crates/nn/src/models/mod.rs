@@ -67,6 +67,14 @@ impl InstanceClassifier for AnyModel {
         }
     }
 
+    fn predict_proba(&self, tokens: &[usize]) -> Matrix {
+        // delegate so both architectures take their tape-free eval paths
+        match self {
+            AnyModel::Sentiment(m) => m.predict_proba(tokens),
+            AnyModel::Ner(m) => m.predict_proba(tokens),
+        }
+    }
+
     fn forward_logits(
         &self,
         tape: &mut Tape,

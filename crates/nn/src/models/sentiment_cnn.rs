@@ -84,6 +84,17 @@ impl SentimentCnn {
         }
         out
     }
+
+    /// Eval-mode logits straight through the fused tensor ops — no tape,
+    /// no gradient bookkeeping.  Produces exactly the values of the tape
+    /// forward with dropout disabled.
+    pub fn forward_logits_matrix(&self, tokens: &[usize]) -> lncl_tensor::Matrix {
+        let tokens = self.padded(tokens);
+        let embedded = self.embedding.lookup(&tokens);
+        let features = self.conv.forward_matrix(&embedded);
+        // dropout is the identity in eval mode
+        self.output.forward_matrix(&features)
+    }
 }
 
 impl Module for SentimentCnn {
@@ -104,6 +115,12 @@ impl Module for SentimentCnn {
 impl InstanceClassifier for SentimentCnn {
     fn num_classes(&self) -> usize {
         self.config.num_classes
+    }
+
+    fn predict_proba(&self, tokens: &[usize]) -> lncl_tensor::Matrix {
+        let mut probs = self.forward_logits_matrix(tokens);
+        lncl_tensor::stats::softmax_rows_in_place(&mut probs);
+        probs
     }
 
     fn forward_logits(
@@ -187,6 +204,22 @@ mod tests {
             losses[0],
             losses.last().unwrap()
         );
+    }
+
+    #[test]
+    fn tape_free_eval_matches_tape_forward_exactly() {
+        let model = tiny_model(7);
+        for tokens in [vec![1usize, 5, 9, 2, 7, 3], vec![4], vec![]] {
+            let mut tape = Tape::new();
+            let mut binding = crate::module::Binding::new();
+            let mut rng = TensorRng::seed_from_u64(0);
+            let logits = model.forward_logits(&mut tape, &mut binding, &tokens, false, &mut rng);
+            assert_eq!(
+                tape.value(logits),
+                &model.forward_logits_matrix(&tokens),
+                "eval path must be bitwise identical for {tokens:?}"
+            );
+        }
     }
 
     #[test]

@@ -56,10 +56,20 @@ impl Param {
     }
 }
 
+/// How a parameter was placed on the tape.
+enum Bound {
+    /// The whole parameter value was copied onto the tape.
+    Full(Var),
+    /// Only the listed rows were copied (an embedding-style lookup); the
+    /// leaf's gradient is scattered back into the parameter's rows on
+    /// [`Binding::accumulate`].
+    Gathered { var: Var, indices: Vec<usize> },
+}
+
 /// Per-forward-pass association between parameters and tape leaves.
 #[derive(Default)]
 pub struct Binding {
-    vars: HashMap<u64, Var>,
+    vars: HashMap<u64, Bound>,
 }
 
 impl Binding {
@@ -70,12 +80,33 @@ impl Binding {
 
     /// Returns the tape handle for `param`, creating a leaf holding a copy
     /// of the parameter value on first use.
+    ///
+    /// # Panics
+    /// Panics if the parameter was bound with [`Binding::bind_gathered`] on
+    /// this pass — the gathered leaf holds only a row subset and must not
+    /// be aliased as the full value.
     pub fn bind(&mut self, tape: &mut Tape, param: &Param) -> Var {
-        if let Some(&var) = self.vars.get(&param.id) {
-            return var;
+        match self.vars.get(&param.id) {
+            Some(Bound::Full(var)) => return *var,
+            Some(Bound::Gathered { .. }) => {
+                panic!("bind: parameter {} was bound as a gathered row subset this pass", param.name)
+            }
+            None => {}
         }
         let var = tape.leaf(param.value.clone());
-        self.vars.insert(param.id, var);
+        self.vars.insert(param.id, Bound::Full(var));
+        var
+    }
+
+    /// Binds only the listed rows of `param` (an embedding lookup): the
+    /// tape leaf holds the gathered `indices.len() x cols` matrix instead
+    /// of a copy of the whole table, and [`Binding::accumulate`] scatters
+    /// the leaf's gradient back into the parameter's rows.  The same
+    /// parameter must not also be bound in full on this pass.
+    pub fn bind_gathered(&mut self, tape: &mut Tape, param: &Param, indices: &[usize]) -> Var {
+        assert!(!self.vars.contains_key(&param.id), "bind_gathered: parameter {} already bound this pass", param.name);
+        let var = tape.leaf(lncl_tensor::ops::gather_rows(&param.value, indices));
+        self.vars.insert(param.id, Bound::Gathered { var, indices: indices.to_vec() });
         var
     }
 
@@ -85,11 +116,43 @@ impl Binding {
     }
 
     /// Adds the tape gradients of every bound parameter into the parameter
-    /// gradient accumulators.  Call after `Tape::backward`.
+    /// gradient accumulators.  Call after `Tape::backward` (before it,
+    /// gradients are unmaterialised and nothing is accumulated).
     pub fn accumulate<'a>(&self, tape: &Tape, params: impl IntoIterator<Item = &'a mut Param>) {
         for param in params {
-            if let Some(&var) = self.vars.get(&param.id) {
-                lncl_tensor::ops::add_assign(&mut param.grad, tape.grad(var));
+            match self.vars.get(&param.id) {
+                None => {}
+                Some(Bound::Full(var)) => {
+                    let grad = tape.grad(*var);
+                    if !grad.is_empty() {
+                        lncl_tensor::ops::add_assign(&mut param.grad, grad);
+                    }
+                }
+                Some(Bound::Gathered { var, indices }) => {
+                    let grad = tape.grad(*var);
+                    if grad.is_empty() {
+                        continue;
+                    }
+                    // combine duplicate indices first (in occurrence
+                    // order), matching the accumulation order of a scatter
+                    // into a zeroed full-size gradient
+                    let mut combined: Vec<(usize, Vec<f32>)> = Vec::with_capacity(indices.len());
+                    for (r, &idx) in indices.iter().enumerate() {
+                        match combined.iter_mut().find(|(i, _)| *i == idx) {
+                            Some((_, acc)) => {
+                                for (a, g) in acc.iter_mut().zip(grad.row(r)) {
+                                    *a += g;
+                                }
+                            }
+                            None => combined.push((idx, grad.row(r).to_vec())),
+                        }
+                    }
+                    for (idx, row) in &combined {
+                        for (d, g) in param.grad.row_mut(*idx).iter_mut().zip(row) {
+                            *d += g;
+                        }
+                    }
+                }
             }
         }
     }
@@ -134,9 +197,27 @@ pub trait Module {
     }
 
     /// L2 norm of the concatenated gradient vector (for clipping /
-    /// diagnostics).
+    /// diagnostics).  The sum of squares runs over eight independent
+    /// accumulators (combined in a fixed order, so the result is
+    /// deterministic) — a strictly sequential float sum is latency-bound
+    /// and an order of magnitude slower.
     fn grad_norm(&self) -> f32 {
-        self.params().iter().map(|p| p.grad.as_slice().iter().map(|g| g * g).sum::<f32>()).sum::<f32>().sqrt()
+        fn sum_squares(values: &[f32]) -> f32 {
+            let mut lanes = [0.0f32; 8];
+            let split = values.len() - values.len() % 8;
+            for chunk in values[..split].chunks_exact(8) {
+                for (lane, &v) in lanes.iter_mut().zip(chunk) {
+                    *lane += v * v;
+                }
+            }
+            let mut tail = 0.0;
+            for &v in &values[split..] {
+                tail += v * v;
+            }
+            let pairs = [lanes[0] + lanes[4], lanes[1] + lanes[5], lanes[2] + lanes[6], lanes[3] + lanes[7]];
+            ((pairs[0] + pairs[2]) + (pairs[1] + pairs[3])) + tail
+        }
+        self.params().iter().map(|p| sum_squares(p.grad.as_slice())).sum::<f32>().sqrt()
     }
 
     /// Clips the global gradient norm to `max_norm` (no-op if already

@@ -40,8 +40,8 @@ pub(crate) fn apply_weight_decay(param: &mut Param, decay: f32) {
     if decay == 0.0 {
         return;
     }
-    let value = param.value.clone();
-    lncl_tensor::ops::add_scaled_assign(&mut param.grad, &value, decay);
+    let Param { value, grad, .. } = param;
+    lncl_tensor::ops::axpy(decay, value.as_slice(), grad.as_mut_slice());
 }
 
 #[cfg(test)]

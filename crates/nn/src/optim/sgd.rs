@@ -45,11 +45,10 @@ impl Optimizer for Sgd {
                 for (vi, gi) in v.as_mut_slice().iter_mut().zip(param.grad.as_slice()) {
                     *vi = self.momentum * *vi + gi;
                 }
-                let update = v.clone();
-                lncl_tensor::ops::add_scaled_assign(&mut param.value, &update, -self.lr);
+                lncl_tensor::ops::axpy(-self.lr, v.as_slice(), param.value.as_mut_slice());
             } else {
-                let grad = param.grad.clone();
-                lncl_tensor::ops::add_scaled_assign(&mut param.value, &grad, -self.lr);
+                let Param { value, grad, .. } = &mut **param;
+                lncl_tensor::ops::axpy(-self.lr, grad.as_slice(), value.as_mut_slice());
             }
         }
     }

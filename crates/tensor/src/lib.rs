@@ -6,10 +6,14 @@
 //! ([`ops`]), numerically stable statistical helpers ([`stats`]) and a tiny
 //! seeded random-number facade ([`rng`]) built on top of `rand`.
 //!
-//! The crate is intentionally BLAS-free: every experiment in the paper is
-//! re-run at simulator scale (thousands of short sentences, embedding widths
-//! of a few dozen), where a straightforward cache-friendly matmul is more
-//! than fast enough and keeps the build fully self-contained.
+//! The crate is intentionally BLAS-free but not naive: the matrix products
+//! are plan-driven ([`ops::MatmulPlan`]) cache-blocked i-k-j kernels that
+//! shard output rows across scoped threads ([`par`]) once a product is
+//! large enough to pay for the spawn, and the hot compositions the trainers
+//! need (`affine`, `affine_relu`, `dual_affine`, `softmax_xent_rows`,
+//! `axpy`) exist as fused single-allocation ops.  Everything stays
+//! dependency-free and, on the shapes the paper's experiments use,
+//! bit-for-bit reproducible across plans.
 //!
 //! ## Quick example
 //!
@@ -26,6 +30,7 @@
 
 pub mod matrix;
 pub mod ops;
+pub mod par;
 pub mod rng;
 pub mod stats;
 

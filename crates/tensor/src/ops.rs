@@ -2,14 +2,143 @@
 //! axis reductions.  All functions are shape-checked and panic with a
 //! descriptive message on mismatch (shape errors are programming errors in
 //! this workspace, not recoverable conditions).
+//!
+//! The matrix products are plan-driven: [`MatmulPlan::for_shape`] picks loop
+//! tiling (and, for very large products, a row-shard count for
+//! [`crate::par`]) from the operand shapes.  Products below
+//! [`MatmulPlan::SMALL_FLOPS`] run a single-tile i-k-j kernel whose
+//! per-element arithmetic is chosen so results are bitwise independent of
+//! the plan — the seeded end-to-end experiments stay reproducible no matter
+//! which path a shape takes.
 
-use crate::Matrix;
+use crate::{par, Matrix};
 
-/// Matrix product `a * b`.
+/// Loop-blocking and sharding parameters for one matrix product, chosen per
+/// shape by [`MatmulPlan::for_shape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatmulPlan {
+    /// Rows of the output processed per L1-resident block.
+    pub mc: usize,
+    /// Depth (inner dimension) per block; bounds the live panel of `b`.
+    pub kc: usize,
+    /// Output columns per block.
+    pub nc: usize,
+    /// Number of row shards to spread across threads (1 = serial).
+    pub shards: usize,
+}
+
+impl MatmulPlan {
+    /// Below this many multiply-adds the kernel runs as one tile: at that
+    /// size everything fits in L1/L2 and tiling only costs loop overhead.
+    pub const SMALL_FLOPS: usize = 1 << 18;
+    /// Above this many multiply-adds the output rows are sharded across
+    /// [`par::max_threads`] scoped threads.
+    pub const PAR_FLOPS: usize = 1 << 21;
+    /// Minimum output rows given to one thread; caps the shard count for
+    /// wide-but-short products.
+    pub const MIN_ROWS_PER_SHARD: usize = 16;
+
+    /// Chooses tile sizes (and a shard count) for an `m x k * k x n`
+    /// product.
+    pub fn for_shape(m: usize, k: usize, n: usize) -> Self {
+        let flops = m.saturating_mul(k).saturating_mul(n);
+        if flops <= Self::SMALL_FLOPS {
+            return Self { mc: m.max(1), kc: k.max(1), nc: n.max(1), shards: 1 };
+        }
+        let shards =
+            if flops >= Self::PAR_FLOPS { par::max_threads().min(m / Self::MIN_ROWS_PER_SHARD).max(1) } else { 1 };
+        Self { mc: m.clamp(1, 64), kc: k.clamp(1, 128), nc: n.clamp(1, 256), shards }
+    }
+
+    /// True when this plan runs the single-tile kernel.
+    pub fn is_single_tile(&self, m: usize, k: usize, n: usize) -> bool {
+        self.shards == 1 && self.mc >= m && self.kc >= k && self.nc >= n
+    }
+}
+
+/// `y += alpha * x`, the fused scaled-accumulate at the bottom of every
+/// matmul kernel and optimiser update.  Every lane is independent (one
+/// `mul` + one `add` per element), so the compiler vectorises the loop and
+/// the result matches the scalar loop bitwise.
 ///
 /// # Panics
-/// Panics if `a.cols() != b.rows()`.
-pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch ({} vs {})", x.len(), y.len());
+    for (yv, xv) in y.iter_mut().zip(x) {
+        *yv += alpha * xv;
+    }
+}
+
+/// Width of the register tile in the i-k-j micro-kernel.  A fixed-size
+/// `[f32; J_TILE]` accumulator (reached through `try_into`, so the length
+/// is a compile-time fact) keeps the running output span in vector
+/// registers across the whole depth loop instead of re-loading it from
+/// memory at every step.
+const J_TILE: usize = 16;
+
+/// Blocked i-k-j accumulation `out_block += a[rows] * b` for the output rows
+/// `[row0, row0 + rows)`, where `block` is the flat slice backing exactly
+/// those rows.  Shared by the serial and sharded paths.
+///
+/// Per output element the summands combine in ascending-`kk` order starting
+/// from the existing output value — the register tiling changes where the
+/// running sums live, not their rounding — so results are bitwise identical
+/// to the plain nested loop.
+fn matmul_acc_rows(a: &Matrix, b: &Matrix, block: &mut [f32], row0: usize, rows: usize, plan: &MatmulPlan) {
+    let k = a.cols();
+    let n = b.cols();
+    for pc in (0..k).step_by(plan.kc) {
+        let k_end = (pc + plan.kc).min(k);
+        for jc in (0..n).step_by(plan.nc) {
+            let j_end = (jc + plan.nc).min(n);
+            for ic in (0..rows).step_by(plan.mc) {
+                let i_end = (ic + plan.mc).min(rows);
+                for i in ic..i_end {
+                    let a_row = a.row(row0 + i);
+                    let out_row = &mut block[i * n..(i + 1) * n];
+                    let mut jt = jc;
+                    while jt < j_end {
+                        let width = J_TILE.min(j_end - jt);
+                        if width == J_TILE {
+                            let out_span: &mut [f32; J_TILE] =
+                                (&mut out_row[jt..jt + J_TILE]).try_into().expect("span is J_TILE wide");
+                            let mut acc = *out_span;
+                            for (kk, &a_ik) in a_row.iter().enumerate().take(k_end).skip(pc) {
+                                if a_ik == 0.0 {
+                                    continue;
+                                }
+                                let b_span: &[f32; J_TILE] =
+                                    b.row(kk)[jt..jt + J_TILE].try_into().expect("span is J_TILE wide");
+                                for (av, bv) in acc.iter_mut().zip(b_span) {
+                                    *av += a_ik * bv;
+                                }
+                            }
+                            *out_span = acc;
+                        } else {
+                            // tail narrower than the register tile
+                            for (kk, &a_ik) in a_row.iter().enumerate().take(k_end).skip(pc) {
+                                if a_ik == 0.0 {
+                                    continue;
+                                }
+                                axpy(a_ik, &b.row(kk)[jt..jt + width], &mut out_row[jt..jt + width]);
+                            }
+                        }
+                        jt += width;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// In-place accumulation `out += a * b` (the building block behind
+/// [`matmul`] and the fused affine ops).
+///
+/// # Panics
+/// Panics on any dimension mismatch.
+pub fn matmul_acc(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     assert_eq!(
         a.cols(),
         b.rows(),
@@ -20,26 +149,38 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
         b.cols()
     );
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let mut out = Matrix::zeros(m, n);
-    // i-k-j loop order keeps the innermost traversal contiguous in both
-    // `b` and `out`, which is the cache-friendly order for row-major data.
-    for i in 0..m {
-        let a_row = a.row(i);
-        let out_row = out.row_mut(i);
-        for (kk, &a_ik) in a_row.iter().enumerate().take(k) {
-            if a_ik == 0.0 {
-                continue;
-            }
-            let b_row = b.row(kk);
-            for j in 0..n {
-                out_row[j] += a_ik * b_row[j];
-            }
-        }
-    }
+    assert_eq!(out.shape(), (m, n), "matmul_acc: output shape {:?} does not match {m}x{n}", out.shape());
+    let plan = MatmulPlan::for_shape(m, k, n);
+    par::shard_rows(out, plan.shards, |row0, rows, block| matmul_acc_rows(a, b, block, row0, rows, &plan));
+}
+
+/// Matrix product `a * b`.
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    matmul_acc(a, b, &mut out);
     out
 }
 
-/// `a * b^T` without materialising the transpose.
+/// Sequential dot product; kept scalar (single accumulator, ascending
+/// index) so the small path of [`matmul_transpose_b`] reproduces the naive
+/// kernel bitwise.
+fn dot_seq(x: &[f32], y: &[f32]) -> f32 {
+    let mut acc = 0.0;
+    for (a, b) in x.iter().zip(y.iter()) {
+        acc += a * b;
+    }
+    acc
+}
+
+/// `a * b^T`.  Above a small size the transpose is materialised once and
+/// the product runs through the vectorised i-k-j kernel — per output
+/// element the summands still combine in ascending inner-index order, so
+/// the result matches the direct row-row dot products bitwise (modulo the
+/// sign of exact zeros).  Tiny products skip the transpose and use the
+/// dots directly.
 pub fn matmul_transpose_b(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(
         a.cols(),
@@ -50,24 +191,26 @@ pub fn matmul_transpose_b(a: &Matrix, b: &Matrix) -> Matrix {
         b.rows(),
         b.cols()
     );
-    let (m, n) = (a.rows(), b.rows());
+    let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    if m.saturating_mul(k).saturating_mul(n) >= 2048 {
+        return matmul(a, &transpose(b));
+    }
     let mut out = Matrix::zeros(m, n);
     for i in 0..m {
         let a_row = a.row(i);
         let out_row = out.row_mut(i);
         for (j, out_val) in out_row.iter_mut().enumerate() {
-            let b_row = b.row(j);
-            let mut acc = 0.0;
-            for (x, y) in a_row.iter().zip(b_row.iter()) {
-                acc += x * y;
-            }
-            *out_val = acc;
+            *out_val = dot_seq(a_row, b.row(j));
         }
     }
     out
 }
 
-/// `a^T * b` without materialising the transpose.
+/// `a^T * b` without materialising the transpose.  Output rows (columns of
+/// `a`) run through the same register-tiled accumulator as [`matmul`] —
+/// per element the summands combine in ascending inner-index order, so the
+/// result is bitwise identical to the plain k-outer loop.  Large products
+/// block over `k` and shard output rows across threads.
 pub fn matmul_transpose_a(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(
         a.rows(),
@@ -78,19 +221,69 @@ pub fn matmul_transpose_a(a: &Matrix, b: &Matrix) -> Matrix {
         b.rows(),
         b.cols()
     );
-    let (m, n) = (a.cols(), b.cols());
+    let (m, k, n) = (a.cols(), a.rows(), b.cols());
+    let plan = MatmulPlan::for_shape(m, k, n);
     let mut out = Matrix::zeros(m, n);
-    for kk in 0..a.rows() {
-        let a_row = a.row(kk);
-        let b_row = b.row(kk);
-        for (i, &a_ki) in a_row.iter().enumerate() {
-            if a_ki == 0.0 {
-                continue;
+    par::shard_rows(&mut out, plan.shards, |row0, rows, block| {
+        for pc in (0..k).step_by(plan.kc) {
+            let k_end = (pc + plan.kc).min(k);
+            for i in 0..rows {
+                let out_row = &mut block[i * n..(i + 1) * n];
+                let mut jt = 0;
+                while jt < n {
+                    let width = J_TILE.min(n - jt);
+                    if width == J_TILE {
+                        let out_span: &mut [f32; J_TILE] =
+                            (&mut out_row[jt..jt + J_TILE]).try_into().expect("span is J_TILE wide");
+                        let mut acc = *out_span;
+                        for kk in pc..k_end {
+                            let a_ki = a[(kk, row0 + i)];
+                            if a_ki == 0.0 {
+                                continue;
+                            }
+                            let b_span: &[f32; J_TILE] =
+                                b.row(kk)[jt..jt + J_TILE].try_into().expect("span is J_TILE wide");
+                            for (av, bv) in acc.iter_mut().zip(b_span) {
+                                *av += a_ki * bv;
+                            }
+                        }
+                        *out_span = acc;
+                    } else {
+                        for kk in pc..k_end {
+                            let a_ki = a[(kk, row0 + i)];
+                            if a_ki == 0.0 {
+                                continue;
+                            }
+                            axpy(a_ki, &b.row(kk)[jt..jt + width], &mut out_row[jt..jt + width]);
+                        }
+                    }
+                    jt += width;
+                }
             }
-            let out_row = out.row_mut(i);
-            for j in 0..n {
-                out_row[j] += a_ki * b_row[j];
-            }
+        }
+    });
+    out
+}
+
+/// Sliding-window flattening used to express a text convolution as a single
+/// matrix product: with input `T x d` and window `w`, row `p` of the output
+/// is the concatenation of input rows `p .. p + w`.
+///
+/// # Panics
+/// Panics if the window is zero or the input has fewer rows than the window.
+pub fn im2col(input: &Matrix, window: usize) -> Matrix {
+    assert!(window >= 1, "im2col: window must be >= 1");
+    assert!(
+        input.rows() >= window,
+        "im2col: input has {} rows but window is {window}; pad the sequence first",
+        input.rows()
+    );
+    let positions = input.rows() - window + 1;
+    let d = input.cols();
+    let mut out = Matrix::zeros(positions, window * d);
+    for p in 0..positions {
+        for w in 0..window {
+            out.row_mut(p)[w * d..(w + 1) * d].copy_from_slice(input.row(p + w));
         }
     }
     out
@@ -167,23 +360,121 @@ pub fn add_assign(acc: &mut Matrix, x: &Matrix) {
 /// In-place scaled accumulation `acc += s * x`.
 pub fn add_scaled_assign(acc: &mut Matrix, x: &Matrix, s: f32) {
     assert_same_shape(acc, x, "add_scaled_assign");
-    for (o, v) in acc.as_mut_slice().iter_mut().zip(x.as_slice()) {
-        *o += s * v;
+    axpy(s, x.as_slice(), acc.as_mut_slice());
+}
+
+/// Adds a `1 x cols` row vector to every row of `a` in place.
+pub fn add_row_broadcast_assign(a: &mut Matrix, row: &Matrix) {
+    assert_eq!(row.rows(), 1, "add_row_broadcast_assign: bias must be a row vector");
+    assert_eq!(a.cols(), row.cols(), "add_row_broadcast_assign: width mismatch ({} vs {})", a.cols(), row.cols());
+    for r in 0..a.rows() {
+        for (o, b) in a.row_mut(r).iter_mut().zip(row.row(0)) {
+            *o += b;
+        }
     }
 }
 
 /// Adds a `1 x cols` row vector to every row of `a` (broadcast add, used for
 /// bias terms).
 pub fn add_row_broadcast(a: &Matrix, row: &Matrix) -> Matrix {
-    assert_eq!(row.rows(), 1, "add_row_broadcast: bias must be a row vector");
-    assert_eq!(a.cols(), row.cols(), "add_row_broadcast: width mismatch ({} vs {})", a.cols(), row.cols());
     let mut out = a.clone();
-    for r in 0..out.rows() {
-        for (o, b) in out.row_mut(r).iter_mut().zip(row.row(0)) {
-            *o += b;
+    add_row_broadcast_assign(&mut out, row);
+    out
+}
+
+/// Fused bias + ReLU: `relu(a + bias)` in a single pass, the activation the
+/// convolution layers previously composed from a broadcast add and a
+/// separate `max(0)` map (two full intermediates).
+pub fn add_bias_relu(a: &Matrix, bias: &Matrix) -> Matrix {
+    assert_eq!(bias.rows(), 1, "add_bias_relu: bias must be a row vector");
+    assert_eq!(a.cols(), bias.cols(), "add_bias_relu: width mismatch ({} vs {})", a.cols(), bias.cols());
+    let mut out = Matrix::zeros(a.rows(), a.cols());
+    for r in 0..a.rows() {
+        for ((o, v), b) in out.row_mut(r).iter_mut().zip(a.row(r)).zip(bias.row(0)) {
+            *o = (v + b).max(0.0);
         }
     }
     out
+}
+
+/// Fused affine map `x * w + bias` (bias broadcast over rows) without the
+/// intermediate `x * w` matrix.
+pub fn affine(x: &Matrix, w: &Matrix, bias: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(x.rows(), w.cols());
+    matmul_acc(x, w, &mut out);
+    add_row_broadcast_assign(&mut out, bias);
+    out
+}
+
+/// Fused `relu(x * w + bias)`: the matmul accumulates in place and the bias
+/// add + ReLU run as one final pass over the output.
+pub fn affine_relu(x: &Matrix, w: &Matrix, bias: &Matrix) -> Matrix {
+    assert_eq!(bias.rows(), 1, "affine_relu: bias must be a row vector");
+    assert_eq!(w.cols(), bias.cols(), "affine_relu: width mismatch ({} vs {})", w.cols(), bias.cols());
+    let mut out = Matrix::zeros(x.rows(), w.cols());
+    matmul_acc(x, w, &mut out);
+    for r in 0..out.rows() {
+        for (o, b) in out.row_mut(r).iter_mut().zip(bias.row(0)) {
+            *o = (*o + b).max(0.0);
+        }
+    }
+    out
+}
+
+/// Fused dual affine map `x * w + h * u + bias`, the pre-activation of every
+/// GRU gate.  One intermediate (`h * u`) instead of the four matrices the
+/// compositional form allocates.
+pub fn dual_affine(x: &Matrix, w: &Matrix, h: &Matrix, u: &Matrix, bias: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(x.rows(), w.cols());
+    matmul_acc(x, w, &mut out);
+    let mut hu = Matrix::zeros(h.rows(), u.cols());
+    matmul_acc(h, u, &mut hu);
+    add_assign(&mut out, &hu);
+    add_row_broadcast_assign(&mut out, bias);
+    out
+}
+
+/// Fused row-softmax + cross-entropy against fixed soft targets, averaged
+/// over rows.  Returns `(mean loss, softmax probabilities)`; the
+/// probabilities are what the backward rule needs (`probs - targets`), so
+/// nothing is recomputed.  The log-probabilities inside the loss are clamped
+/// at `ln(1e-12)`, matching the probability floor the compositional
+/// `cross_entropy` applied.
+pub fn softmax_xent_rows(logits: &Matrix, targets: &Matrix) -> (f32, Matrix) {
+    assert_eq!(
+        logits.shape(),
+        targets.shape(),
+        "softmax_xent_rows: logits {:?} vs targets {:?}",
+        logits.shape(),
+        targets.shape()
+    );
+    let ln_floor = (1e-12f32).ln();
+    let mut probs = logits.clone();
+    let mut loss = 0.0f32;
+    for r in 0..probs.rows() {
+        let row = probs.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        if sum > 0.0 {
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+            let ln_sum = sum.ln();
+            for (&t, &x) in targets.row(r).iter().zip(logits.row(r)) {
+                loss -= t * (x - max - ln_sum).max(ln_floor);
+            }
+        } else if !row.is_empty() {
+            let uniform = 1.0 / row.len() as f32;
+            row.iter_mut().for_each(|v| *v = uniform);
+            let lnp = uniform.max(1e-12).ln();
+            loss -= targets.row(r).iter().sum::<f32>() * lnp;
+        }
+    }
+    (loss / probs.rows().max(1) as f32, probs)
 }
 
 /// Sums each column, producing a `1 x cols` row vector.
@@ -381,5 +672,87 @@ mod tests {
     fn clamp_limits_range() {
         let a = Matrix::row_vector(&[-2.0, 0.5, 3.0]);
         assert_eq!(clamp(&a, 0.0, 1.0), Matrix::row_vector(&[0.0, 0.5, 1.0]));
+    }
+
+    #[test]
+    fn plan_is_single_tile_for_small_shapes() {
+        let plan = MatmulPlan::for_shape(16, 32, 8);
+        assert!(plan.is_single_tile(16, 32, 8));
+        assert_eq!(plan.shards, 1);
+    }
+
+    #[test]
+    fn plan_blocks_large_shapes() {
+        let plan = MatmulPlan::for_shape(512, 512, 512);
+        assert!(!plan.is_single_tile(512, 512, 512));
+        assert!(plan.kc <= 128 && plan.nc <= 256 && plan.mc <= 64);
+    }
+
+    #[test]
+    fn axpy_matches_scalar_loop() {
+        let x: Vec<f32> = (0..11).map(|i| i as f32 * 0.5 - 2.0).collect();
+        let mut y: Vec<f32> = (0..11).map(|i| i as f32 * -0.25).collect();
+        let mut expect = y.clone();
+        for (e, xv) in expect.iter_mut().zip(&x) {
+            *e += 1.5 * xv;
+        }
+        axpy(1.5, &x, &mut y);
+        assert_eq!(y, expect);
+    }
+
+    #[test]
+    fn matmul_acc_accumulates_into_existing_output() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let b = Matrix::identity(2);
+        let mut out = Matrix::full(2, 2, 1.0);
+        matmul_acc(&a, &b, &mut out);
+        assert_eq!(out, m22(2.0, 3.0, 4.0, 5.0));
+    }
+
+    #[test]
+    fn fused_affine_matches_composition() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[-1.0, 0.5]]);
+        let w = Matrix::from_rows(&[&[0.5, -1.0, 2.0], &[1.0, 0.0, -0.5]]);
+        let bias = Matrix::row_vector(&[0.1, -0.2, 0.3]);
+        let expect = add_row_broadcast(&matmul(&x, &w), &bias);
+        assert_eq!(affine(&x, &w, &bias), expect);
+        let expect_relu = expect.map(|v| v.max(0.0));
+        assert_eq!(affine_relu(&x, &w, &bias), expect_relu);
+        assert_eq!(add_bias_relu(&matmul(&x, &w), &bias), expect_relu);
+    }
+
+    #[test]
+    fn fused_dual_affine_matches_composition() {
+        let x = Matrix::from_rows(&[&[1.0, -2.0]]);
+        let w = Matrix::from_rows(&[&[0.5, 1.0], &[-1.0, 0.25]]);
+        let h = Matrix::from_rows(&[&[2.0, 0.5, -1.0]]);
+        let u = Matrix::from_rows(&[&[1.0, 0.0], &[0.5, -0.5], &[0.0, 2.0]]);
+        let bias = Matrix::row_vector(&[0.1, 0.2]);
+        let expect = add_row_broadcast(&add(&matmul(&x, &w), &matmul(&h, &u)), &bias);
+        assert_eq!(dual_affine(&x, &w, &h, &u, &bias), expect);
+    }
+
+    #[test]
+    fn fused_softmax_xent_matches_composition() {
+        let logits = Matrix::from_rows(&[&[0.2, -1.0, 0.7], &[3.0, 3.0, 3.0]]);
+        let targets = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.2, 0.3, 0.5]]);
+        let (loss, probs) = softmax_xent_rows(&logits, &targets);
+        let expect_probs = crate::stats::softmax_rows(&logits);
+        assert!(probs.approx_eq(&expect_probs, 1e-7));
+        let mut expect_loss = 0.0;
+        for r in 0..logits.rows() {
+            expect_loss += crate::stats::cross_entropy(targets.row(r), expect_probs.row(r));
+        }
+        expect_loss /= logits.rows() as f32;
+        assert!((loss - expect_loss).abs() < 1e-5, "{loss} vs {expect_loss}");
+    }
+
+    #[test]
+    fn add_row_broadcast_assign_matches_pure_version() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let bias = Matrix::row_vector(&[10.0, 20.0]);
+        let mut b = a.clone();
+        add_row_broadcast_assign(&mut b, &bias);
+        assert_eq!(b, add_row_broadcast(&a, &bias));
     }
 }

@@ -4,35 +4,49 @@
 
 use crate::Matrix;
 
+/// Numerically stable softmax of a slice, in place (no allocation).  An
+/// empty slice is left untouched.
+pub fn softmax_in_place(values: &mut [f32]) {
+    if values.is_empty() {
+        return;
+    }
+    let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in values.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in values.iter_mut() {
+            *v /= sum;
+        }
+    } else {
+        let uniform = 1.0 / values.len() as f32;
+        values.iter_mut().for_each(|v| *v = uniform);
+    }
+}
+
 /// Numerically stable softmax of a slice.
 ///
 /// Returns a vector of the same length summing to 1.  An empty input returns
 /// an empty vector.
 pub fn softmax(logits: &[f32]) -> Vec<f32> {
-    if logits.is_empty() {
-        return Vec::new();
+    let mut out = logits.to_vec();
+    softmax_in_place(&mut out);
+    out
+}
+
+/// Row-wise softmax of a matrix, in place.
+pub fn softmax_rows_in_place(m: &mut Matrix) {
+    for r in 0..m.rows() {
+        softmax_in_place(m.row_mut(r));
     }
-    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-    let mut exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
-    let sum: f32 = exps.iter().sum();
-    if sum > 0.0 {
-        for e in &mut exps {
-            *e /= sum;
-        }
-    } else {
-        let uniform = 1.0 / exps.len() as f32;
-        exps.iter_mut().for_each(|e| *e = uniform);
-    }
-    exps
 }
 
 /// Row-wise softmax of a matrix.
 pub fn softmax_rows(logits: &Matrix) -> Matrix {
     let mut out = logits.clone();
-    for r in 0..out.rows() {
-        let probs = softmax(logits.row(r));
-        out.row_mut(r).copy_from_slice(&probs);
-    }
+    softmax_rows_in_place(&mut out);
     out
 }
 

@@ -35,12 +35,12 @@ fn qb_projection_with_live_classifier_is_a_distribution() {
     let rules = paper_rules(&dataset);
     let clause = |tokens: &[usize]| model.predict_proba(tokens).row(0).to_vec();
     for inst in dataset.train.iter().take(40) {
-        let qa = vec![vec![0.5f32, 0.5]];
+        let qa = lncl_tensor::Matrix::row_vector(&[0.5, 0.5]);
         let qb = infer_qb(&qa, &inst.tokens, &rules, 5.0, &clause);
-        assert_eq!(qb.len(), 1);
-        assert!((qb[0].iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        assert_eq!(qb.rows(), 1);
+        assert!((qb.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-4);
         let qf = interpolate_qf(&qa, &qb, 0.7);
-        assert!((qf[0].iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        assert!((qf.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-4);
     }
 }
 
