@@ -1,0 +1,47 @@
+//! Cross-scenario robustness sweep: runs every standard-registry method
+//! over the crowd-scenario grid (archetype mixes, redundancy, class
+//! imbalance, pool size — see `lncl_crowd::scenario`) for both tasks and
+//! prints one results table per scenario.  Per-method wall-clock times land
+//! in `BENCH_scenario_sweep.json` (cases keyed `<scenario>/<method>`),
+//! which the CI `scenario-smoke` step archives.
+//!
+//! Scale knobs: `LNCL_SCALE` (small / medium / paper), `LNCL_EPOCHS`,
+//! `LNCL_THREADS` — the smoke setting used in CI is `LNCL_EPOCHS=3`.
+
+use lncl_bench::timing::BenchReport;
+use lncl_bench::{render_classification_table, render_sequence_table, run_scenario, scenario_sweep_configs, Scale};
+use lncl_crowd::TaskKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    let configs = scenario_sweep_configs(scale, 29);
+    println!(
+        "Scenario sweep — {} scenarios (scale {scale:?}, {} epochs per training run)",
+        configs.len(),
+        scale.epochs()
+    );
+    let mut report = BenchReport::new("scenario_sweep");
+    for config in &configs {
+        println!(
+            "\n=== {} ({:?}, {} train / {} annotators, redundancy {}-{}, majority share {:.2}) ===",
+            config.name,
+            config.task,
+            config.train_size,
+            config.num_annotators,
+            config.min_labels_per_instance,
+            config.max_labels_per_instance,
+            config.majority_share,
+        );
+        let (rows, timings) = run_scenario(config, scale);
+        let table = match config.task {
+            TaskKind::Classification => render_classification_table(&config.name, &rows),
+            TaskKind::SequenceTagging => render_sequence_table(&config.name, &rows),
+        };
+        println!("{table}");
+        for (method, secs) in &timings {
+            report.record(&format!("{}/{method}", config.name), 1, &[*secs]);
+        }
+    }
+    let path = report.write().expect("write benchmark report");
+    println!("\nwrote {}", path.display());
+}

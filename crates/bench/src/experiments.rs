@@ -11,8 +11,9 @@ use crate::methods::{validate_methods, TABLE2_METHODS, TABLE3_METHODS, TABLE4_ME
 use crate::scale::Scale;
 use crate::tables::average_repetitions;
 use lncl_crowd::metrics::{empirical_confusion, overall_reliability, reliability_correlation};
+use lncl_crowd::scenario::{generate_scenario, ScenarioConfig, ScenarioGrid};
 use lncl_crowd::stats::annotator_summary;
-use lncl_crowd::CrowdDataset;
+use lncl_crowd::{CrowdDataset, TaskKind};
 use lncl_tensor::Matrix;
 use logic_lncl::ablation::paper_rules;
 use logic_lncl::method::{MethodRegistry, RunContext};
@@ -155,6 +156,48 @@ pub fn table4_for(dataset: &CrowdDataset, scale: Scale, seed: u64) -> Vec<Method
     table4_for_timed(dataset, scale, seed).rows
 }
 
+/// The scenario grid the `scenario_sweep` binary covers at a given scale:
+/// the six standard archetype mixes for **both** tasks, plus a redundancy
+/// axis (single vs heavy redundancy), a class-imbalance axis and a larger
+/// pool on the clean classification mix — every knob of
+/// [`ScenarioConfig`] is exercised somewhere in the sweep.
+pub fn scenario_sweep_configs(scale: Scale, seed: u64) -> Vec<ScenarioConfig> {
+    let mut configs = Vec::new();
+    // archetype-mix axis, both tasks
+    for task in [TaskKind::Classification, TaskKind::SequenceTagging] {
+        configs.extend(ScenarioGrid::new(scale.scenario_base(task, seed)).with_standard_mixes().configs());
+    }
+    let clean = |name: &str| scale.scenario_base(TaskKind::Classification, seed).named(name);
+    // redundancy axis (clean pool): one label per instance vs heavy redundancy
+    for (min_r, max_r) in [(1, 1), (6, 6)] {
+        configs.push(clean("redundancy").with_redundancy(min_r, max_r).named(format!("sent/clean/r{min_r}-{max_r}")));
+    }
+    // class-imbalance axis (clean pool)
+    configs.push(clean("sent/clean/b0.85").with_majority_share(0.85));
+    // pool-size axis (spammer-heavy mix, bigger crowd)
+    let spam = lncl_crowd::scenario::standard_mixes()
+        .into_iter()
+        .find(|(name, _)| *name == "spammer-third")
+        .expect("spammer-third is a standard mix")
+        .1;
+    let base = scale.scenario_base(TaskKind::Classification, seed);
+    let big_pool = base.num_annotators * 2;
+    configs.push(base.named(format!("sent/spammer-third/j{big_pool}")).with_mix(spam).with_annotators(big_pool));
+    configs
+}
+
+/// Runs every standard-registry method supporting the scenario's task on
+/// the generated dataset, returning the result rows and per-method
+/// wall-clock timings (keyed by registry name).
+pub fn run_scenario(config: &ScenarioConfig, scale: Scale) -> (Vec<MethodResult>, Vec<(String, f64)>) {
+    let registry = MethodRegistry::standard();
+    let dataset = generate_scenario(config);
+    let ctx = scale.run_context(&dataset, config.seed);
+    let names: Vec<String> = registry.supporting(dataset.task).iter().map(|m| m.descriptor().name).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    run_methods_timed(&registry, &name_refs, &dataset, &ctx)
+}
+
 /// Figure 6/7: trains Logic-LNCL and compares its estimated annotator
 /// confusion matrices / reliabilities to the empirical ones.
 pub struct ReliabilityStudy {
@@ -226,4 +269,31 @@ pub fn figure4(scale: Scale, seed: u64) -> (lncl_crowd::stats::AnnotatorSummary,
     let sentiment = scale.sentiment_dataset(seed);
     let ner = scale.ner_dataset(seed);
     (annotator_summary(&sentiment), annotator_summary(&ner))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn scenario_sweep_grid_covers_every_axis() {
+        let configs = scenario_sweep_configs(Scale::Small, 29);
+        // >= 6 archetype mixes per task plus the redundancy / imbalance /
+        // pool axes
+        assert!(configs.len() >= 14, "sweep too small: {}", configs.len());
+        let names: BTreeSet<_> = configs.iter().map(|c| c.name.clone()).collect();
+        assert_eq!(names.len(), configs.len(), "scenario names must be unique");
+        let mixes: BTreeSet<&str> =
+            names.iter().filter(|n| n.starts_with("sent/")).filter_map(|n| n.split('/').nth(1)).collect();
+        assert!(mixes.len() >= 6, "expected >= 6 classification mixes, got {mixes:?}");
+        assert!(configs.iter().any(|c| c.task == TaskKind::SequenceTagging), "tagging scenarios present");
+        assert!(configs.iter().any(|c| c.min_labels_per_instance == 1), "redundancy-1 axis present");
+        assert!(configs.iter().any(|c| (c.majority_share - 0.85).abs() < 1e-6), "imbalance axis present");
+        // every config generates a valid dataset at a shrunken size
+        for config in configs.iter().take(3) {
+            let dataset = generate_scenario(&config.clone().with_sizes(20, 8, 8));
+            assert!(dataset.validate().is_ok(), "{}: invalid dataset", config.name);
+        }
+    }
 }

@@ -13,6 +13,7 @@
 //! | `fig6_reliability_sentiment` | Figure 6 (annotator reliability, sentiment) |
 //! | `fig7_reliability_ner` | Figure 7 (annotator reliability, NER) |
 //! | `sample_efficiency` | §VI-B sample-efficiency experiment |
+//! | `scenario_sweep` | cross-scenario robustness sweep (beyond the paper; see the README) |
 //!
 //! Each binary accepts the environment variables `LNCL_SCALE`
 //! (`small` (default) / `medium` / `paper`), `LNCL_REPS` (number of repeated

@@ -2,6 +2,7 @@
 //! every bench binary.
 
 use lncl_crowd::datasets::{generate_ner, generate_sentiment, NerDatasetConfig, SentimentDatasetConfig};
+use lncl_crowd::scenario::ScenarioConfig;
 use lncl_crowd::{CrowdDataset, TaskKind};
 use logic_lncl::config::TrainConfig;
 use logic_lncl::method::RunContext;
@@ -104,6 +105,26 @@ impl Scale {
             Scale::Paper => NerDatasetConfig { seed, ..NerDatasetConfig::paper_scale() },
         };
         generate_ner(&config)
+    }
+
+    /// The base scenario configuration (sizes, pool, redundancy) the
+    /// `scenario_sweep` binary sweeps at this scale; the mix / redundancy /
+    /// imbalance axes are layered on top by
+    /// [`crate::experiments::scenario_sweep_configs`].
+    pub fn scenario_base(&self, task: TaskKind, seed: u64) -> ScenarioConfig {
+        let base = match task {
+            TaskKind::Classification => ScenarioConfig::classification("base"),
+            TaskKind::SequenceTagging => ScenarioConfig::tagging("base"),
+        };
+        let base = match (self, task) {
+            (Scale::Small, TaskKind::Classification) => base.with_sizes(150, 60, 60).with_annotators(12),
+            (Scale::Small, TaskKind::SequenceTagging) => base.with_sizes(100, 40, 40).with_annotators(10),
+            (Scale::Medium, TaskKind::Classification) => base.with_sizes(600, 200, 200).with_annotators(30),
+            (Scale::Medium, TaskKind::SequenceTagging) => base.with_sizes(400, 120, 120).with_annotators(20),
+            (Scale::Paper, TaskKind::Classification) => base.with_sizes(2000, 600, 600).with_annotators(60),
+            (Scale::Paper, TaskKind::SequenceTagging) => base.with_sizes(1200, 350, 350).with_annotators(40),
+        };
+        base.with_seed(seed)
     }
 
     /// Training configuration used for sentiment experiments at this scale.

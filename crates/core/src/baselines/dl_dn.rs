@@ -64,11 +64,15 @@ where
     M: InstanceClassifier + Module + Clone,
     F: FnMut(u64) -> M,
 {
-    // pick the annotators with enough data
+    // pick the annotators with enough data; count ties are broken by a
+    // fingerprint of each annotator's label stream (not by annotator id),
+    // so renumbering the annotators cannot change which network/seed a
+    // given label stream is trained with — the annotator-permutation
+    // invariance the robustness suite checks
     let mut counts: Vec<(usize, usize)> = (0..dataset.num_annotators)
         .map(|a| (a, dataset.train.iter().filter(|i| i.labels_by(a).is_some()).count()))
         .collect();
-    counts.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
+    counts.sort_by_cached_key(|&(a, count)| (std::cmp::Reverse(count), stream_fingerprint(dataset, a)));
     let selected: Vec<(usize, usize)> =
         counts.into_iter().filter(|&(_, n)| n >= config.min_instances).take(config.max_annotators).collect();
     assert!(!selected.is_empty(), "DL-DN: no annotator has enough labels (min_instances too high?)");
@@ -105,6 +109,27 @@ where
         dataset.test.iter().map(|inst| ensemble_predict(&ensemble, &inst.tokens, dataset.num_classes)).collect();
     let metrics = evaluate_predictions(&predictions, &dataset.test, dataset.task);
     (metrics, predictions)
+}
+
+/// FNV-1a hash of an annotator's `(instance index, labels)` stream.  Two
+/// annotators get the same fingerprint only when they labelled the same
+/// instances identically (e.g. colluding copies), in which case their
+/// relative order is immaterial.
+fn stream_fingerprint(dataset: &CrowdDataset, annotator: usize) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| {
+        hash ^= v;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for (i, inst) in dataset.train.iter().enumerate() {
+        if let Some(labels) = inst.labels_by(annotator) {
+            mix(i as u64);
+            for &l in labels {
+                mix(l as u64);
+            }
+        }
+    }
+    hash
 }
 
 fn ensemble_predict<M: InstanceClassifier>(ensemble: &[(M, f32)], tokens: &[usize], num_classes: usize) -> Vec<usize> {

@@ -18,6 +18,30 @@ use crate::trainer::LogicLncl;
 use lncl_crowd::truth::{DawidSkene, Glad, MajorityVote, TruthEstimate, TruthInference};
 use lncl_crowd::{CrowdDataset, TaskKind};
 
+/// Flattens trainer posteriors (`q_f`) into one row per unit, the layout
+/// [`CrowdMethod::infer_posteriors`] returns.  The backing matrix stores
+/// all instances contiguously in unit order, so chunking by `K` covers
+/// every unit.
+fn qf_rows(qf: &crate::posterior::FlatPosteriors) -> Vec<Vec<f32>> {
+    qf.data().as_slice().chunks(qf.num_classes()).map(<[f32]>::to_vec).collect()
+}
+
+/// Builds and trains the shared neural-EM trainer: `TaskRules::None` gives
+/// AggNet / w/o-Rule, [`paper_rules`] gives Logic-LNCL, [`other_rules`]
+/// the rules ablation.  Used by both `run` and `infer_posteriors` of those
+/// adapters, so the posterior the robustness suite validates always comes
+/// from the same construction the tables report.
+fn train_lncl(
+    dataset: &CrowdDataset,
+    ctx: &RunContext,
+    rules: TaskRules,
+) -> (crate::trainer::LogicLncl<lncl_nn::models::AnyModel>, crate::report::TrainReport) {
+    let mut trainer =
+        LogicLncl::builder(ctx.model(ctx.config.seed)).rules(rules).config(ctx.config.clone()).build(dataset);
+    let report = trainer.train(dataset);
+    (trainer, report)
+}
+
 /// Converts a flat truth estimate into per-instance soft-target matrices
 /// (`units x K`), the layout consumed by the fixed-posterior trainer mode.
 pub fn estimate_to_targets(estimate: &TruthEstimate, dataset: &CrowdDataset) -> Vec<lncl_tensor::Matrix> {
@@ -58,6 +82,10 @@ impl<I: TruthInference + Send + Sync> CrowdMethod for TruthOnly<I> {
         let estimate = self.inner.infer(&view);
         let hard = estimate.hard_by_instance(&view);
         vec![MethodResult::new(self.inner.name(), EvalMetrics::default(), Some(inference_metrics_of(&hard, dataset)))]
+    }
+
+    fn infer_posteriors(&self, dataset: &CrowdDataset, _ctx: &RunContext) -> Option<Vec<Vec<f32>>> {
+        Some(self.inner.infer(&dataset.annotation_view()).posteriors)
     }
 }
 
@@ -117,6 +145,10 @@ impl<I: TruthInference + Send + Sync> CrowdMethod for TwoStage<I> {
             ctx,
         )
     }
+
+    fn infer_posteriors(&self, dataset: &CrowdDataset, _ctx: &RunContext) -> Option<Vec<Vec<f32>>> {
+        Some(self.inference.infer(&dataset.annotation_view()).posteriors)
+    }
 }
 
 /// The Gold upper bound: supervised training on the true labels.
@@ -146,10 +178,13 @@ impl CrowdMethod for AggNet {
     }
 
     fn run(&self, dataset: &CrowdDataset, ctx: &RunContext) -> Vec<MethodResult> {
-        let mut trainer = LogicLncl::builder(ctx.model(ctx.config.seed)).config(ctx.config.clone()).build(dataset);
-        let report = trainer.train(dataset);
+        let (trainer, report) = train_lncl(dataset, ctx, TaskRules::None);
         let prediction = trainer.evaluate(&dataset.test, dataset.task, PredictionMode::Student);
         vec![MethodResult::new("AggNet", prediction, Some(report.inference))]
+    }
+
+    fn infer_posteriors(&self, dataset: &CrowdDataset, ctx: &RunContext) -> Option<Vec<Vec<f32>>> {
+        Some(qf_rows(train_lncl(dataset, ctx, TaskRules::None).0.qf()))
     }
 }
 
@@ -248,17 +283,17 @@ impl CrowdMethod for LogicLnclMethod {
     }
 
     fn run(&self, dataset: &CrowdDataset, ctx: &RunContext) -> Vec<MethodResult> {
-        let mut trainer = LogicLncl::builder(ctx.model(ctx.config.seed))
-            .rules(paper_rules(dataset))
-            .config(ctx.config.clone())
-            .build(dataset);
-        let report = trainer.train(dataset);
+        let (trainer, report) = train_lncl(dataset, ctx, paper_rules(dataset));
         let student = trainer.evaluate(&dataset.test, dataset.task, PredictionMode::Student);
         let teacher = trainer.evaluate(&dataset.test, dataset.task, PredictionMode::Teacher);
         vec![
             MethodResult::new("Logic-LNCL-student", student, Some(report.inference)),
             MethodResult::new("Logic-LNCL-teacher", teacher, Some(report.inference)),
         ]
+    }
+
+    fn infer_posteriors(&self, dataset: &CrowdDataset, ctx: &RunContext) -> Option<Vec<Vec<f32>>> {
+        Some(qf_rows(train_lncl(dataset, ctx, paper_rules(dataset)).0.qf()))
     }
 }
 
@@ -332,11 +367,7 @@ impl CrowdMethod for AblationMethod {
                 vec![MethodResult::new(self.variant.name(), prediction, Some(report.inference))]
             }
             AblationVariant::OtherRules => {
-                let mut trainer = LogicLncl::builder(ctx.model(ctx.config.seed))
-                    .rules(other_rules(dataset))
-                    .config(ctx.config.clone())
-                    .build(dataset);
-                let report = trainer.train(dataset);
+                let (trainer, report) = train_lncl(dataset, ctx, other_rules(dataset));
                 let student = trainer.evaluate(&dataset.test, dataset.task, PredictionMode::Student);
                 let teacher = trainer.evaluate(&dataset.test, dataset.task, PredictionMode::Teacher);
                 vec![
@@ -344,6 +375,28 @@ impl CrowdMethod for AblationMethod {
                     MethodResult::new("our-other-rules-teacher", teacher, Some(report.inference)),
                 ]
             }
+        }
+    }
+
+    fn infer_posteriors(&self, dataset: &CrowdDataset, ctx: &RunContext) -> Option<Vec<Vec<f32>>> {
+        match self.variant {
+            AblationVariant::Full => LogicLnclMethod.infer_posteriors(dataset, ctx),
+            AblationVariant::WithoutRule => AggNet.infer_posteriors(dataset, ctx),
+            // the fixed-posterior variants train against a frozen aggregation
+            // estimate, which *is* their inferred truth posterior
+            AblationVariant::MvTeacher | AblationVariant::MvRule => {
+                Some(MajorityVote.infer(&dataset.annotation_view()).posteriors)
+            }
+            AblationVariant::GladRule => {
+                let view = dataset.annotation_view();
+                let estimate = if dataset.task == TaskKind::Classification {
+                    Glad::default().infer(&view)
+                } else {
+                    DawidSkene::default().infer(&view)
+                };
+                Some(estimate.posteriors)
+            }
+            AblationVariant::OtherRules => Some(qf_rows(train_lncl(dataset, ctx, other_rules(dataset)).0.qf())),
         }
     }
 }

@@ -234,6 +234,20 @@ pub trait CrowdMethod: Send + Sync {
 
     /// Runs the method on a dataset and returns its table rows.
     fn run(&self, dataset: &CrowdDataset, ctx: &RunContext) -> Vec<MethodResult>;
+
+    /// Runs the method's truth-inference stage and returns its per-unit
+    /// posterior over classes on the training split, one `K`-length row per
+    /// unit in [`AnnotationView`](lncl_crowd::AnnotationView) order.
+    ///
+    /// Methods without a truth-inference stage (crowd-layer variants,
+    /// DL-DN, the Gold upper bound) return `None`.  The robustness suite
+    /// uses this hook to assert posterior invariants (rows normalised,
+    /// entries in `[0, 1]`, annotator-permutation invariance) uniformly
+    /// across the registry.
+    fn infer_posteriors(&self, dataset: &CrowdDataset, ctx: &RunContext) -> Option<Vec<Vec<f32>>> {
+        let _ = (dataset, ctx);
+        None
+    }
 }
 
 /// String-keyed registry of every compared method.

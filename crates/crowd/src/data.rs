@@ -175,6 +175,65 @@ impl CrowdDataset {
         }
         Ok(())
     }
+
+    /// The same dataset with annotator identities renumbered: annotator `a`
+    /// becomes `perm[a]`.  The per-instance label *order* is kept, so a
+    /// correct aggregation method must produce identical results on the
+    /// permuted dataset (the metamorphic property checked by the robustness
+    /// suite).  `perm` must be a permutation of `0..num_annotators`.
+    pub fn with_permuted_annotators(&self, perm: &[usize]) -> CrowdDataset {
+        assert_eq!(perm.len(), self.num_annotators, "permutation length must equal the annotator count");
+        let mut seen = vec![false; perm.len()];
+        for &p in perm {
+            assert!(p < perm.len() && !seen[p], "not a permutation: {perm:?}");
+            seen[p] = true;
+        }
+        let mut out = self.clone();
+        for split in [&mut out.train, &mut out.dev, &mut out.test] {
+            for inst in split.iter_mut() {
+                for cl in &mut inst.crowd_labels {
+                    cl.annotator = perm[cl.annotator];
+                }
+            }
+        }
+        out
+    }
+
+    /// The same dataset with classes renumbered: class `c` becomes
+    /// `perm[c]` in every gold and crowd label, and `class_names` is
+    /// reordered to match.  Aggregation quality metrics must be unchanged
+    /// under any relabeling (equivariance); for BIO-encoded tagging data
+    /// only structure-preserving permutations (e.g. swapping two entity
+    /// types B/I pairwise) keep the sequences well-formed.  `perm` must be
+    /// a permutation of `0..num_classes`.
+    pub fn with_relabeled_classes(&self, perm: &[usize]) -> CrowdDataset {
+        assert_eq!(perm.len(), self.num_classes, "permutation length must equal the class count");
+        let mut seen = vec![false; perm.len()];
+        for &p in perm {
+            assert!(p < perm.len() && !seen[p], "not a permutation: {perm:?}");
+            seen[p] = true;
+        }
+        let mut out = self.clone();
+        let mut names = vec![String::new(); self.num_classes];
+        for (c, name) in self.class_names.iter().enumerate() {
+            names[perm[c]] = name.clone();
+        }
+        out.class_names = names;
+        let relabel = |labels: &mut Vec<usize>| {
+            for l in labels.iter_mut() {
+                *l = perm[*l];
+            }
+        };
+        for split in [&mut out.train, &mut out.dev, &mut out.test] {
+            for inst in split.iter_mut() {
+                relabel(&mut inst.gold);
+                for cl in &mut inst.crowd_labels {
+                    relabel(&mut cl.labels);
+                }
+            }
+        }
+        out
+    }
 }
 
 /// A flattened, unit-level view of the noisy annotations of a dataset:
@@ -332,6 +391,38 @@ mod tests {
         let mut data = toy_classification();
         data.train[0].crowd_labels[0].labels = vec![1, 0];
         assert!(data.validate().is_err());
+    }
+
+    #[test]
+    fn permuted_annotators_keep_label_order_and_stay_valid() {
+        let data = toy_classification();
+        let permuted = data.with_permuted_annotators(&[2, 0, 1]);
+        assert!(permuted.validate().is_ok());
+        // train[0] was annotated by 0, 1, 2 in that order -> now 2, 0, 1
+        let ids: Vec<usize> = permuted.train[0].crowd_labels.iter().map(|c| c.annotator).collect();
+        assert_eq!(ids, vec![2, 0, 1]);
+        // the labels themselves are untouched
+        assert_eq!(permuted.train[0].crowd_labels[0].labels, data.train[0].crowd_labels[0].labels);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn permuted_annotators_rejects_duplicates() {
+        let _ = toy_classification().with_permuted_annotators(&[0, 0, 1]);
+    }
+
+    #[test]
+    fn relabeled_classes_swap_gold_crowd_and_names() {
+        let data = toy_classification();
+        let swapped = data.with_relabeled_classes(&[1, 0]);
+        assert!(swapped.validate().is_ok());
+        assert_eq!(swapped.class_names, vec!["pos".to_string(), "neg".to_string()]);
+        assert_eq!(swapped.train[0].gold, vec![0]);
+        assert_eq!(swapped.train[0].crowd_labels[2].labels, vec![1]);
+        // double application is the identity
+        let back = swapped.with_relabeled_classes(&[1, 0]);
+        assert_eq!(back.train, data.train);
+        assert_eq!(back.class_names, data.class_names);
     }
 
     #[test]

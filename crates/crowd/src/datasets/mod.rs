@@ -4,5 +4,5 @@
 pub mod ner;
 pub mod sentiment;
 
-pub use ner::{generate_ner, NerDatasetConfig};
-pub use sentiment::{generate_sentiment, SentimentDatasetConfig};
+pub use ner::{generate_ner, NerDatasetConfig, NerTextModel};
+pub use sentiment::{generate_sentiment, SentimentDatasetConfig, SentimentTextModel};

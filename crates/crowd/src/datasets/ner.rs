@@ -114,7 +114,7 @@ const FILLER_WORDS: &[&str] = &[
     "results",
 ];
 
-struct Vocab {
+pub(crate) struct Vocab {
     words: Vec<String>,
     first: Vec<usize>,
     last: Vec<usize>,
@@ -160,8 +160,58 @@ pub fn bio_class_names() -> Vec<String> {
     ]
 }
 
-/// Generates one gold sentence: returns token ids and BIO labels.
-fn make_sentence(vocab: &Vocab, rng: &mut TensorRng) -> (Vec<usize>, Vec<usize>) {
+/// The gold-text model behind the synthetic NER corpus: gazetteer
+/// vocabulary plus the template-sentence sampler, with a configurable
+/// entity-type prior (uniform for the paper's corpus; skewed by the
+/// class-imbalance scenarios in [`crate::scenario`]).
+pub struct NerTextModel {
+    vocab: Vocab,
+    /// Unnormalised sampling weight per entity type; `None` keeps the
+    /// original uniform `usize_below` draw (bitwise-identical corpora).
+    type_weights: Option<[f32; NUM_ENTITY_TYPES]>,
+}
+
+impl NerTextModel {
+    /// The uniform-entity-type model used by [`generate_ner`].
+    pub fn new() -> Self {
+        Self { vocab: build_vocab(), type_weights: None }
+    }
+
+    /// A model whose entity types are drawn from the given unnormalised
+    /// weights (class-imbalance scenarios).
+    pub fn with_type_weights(type_weights: [f32; NUM_ENTITY_TYPES]) -> Self {
+        assert!(type_weights.iter().all(|&w| w >= 0.0), "entity-type weights must be non-negative");
+        assert!(type_weights.iter().sum::<f32>() > 0.0, "entity-type weights must not all be zero");
+        Self { vocab: build_vocab(), type_weights: Some(type_weights) }
+    }
+
+    /// The vocabulary (index = token id; id 0 is the padding token).
+    pub fn vocab(&self) -> &[String] {
+        &self.vocab.words
+    }
+
+    /// Consumes the model, returning the vocabulary.
+    pub fn into_vocab(self) -> Vec<String> {
+        self.vocab.words
+    }
+
+    /// Generates one gold sentence: returns token ids and BIO labels.
+    pub fn sentence(&self, rng: &mut TensorRng) -> (Vec<usize>, Vec<usize>) {
+        make_sentence_with(&self.vocab, self.type_weights.as_ref(), rng)
+    }
+}
+
+impl Default for NerTextModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn make_sentence_with(
+    vocab: &Vocab,
+    type_weights: Option<&[f32; NUM_ENTITY_TYPES]>,
+    rng: &mut TensorRng,
+) -> (Vec<usize>, Vec<usize>) {
     let mut tokens = Vec::new();
     let mut labels = Vec::new();
     let pick = |ids: &[usize], rng: &mut TensorRng| ids[rng.usize_below(ids.len())];
@@ -174,7 +224,10 @@ fn make_sentence(vocab: &Vocab, rng: &mut TensorRng) -> (Vec<usize>, Vec<usize>)
     let num_entities = 1 + rng.usize_below(3);
     push_filler(1 + rng.usize_below(3), &mut tokens, &mut labels, rng);
     for _ in 0..num_entities {
-        let ty = rng.usize_below(NUM_ENTITY_TYPES);
+        let ty = match type_weights {
+            None => rng.usize_below(NUM_ENTITY_TYPES),
+            Some(weights) => rng.categorical(&weights[..]),
+        };
         match ty {
             0 => {
                 // PER: first [last]
@@ -223,7 +276,7 @@ fn make_sentence(vocab: &Vocab, rng: &mut TensorRng) -> (Vec<usize>, Vec<usize>)
 pub fn generate_ner(config: &NerDatasetConfig) -> CrowdDataset {
     assert!(config.num_annotators >= config.max_labels_per_instance, "annotator pool smaller than labels per instance");
     let mut rng = TensorRng::seed_from_u64(config.seed);
-    let vocab = build_vocab();
+    let text = NerTextModel::new();
 
     // annotator pool with quality spanning weak to strong, long-tailed workload
     let annotators: Vec<NerAnnotator> = (0..config.num_annotators)
@@ -235,24 +288,12 @@ pub fn generate_ner(config: &NerDatasetConfig) -> CrowdDataset {
     let propensity: Vec<f32> =
         (0..config.num_annotators).map(|_| (1.0 / rng.uniform_range(0.03, 1.0)).min(40.0)).collect();
 
-    let select = |count: usize, rng: &mut TensorRng| -> Vec<usize> {
-        let count = count.min(propensity.len());
-        let mut weights = propensity.clone();
-        let mut chosen = Vec::with_capacity(count);
-        for _ in 0..count {
-            let idx = rng.categorical(&weights);
-            chosen.push(idx);
-            weights[idx] = 0.0;
-        }
-        chosen
-    };
-
     let mut train = Vec::with_capacity(config.train_size);
     for _ in 0..config.train_size {
-        let (tokens, gold) = make_sentence(&vocab, &mut rng);
+        let (tokens, gold) = text.sentence(&mut rng);
         let span = config.max_labels_per_instance - config.min_labels_per_instance + 1;
         let count = config.min_labels_per_instance + rng.usize_below(span);
-        let crowd_labels = select(count, &mut rng)
+        let crowd_labels = crate::annotator::select_weighted_distinct(&propensity, count, &mut rng)
             .into_iter()
             .map(|a| CrowdLabel { annotator: a, labels: annotators[a].annotate(&gold, &mut rng) })
             .collect();
@@ -261,7 +302,7 @@ pub fn generate_ner(config: &NerDatasetConfig) -> CrowdDataset {
     let mut make_eval = |size: usize| -> Vec<Instance> {
         (0..size)
             .map(|_| {
-                let (tokens, gold) = make_sentence(&vocab, &mut rng);
+                let (tokens, gold) = text.sentence(&mut rng);
                 Instance { tokens, gold, crowd_labels: Vec::new() }
             })
             .collect()
@@ -273,7 +314,7 @@ pub fn generate_ner(config: &NerDatasetConfig) -> CrowdDataset {
         task: TaskKind::SequenceTagging,
         num_classes: NUM_BIO_CLASSES,
         num_annotators: config.num_annotators,
-        vocab: vocab.words,
+        vocab: text.into_vocab(),
         class_names: bio_class_names(),
         train,
         dev,
@@ -281,7 +322,10 @@ pub fn generate_ner(config: &NerDatasetConfig) -> CrowdDataset {
         but_token: None,
         however_token: None,
     };
-    debug_assert!(dataset.validate().is_ok());
+    #[cfg(debug_assertions)]
+    if let Err(message) = dataset.validate() {
+        panic!("generate_ner produced an invalid dataset: {message}");
+    }
     dataset
 }
 

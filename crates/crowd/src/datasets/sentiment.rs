@@ -153,6 +153,127 @@ const NEUTRAL_SEED_WORDS: &[&str] = &[
     "cast",
 ];
 
+/// The gold-text model behind the synthetic sentiment corpus: a lexicon
+/// vocabulary (polarity words, neutral words, filler) plus the clause /
+/// contrast-structure sampler.  Extracted from [`generate_sentiment`] so the
+/// scenario generators in [`crate::scenario`] can draw the same learning
+/// problem while swapping in arbitrary annotator pools and class priors.
+#[derive(Debug, Clone)]
+pub struct SentimentTextModel {
+    vocab: Vec<String>,
+    but_token: usize,
+    however_token: usize,
+    pos_ids: Vec<usize>,
+    neg_ids: Vec<usize>,
+    neutral_ids: Vec<usize>,
+    but_fraction: f32,
+    however_fraction: f32,
+    however_consistency: f32,
+}
+
+impl SentimentTextModel {
+    /// Builds the vocabulary and contrast-structure sampler.
+    pub fn new(filler_vocab: usize, but_fraction: f32, however_fraction: f32, however_consistency: f32) -> Self {
+        let mut vocab: Vec<String> = vec!["<pad>".to_string(), "but".to_string(), "however".to_string()];
+        let but_token = 1usize;
+        let however_token = 2usize;
+        let pos_start = vocab.len();
+        vocab.extend(POSITIVE_WORDS.iter().map(|s| s.to_string()));
+        let neg_start = vocab.len();
+        vocab.extend(NEGATIVE_WORDS.iter().map(|s| s.to_string()));
+        let neutral_start = vocab.len();
+        vocab.extend(NEUTRAL_SEED_WORDS.iter().map(|s| s.to_string()));
+        for i in 0..filler_vocab {
+            vocab.push(format!("filler{i}"));
+        }
+        let neutral_end = vocab.len();
+        Self {
+            vocab,
+            but_token,
+            however_token,
+            pos_ids: (pos_start..neg_start).collect(),
+            neg_ids: (neg_start..neutral_start).collect(),
+            neutral_ids: (neutral_start..neutral_end).collect(),
+            but_fraction,
+            however_fraction,
+            however_consistency,
+        }
+    }
+
+    /// The model's configuration as used by [`generate_sentiment`].
+    pub fn from_config(config: &SentimentDatasetConfig) -> Self {
+        Self::new(config.filler_vocab, config.but_fraction, config.however_fraction, config.however_consistency)
+    }
+
+    /// The vocabulary (index = token id; id 0 is the padding token).
+    pub fn vocab(&self) -> &[String] {
+        &self.vocab
+    }
+
+    /// Token id of the contrast conjunction "but".
+    pub fn but_token(&self) -> usize {
+        self.but_token
+    }
+
+    /// Token id of the weaker-contrast word "however".
+    pub fn however_token(&self) -> usize {
+        self.however_token
+    }
+
+    fn sentiment_word(&self, label: usize, rng: &mut TensorRng) -> usize {
+        let ids = if label == 1 { &self.pos_ids } else { &self.neg_ids };
+        ids[rng.usize_below(ids.len())]
+    }
+
+    fn neutral_word(&self, rng: &mut TensorRng) -> usize {
+        self.neutral_ids[rng.usize_below(self.neutral_ids.len())]
+    }
+
+    /// A clause carrying sentiment `label`: mostly neutral words with 1-3
+    /// polarity words, and a small chance of a contradicting word.
+    fn clause(&self, label: usize, len: usize, rng: &mut TensorRng) -> Vec<usize> {
+        let mut clause = Vec::with_capacity(len);
+        let num_signal = 1 + rng.usize_below(3.min(len));
+        for i in 0..len {
+            if i < num_signal {
+                clause.push(self.sentiment_word(label, rng));
+            } else if rng.bernoulli(0.06) {
+                clause.push(self.sentiment_word(1 - label, rng));
+            } else {
+                clause.push(self.neutral_word(rng));
+            }
+        }
+        rng.shuffle(&mut clause);
+        clause
+    }
+
+    /// Samples the token sequence of a sentence with gold polarity `label`.
+    pub fn sentence(&self, label: usize, rng: &mut TensorRng) -> Vec<usize> {
+        let draw = rng.uniform();
+        if draw < self.but_fraction {
+            // A (opposite) but B (label)
+            let a = self.clause(1 - label, 3 + rng.usize_below(5), rng);
+            let b = self.clause(label, 3 + rng.usize_below(5), rng);
+            let mut tokens = a;
+            tokens.push(self.but_token);
+            tokens.extend(b);
+            tokens
+        } else if draw < self.but_fraction + self.however_fraction {
+            // A however B, where B carries the sentiment only with
+            // probability `however_consistency`.
+            let b_label = if rng.bernoulli(self.however_consistency) { label } else { 1 - label };
+            let a = self.clause(1 - label, 3 + rng.usize_below(5), rng);
+            let b = self.clause(b_label, 3 + rng.usize_below(5), rng);
+            let mut tokens = a;
+            tokens.push(self.however_token);
+            tokens.extend(b);
+            tokens
+        } else {
+            self.clause(label, 5 + rng.usize_below(7), rng)
+        }
+    }
+}
+
 /// Generates the synthetic sentiment corpus.
 ///
 /// Class convention: `0 = negative`, `1 = positive` (matching the paper's
@@ -162,73 +283,10 @@ pub fn generate_sentiment(config: &SentimentDatasetConfig) -> CrowdDataset {
     assert!(config.min_labels_per_instance >= 1 && config.min_labels_per_instance <= config.max_labels_per_instance);
     let mut rng = TensorRng::seed_from_u64(config.seed);
 
-    // ---- vocabulary ------------------------------------------------------
-    let mut vocab: Vec<String> = vec!["<pad>".to_string(), "but".to_string(), "however".to_string()];
-    let but_token = 1usize;
-    let however_token = 2usize;
-    let pos_start = vocab.len();
-    vocab.extend(POSITIVE_WORDS.iter().map(|s| s.to_string()));
-    let neg_start = vocab.len();
-    vocab.extend(NEGATIVE_WORDS.iter().map(|s| s.to_string()));
-    let neutral_start = vocab.len();
-    vocab.extend(NEUTRAL_SEED_WORDS.iter().map(|s| s.to_string()));
-    for i in 0..config.filler_vocab {
-        vocab.push(format!("filler{i}"));
-    }
-    let neutral_end = vocab.len();
-
-    let pos_ids: Vec<usize> = (pos_start..neg_start).collect();
-    let neg_ids: Vec<usize> = (neg_start..neutral_start).collect();
-    let neutral_ids: Vec<usize> = (neutral_start..neutral_end).collect();
-
-    let sentiment_word = |label: usize, rng: &mut TensorRng| -> usize {
-        let ids = if label == 1 { &pos_ids } else { &neg_ids };
-        ids[rng.usize_below(ids.len())]
-    };
-    let neutral_word = |rng: &mut TensorRng| -> usize { neutral_ids[rng.usize_below(neutral_ids.len())] };
-
-    // A clause carrying sentiment `label`: mostly neutral words with 1-3
-    // polarity words, and a small chance of a contradicting word.
-    let make_clause = |label: usize, len: usize, rng: &mut TensorRng| -> Vec<usize> {
-        let mut clause = Vec::with_capacity(len);
-        let num_signal = 1 + rng.usize_below(3.min(len));
-        for i in 0..len {
-            if i < num_signal {
-                clause.push(sentiment_word(label, rng));
-            } else if rng.bernoulli(0.06) {
-                clause.push(sentiment_word(1 - label, rng));
-            } else {
-                clause.push(neutral_word(rng));
-            }
-        }
-        rng.shuffle(&mut clause);
-        clause
-    };
-
+    let text = SentimentTextModel::from_config(config);
     let make_sentence = |rng: &mut TensorRng| -> (Vec<usize>, usize) {
         let label = rng.usize_below(2);
-        let draw = rng.uniform();
-        if draw < config.but_fraction {
-            // A (opposite) but B (label)
-            let a = make_clause(1 - label, 3 + rng.usize_below(5), rng);
-            let b = make_clause(label, 3 + rng.usize_below(5), rng);
-            let mut tokens = a;
-            tokens.push(but_token);
-            tokens.extend(b);
-            (tokens, label)
-        } else if draw < config.but_fraction + config.however_fraction {
-            // A however B, where B carries the sentiment only with
-            // probability `however_consistency`.
-            let b_label = if rng.bernoulli(config.however_consistency) { label } else { 1 - label };
-            let a = make_clause(1 - label, 3 + rng.usize_below(5), rng);
-            let b = make_clause(b_label, 3 + rng.usize_below(5), rng);
-            let mut tokens = a;
-            tokens.push(however_token);
-            tokens.extend(b);
-            (tokens, label)
-        } else {
-            (make_clause(label, 5 + rng.usize_below(7), rng), label)
-        }
+        (text.sentence(label, rng), label)
     };
 
     // ---- annotator pool --------------------------------------------------
@@ -262,15 +320,18 @@ pub fn generate_sentiment(config: &SentimentDatasetConfig) -> CrowdDataset {
         task: TaskKind::Classification,
         num_classes: 2,
         num_annotators: config.num_annotators,
-        vocab,
+        vocab: text.vocab,
         class_names: vec!["NEG".to_string(), "POS".to_string()],
         train,
         dev,
         test,
-        but_token: Some(but_token),
-        however_token: Some(however_token),
+        but_token: Some(text.but_token),
+        however_token: Some(text.however_token),
     };
-    debug_assert!(dataset.validate().is_ok());
+    #[cfg(debug_assertions)]
+    if let Err(message) = dataset.validate() {
+        panic!("generate_sentiment produced an invalid dataset: {message}");
+    }
     dataset
 }
 

@@ -8,6 +8,10 @@
 //!   classification, error-model annotators for NER);
 //! * [`datasets`] — synthetic stand-ins for the two MTurk corpora of the
 //!   paper (see DESIGN.md §1);
+//! * [`scenario`] — composable crowd-scenario simulation: annotator
+//!   archetypes (spammers, adversaries, pair confusers, colluding cliques),
+//!   propensity profiles and scenario grids over redundancy / pool size /
+//!   archetype mix / class imbalance;
 //! * [`truth`] — truth-inference baselines: MV, Dawid–Skene, GLAD, IBCC, PM,
 //!   CATD, HMM-Crowd and a simplified BSC-seq;
 //! * [`metrics`] — accuracy, strict span-level P/R/F1, confusion-matrix and
@@ -29,6 +33,7 @@ pub mod annotator;
 pub mod data;
 pub mod datasets;
 pub mod metrics;
+pub mod scenario;
 pub mod stats;
 pub mod truth;
 

@@ -1,0 +1,119 @@
+//! Seed × config grid over every dataset generator: each emitted dataset
+//! must pass `CrowdDataset::validate()`, including under degenerate
+//! configurations (a single annotator, redundancy 1, a tiny vocabulary).
+//! The generators additionally self-check under `cfg(debug_assertions)`;
+//! this suite keeps the guarantee in release builds too.
+
+use lncl_crowd::datasets::{generate_ner, generate_sentiment, NerDatasetConfig, SentimentDatasetConfig};
+use lncl_crowd::scenario::{generate_scenario, standard_mixes, Archetype, PropensityProfile, ScenarioConfig};
+use lncl_crowd::TaskKind;
+
+const SEEDS: [u64; 3] = [0, 7, 1234];
+
+#[test]
+fn sentiment_generator_valid_across_seed_config_grid() {
+    let tiny = SentimentDatasetConfig::tiny();
+    let configs = vec![
+        ("tiny", tiny.clone()),
+        (
+            "single-annotator",
+            SentimentDatasetConfig {
+                num_annotators: 1,
+                min_labels_per_instance: 1,
+                max_labels_per_instance: 1,
+                ..tiny.clone()
+            },
+        ),
+        (
+            "redundancy-1",
+            SentimentDatasetConfig { min_labels_per_instance: 1, max_labels_per_instance: 1, ..tiny.clone() },
+        ),
+        ("tiny-vocab", SentimentDatasetConfig { filler_vocab: 1, ..tiny.clone() }),
+        ("all-spammers", SentimentDatasetConfig { spammer_fraction: 1.0, ..tiny.clone() }),
+        ("no-contrast", SentimentDatasetConfig { but_fraction: 0.0, however_fraction: 0.0, ..tiny }),
+    ];
+    for seed in SEEDS {
+        for (name, config) in &configs {
+            let dataset = generate_sentiment(&SentimentDatasetConfig { seed, ..config.clone() });
+            dataset.validate().unwrap_or_else(|e| panic!("sentiment/{name} seed {seed}: {e}"));
+            assert_eq!(dataset.train.len(), config.train_size);
+            assert!(dataset
+                .train
+                .iter()
+                .all(|i| (config.min_labels_per_instance..=config.max_labels_per_instance)
+                    .contains(&i.num_annotations())));
+        }
+    }
+}
+
+#[test]
+fn ner_generator_valid_across_seed_config_grid() {
+    let tiny = NerDatasetConfig::tiny();
+    let configs = vec![
+        ("tiny", tiny.clone()),
+        (
+            "single-annotator",
+            NerDatasetConfig {
+                num_annotators: 1,
+                min_labels_per_instance: 1,
+                max_labels_per_instance: 1,
+                ..tiny.clone()
+            },
+        ),
+        ("redundancy-1", NerDatasetConfig { min_labels_per_instance: 1, max_labels_per_instance: 1, ..tiny.clone() }),
+        ("wide-redundancy", NerDatasetConfig { min_labels_per_instance: 1, max_labels_per_instance: 8, ..tiny }),
+    ];
+    for seed in SEEDS {
+        for (name, config) in &configs {
+            let dataset = generate_ner(&NerDatasetConfig { seed, ..config.clone() });
+            dataset.validate().unwrap_or_else(|e| panic!("ner/{name} seed {seed}: {e}"));
+            assert_eq!(dataset.train.len(), config.train_size);
+        }
+    }
+}
+
+#[test]
+fn scenario_generator_valid_across_seed_mix_grid() {
+    for seed in SEEDS {
+        for task in [TaskKind::Classification, TaskKind::SequenceTagging] {
+            for (name, mix) in standard_mixes() {
+                let config = ScenarioConfig::tiny(task).named(name).with_mix(mix).with_seed(seed);
+                let dataset = generate_scenario(&config);
+                dataset.validate().unwrap_or_else(|e| panic!("scenario/{task:?}/{name} seed {seed}: {e}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn scenario_generator_valid_under_degenerate_configs() {
+    for seed in SEEDS {
+        for task in [TaskKind::Classification, TaskKind::SequenceTagging] {
+            let degenerate = vec![
+                (
+                    "single-annotator",
+                    ScenarioConfig::tiny(task).with_annotators(1).with_redundancy(1, 1).with_sizes(12, 4, 4),
+                ),
+                ("redundancy-1", ScenarioConfig::tiny(task).with_redundancy(1, 1).with_sizes(12, 4, 4)),
+                (
+                    "tiny-vocab-uniform",
+                    ScenarioConfig {
+                        filler_vocab: 1,
+                        ..ScenarioConfig::tiny(task).with_propensity(PropensityProfile::Uniform).with_sizes(12, 4, 4)
+                    },
+                ),
+                (
+                    "zero-fraction-entry",
+                    ScenarioConfig::tiny(task)
+                        .with_mix(vec![(Archetype::reliable(), 1.0), (Archetype::Spammer, 0.0)])
+                        .with_sizes(12, 4, 4),
+                ),
+                ("extreme-imbalance", ScenarioConfig::tiny(task).with_majority_share(1.0).with_sizes(12, 4, 4)),
+            ];
+            for (name, config) in degenerate {
+                let dataset = generate_scenario(&config.named(name).with_seed(seed));
+                dataset.validate().unwrap_or_else(|e| panic!("scenario/{task:?}/{name} seed {seed}: {e}"));
+            }
+        }
+    }
+}
