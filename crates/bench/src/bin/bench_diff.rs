@@ -1,25 +1,40 @@
-//! Before/after comparison of `BENCH_*.json` benchmark reports — the tool
-//! behind the CI perf gate and the local workflow documented in the crate
+//! Before/after comparison and ranking analysis of `BENCH_*.json`
+//! benchmark reports — the tool behind the CI perf gate, the scenario
+//! ranking analysis and the local workflows documented in the crate
 //! README.
 //!
 //! ```text
 //! bench_diff compare <baseline.json> <current.json>... [--gate <factor>]
 //! bench_diff merge <out.json> <in.json>...
+//! bench_diff rank <report.json>... [--metric <key>] [--baseline <file>] [--gate <max-drop>]
 //! ```
 //!
-//! * `compare` prints a before/after table.  Cases are keyed
-//!   `target/case_name`; with `--gate F` the exit code is 1 if any case's
-//!   mean regresses by more than `F`x against the baseline.
-//! * `merge` combines several reports into one (cases renamed to
-//!   `target/case_name`), which is how `bench_baseline.json` is produced.
+//! * `compare` prints a before/after table of the **timed** cases.  Cases
+//!   are keyed `target/case_name`; with `--gate F` the exit code is 1 if
+//!   any case's mean regresses by more than `F`x against the baseline.
+//! * `merge` combines several reports into one: timed cases renamed to
+//!   `target/case_name` (how `bench_baseline.json` is produced), quality
+//!   rows concatenated and name-sorted (how sharded `scenario_sweep`
+//!   reports are recombined — the sorted merge is bitwise identical to the
+//!   serial sweep's quality table).
+//! * `rank` ranks each scenario's methods by a **quality** metric
+//!   (default `headline`), prints the rankings and every pairwise
+//!   ranking flip between scenarios.  With `--baseline` it also reports
+//!   flips against the baseline report per scenario; `--gate D` then
+//!   fails (exit 1) when any method's metric drops by more than `D`
+//!   absolute, or a baseline row vanishes — the quality counterpart of
+//!   the perf gate.
 
-use lncl_bench::timing::{BenchReport, CaseStats};
+use lncl_bench::quality::HEADLINE_METRIC;
+use lncl_bench::rank::{quality_regressions, rank_scenarios, ranking_flips, RankingFlip};
+use lncl_bench::timing::{BenchReport, CaseStats, QualityCase};
 use std::path::Path;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!("usage: bench_diff compare <baseline.json> <current.json>... [--gate <factor>]");
     eprintln!("       bench_diff merge <out.json> <in.json>...");
+    eprintln!("       bench_diff rank <report.json>... [--metric <key>] [--baseline <file>] [--gate <max-drop>]");
     ExitCode::from(2)
 }
 
@@ -148,18 +163,162 @@ fn merge(args: &[String]) -> ExitCode {
     let mut merged = BenchReport::new("merged");
     for file in &args[1..] {
         match load(file) {
-            Ok(report) => merged.cases.extend(qualified_cases(&report)),
+            Ok(report) => {
+                merged.cases.extend(qualified_cases(&report));
+                merged.quality.extend(report.quality);
+            }
             Err(e) => {
                 eprintln!("bench_diff: {e}");
                 return ExitCode::FAILURE;
             }
         }
     }
+    // quality rows carry their scenario, so they are not target-qualified;
+    // the sorted order makes a shard merge reproduce the serial report
+    merged.sort_quality();
     if let Err(e) = std::fs::write(&args[0], merged.to_json()) {
         eprintln!("bench_diff: {}: {e}", args[0]);
         return ExitCode::FAILURE;
     }
-    println!("merged {} case(s) into {}", merged.cases.len(), args[0]);
+    println!("merged {} case(s) and {} quality row(s) into {}", merged.cases.len(), merged.quality.len(), args[0]);
+    ExitCode::SUCCESS
+}
+
+fn print_flips(flips: &[RankingFlip]) {
+    const SHOWN: usize = 10;
+    for flip in flips.iter().take(SHOWN) {
+        println!("    {} overtakes {}", flip.promoted, flip.demoted);
+    }
+    if flips.len() > SHOWN {
+        println!("    … and {} more", flips.len() - SHOWN);
+    }
+}
+
+fn rank(args: &[String]) -> ExitCode {
+    let mut metric = HEADLINE_METRIC.to_string();
+    let mut baseline_file: Option<String> = None;
+    let mut gate: Option<f64> = None;
+    let mut files = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--metric" => match iter.next() {
+                Some(key) => metric = key.clone(),
+                None => return usage(),
+            },
+            "--baseline" => match iter.next() {
+                Some(file) => baseline_file = Some(file.clone()),
+                None => return usage(),
+            },
+            "--gate" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(d) if d >= 0.0 => gate = Some(d),
+                _ => {
+                    eprintln!("bench_diff: --gate needs a non-negative absolute drop");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => files.push(arg.clone()),
+        }
+    }
+    if files.is_empty() {
+        return usage();
+    }
+    if gate.is_some() && baseline_file.is_none() {
+        eprintln!("bench_diff: rank --gate needs --baseline <file> to compare against");
+        return ExitCode::from(2);
+    }
+    let mut quality: Vec<QualityCase> = Vec::new();
+    for file in &files {
+        match load(file) {
+            Ok(report) => quality.extend(report.quality),
+            Err(e) => {
+                eprintln!("bench_diff: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let rankings = rank_scenarios(&quality, &metric);
+    if rankings.is_empty() {
+        eprintln!("bench_diff: no quality rows with metric {metric:?} in {files:?}");
+        return ExitCode::FAILURE;
+    }
+
+    println!("method rankings by {metric:?} ({} scenario(s))", rankings.len());
+    for ranking in &rankings {
+        println!("\n{}", ranking.scenario);
+        for entry in &ranking.entries {
+            println!("  {:>3}. {:<34} {:.4}", entry.rank, entry.method, entry.value);
+        }
+    }
+
+    println!("\nranking flips between scenario pairs:");
+    let mut flipped_pairs = 0usize;
+    for (i, a) in rankings.iter().enumerate() {
+        for b in &rankings[i + 1..] {
+            let flips = ranking_flips(a, b);
+            if flips.is_empty() {
+                continue;
+            }
+            flipped_pairs += 1;
+            println!("  {} -> {} ({} flip(s))", a.scenario, b.scenario, flips.len());
+            print_flips(&flips);
+        }
+    }
+    if flipped_pairs == 0 {
+        println!("  none — every scenario ranks the methods identically");
+    }
+
+    let Some(baseline_file) = baseline_file else {
+        return ExitCode::SUCCESS;
+    };
+    let baseline = match load(&baseline_file) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline_rankings = rank_scenarios(&baseline.quality, &metric);
+    println!("\nranking flips vs baseline {baseline_file}:");
+    let mut any_baseline_flip = false;
+    for current in &rankings {
+        let Some(base) = baseline_rankings.iter().find(|b| b.scenario == current.scenario) else { continue };
+        let flips = ranking_flips(base, current);
+        if flips.is_empty() {
+            continue;
+        }
+        any_baseline_flip = true;
+        println!("  {} ({} flip(s))", current.scenario, flips.len());
+        print_flips(&flips);
+    }
+    if !any_baseline_flip {
+        println!("  none");
+    }
+    if let Some(max_drop) = gate {
+        let regressions = quality_regressions(&baseline.quality, &quality, &metric, max_drop);
+        for regression in &regressions {
+            match regression.current {
+                Some(value) => println!(
+                    "REGRESSED {:<44} {} {:.4} -> {:.4}",
+                    format!("{}/{}", regression.scenario, regression.method),
+                    metric,
+                    regression.baseline,
+                    value
+                ),
+                None => println!(
+                    "MISSING   {:<44} {} {:.4} -> (row vanished)",
+                    format!("{}/{}", regression.scenario, regression.method),
+                    metric,
+                    regression.baseline
+                ),
+            }
+        }
+        if !regressions.is_empty() {
+            eprintln!("bench_diff: {} quality row(s) regressed by more than {max_drop} or vanished", regressions.len());
+            return ExitCode::FAILURE;
+        }
+        println!("quality gate ok: no {metric:?} drop above {max_drop} and no vanished rows");
+    }
     ExitCode::SUCCESS
 }
 
@@ -168,6 +327,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("compare") => compare(&args[1..]),
         Some("merge") => merge(&args[1..]),
+        Some("rank") => rank(&args[1..]),
         _ => usage(),
     }
 }

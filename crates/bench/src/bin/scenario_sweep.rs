@@ -1,27 +1,51 @@
 //! Cross-scenario robustness sweep: runs every standard-registry method
 //! over the crowd-scenario grid (archetype mixes, redundancy, class
 //! imbalance, pool size — see `lncl_crowd::scenario`) for both tasks and
-//! prints one results table per scenario.  Per-method wall-clock times land
-//! in `BENCH_scenario_sweep.json` (cases keyed `<scenario>/<method>`),
-//! which the CI `scenario-smoke` step archives.
+//! prints one results table per scenario.  Per-method wall-clock times
+//! *and* per-method quality tables land in the benchmark report (cases /
+//! quality rows keyed by scenario and method), which the CI
+//! `scenario-smoke` step merges across shards, ranks with `bench_diff
+//! rank` and archives.
+//!
+//! Scenarios are sharded two ways, both bitwise identical to the serial
+//! path:
+//!
+//! * **threads** — the grid is spread round-robin across up to
+//!   `LNCL_THREADS` scoped worker threads in this process (the budget is
+//!   split with per-scenario method parallelism, so `LNCL_THREADS` stays
+//!   the overall cap);
+//! * **processes** — `LNCL_SHARD=i/N` restricts this process to grid
+//!   indices `i, i+N, …` and writes `BENCH_scenario_sweep_shard<i>of<N>.json`;
+//!   recombine the shards with `bench_diff merge` (quality rows are
+//!   name-sorted on both paths, so the merged report's quality table
+//!   equals the serial one).
 //!
 //! Scale knobs: `LNCL_SCALE` (small / medium / paper), `LNCL_EPOCHS`,
-//! `LNCL_THREADS` — the smoke setting used in CI is `LNCL_EPOCHS=3`.
+//! `LNCL_THREADS`, `LNCL_SHARD` — the smoke setting used in CI is
+//! `LNCL_EPOCHS=3` in two shards.
 
-use lncl_bench::timing::BenchReport;
-use lncl_bench::{render_classification_table, render_sequence_table, run_scenario, scenario_sweep_configs, Scale};
+use lncl_bench::quality::record_scenario_outcome;
+use lncl_bench::timing::{env_shard, BenchReport};
+use lncl_bench::{
+    render_classification_table, render_sequence_table, scenario_sweep_configs, shard_configs, sweep_scenarios, Scale,
+};
 use lncl_crowd::TaskKind;
 
 fn main() {
     let scale = Scale::from_env();
-    let configs = scenario_sweep_configs(scale, 29);
+    let grid = scenario_sweep_configs(scale, 29);
+    let (configs, target) = match env_shard() {
+        Some((index, total)) => (shard_configs(&grid, index, total), format!("scenario_sweep_shard{index}of{total}")),
+        None => (grid, "scenario_sweep".to_string()),
+    };
     println!(
-        "Scenario sweep — {} scenarios (scale {scale:?}, {} epochs per training run)",
+        "Scenario sweep — {} scenarios (scale {scale:?}, {} epochs per training run, target {target})",
         configs.len(),
         scale.epochs()
     );
-    let mut report = BenchReport::new("scenario_sweep");
-    for config in &configs {
+    let outcomes = sweep_scenarios(&configs, scale, None, lncl_tensor::par::max_threads());
+    let mut report = BenchReport::new(target);
+    for (config, outcome) in configs.iter().zip(&outcomes) {
         println!(
             "\n=== {} ({:?}, {} train / {} annotators, redundancy {}-{}, majority share {:.2}) ===",
             config.name,
@@ -32,16 +56,20 @@ fn main() {
             config.max_labels_per_instance,
             config.majority_share,
         );
-        let (rows, timings) = run_scenario(config, scale);
         let table = match config.task {
-            TaskKind::Classification => render_classification_table(&config.name, &rows),
-            TaskKind::SequenceTagging => render_sequence_table(&config.name, &rows),
+            TaskKind::Classification => render_classification_table(&config.name, &outcome.rows),
+            TaskKind::SequenceTagging => render_sequence_table(&config.name, &outcome.rows),
         };
         println!("{table}");
-        for (method, secs) in &timings {
+        println!("reliability recovery (consensus vs gold, Pearson): {:.3}", outcome.reliability_pearson);
+        for (method, secs) in &outcome.timings {
             report.record(&format!("{}/{method}", config.name), 1, &[*secs]);
         }
+        record_scenario_outcome(&mut report, outcome);
     }
+    // canonical order: a sorted serial report and merged sorted shard
+    // reports carry bitwise-identical quality tables
+    report.sort_quality();
     let path = report.write().expect("write benchmark report");
     println!("\nwrote {}", path.display());
 }

@@ -1,7 +1,9 @@
 //! Regenerates Table II: prediction + inference accuracy of every compared
 //! method on the (synthetic) Sentiment Polarity dataset.  The rows are a
 //! data-driven loop over `MethodRegistry` lookups (`TABLE2_METHODS`); the
-//! per-method wall-clock times land in `BENCH_table2_sentiment.json`.
+//! per-method wall-clock times and the quality table land in
+//! `BENCH_table2_sentiment.json`.
+use lncl_bench::quality::record_quality_rows;
 use lncl_bench::timing::BenchReport;
 use lncl_bench::{render_classification_table, table2_timed, Scale, TABLE2_METHODS};
 
@@ -25,6 +27,7 @@ fn main() {
     for (method, samples) in &timed.timings {
         report.record(method, samples.len(), samples);
     }
+    record_quality_rows(&mut report, "table2/sentiment", &timed.rows, false);
     let path = report.write().expect("write benchmark report");
     println!("wrote {}", path.display());
 }

@@ -1,7 +1,9 @@
 //! Regenerates Table III: prediction + inference P/R/F1 of every compared
 //! method on the (synthetic) CoNLL-2003 NER dataset.  The rows are a
 //! data-driven loop over `MethodRegistry` lookups (`TABLE3_METHODS`); the
-//! per-method wall-clock times land in `BENCH_table3_ner.json`.
+//! per-method wall-clock times and the quality table land in
+//! `BENCH_table3_ner.json`.
+use lncl_bench::quality::record_quality_rows;
 use lncl_bench::timing::BenchReport;
 use lncl_bench::{render_sequence_table, table3_timed, Scale, TABLE3_METHODS};
 
@@ -25,6 +27,7 @@ fn main() {
     for (method, samples) in &timed.timings {
         report.record(method, samples.len(), samples);
     }
+    record_quality_rows(&mut report, "table3/ner", &timed.rows, true);
     let path = report.write().expect("write benchmark report");
     println!("wrote {}", path.display());
 }

@@ -1,6 +1,8 @@
 //! Regenerates Table IV: the ablation study on both datasets.  The rows are
 //! a data-driven loop over `MethodRegistry` lookups (`TABLE4_METHODS`); the
-//! per-method wall-clock times land in `BENCH_table4_ablation.json`.
+//! per-method wall-clock times and the quality tables land in
+//! `BENCH_table4_ablation.json`.
+use lncl_bench::quality::record_quality_rows;
 use lncl_bench::timing::BenchReport;
 use lncl_bench::{render_classification_table, render_sequence_table, table4_for_timed, Scale, TABLE4_METHODS};
 
@@ -16,6 +18,7 @@ fn main() {
     for (method, samples) in &timed.timings {
         report.record(&format!("sentiment/{method}"), samples.len(), samples);
     }
+    record_quality_rows(&mut report, "table4/sentiment", &timed.rows, false);
 
     let ner = scale.ner_dataset(11);
     let timed = table4_for_timed(&ner, scale, 11);
@@ -23,6 +26,7 @@ fn main() {
     for (method, samples) in &timed.timings {
         report.record(&format!("ner/{method}"), samples.len(), samples);
     }
+    record_quality_rows(&mut report, "table4/ner", &timed.rows, true);
 
     let path = report.write().expect("write benchmark report");
     println!("wrote {}", path.display());

@@ -10,8 +10,10 @@
 use crate::methods::{validate_methods, TABLE2_METHODS, TABLE3_METHODS, TABLE4_METHODS};
 use crate::scale::Scale;
 use crate::tables::average_repetitions;
-use lncl_crowd::metrics::{empirical_confusion, overall_reliability, reliability_correlation};
-use lncl_crowd::scenario::{generate_scenario, ScenarioConfig, ScenarioGrid};
+use lncl_crowd::metrics::{
+    empirical_confusion, overall_reliability, reliability_correlation, reliability_recovery_pearson,
+};
+use lncl_crowd::scenario::{ScenarioCache, ScenarioConfig, ScenarioGrid};
 use lncl_crowd::stats::annotator_summary;
 use lncl_crowd::{CrowdDataset, TaskKind};
 use lncl_tensor::Matrix;
@@ -31,8 +33,23 @@ pub fn run_methods_timed(
     dataset: &CrowdDataset,
     ctx: &RunContext,
 ) -> (Vec<MethodResult>, Vec<(String, f64)>) {
+    run_methods_timed_capped(registry, names, dataset, ctx, lncl_tensor::par::max_threads())
+}
+
+/// [`run_methods_timed`] with an explicit cap on concurrent method
+/// trainings.  The sweep passes its per-worker slice of the thread budget
+/// here, so scenario workers × method threads never exceed `LNCL_THREADS`
+/// overall.  The cap only affects scheduling: rows and timings keys are
+/// produced in list order and every method run is seeded, so results are
+/// bitwise identical at any cap.
+pub fn run_methods_timed_capped(
+    registry: &MethodRegistry,
+    names: &[&str],
+    dataset: &CrowdDataset,
+    ctx: &RunContext,
+    max_parallel: usize,
+) -> (Vec<MethodResult>, Vec<(String, f64)>) {
     validate_methods(registry, names);
-    let max_parallel = lncl_tensor::par::max_threads();
     let mut rows = Vec::new();
     let mut timings = Vec::with_capacity(names.len());
     for chunk in names.chunks(max_parallel.max(1)) {
@@ -186,16 +203,131 @@ pub fn scenario_sweep_configs(scale: Scale, seed: u64) -> Vec<ScenarioConfig> {
     configs
 }
 
+/// Everything one swept scenario produced: the per-method result rows (the
+/// quality table), the per-method wall-clock timings and the scenario-level
+/// reliability-recovery statistic.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Scenario name (the [`ScenarioConfig::name`]).
+    pub name: String,
+    /// Task the scenario generated data for.
+    pub task: TaskKind,
+    /// Result rows of every executed method, in method order.
+    pub rows: Vec<MethodResult>,
+    /// Per-method wall-clock timings in seconds, keyed by registry name.
+    pub timings: Vec<(String, f64)>,
+    /// Pearson correlation between consensus-estimated and true annotator
+    /// reliability (see [`reliability_recovery_pearson`]).
+    pub reliability_pearson: f32,
+}
+
+/// Runs one scenario: generates (or fetches from `cache`) its dataset,
+/// executes the registry methods — all methods supporting the task, or the
+/// intersection with `methods` when given, at most `method_parallelism`
+/// trainings at a time — and computes the scenario-level reliability
+/// statistic.  Fully deterministic for a fixed config and scale,
+/// regardless of how method threads are scheduled.
+pub fn run_scenario_outcome(
+    config: &ScenarioConfig,
+    scale: Scale,
+    registry: &MethodRegistry,
+    methods: Option<&[&str]>,
+    cache: &ScenarioCache,
+    method_parallelism: usize,
+) -> ScenarioOutcome {
+    let dataset = cache.get_or_generate(config);
+    let ctx = scale.run_context(&dataset, config.seed);
+    let supporting: Vec<String> = registry.supporting(dataset.task).iter().map(|m| m.descriptor().name).collect();
+    let names: Vec<&str> = match methods {
+        Some(filter) => filter.iter().copied().filter(|n| supporting.iter().any(|s| s == n)).collect(),
+        None => supporting.iter().map(String::as_str).collect(),
+    };
+    let (rows, timings) = run_methods_timed_capped(registry, &names, &dataset, &ctx, method_parallelism.max(1));
+    let reliability_pearson = reliability_recovery_pearson(&dataset, 5);
+    ScenarioOutcome { name: config.name.clone(), task: config.task, rows, timings, reliability_pearson }
+}
+
+/// Runs a list of scenarios sharded across up to `workers` scoped threads
+/// (assigned round-robin, so expensive and cheap scenarios spread evenly),
+/// returning outcomes in **input order**.  Every scenario is independently
+/// seeded and every method run is bitwise deterministic, so the outcome
+/// rows are identical to the serial path (`workers == 1`) no matter how
+/// many threads execute — only the wall-clock timings vary.  Workers share
+/// one [`ScenarioCache`], so configs differing only by name generate their
+/// corpus once.
+///
+/// The [`lncl_tensor::par::max_threads`] budget is *split* between the two
+/// parallelism levels: each of the `workers` scenario workers trains at
+/// most `max_threads / workers` methods concurrently, so the sweep never
+/// oversubscribes the `LNCL_THREADS` cap the way nested full-width levels
+/// would.
+pub fn sweep_scenarios(
+    configs: &[ScenarioConfig],
+    scale: Scale,
+    methods: Option<&[&str]>,
+    workers: usize,
+) -> Vec<ScenarioOutcome> {
+    let registry = MethodRegistry::standard();
+    let cache = ScenarioCache::new();
+    let workers = workers.clamp(1, configs.len().max(1));
+    let method_parallelism = (lncl_tensor::par::max_threads() / workers).max(1);
+    if workers <= 1 {
+        return configs
+            .iter()
+            .map(|c| run_scenario_outcome(c, scale, &registry, methods, &cache, method_parallelism))
+            .collect();
+    }
+    let mut slots: Vec<Option<ScenarioOutcome>> = Vec::new();
+    slots.resize_with(configs.len(), || None);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let registry = &registry;
+                let cache = &cache;
+                s.spawn(move || {
+                    configs
+                        .iter()
+                        .enumerate()
+                        .skip(w)
+                        .step_by(workers)
+                        .map(|(i, c)| (i, run_scenario_outcome(c, scale, registry, methods, cache, method_parallelism)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, outcome) in handle.join().expect("sweep worker panicked") {
+                slots[i] = Some(outcome);
+            }
+        }
+    });
+    slots.into_iter().map(|slot| slot.expect("every scenario is assigned to exactly one worker")).collect()
+}
+
+/// The scenario subset process shard `index` of `total` runs: grid indices
+/// `index, index + total, index + 2·total, …` — strided, so every shard
+/// receives a similar mix of cheap and expensive scenarios.  Recombining
+/// all shards' quality tables (e.g. via `bench_diff merge`) reproduces the
+/// unsharded sweep exactly.
+pub fn shard_configs(configs: &[ScenarioConfig], index: usize, total: usize) -> Vec<ScenarioConfig> {
+    assert!(total >= 1, "shard count must be at least 1");
+    assert!(index < total, "shard index {index} out of range for {total} shard(s)");
+    configs.iter().skip(index).step_by(total).cloned().collect()
+}
+
 /// Runs every standard-registry method supporting the scenario's task on
 /// the generated dataset, returning the result rows and per-method
 /// wall-clock timings (keyed by registry name).
 pub fn run_scenario(config: &ScenarioConfig, scale: Scale) -> (Vec<MethodResult>, Vec<(String, f64)>) {
-    let registry = MethodRegistry::standard();
-    let dataset = generate_scenario(config);
-    let ctx = scale.run_context(&dataset, config.seed);
-    let names: Vec<String> = registry.supporting(dataset.task).iter().map(|m| m.descriptor().name).collect();
-    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
-    run_methods_timed(&registry, &name_refs, &dataset, &ctx)
+    let outcome = run_scenario_outcome(
+        config,
+        scale,
+        &MethodRegistry::standard(),
+        None,
+        &ScenarioCache::new(),
+        lncl_tensor::par::max_threads(),
+    );
+    (outcome.rows, outcome.timings)
 }
 
 /// Figure 6/7: trains Logic-LNCL and compares its estimated annotator
@@ -274,6 +406,7 @@ pub fn figure4(scale: Scale, seed: u64) -> (lncl_crowd::stats::AnnotatorSummary,
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lncl_crowd::scenario::generate_scenario;
     use std::collections::BTreeSet;
 
     #[test]

@@ -22,18 +22,27 @@
 //! trade fidelity for wall time; the defaults finish in minutes on a
 //! laptop-class CPU.  Bench targets and the table binaries additionally
 //! write machine-readable `BENCH_<target>.json` reports ([`timing`],
-//! [`json`]) that the CI perf gate compares against the checked-in
-//! `bench_baseline.json` via the `bench_diff` binary — see the crate
-//! README for the schema and workflow.
+//! [`json`]) carrying wall-clock cases *and* per-method quality tables
+//! ([`quality`]); the CI perf gate compares the timings against the
+//! checked-in `bench_baseline.json` via the `bench_diff` binary, and
+//! `bench_diff rank` ([`rank`]) turns the quality tables into
+//! per-scenario method rankings with flip detection.  `scenario_sweep`
+//! shards across threads (`LNCL_THREADS`) and processes
+//! (`LNCL_SHARD=i/N` + `bench_diff merge`) bitwise-identically — see the
+//! crate README for the schema and workflows.
 
 pub mod experiments;
 pub mod json;
 pub mod methods;
+pub mod quality;
+pub mod rank;
 pub mod scale;
 pub mod tables;
 pub mod timing;
 
 pub use experiments::*;
 pub use methods::*;
+pub use quality::*;
+pub use rank::*;
 pub use scale::*;
 pub use tables::*;

@@ -1,0 +1,238 @@
+//! Method-ranking analysis over the quality tables of `BENCH_*.json`
+//! reports — the machinery behind `bench_diff rank`.
+//!
+//! The paper's central empirical claim is a *ranking* of methods, and the
+//! interesting question across crowd scenarios is where that ranking
+//! flips.  This module turns [`QualityCase`] rows into per-scenario
+//! rankings ([`rank_scenarios`]), detects strict pairwise order reversals
+//! between two rankings ([`ranking_flips`]) and scores quality regressions
+//! between two reports ([`quality_regressions`], the quality counterpart
+//! of the `bench_diff compare --gate` perf gate).
+
+use crate::timing::{QualityCase, SCENARIO_CASE};
+use std::collections::BTreeMap;
+
+/// One method's position in a scenario ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankEntry {
+    /// Method row label.
+    pub method: String,
+    /// The ranked metric's value.
+    pub value: f64,
+    /// 1-based competition rank: `1 + #methods with strictly greater
+    /// value`, so tied methods share a rank.
+    pub rank: usize,
+}
+
+/// All methods of one scenario ordered best-first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRanking {
+    /// Scenario the ranking belongs to.
+    pub scenario: String,
+    /// Entries ordered by descending value, ties alphabetically.
+    pub entries: Vec<RankEntry>,
+}
+
+impl ScenarioRanking {
+    /// The rank of a method, if ranked.
+    pub fn rank_of(&self, method: &str) -> Option<usize> {
+        self.entries.iter().find(|e| e.method == method).map(|e| e.rank)
+    }
+}
+
+/// Groups quality rows by scenario and ranks each scenario's methods by
+/// `metric`, descending.  Scenario-level rows ([`SCENARIO_CASE`]) and rows
+/// lacking the metric are skipped; duplicate `(scenario, method)` rows
+/// (e.g. merged overlapping reports) keep their first occurrence.
+/// Scenarios are returned in name order.
+pub fn rank_scenarios(cases: &[QualityCase], metric: &str) -> Vec<ScenarioRanking> {
+    let mut by_scenario: BTreeMap<&str, BTreeMap<&str, f64>> = BTreeMap::new();
+    for case in cases {
+        if case.method == SCENARIO_CASE {
+            continue;
+        }
+        let Some(value) = case.metric(metric) else { continue };
+        by_scenario.entry(&case.scenario).or_default().entry(&case.method).or_insert(value);
+    }
+    by_scenario
+        .into_iter()
+        .filter(|(_, methods)| !methods.is_empty())
+        .map(|(scenario, methods)| {
+            let mut ordered: Vec<(&str, f64)> = methods.into_iter().collect();
+            ordered.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(b.0)));
+            let entries = ordered
+                .iter()
+                .map(|&(method, value)| RankEntry {
+                    method: method.to_string(),
+                    value,
+                    rank: 1 + ordered.iter().filter(|&&(_, other)| other > value).count(),
+                })
+                .collect();
+            ScenarioRanking { scenario: scenario.to_string(), entries }
+        })
+        .collect()
+}
+
+/// One strict pairwise order reversal between two rankings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankingFlip {
+    /// Method strictly ahead of `promoted` in the first ranking, strictly
+    /// behind it in the second.
+    pub demoted: String,
+    /// Method overtaking `demoted` in the second ranking.
+    pub promoted: String,
+}
+
+/// Strict pairwise order reversals from ranking `a` to ranking `b`: every
+/// method pair where one strictly outranks the other in `a` and strictly
+/// trails it in `b`.  Ties on either side are not flips, and methods
+/// ranked in only one of the two rankings are skipped.  Each reversal is
+/// reported once, oriented `(demoted, promoted)`, sorted by that pair.
+pub fn ranking_flips(a: &ScenarioRanking, b: &ScenarioRanking) -> Vec<RankingFlip> {
+    let shared: Vec<&str> = a.entries.iter().map(|e| e.method.as_str()).filter(|m| b.rank_of(m).is_some()).collect();
+    let mut flips = Vec::new();
+    for &x in &shared {
+        for &y in &shared {
+            let (ax, ay) = (a.rank_of(x).expect("shared"), a.rank_of(y).expect("shared"));
+            let (bx, by) = (b.rank_of(x).expect("shared"), b.rank_of(y).expect("shared"));
+            if ax < ay && bx > by {
+                flips.push(RankingFlip { demoted: x.to_string(), promoted: y.to_string() });
+            }
+        }
+    }
+    flips.sort_by(|p, q| (&p.demoted, &p.promoted).cmp(&(&q.demoted, &q.promoted)));
+    flips
+}
+
+/// One quality regression of a current report against a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityRegression {
+    /// Scenario of the regressed row.
+    pub scenario: String,
+    /// Method of the regressed row.
+    pub method: String,
+    /// Baseline metric value.
+    pub baseline: f64,
+    /// Current metric value; `None` when the row vanished from the current
+    /// report (a lost protection, counted as a regression like the perf
+    /// gate counts missing cases).
+    pub current: Option<f64>,
+}
+
+/// Every baseline quality row whose `metric` dropped by more than
+/// `max_drop` (absolute) in the current rows, or that vanished entirely.
+/// The quality counterpart of the perf gate's regression factor: quality
+/// metrics live in `[0, 1]`, so the gate is an absolute drop, not a ratio.
+pub fn quality_regressions(
+    baseline: &[QualityCase],
+    current: &[QualityCase],
+    metric: &str,
+    max_drop: f64,
+) -> Vec<QualityRegression> {
+    let mut regressions = Vec::new();
+    for base in baseline {
+        if base.method == SCENARIO_CASE {
+            continue;
+        }
+        let Some(base_value) = base.metric(metric) else { continue };
+        let current_value = current
+            .iter()
+            .find(|c| c.scenario == base.scenario && c.method == base.method)
+            .and_then(|c| c.metric(metric));
+        let regressed = match current_value {
+            None => true,
+            Some(v) => base_value - v > max_drop,
+        };
+        if regressed {
+            regressions.push(QualityRegression {
+                scenario: base.scenario.clone(),
+                method: base.method.clone(),
+                baseline: base_value,
+                current: current_value,
+            });
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case(scenario: &str, method: &str, headline: f64) -> QualityCase {
+        QualityCase {
+            scenario: scenario.to_string(),
+            method: method.to_string(),
+            metrics: vec![("headline".to_string(), headline)],
+        }
+    }
+
+    #[test]
+    fn ranks_descending_with_shared_ranks_for_ties() {
+        let cases =
+            vec![case("s", "low", 0.5), case("s", "tie-b", 0.8), case("s", "tie-a", 0.8), case("s", "top", 0.9)];
+        let rankings = rank_scenarios(&cases, "headline");
+        assert_eq!(rankings.len(), 1);
+        let methods: Vec<&str> = rankings[0].entries.iter().map(|e| e.method.as_str()).collect();
+        assert_eq!(methods, vec!["top", "tie-a", "tie-b", "low"]);
+        let ranks: Vec<usize> = rankings[0].entries.iter().map(|e| e.rank).collect();
+        assert_eq!(ranks, vec![1, 2, 2, 4], "competition ranking: ties share, next rank skips");
+    }
+
+    #[test]
+    fn scenario_sentinel_and_missing_metrics_are_skipped() {
+        let mut cases = vec![case("s", "m", 0.5), case("s", SCENARIO_CASE, 0.9)];
+        cases.push(QualityCase {
+            scenario: "s".to_string(),
+            method: "other-metric".to_string(),
+            metrics: vec![("pred_f1".to_string(), 1.0)],
+        });
+        let rankings = rank_scenarios(&cases, "headline");
+        assert_eq!(rankings[0].entries.len(), 1);
+        assert_eq!(rankings[0].entries[0].method, "m");
+    }
+
+    #[test]
+    fn duplicate_rows_keep_the_first_occurrence() {
+        let cases = vec![case("s", "m", 0.5), case("s", "m", 0.9)];
+        let rankings = rank_scenarios(&cases, "headline");
+        assert_eq!(rankings[0].entries.len(), 1);
+        assert_eq!(rankings[0].entries[0].value, 0.5);
+    }
+
+    #[test]
+    fn flips_are_strict_reversals_only() {
+        let a = rank_scenarios(&[case("a", "x", 0.9), case("a", "y", 0.5), case("a", "z", 0.7)], "headline");
+        let b = rank_scenarios(&[case("b", "x", 0.4), case("b", "y", 0.8), case("b", "z", 0.4)], "headline");
+        let flips = ranking_flips(&a[0], &b[0]);
+        // x>y -> x<y and z>y -> z<y flip; x>z -> x==z (tie) is NOT a flip
+        assert_eq!(
+            flips,
+            vec![
+                RankingFlip { demoted: "x".to_string(), promoted: "y".to_string() },
+                RankingFlip { demoted: "z".to_string(), promoted: "y".to_string() },
+            ]
+        );
+        assert!(ranking_flips(&a[0], &a[0]).is_empty(), "a ranking never flips against itself");
+    }
+
+    #[test]
+    fn flips_ignore_methods_missing_from_one_side() {
+        let a = rank_scenarios(&[case("a", "x", 0.9), case("a", "y", 0.5)], "headline");
+        let b = rank_scenarios(&[case("b", "y", 0.8)], "headline");
+        assert!(ranking_flips(&a[0], &b[0]).is_empty());
+    }
+
+    #[test]
+    fn regressions_catch_drops_and_vanished_rows() {
+        let baseline = vec![case("s", "ok", 0.8), case("s", "dropped", 0.8), case("s", "gone", 0.8)];
+        let current = vec![case("s", "ok", 0.78), case("s", "dropped", 0.6)];
+        let regressions = quality_regressions(&baseline, &current, "headline", 0.05);
+        assert_eq!(regressions.len(), 2);
+        assert_eq!(regressions[0].method, "dropped");
+        assert_eq!(regressions[0].current, Some(0.6));
+        assert_eq!(regressions[1].method, "gone");
+        assert_eq!(regressions[1].current, None);
+        assert!(quality_regressions(&baseline, &baseline, "headline", 0.0).is_empty());
+    }
+}

@@ -33,6 +33,38 @@ pub fn bench_iters() -> usize {
     env_usize("LNCL_BENCH_ITERS").unwrap_or(20).max(1)
 }
 
+/// Parses a shard spec of the form `i/N` (shard `i` of `N`, zero-based).
+/// Rejects malformed input, `N == 0` and `i >= N`.
+pub fn parse_shard(raw: &str) -> Result<(usize, usize), String> {
+    let (index, total) = raw.split_once('/').ok_or_else(|| format!("{raw:?} is not of the form i/N"))?;
+    let index: usize = index.trim().parse().map_err(|_| format!("shard index {index:?} is not an integer"))?;
+    let total: usize = total.trim().parse().map_err(|_| format!("shard count {total:?} is not an integer"))?;
+    if total == 0 {
+        return Err("shard count must be at least 1".to_string());
+    }
+    if index >= total {
+        return Err(format!("shard index {index} out of range for {total} shard(s)"));
+    }
+    Ok((index, total))
+}
+
+/// Reads the `LNCL_SHARD` environment variable (`i/N`).  Unset returns
+/// `None`; set but invalid also returns `None` **with a warning on
+/// stderr** and the caller falls back to the unsharded path, matching the
+/// `LNCL_THREADS`/`LNCL_REPS` convention.
+pub fn env_shard() -> Option<(usize, usize)> {
+    match std::env::var("LNCL_SHARD") {
+        Err(_) => None,
+        Ok(raw) => match parse_shard(&raw) {
+            Ok(shard) => Some(shard),
+            Err(reason) => {
+                eprintln!("warning: ignoring invalid LNCL_SHARD={raw:?} ({reason}); running unsharded");
+                None
+            }
+        },
+    }
+}
+
 /// Statistics of one benchmark case.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CaseStats {
@@ -60,9 +92,37 @@ impl CaseStats {
     }
 }
 
+/// One row of a quality table: the evaluation metrics one method achieved
+/// on one scenario (or table dataset).  Unlike [`CaseStats`] the values are
+/// deterministic given the seed, so `bench_diff rank` can compare and rank
+/// them exactly across reports and shards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityCase {
+    /// Scenario (or dataset) the row belongs to, e.g.
+    /// `sent/clean/r3-5/j12/b0.50` or `table2/sentiment`.
+    pub scenario: String,
+    /// Method row label within the scenario (`MV`, `Logic-LNCL-teacher`, …);
+    /// the sentinel [`SCENARIO_CASE`] marks scenario-level metrics that
+    /// belong to no single method.
+    pub method: String,
+    /// Ordered metric key/value pairs (`headline`, `pred_accuracy`, …).
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// The [`QualityCase::method`] sentinel for scenario-level metrics
+/// (e.g. `reliability_pearson`); ranking tools skip these rows.
+pub const SCENARIO_CASE: &str = "__scenario__";
+
+impl QualityCase {
+    /// Looks a metric up by key.
+    pub fn metric(&self, key: &str) -> Option<f64> {
+        self.metrics.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+}
+
 /// A machine-readable benchmark report: environment metadata plus per-case
-/// mean/min/stddev, serialised as `BENCH_<target>.json` (schema documented
-/// in the crate README).
+/// mean/min/stddev and optional per-method quality tables, serialised as
+/// `BENCH_<target>.json` (schema documented in the crate README).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
     /// The bench target name (`nn_forward`, `table2_sentiment`, …).
@@ -71,6 +131,10 @@ pub struct BenchReport {
     pub environment: Vec<(String, String)>,
     /// Timed cases in execution order.
     pub cases: Vec<CaseStats>,
+    /// Quality-table rows (empty for pure micro-benchmark targets; the
+    /// field is omitted from the JSON when empty, so pre-quality reports
+    /// still parse).
+    pub quality: Vec<QualityCase>,
 }
 
 impl BenchReport {
@@ -87,7 +151,22 @@ impl BenchReport {
             ("scale".to_string(), scale),
             ("package_version".to_string(), env!("CARGO_PKG_VERSION").to_string()),
         ];
-        Self { target: target.into(), environment, cases: Vec::new() }
+        Self { target: target.into(), environment, cases: Vec::new(), quality: Vec::new() }
+    }
+
+    /// Records one quality-table row.
+    pub fn record_quality(&mut self, scenario: &str, method: &str, metrics: Vec<(String, f64)>) {
+        for (key, value) in &metrics {
+            assert!(value.is_finite(), "record_quality({scenario}/{method}): non-finite metric {key}={value}");
+        }
+        self.quality.push(QualityCase { scenario: scenario.to_string(), method: method.to_string(), metrics });
+    }
+
+    /// Sorts the quality rows by `(scenario, method)` — the canonical order
+    /// shard reports are merged in, so a sorted serial report and a merged
+    /// set of shard reports are bitwise identical.
+    pub fn sort_quality(&mut self) {
+        self.quality.sort_by(|a, b| (&a.scenario, &a.method).cmp(&(&b.scenario, &b.method)));
     }
 
     /// Times `f` over [`bench_iters`] iterations (after one warm-up call),
@@ -148,13 +227,31 @@ impl BenchReport {
                 })
                 .collect(),
         );
-        Json::Obj(vec![
+        let mut members = vec![
             ("schema_version".to_string(), Json::Num(1.0)),
             ("target".to_string(), Json::Str(self.target.clone())),
             ("environment".to_string(), environment),
             ("cases".to_string(), cases),
-        ])
-        .render()
+        ];
+        if !self.quality.is_empty() {
+            let quality = Json::Arr(
+                self.quality
+                    .iter()
+                    .map(|q| {
+                        Json::Obj(vec![
+                            ("scenario".to_string(), Json::Str(q.scenario.clone())),
+                            ("method".to_string(), Json::Str(q.method.clone())),
+                            (
+                                "metrics".to_string(),
+                                Json::Obj(q.metrics.iter().map(|(k, v)| (k.clone(), Json::Num(*v))).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            );
+            members.push(("quality".to_string(), quality));
+        }
+        Json::Obj(members).render()
     }
 
     /// Parses a report back from its JSON form.
@@ -184,7 +281,32 @@ impl BenchReport {
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
-        Ok(Self { target, environment, cases })
+        // absent in pre-quality reports (e.g. an old bench_baseline.json)
+        let quality = match doc.get("quality") {
+            None => Vec::new(),
+            Some(node) => node
+                .as_array()
+                .ok_or("\"quality\" is not an array")?
+                .iter()
+                .map(|q| {
+                    let text = |key: &str| {
+                        q.get(key)
+                            .and_then(Json::as_str)
+                            .map(str::to_string)
+                            .ok_or(format!("quality row missing {key:?}"))
+                    };
+                    let metrics = match q.get("metrics") {
+                        Some(Json::Obj(members)) => members
+                            .iter()
+                            .map(|(k, v)| Ok((k.clone(), v.as_f64().ok_or("non-numeric quality metric")?)))
+                            .collect::<Result<Vec<_>, String>>()?,
+                        _ => return Err("quality row missing \"metrics\" object".to_string()),
+                    };
+                    Ok(QualityCase { scenario: text("scenario")?, method: text("method")?, metrics })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+        };
+        Ok(Self { target, environment, cases, quality })
     }
 
     /// Writes `BENCH_<target>.json` and returns the path.  The directory
@@ -285,5 +407,58 @@ mod tests {
         assert!(BenchReport::from_json("{}").is_err());
         assert!(BenchReport::from_json("{\"target\": \"x\"}").is_err());
         assert!(BenchReport::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn quality_rows_round_trip_exactly() {
+        let mut report = BenchReport::new("quality_roundtrip");
+        report.record("mv", 1, &[0.25]);
+        report.record_quality(
+            "sent/clean/r3-5",
+            "MV",
+            vec![("headline".to_string(), 0.9375f32 as f64), ("inf_accuracy".to_string(), 0.91_f32 as f64)],
+        );
+        report.record_quality("sent/clean/r3-5", SCENARIO_CASE, vec![("reliability_pearson".to_string(), -0.25)]);
+        let back = BenchReport::from_json(&report.to_json()).expect("parse");
+        assert_eq!(back, report);
+        assert_eq!(back.quality[0].metric("headline"), Some(0.9375f32 as f64));
+        assert_eq!(back.quality[0].metric("missing"), None);
+    }
+
+    #[test]
+    fn reports_without_quality_still_parse() {
+        // the pre-quality schema had no "quality" member at all
+        let report = BenchReport::new("legacy");
+        assert!(!report.to_json().contains("quality"));
+        let back = BenchReport::from_json(&report.to_json()).expect("parse");
+        assert!(back.quality.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite metric")]
+    fn non_finite_quality_metrics_are_rejected() {
+        let mut report = BenchReport::new("nan");
+        report.record_quality("s", "m", vec![("headline".to_string(), f64::NAN)]);
+    }
+
+    #[test]
+    fn sort_quality_orders_by_scenario_then_method() {
+        let mut report = BenchReport::new("sorting");
+        report.record_quality("b", "x", vec![]);
+        report.record_quality("a", "y", vec![]);
+        report.record_quality("a", "x", vec![]);
+        report.sort_quality();
+        let keys: Vec<(&str, &str)> = report.quality.iter().map(|q| (q.scenario.as_str(), q.method.as_str())).collect();
+        assert_eq!(keys, vec![("a", "x"), ("a", "y"), ("b", "x")]);
+    }
+
+    #[test]
+    fn shard_specs_parse_or_reject() {
+        assert_eq!(parse_shard("0/2"), Ok((0, 2)));
+        assert_eq!(parse_shard("3/4"), Ok((3, 4)));
+        assert_eq!(parse_shard("0/1"), Ok((0, 1)));
+        for bad in ["", "1", "a/2", "1/b", "2/2", "5/2", "0/0", "-1/2", "1/2/3"] {
+            assert!(parse_shard(bad).is_err(), "{bad:?} should be rejected");
+        }
     }
 }

@@ -1,0 +1,100 @@
+//! Golden-fixture tests for the `bench_diff rank` machinery: checked-in
+//! `BENCH_*.json` shard reports (the exact schema `scenario_sweep` writes)
+//! exercised through parsing, ranking, tie handling, flip detection and
+//! the merge-then-rank equivalence the sharded CI workflow relies on.
+
+use lncl_bench::rank::{quality_regressions, rank_scenarios, ranking_flips, RankingFlip};
+use lncl_bench::timing::{BenchReport, QualityCase, SCENARIO_CASE};
+
+const SHARD_A: &str = include_str!("fixtures/rank_shard_a.json");
+const SHARD_B: &str = include_str!("fixtures/rank_shard_b.json");
+
+fn load_fixtures() -> (BenchReport, BenchReport) {
+    let a = BenchReport::from_json(SHARD_A).expect("shard A fixture parses");
+    let b = BenchReport::from_json(SHARD_B).expect("shard B fixture parses");
+    (a, b)
+}
+
+/// The quality merge `bench_diff merge` performs: concatenate, then sort
+/// into the canonical `(scenario, method)` order.
+fn merge_quality(reports: &[&BenchReport]) -> Vec<QualityCase> {
+    let mut merged: Vec<QualityCase> = reports.iter().flat_map(|r| r.quality.iter().cloned()).collect();
+    merged.sort_by(|x, y| (&x.scenario, &x.method).cmp(&(&y.scenario, &y.method)));
+    merged
+}
+
+#[test]
+fn fixtures_parse_with_quality_tables() {
+    let (a, b) = load_fixtures();
+    assert_eq!(a.quality.len(), 7);
+    assert_eq!(b.quality.len(), 5);
+    assert!(a.quality.iter().any(|q| q.method == SCENARIO_CASE && q.metric("reliability_pearson") == Some(0.91)));
+}
+
+#[test]
+fn ranking_orders_methods_and_shares_tied_ranks() {
+    let (a, _) = load_fixtures();
+    let rankings = rank_scenarios(&a.quality, "headline");
+    // scenarios in name order; the __scenario__ sentinel never ranks
+    assert_eq!(rankings.len(), 2);
+    assert_eq!(rankings[0].scenario, "ner/clean");
+    assert_eq!(rankings[1].scenario, "sent/clean");
+    let sent = &rankings[1];
+    let order: Vec<(&str, usize)> = sent.entries.iter().map(|e| (e.method.as_str(), e.rank)).collect();
+    // DS and MV tie at 0.97 -> both rank 1 (alphabetical display order),
+    // IBCC takes rank 3 (competition ranking), CATD rank 4
+    assert_eq!(order, vec![("DS", 1), ("MV", 1), ("IBCC", 3), ("CATD", 4)]);
+}
+
+#[test]
+fn flips_between_clean_and_spam_scenarios() {
+    let (a, b) = load_fixtures();
+    let merged = merge_quality(&[&a, &b]);
+    let rankings = rank_scenarios(&merged, "headline");
+    let clean = rankings.iter().find(|r| r.scenario == "sent/clean").expect("clean ranked");
+    let spam = rankings.iter().find(|r| r.scenario == "sent/spam").expect("spam ranked");
+    let flips = ranking_flips(clean, spam);
+    // IBCC overtakes both DS and MV under spam; the DS/MV pair is tied on
+    // the clean pool, so it is not a flip
+    assert_eq!(
+        flips,
+        vec![
+            RankingFlip { demoted: "DS".to_string(), promoted: "IBCC".to_string() },
+            RankingFlip { demoted: "MV".to_string(), promoted: "IBCC".to_string() },
+        ]
+    );
+}
+
+#[test]
+fn merge_then_rank_equals_rank_over_individual_reports() {
+    let (a, b) = load_fixtures();
+    // simulate the full process-shard path: merge the two shard reports the
+    // way bench_diff does, write + reparse, then rank
+    let mut merged_report = BenchReport::new("merged");
+    merged_report.quality = merge_quality(&[&a, &b]);
+    let reparsed = BenchReport::from_json(&merged_report.to_json()).expect("merged report round-trips");
+    let merged_rankings = rank_scenarios(&reparsed.quality, "headline");
+    // ranking the concatenated per-shard quality rows directly must agree
+    let concatenated: Vec<QualityCase> = a.quality.iter().chain(&b.quality).cloned().collect();
+    let direct_rankings = rank_scenarios(&concatenated, "headline");
+    assert_eq!(merged_rankings, direct_rankings);
+    assert_eq!(merged_rankings.len(), 3);
+}
+
+#[test]
+fn quality_gate_flags_drops_against_a_baseline_fixture() {
+    let (a, _) = load_fixtures();
+    let mut current = a.quality.clone();
+    // degrade DS on sent/clean below the gate and drop CATD entirely
+    for case in &mut current {
+        if case.scenario == "sent/clean" && case.method == "DS" {
+            case.metrics = vec![("headline".to_string(), 0.80)];
+        }
+    }
+    current.retain(|c| !(c.scenario == "sent/clean" && c.method == "CATD"));
+    let regressions = quality_regressions(&a.quality, &current, "headline", 0.05);
+    let keys: Vec<(&str, &str)> = regressions.iter().map(|r| (r.scenario.as_str(), r.method.as_str())).collect();
+    assert_eq!(keys, vec![("sent/clean", "CATD"), ("sent/clean", "DS")]);
+    // within the gate: nothing fires
+    assert!(quality_regressions(&a.quality, &a.quality, "headline", 0.0).is_empty());
+}

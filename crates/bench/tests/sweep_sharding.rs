@@ -1,0 +1,156 @@
+//! Sharded-sweep determinism: the scenario sweep must produce **bitwise
+//! identical** quality tables no matter how it is split — serially, across
+//! worker threads, or across `LNCL_SHARD` processes recombined with the
+//! `bench_diff merge` quality logic.  Also covers the headline ranking
+//! claim: the method ranking flips between the clean and the
+//! spammer-heavy standard mixes on a real (aggregation-only) sweep.
+//!
+//! The method set is restricted to the training-free truth-inference
+//! baselines so the test runs in seconds; the determinism property itself
+//! is method-agnostic (every registry method is bitwise seed-deterministic,
+//! which the robustness suite asserts separately).
+
+use lncl_bench::quality::{record_scenario_outcome, HEADLINE_METRIC};
+use lncl_bench::rank::{rank_scenarios, ranking_flips};
+use lncl_bench::timing::{BenchReport, QualityCase};
+use lncl_bench::{shard_configs, sweep_scenarios, Scale, ScenarioOutcome};
+use lncl_crowd::scenario::{standard_mixes, ScenarioConfig, ScenarioGrid};
+use lncl_crowd::TaskKind;
+
+const METHODS: &[&str] = &["mv", "dawid-skene", "ibcc"];
+
+/// A small grid over both tasks and three archetype mixes.
+fn test_grid() -> Vec<ScenarioConfig> {
+    let mut configs = Vec::new();
+    for task in [TaskKind::Classification, TaskKind::SequenceTagging] {
+        let mut grid = ScenarioGrid::new(ScenarioConfig::tiny(task).with_seed(41));
+        grid.mixes = standard_mixes()
+            .into_iter()
+            .filter(|(name, _)| matches!(*name, "clean" | "spammer-third" | "anarchy"))
+            .map(|(n, m)| (n.to_string(), m))
+            .collect();
+        configs.extend(grid.configs());
+    }
+    configs
+}
+
+/// Builds the quality table a `scenario_sweep` run would write for a set
+/// of outcomes (recorded, then canonically sorted).
+fn quality_table(outcomes: &[ScenarioOutcome]) -> Vec<QualityCase> {
+    let mut report = BenchReport::new("test");
+    for outcome in outcomes {
+        record_scenario_outcome(&mut report, outcome);
+    }
+    report.sort_quality();
+    report.quality
+}
+
+/// Exact bit-level comparison of two quality tables.
+fn assert_bitwise_equal(a: &[QualityCase], b: &[QualityCase], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: row count differs");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!((&x.scenario, &x.method), (&y.scenario, &y.method), "{what}: row keys differ");
+        assert_eq!(x.metrics.len(), y.metrics.len(), "{what}: {}/{} metric arity differs", x.scenario, x.method);
+        for ((kx, vx), (ky, vy)) in x.metrics.iter().zip(&y.metrics) {
+            assert_eq!(kx, ky, "{what}: metric keys differ in {}/{}", x.scenario, x.method);
+            assert_eq!(
+                vx.to_bits(),
+                vy.to_bits(),
+                "{what}: {}/{} metric {kx} differs: {vx} vs {vy}",
+                x.scenario,
+                x.method
+            );
+        }
+    }
+}
+
+#[test]
+fn thread_sharded_sweep_is_bitwise_identical_to_serial() {
+    let configs = test_grid();
+    let serial = sweep_scenarios(&configs, Scale::Small, Some(METHODS), 1);
+    let threaded = sweep_scenarios(&configs, Scale::Small, Some(METHODS), 4);
+    assert_eq!(serial.len(), configs.len());
+    assert_bitwise_equal(&quality_table(&serial), &quality_table(&threaded), "threads vs serial");
+    // the result rows themselves are identical too, not just the tables
+    for (s, t) in serial.iter().zip(&threaded) {
+        assert_eq!(s.name, t.name);
+        assert_eq!(s.rows.len(), t.rows.len());
+        for (rs, rt) in s.rows.iter().zip(&t.rows) {
+            assert_eq!(rs.method, rt.method);
+            assert_eq!(rs.prediction.accuracy.to_bits(), rt.prediction.accuracy.to_bits());
+        }
+        assert_eq!(s.reliability_pearson.to_bits(), t.reliability_pearson.to_bits());
+    }
+}
+
+#[test]
+fn process_sharded_sweep_merges_back_to_the_serial_table() {
+    let configs = test_grid();
+    let serial = quality_table(&sweep_scenarios(&configs, Scale::Small, Some(METHODS), 1));
+
+    // simulate LNCL_SHARD=0/2 and 1/2: each process sweeps its strided
+    // subset, writes a JSON report, and `bench_diff merge` recombines the
+    // parsed quality rows in canonical order
+    let mut merged: Vec<QualityCase> = Vec::new();
+    let mut shard_sizes = Vec::new();
+    for index in 0..2 {
+        let shard = shard_configs(&configs, index, 2);
+        shard_sizes.push(shard.len());
+        let outcomes = sweep_scenarios(&shard, Scale::Small, Some(METHODS), 2);
+        let mut report = BenchReport::new(format!("scenario_sweep_shard{index}of2"));
+        for outcome in &outcomes {
+            record_scenario_outcome(&mut report, outcome);
+        }
+        report.sort_quality();
+        // full serialise -> parse cycle, exactly what separate processes do
+        let reparsed = BenchReport::from_json(&report.to_json()).expect("shard report round-trips");
+        merged.extend(reparsed.quality);
+    }
+    merged.sort_by(|x, y| (&x.scenario, &x.method).cmp(&(&y.scenario, &y.method)));
+
+    assert_eq!(shard_sizes.iter().sum::<usize>(), configs.len(), "shards partition the grid");
+    assert!(shard_sizes.iter().all(|&n| n > 0), "strided sharding loads every shard");
+    assert_bitwise_equal(&serial, &merged, "process shards + merge vs serial");
+}
+
+#[test]
+fn ranking_flips_between_clean_and_spammer_heavy_mixes() {
+    // a larger classification scenario so aggregation quality differences
+    // are real, not sampling noise: clean pool vs the spammer-third
+    // standard mix over the same gold corpus (same seed/sizes)
+    let mixes = standard_mixes();
+    let base = ScenarioConfig::classification("flips")
+        .with_sizes(400, 20, 20)
+        .with_annotators(12)
+        .with_redundancy(3, 5)
+        .with_seed(13);
+    let clean = base.clone().named("sent/clean").with_mix(mixes.iter().find(|(n, _)| *n == "clean").unwrap().1.clone());
+    let spam =
+        base.named("sent/spammer-third").with_mix(mixes.iter().find(|(n, _)| *n == "spammer-third").unwrap().1.clone());
+    let methods = ["mv", "dawid-skene", "glad", "ibcc", "pm", "catd"];
+    let outcomes = sweep_scenarios(&[clean, spam], Scale::Small, Some(&methods), 2);
+    let quality = quality_table(&outcomes);
+    let rankings = rank_scenarios(&quality, HEADLINE_METRIC);
+    assert_eq!(rankings.len(), 2);
+    let clean_ranking = rankings.iter().find(|r| r.scenario == "sent/clean").unwrap();
+    let spam_ranking = rankings.iter().find(|r| r.scenario == "sent/spammer-third").unwrap();
+    assert_eq!(clean_ranking.entries.len(), methods.len());
+
+    let flips = ranking_flips(clean_ranking, spam_ranking);
+    assert!(
+        !flips.is_empty(),
+        "diluting a third of the pool with spammers must flip at least one method pair:\nclean: {:?}\nspam: {:?}",
+        clean_ranking.entries,
+        spam_ranking.entries
+    );
+    let labels: Vec<&str> = clean_ranking.entries.iter().map(|e| e.method.as_str()).collect();
+    assert!(
+        flips.iter().all(|f| labels.contains(&f.demoted.as_str()) && labels.contains(&f.promoted.as_str())),
+        "flips must reference ranked methods: {flips:?}"
+    );
+    // majority voting has no way to discount spammers, so it can only lose
+    // ground relative to the confusion-aware aggregators
+    let mv_clean = clean_ranking.rank_of("MV").expect("MV ranked on the clean pool");
+    let mv_spam = spam_ranking.rank_of("MV").expect("MV ranked under spam");
+    assert!(mv_spam >= mv_clean, "MV must not gain rank under spam: clean #{mv_clean}, spam #{mv_spam}");
+}

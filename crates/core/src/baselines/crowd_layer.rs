@@ -218,6 +218,28 @@ impl<M: InstanceClassifier + Module + Clone> CrowdLayerTrainer<M> {
     pub fn evaluate(&self, split: &[lncl_crowd::Instance], task: TaskKind) -> EvalMetrics {
         evaluate_split(&self.model, split, task, PredictionMode::Student, &crate::distill::TaskRules::None, 0.0)
     }
+
+    /// The trained backbone's softmax posterior over the true class for
+    /// every unit of the training split, in
+    /// [`AnnotationView`](lncl_crowd::AnnotationView) order.  The crowd
+    /// layer has no explicit truth-inference stage; the backbone's own
+    /// class distribution *is* its estimate of the truth (the same
+    /// convention [`CrowdLayerTrainer::inference_metrics`] scores), which
+    /// is what the robustness suite's posterior invariants validate.
+    pub fn truth_posteriors(&self, dataset: &CrowdDataset) -> Vec<Vec<f32>> {
+        split_posteriors(&self.model, &dataset.train)
+    }
+}
+
+/// Softmax class probabilities of a classifier for every unit of a split,
+/// one `K`-length row per unit in instance order.
+pub(crate) fn split_posteriors<M: InstanceClassifier>(model: &M, split: &[lncl_crowd::Instance]) -> Vec<Vec<f32>> {
+    let mut rows = Vec::new();
+    for inst in split {
+        let probs = model.predict_proba(&inst.tokens);
+        rows.extend((0..probs.rows()).map(|r| probs.row(r).to_vec()));
+    }
+    rows
 }
 
 fn one_hot_matrix(labels: &[usize], num_classes: usize) -> Matrix {

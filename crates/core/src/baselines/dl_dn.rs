@@ -58,8 +58,47 @@ pub fn train_dl_dn<M, F>(
     dataset: &CrowdDataset,
     kind: DlDnKind,
     config: &DlDnConfig,
-    mut model_factory: F,
+    model_factory: F,
 ) -> (EvalMetrics, Vec<Vec<usize>>)
+where
+    M: InstanceClassifier + Module + Clone,
+    F: FnMut(u64) -> M,
+{
+    let ensemble = train_ensemble(dataset, kind, config, model_factory);
+    let predictions: Vec<Vec<usize>> =
+        dataset.test.iter().map(|inst| ensemble_predict(&ensemble, &inst.tokens, dataset.num_classes)).collect();
+    let metrics = evaluate_predictions(&predictions, &dataset.test, dataset.task);
+    (metrics, predictions)
+}
+
+/// Trains the per-annotator ensemble and reads out its averaged softmax
+/// posterior over the true class for every unit of the **training split**,
+/// in [`AnnotationView`](lncl_crowd::AnnotationView) order.  The weighted
+/// average of per-model distributions is itself a distribution, so every
+/// row sums to 1 — the posterior-normalisation invariant the robustness
+/// suite checks.
+pub fn train_dl_dn_posteriors<M, F>(
+    dataset: &CrowdDataset,
+    kind: DlDnKind,
+    config: &DlDnConfig,
+    model_factory: F,
+) -> Vec<Vec<f32>>
+where
+    M: InstanceClassifier + Module + Clone,
+    F: FnMut(u64) -> M,
+{
+    let ensemble = train_ensemble(dataset, kind, config, model_factory);
+    dataset.train.iter().flat_map(|inst| ensemble_proba(&ensemble, &inst.tokens, dataset.num_classes)).collect()
+}
+
+/// Trains one network per qualifying annotator on that annotator's labels,
+/// returning the `(model, averaging weight)` ensemble.
+fn train_ensemble<M, F>(
+    dataset: &CrowdDataset,
+    kind: DlDnKind,
+    config: &DlDnConfig,
+    mut model_factory: F,
+) -> Vec<(M, f32)>
 where
     M: InstanceClassifier + Module + Clone,
     F: FnMut(u64) -> M,
@@ -103,12 +142,7 @@ where
         };
         ensemble.push((model, weight));
     }
-
-    // ensemble prediction on the test split
-    let predictions: Vec<Vec<usize>> =
-        dataset.test.iter().map(|inst| ensemble_predict(&ensemble, &inst.tokens, dataset.num_classes)).collect();
-    let metrics = evaluate_predictions(&predictions, &dataset.test, dataset.task);
-    (metrics, predictions)
+    ensemble
 }
 
 /// FNV-1a hash of an annotator's `(instance index, labels)` stream.  Two
@@ -132,7 +166,8 @@ fn stream_fingerprint(dataset: &CrowdDataset, annotator: usize) -> u64 {
     hash
 }
 
-fn ensemble_predict<M: InstanceClassifier>(ensemble: &[(M, f32)], tokens: &[usize], num_classes: usize) -> Vec<usize> {
+/// Weighted-average class distribution of the ensemble, one row per unit.
+fn ensemble_proba<M: InstanceClassifier>(ensemble: &[(M, f32)], tokens: &[usize], num_classes: usize) -> Vec<Vec<f32>> {
     let mut total: Vec<Vec<f32>> = Vec::new();
     let mut weight_sum = 0.0f32;
     for (model, weight) in ensemble {
@@ -147,13 +182,16 @@ fn ensemble_predict<M: InstanceClassifier>(ensemble: &[(M, f32)], tokens: &[usiz
         }
         weight_sum += weight;
     }
+    for row in &mut total {
+        for v in row.iter_mut() {
+            *v /= weight_sum.max(1e-6);
+        }
+    }
     total
-        .iter()
-        .map(|row| {
-            let normalised: Vec<f32> = row.iter().map(|v| v / weight_sum.max(1e-6)).collect();
-            stats::argmax(&normalised)
-        })
-        .collect()
+}
+
+fn ensemble_predict<M: InstanceClassifier>(ensemble: &[(M, f32)], tokens: &[usize], num_classes: usize) -> Vec<usize> {
+    ensemble_proba(ensemble, tokens, num_classes).iter().map(|row| stats::argmax(row)).collect()
 }
 
 #[cfg(test)]

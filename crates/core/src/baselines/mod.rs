@@ -14,5 +14,5 @@ pub mod dl_dn;
 pub mod two_stage;
 
 pub use crowd_layer::{CrowdLayerKind, CrowdLayerTrainer};
-pub use dl_dn::{train_dl_dn, DlDnConfig, DlDnKind};
+pub use dl_dn::{train_dl_dn, train_dl_dn_posteriors, DlDnConfig, DlDnKind};
 pub use two_stage::{train_supervised, SupervisedReport};

@@ -238,6 +238,15 @@ impl CrowdMethod for CrowdLayerMethod {
         let prediction = trainer.evaluate(&dataset.test, dataset.task);
         vec![MethodResult::new(self.label(), prediction, Some(inference))]
     }
+
+    fn infer_posteriors(&self, dataset: &CrowdDataset, ctx: &RunContext) -> Option<Vec<Vec<f32>>> {
+        // same construction as `run`: the trained backbone's softmax over
+        // the true class is the crowd layer's truth estimate
+        let model = ctx.model(ctx.config.seed);
+        let mut trainer = CrowdLayerTrainer::new(model, dataset, self.kind, ctx.config.clone(), self.pretrain_epochs);
+        trainer.train(dataset);
+        Some(trainer.truth_posteriors(dataset))
+    }
 }
 
 /// DL-DN / DL-WDN (Guan et al. 2018): one network per annotator with
@@ -251,6 +260,17 @@ impl DlDnMethod {
     pub fn new(kind: DlDnKind) -> Self {
         Self { kind }
     }
+
+    /// The per-annotator training configuration shared by `run` and
+    /// `infer_posteriors` (kept short: each annotator sees only a slice of
+    /// the data).
+    fn dl_config(ctx: &RunContext) -> DlDnConfig {
+        DlDnConfig {
+            train: TrainConfig { epochs: (ctx.config.epochs / 2).max(3), ..ctx.config.clone() },
+            min_instances: 20,
+            max_annotators: 10,
+        }
+    }
 }
 
 impl CrowdMethod for DlDnMethod {
@@ -263,13 +283,16 @@ impl CrowdMethod for DlDnMethod {
     }
 
     fn run(&self, dataset: &CrowdDataset, ctx: &RunContext) -> Vec<MethodResult> {
-        let dl_config = DlDnConfig {
-            train: TrainConfig { epochs: (ctx.config.epochs / 2).max(3), ..ctx.config.clone() },
-            min_instances: 20,
-            max_annotators: 10,
-        };
-        let (prediction, _) = train_dl_dn(dataset, self.kind, &dl_config, |seed| ctx.model(seed));
+        let (prediction, _) = train_dl_dn(dataset, self.kind, &Self::dl_config(ctx), |seed| ctx.model(seed));
         vec![MethodResult::new(self.kind.name(), prediction, None)]
+    }
+
+    fn infer_posteriors(&self, dataset: &CrowdDataset, ctx: &RunContext) -> Option<Vec<Vec<f32>>> {
+        // the ensemble's weighted-average softmax is its (normalised)
+        // estimate of the truth on the training split
+        Some(crate::baselines::train_dl_dn_posteriors(dataset, self.kind, &Self::dl_config(ctx), |seed| {
+            ctx.model(seed)
+        }))
     }
 }
 

@@ -239,11 +239,14 @@ pub trait CrowdMethod: Send + Sync {
     /// posterior over classes on the training split, one `K`-length row per
     /// unit in [`AnnotationView`](lncl_crowd::AnnotationView) order.
     ///
-    /// Methods without a truth-inference stage (crowd-layer variants,
-    /// DL-DN, the Gold upper bound) return `None`.  The robustness suite
-    /// uses this hook to assert posterior invariants (rows normalised,
-    /// entries in `[0, 1]`, annotator-permutation invariance) uniformly
-    /// across the registry.
+    /// Methods without an explicit truth-inference stage read out the best
+    /// normalised proxy they have: the crowd-layer variants return the
+    /// trained backbone's softmax on the training split, DL-DN/DL-WDN the
+    /// ensemble's weighted-average softmax.  Only the Gold upper bound
+    /// returns `None` — it consumes the truth, so a "posterior" would be
+    /// vacuous.  The robustness suite uses this hook to assert posterior
+    /// invariants (rows normalised, entries in `[0, 1]`,
+    /// annotator-permutation invariance) uniformly across the registry.
     fn infer_posteriors(&self, dataset: &CrowdDataset, ctx: &RunContext) -> Option<Vec<Vec<f32>>> {
         let _ = (dataset, ctx);
         None

@@ -119,8 +119,56 @@ pub fn overall_reliability(confusion: &Matrix) -> f32 {
 
 /// Pearson correlation between estimated and real per-annotator reliability
 /// scores (Figures 6b and 7b report ≈0.92 / ≈0.91).
+///
+/// Degenerate inputs (empty, fewer than two annotators, or a constant
+/// vector) correlate with nothing and return `0.0`; the result is always
+/// finite so it can be serialised into benchmark reports.
 pub fn reliability_correlation(estimated: &[f32], real: &[f32]) -> f32 {
-    stats::pearson(estimated, real)
+    let r = stats::pearson(estimated, real);
+    if r.is_finite() {
+        r
+    } else {
+        0.0
+    }
+}
+
+/// How well annotator reliability can be recovered from crowd consensus
+/// alone: the Pearson correlation between each annotator's reliability
+/// estimated against majority-vote proxy labels and their true reliability
+/// against the gold labels, over annotators with at least `min_labels`
+/// contributed labels.  High values mean the scenario leaves enough signal
+/// to tell good annotators from bad ones without gold supervision; spammer-
+/// or collusion-heavy pools push it towards zero.
+///
+/// Deterministic for a fixed dataset, and always finite (degenerate pools
+/// fall back to `0.0` via [`reliability_correlation`]).
+pub fn reliability_recovery_pearson(dataset: &CrowdDataset, min_labels: usize) -> f32 {
+    use crate::truth::TruthInference as _;
+    let view = dataset.annotation_view();
+    let proxy = crate::truth::MajorityVote.infer(&view).hard;
+    let k = dataset.num_classes;
+    let mut estimated = vec![Matrix::zeros(k, k); dataset.num_annotators];
+    let mut real = vec![Matrix::zeros(k, k); dataset.num_annotators];
+    let mut counts = vec![0usize; dataset.num_annotators];
+    for (u, annotations) in view.annotations.iter().enumerate() {
+        for &(annotator, label) in annotations {
+            estimated[annotator][(proxy[u], label)] += 1.0;
+            real[annotator][(view.gold[u], label)] += 1.0;
+            counts[annotator] += 1;
+        }
+    }
+    let mut est_rel = Vec::new();
+    let mut real_rel = Vec::new();
+    for a in 0..dataset.num_annotators {
+        if counts[a] < min_labels.max(1) {
+            continue;
+        }
+        normalize_confusion_rows(&mut estimated[a]);
+        normalize_confusion_rows(&mut real[a]);
+        est_rel.push(overall_reliability(&estimated[a]));
+        real_rel.push(overall_reliability(&real[a]));
+    }
+    reliability_correlation(&est_rel, &real_rel)
 }
 
 /// Per-annotator accuracy (classification) on the instances they labelled.
@@ -297,5 +345,45 @@ mod tests {
         let est = [0.9, 0.5, 0.7];
         let real = [0.85, 0.55, 0.75];
         assert!(reliability_correlation(&est, &real) > 0.9);
+    }
+
+    #[test]
+    fn reliability_correlation_degenerate_inputs_are_finite() {
+        // empty, single-element and constant vectors must yield 0.0, never
+        // NaN — these values land in benchmark reports whose JSON layer
+        // rejects non-finite numbers
+        assert_eq!(reliability_correlation(&[], &[]), 0.0);
+        assert_eq!(reliability_correlation(&[0.5], &[0.9]), 0.0);
+        assert_eq!(reliability_correlation(&[0.7, 0.7, 0.7], &[0.1, 0.5, 0.9]), 0.0);
+        assert_eq!(reliability_correlation(&[0.1, 0.5, 0.9], &[0.7, 0.7, 0.7]), 0.0);
+    }
+
+    #[test]
+    fn span_f1_degenerate_inputs_are_finite() {
+        // no sentences / no spans at all: every component is defined as 0
+        let empty = span_f1(&[], &[]);
+        assert_eq!((empty.precision, empty.recall, empty.f1), (0.0, 0.0, 0.0));
+        let no_spans = span_f1(&[vec![0, 0, 0]], &[vec![0, 0, 0]]);
+        assert!(no_spans.f1.is_finite() && no_spans.f1 == 0.0);
+    }
+
+    #[test]
+    fn reliability_recovery_pearson_separates_clean_from_spam() {
+        use crate::scenario::{generate_scenario, Archetype, PropensityProfile, ScenarioConfig};
+        let base = ScenarioConfig::classification("recovery")
+            .with_sizes(200, 10, 10)
+            .with_annotators(10)
+            .with_redundancy(4, 6)
+            .with_propensity(PropensityProfile::Uniform);
+        let mixed = generate_scenario(
+            &base.clone().with_mix(vec![(Archetype::Reliable { accuracy: 0.9 }, 0.6), (Archetype::Spammer, 0.4)]),
+        );
+        let r = reliability_recovery_pearson(&mixed, 5);
+        assert!(r.is_finite() && (-1.0..=1.0).contains(&r));
+        // spammers vs reliables is exactly the contrast consensus recovers
+        assert!(r > 0.5, "mixed-pool recovery should be strong, got {r}");
+        // a single annotator leaves nothing to correlate -> finite fallback
+        let solo = generate_scenario(&base.with_annotators(1).with_redundancy(1, 1).with_sizes(30, 5, 5));
+        assert_eq!(reliability_recovery_pearson(&solo, 5), 0.0);
     }
 }

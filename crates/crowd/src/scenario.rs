@@ -506,6 +506,92 @@ impl ScenarioConfig {
             TaskKind::SequenceTagging => NUM_BIO_CLASSES,
         }
     }
+
+    /// FNV-1a hash over every knob that influences [`generate_scenario`].
+    /// The `name` is a display label and deliberately excluded, so two
+    /// configurations that generate the same dataset under different names
+    /// share one [`ScenarioCache`] entry.
+    pub fn content_hash(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix_in = |v: u64| {
+            hash ^= v;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        mix_in(match self.task {
+            TaskKind::Classification => 0,
+            TaskKind::SequenceTagging => 1,
+        });
+        for size in [self.train_size, self.dev_size, self.test_size, self.num_annotators] {
+            mix_in(size as u64);
+        }
+        mix_in(self.min_labels_per_instance as u64);
+        mix_in(self.max_labels_per_instance as u64);
+        for (archetype, fraction) in &self.mix {
+            let (tag, params): (u64, [u32; 3]) = match *archetype {
+                Archetype::Reliable { accuracy } => (0, [accuracy.to_bits(), 0, 0]),
+                Archetype::Spammer => (1, [0, 0, 0]),
+                Archetype::Adversarial { flip } => (2, [flip.to_bits(), 0, 0]),
+                Archetype::PairConfuser { class_a, class_b, swap_prob } => {
+                    (3, [class_a as u32, class_b as u32, swap_prob.to_bits()])
+                }
+                Archetype::Colluding => (4, [0, 0, 0]),
+            };
+            mix_in(tag);
+            for p in params {
+                mix_in(p as u64);
+            }
+            mix_in(fraction.to_bits() as u64);
+        }
+        mix_in(match self.propensity {
+            PropensityProfile::Uniform => 0,
+            PropensityProfile::LongTail => 1,
+        });
+        mix_in(self.majority_share.to_bits() as u64);
+        mix_in(self.filler_vocab as u64);
+        mix_in(self.seed);
+        hash
+    }
+}
+
+/// A process-wide cache of generated scenario datasets, keyed by
+/// [`ScenarioConfig::content_hash`].  Sweeps that visit the same
+/// configuration more than once (repeated method subsets, quality passes
+/// after timing passes, sharded workers on overlapping grids) share one
+/// generated corpus instead of regenerating it.  Thread-safe: workers on
+/// scoped threads can share one cache by reference.
+#[derive(Debug, Default)]
+pub struct ScenarioCache {
+    datasets: std::sync::Mutex<BTreeMap<u64, std::sync::Arc<CrowdDataset>>>,
+}
+
+impl ScenarioCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The dataset for a configuration, generated on first use.
+    pub fn get_or_generate(&self, config: &ScenarioConfig) -> std::sync::Arc<CrowdDataset> {
+        let key = config.content_hash();
+        if let Some(dataset) = self.datasets.lock().expect("scenario cache poisoned").get(&key) {
+            return std::sync::Arc::clone(dataset);
+        }
+        // generate outside the lock so concurrent misses on *different*
+        // configs do not serialise behind one expensive generation
+        let dataset = std::sync::Arc::new(generate_scenario(config));
+        let mut cached = self.datasets.lock().expect("scenario cache poisoned");
+        std::sync::Arc::clone(cached.entry(key).or_insert(dataset))
+    }
+
+    /// Number of distinct datasets generated so far.
+    pub fn len(&self) -> usize {
+        self.datasets.lock().expect("scenario cache poisoned").len()
+    }
+
+    /// True when nothing has been generated yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// Generates the dataset described by a [`ScenarioConfig`].
@@ -902,6 +988,41 @@ mod tests {
         let names: std::collections::BTreeSet<_> = configs.iter().map(|c| c.name.clone()).collect();
         assert_eq!(names.len(), configs.len(), "grid names must be unique");
         assert!(names.iter().all(|n| n.starts_with("sent/")));
+    }
+
+    #[test]
+    fn content_hash_ignores_the_name_and_tracks_every_knob() {
+        let base = ScenarioConfig::tiny(TaskKind::Classification);
+        assert_eq!(base.content_hash(), base.clone().named("other-label").content_hash());
+        let variants = [
+            base.clone().with_seed(999),
+            base.clone().with_annotators(9),
+            base.clone().with_redundancy(1, 1),
+            base.clone().with_majority_share(0.9),
+            base.clone().with_propensity(PropensityProfile::Uniform),
+            base.clone().with_mix(vec![(Archetype::Spammer, 1.0)]),
+            base.clone().with_mix(vec![(Archetype::Reliable { accuracy: 0.7 }, 1.0)]),
+            base.clone().with_sizes(61, 20, 20),
+            ScenarioConfig::tiny(TaskKind::SequenceTagging).named("tiny"),
+        ];
+        for (i, variant) in variants.iter().enumerate() {
+            assert_ne!(base.content_hash(), variant.content_hash(), "variant {i} should hash differently");
+        }
+    }
+
+    #[test]
+    fn scenario_cache_shares_equal_configs() {
+        let cache = ScenarioCache::new();
+        assert!(cache.is_empty());
+        let config = ScenarioConfig::tiny(TaskKind::Classification);
+        let a = cache.get_or_generate(&config);
+        let b = cache.get_or_generate(&config.clone().named("alias"));
+        assert_eq!(cache.len(), 1, "same content must share one generation");
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        assert_eq!(a.train, generate_scenario(&config).train, "cached dataset equals direct generation");
+        let c = cache.get_or_generate(&config.with_seed(999));
+        assert_eq!(cache.len(), 2);
+        assert_ne!(c.train, a.train);
     }
 
     #[test]
