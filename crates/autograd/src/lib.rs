@@ -5,6 +5,8 @@
 //! architectures (a Kim-2014 style text CNN and a convolution + GRU sequence
 //! tagger); this crate provides exactly the operator set those models need,
 //! each with a hand-written backward pass, recorded on a [`Tape`].
+//! (Where this sits in the workspace: `ARCHITECTURE.md` at the repository
+//! root.)
 //!
 //! ## Design
 //!

@@ -175,14 +175,34 @@ pub fn table4_for(dataset: &CrowdDataset, scale: Scale, seed: u64) -> Vec<Method
 
 /// The scenario grid the `scenario_sweep` binary covers at a given scale:
 /// the six standard archetype mixes for **both** tasks, plus a redundancy
-/// axis (single vs heavy redundancy), a class-imbalance axis and a larger
-/// pool on the clean classification mix — every knob of
-/// [`ScenarioConfig`] is exercised somewhere in the sweep.
+/// axis (single vs heavy redundancy), a class-imbalance axis, a larger
+/// pool on the clean classification mix, and the **temporal axes** — a
+/// drift-schedule axis (static vs step change) crossed with a
+/// difficulty-concentration axis (flat vs GLAD-style hard instances) on
+/// the clean pool of both tasks — every knob of [`ScenarioConfig`] is
+/// exercised somewhere in the sweep.
 pub fn scenario_sweep_configs(scale: Scale, seed: u64) -> Vec<ScenarioConfig> {
+    use lncl_crowd::scenario::{DifficultyModel, DriftSchedule};
     let mut configs = Vec::new();
     // archetype-mix axis, both tasks
     for task in [TaskKind::Classification, TaskKind::SequenceTagging] {
         configs.extend(ScenarioGrid::new(scale.scenario_base(task, seed)).with_standard_mixes().configs());
+    }
+    // temporal axes, both tasks: drift schedules × difficulty conditioning
+    // on the clean pool; `static/flat` is the in-sweep reference point the
+    // ranking-flip analysis compares the drifted/conditioned variants to
+    for task in [TaskKind::Classification, TaskKind::SequenceTagging] {
+        let mut grid = ScenarioGrid::new(scale.scenario_base(task, seed))
+            .with_drifts(vec![
+                ("static".to_string(), DriftSchedule::Static),
+                ("step0.9".to_string(), DriftSchedule::StepChange { at: 0.5, level: 0.9 }),
+            ])
+            .with_difficulties(vec![
+                ("flat".to_string(), DifficultyModel::default()),
+                ("hard0.8".to_string(), DifficultyModel::with_strength(0.8)),
+            ]);
+        grid.mixes = vec![("clean".to_string(), grid.base.mix.clone())];
+        configs.extend(grid.configs());
     }
     let clean = |name: &str| scale.scenario_base(TaskKind::Classification, seed).named(name);
     // redundancy axis (clean pool): one label per instance vs heavy redundancy
@@ -423,6 +443,24 @@ mod tests {
         assert!(configs.iter().any(|c| c.task == TaskKind::SequenceTagging), "tagging scenarios present");
         assert!(configs.iter().any(|c| c.min_labels_per_instance == 1), "redundancy-1 axis present");
         assert!(configs.iter().any(|c| (c.majority_share - 0.85).abs() < 1e-6), "imbalance axis present");
+        // temporal axes: drifted and difficulty-conditioned variants plus
+        // their in-sweep static reference, for both tasks
+        for task_tag in ["sent", "ner"] {
+            assert!(
+                names.iter().any(|n| n.starts_with(task_tag) && n.ends_with("/static/flat")),
+                "{task_tag}: static temporal reference present"
+            );
+            assert!(
+                names.iter().any(|n| n.starts_with(task_tag) && n.contains("/step0.9/")),
+                "{task_tag}: drift axis present"
+            );
+            assert!(
+                names.iter().any(|n| n.starts_with(task_tag) && n.ends_with("/hard0.8")),
+                "{task_tag}: difficulty axis present"
+            );
+        }
+        assert!(configs.iter().any(|c| !c.drift.is_static()), "a drifted config is present");
+        assert!(configs.iter().any(|c| !c.difficulty.is_degenerate()), "a difficulty-conditioned config is present");
         // every config generates a valid dataset at a shrunken size
         for config in configs.iter().take(3) {
             let dataset = generate_scenario(&config.clone().with_sizes(20, 8, 8));

@@ -29,7 +29,8 @@
 //! per-scenario method rankings with flip detection.  `scenario_sweep`
 //! shards across threads (`LNCL_THREADS`) and processes
 //! (`LNCL_SHARD=i/N` + `bench_diff merge`) bitwise-identically — see the
-//! crate README for the schema and workflows.
+//! crate README for the schema and workflows, and `ARCHITECTURE.md` at
+//! the repository root for the workspace-level pipeline map.
 
 pub mod experiments;
 pub mod json;

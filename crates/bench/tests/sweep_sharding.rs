@@ -14,7 +14,7 @@ use lncl_bench::quality::{record_scenario_outcome, HEADLINE_METRIC};
 use lncl_bench::rank::{rank_scenarios, ranking_flips};
 use lncl_bench::timing::{BenchReport, QualityCase};
 use lncl_bench::{shard_configs, sweep_scenarios, Scale, ScenarioOutcome};
-use lncl_crowd::scenario::{standard_mixes, ScenarioConfig, ScenarioGrid};
+use lncl_crowd::scenario::{standard_mixes, Archetype, DriftSchedule, PropensityProfile, ScenarioConfig, ScenarioGrid};
 use lncl_crowd::TaskKind;
 
 const METHODS: &[&str] = &["mv", "dawid-skene", "ibcc"];
@@ -153,4 +153,48 @@ fn ranking_flips_between_clean_and_spammer_heavy_mixes() {
     let mv_clean = clean_ranking.rank_of("MV").expect("MV ranked on the clean pool");
     let mv_spam = spam_ranking.rank_of("MV").expect("MV ranked under spam");
     assert!(mv_spam >= mv_clean, "MV must not gain rank under spam: clean #{mv_clean}, spam #{mv_spam}");
+}
+
+#[test]
+fn drift_flips_the_ranking_towards_the_windowed_estimator() {
+    // the same long-tailed crowd twice: once static, once with a
+    // mid-stream step change to near-spam.  Static confusion matrices
+    // (dawid-skene) average the two regimes away; the windowed estimator
+    // (ds-windowed) tracks them.  The headline ranking must therefore flip
+    // strictly between the two variants of the *same* scenario — the
+    // drift-induced ranking flip the temporal axes exist to measure.
+    // (Config chosen so the flip is robust: at accuracy 0.75 / 800
+    // instances it holds on every probed seed, with DS-W paying a visible
+    // variance tax on the static variant and gaining 1.5-4 accuracy points
+    // on the drifted one.)
+    let base = ScenarioConfig::classification("drift-flip")
+        .with_sizes(800, 10, 10)
+        .with_annotators(8)
+        .with_redundancy(5, 5)
+        .with_propensity(PropensityProfile::LongTail)
+        .with_mix(vec![(Archetype::Reliable { accuracy: 0.75 }, 1.0)])
+        .with_seed(17);
+    let static_variant = base.clone().named("sent/clean/static");
+    let drifted = base.named("sent/clean/step0.95").with_drift(DriftSchedule::StepChange { at: 0.5, level: 0.95 });
+    let methods = ["mv", "dawid-skene", "ds-windowed", "ibcc"];
+    let outcomes = sweep_scenarios(&[static_variant, drifted], Scale::Small, Some(&methods), 2);
+    let quality = quality_table(&outcomes);
+    let rankings = rank_scenarios(&quality, HEADLINE_METRIC);
+    let static_ranking = rankings.iter().find(|r| r.scenario == "sent/clean/static").unwrap();
+    let drift_ranking = rankings.iter().find(|r| r.scenario == "sent/clean/step0.95").unwrap();
+
+    // on the static crowd the pooled estimator wins (the windowed one pays
+    // a variance tax); under drift the order strictly inverts
+    let ds_static = static_ranking.rank_of("DS").expect("DS ranked on the static variant");
+    let dsw_static = static_ranking.rank_of("DS-W").expect("DS-W ranked on the static variant");
+    let ds_drift = drift_ranking.rank_of("DS").expect("DS ranked on the drifted variant");
+    let dsw_drift = drift_ranking.rank_of("DS-W").expect("DS-W ranked on the drifted variant");
+    assert!(dsw_static > ds_static, "static: pooled DS must outrank DS-W (DS #{ds_static}, DS-W #{dsw_static})");
+    assert!(dsw_drift < ds_drift, "drifted: DS-W must outrank pooled DS (DS #{ds_drift}, DS-W #{dsw_drift})");
+    // and `bench_diff rank`'s flip detection reports exactly that inversion
+    let flips = ranking_flips(static_ranking, drift_ranking);
+    assert!(
+        flips.iter().any(|f| f.promoted == "DS-W" && f.demoted == "DS"),
+        "the DS/DS-W pair must appear as a strict flip: {flips:?}"
+    );
 }

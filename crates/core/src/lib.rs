@@ -27,6 +27,9 @@
 //! * [`report`] — result records shared with the `lncl-bench` experiment
 //!   harness.
 //!
+//! (Where this sits in the workspace: `ARCHITECTURE.md` at the repository
+//! root.)
+//!
 //! ## Training Logic-LNCL directly (builder API)
 //!
 //! ```no_run

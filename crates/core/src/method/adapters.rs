@@ -320,6 +320,53 @@ impl CrowdMethod for LogicLnclMethod {
     }
 }
 
+/// Logic-LNCL with the **stream-windowed** E-step
+/// ([`crate::annotators::WindowedAnnotatorModel`]): every crowd label is
+/// judged by its annotator's confusion matrix in the window of their stream
+/// it was produced in, so the method tracks drifting annotators
+/// ([`lncl_crowd::scenario::DriftSchedule`]) that the pooled Eq. 12
+/// averages away.
+pub struct LogicLnclWindowedMethod;
+
+impl LogicLnclWindowedMethod {
+    /// Maximum instances per estimation window — shared with
+    /// [`DsWindowed`](lncl_crowd::truth::DsWindowed) so both windowed
+    /// registry methods run the same windowing scheme.
+    pub const WINDOW: usize = lncl_crowd::truth::DsWindowed::DEFAULT_WINDOW;
+    /// Cross-window count decay in `(0, 1]`, shared like
+    /// [`LogicLnclWindowedMethod::WINDOW`].
+    pub const DECAY: f32 = lncl_crowd::truth::DsWindowed::DEFAULT_DECAY;
+
+    fn train(
+        dataset: &CrowdDataset,
+        ctx: &RunContext,
+    ) -> (crate::trainer::LogicLncl<lncl_nn::models::AnyModel>, crate::report::TrainReport) {
+        let mut trainer = LogicLncl::builder(ctx.model(ctx.config.seed))
+            .rules(paper_rules(dataset))
+            .config(ctx.config.clone())
+            .windowed_confusions(Self::WINDOW, Self::DECAY)
+            .build(dataset);
+        let report = trainer.train(dataset);
+        (trainer, report)
+    }
+}
+
+impl CrowdMethod for LogicLnclWindowedMethod {
+    fn descriptor(&self) -> MethodDescriptor {
+        MethodDescriptor::new("logic-lncl-windowed", "Logic-LNCL-W", Family::LogicLncl, TaskSupport::Both)
+    }
+
+    fn run(&self, dataset: &CrowdDataset, ctx: &RunContext) -> Vec<MethodResult> {
+        let (trainer, report) = Self::train(dataset, ctx);
+        let student = trainer.evaluate(&dataset.test, dataset.task, PredictionMode::Student);
+        vec![MethodResult::new("Logic-LNCL-W", student, Some(report.inference))]
+    }
+
+    fn infer_posteriors(&self, dataset: &CrowdDataset, ctx: &RunContext) -> Option<Vec<Vec<f32>>> {
+        Some(qf_rows(Self::train(dataset, ctx).0.qf()))
+    }
+}
+
 /// One Table-IV ablation variant.  [`AblationVariant::Full`] delegates to
 /// [`LogicLnclMethod`] (it is registered under `"logic-lncl"`).
 pub struct AblationMethod {

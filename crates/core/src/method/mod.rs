@@ -44,7 +44,8 @@ use std::fmt;
 use std::sync::Arc;
 
 pub use adapters::{
-    AblationMethod, AggNet, CrowdLayerMethod, DlDnMethod, GoldUpperBound, LogicLnclMethod, TruthOnly, TwoStage,
+    AblationMethod, AggNet, CrowdLayerMethod, DlDnMethod, GoldUpperBound, LogicLnclMethod, LogicLnclWindowedMethod,
+    TruthOnly, TwoStage,
 };
 
 /// Method families mirroring the blocks of the paper's result tables.
@@ -275,12 +276,13 @@ impl MethodRegistry {
     /// variants (with and without MV pre-training), DL-DN/WDN, the Gold
     /// upper bound, Logic-LNCL and the Table-IV ablation variants.
     pub fn standard() -> Self {
-        use lncl_crowd::truth::{BscSeq, Catd, DawidSkene, Glad, HmmCrowd, Ibcc, MajorityVote, Pm};
+        use lncl_crowd::truth::{BscSeq, Catd, DawidSkene, DsWindowed, Glad, HmmCrowd, Ibcc, MajorityVote, Pm};
 
         let mut registry = Self::new();
         // truth inference only
         registry.register(TruthOnly::new("mv", MajorityVote, TaskSupport::Both));
         registry.register(TruthOnly::new("dawid-skene", DawidSkene::default(), TaskSupport::Both));
+        registry.register(TruthOnly::new("ds-windowed", DsWindowed::default(), TaskSupport::Both));
         registry.register(TruthOnly::new("glad", Glad::default(), TaskSupport::Classification));
         registry.register(TruthOnly::new("ibcc", Ibcc::default(), TaskSupport::Both));
         registry.register(TruthOnly::new("pm", Pm::default(), TaskSupport::Classification));
@@ -308,6 +310,7 @@ impl MethodRegistry {
         // bounds and the paper's model
         registry.register(GoldUpperBound);
         registry.register(LogicLnclMethod);
+        registry.register(LogicLnclWindowedMethod);
         // Table-IV ablation variants (`Full` is the logic-lncl entry above)
         for variant in crate::ablation::AblationVariant::all() {
             if variant != crate::ablation::AblationVariant::Full {
@@ -385,6 +388,7 @@ mod tests {
         for key in [
             "mv",
             "dawid-skene",
+            "ds-windowed",
             "glad",
             "ibcc",
             "pm",
@@ -401,6 +405,7 @@ mod tests {
             "dl-wdn",
             "gold",
             "logic-lncl",
+            "logic-lncl-windowed",
         ] {
             assert!(registry.get(key).is_some(), "missing standard method {key:?}");
         }

@@ -140,6 +140,40 @@ pub fn infer_qa_into(instance: &Instance, predictions: &Matrix, annotators: &Ann
     }
 }
 
+/// Drift-aware variant of [`infer_qa_into`]: every crowd label is judged by
+/// the confusion matrix of the **stream window** its annotator produced it
+/// in (see [`WindowedAnnotatorModel`](crate::annotators::WindowedAnnotatorModel)),
+/// so an annotator whose reliability
+/// changed mid-stream contributes correctly-weighted evidence on both sides
+/// of the change.  `i` is the training-instance index the windowed model
+/// was built over.
+pub fn infer_qa_windowed_into(
+    instance: &Instance,
+    i: usize,
+    predictions: &Matrix,
+    annotators: &crate::annotators::WindowedAnnotatorModel,
+    out: &mut [f32],
+) {
+    let units = instance.num_units();
+    let k = annotators.num_classes();
+    assert_eq!(predictions.rows(), units, "prediction rows must match instance units");
+    assert_eq!(predictions.cols(), k, "prediction columns must match class count");
+    assert_eq!(out.len(), units * k, "output buffer must hold units * K entries");
+
+    for (u, log_post) in out.chunks_exact_mut(k).enumerate() {
+        for (lp, &p) in log_post.iter_mut().zip(predictions.row(u)) {
+            *lp = p.max(1e-12).ln();
+        }
+        for (slot, cl) in instance.crowd_labels.iter().enumerate() {
+            let lls = annotators.log_likelihoods_for(i, slot, cl.annotator, cl.labels[u]);
+            for (lp, &ll) in log_post.iter_mut().zip(lls) {
+                *lp += ll;
+            }
+        }
+        stats::softmax_in_place(log_post);
+    }
+}
+
 /// Batched version of [`infer_qa`] over many instances with their cached
 /// classifier predictions.
 pub fn infer_qa_all(instances: &[Instance], predictions: &[Matrix], annotators: &AnnotatorModel) -> Vec<Matrix> {

@@ -14,10 +14,10 @@
 //! | MV-Rule / GLAD-Rule    | rules attached, posterior fixed to MV / GLAD estimate  |
 //! | our-other-rules        | the weaker rule variants attached                      |
 
-use crate::annotators::AnnotatorModel;
+use crate::annotators::{AnnotatorModel, WindowedAnnotatorModel};
 use crate::config::{MStepObjective, OptimizerKind, TrainConfig};
 use crate::distill::{infer_qb, TaskRules};
-use crate::posterior::{infer_qa_into, FlatPosteriors};
+use crate::posterior::{infer_qa_into, infer_qa_windowed_into, FlatPosteriors};
 use crate::predict::{evaluate_split, PredictionMode};
 use crate::report::{EvalMetrics, TrainReport};
 use lncl_crowd::truth::{MajorityVote, TruthInference};
@@ -42,7 +42,9 @@ pub enum PosteriorMode {
 pub struct LogicLncl<M: InstanceClassifier + Module + Clone> {
     /// The neural classifier `p(t|x; Θ_NN)`.
     pub model: M,
-    /// The annotator reliability model `Π`.
+    /// The annotator reliability model `Π` (pooled over each annotator's
+    /// whole stream; always maintained, e.g. for
+    /// [`AnnotatorModel::reliabilities`] read-outs).
     pub annotators: AnnotatorModel,
     /// Attached logic rules.
     pub rules: TaskRules,
@@ -50,6 +52,10 @@ pub struct LogicLncl<M: InstanceClassifier + Module + Clone> {
     pub config: TrainConfig,
     /// Posterior mode (iterative vs fixed).
     pub posterior_mode: PosteriorMode,
+    /// When set, the E-step judges every crowd label by its annotator's
+    /// **stream-window** confusion matrix instead of the pooled one — the
+    /// `logic-lncl-windowed` drift-tracking configuration.
+    windowed: Option<WindowedAnnotatorModel>,
     /// Current training target `q_f` for the whole split, stored flat.
     qf: FlatPosteriors,
     best_model: Option<M>,
@@ -64,6 +70,7 @@ pub struct LogicLnclBuilder<M: InstanceClassifier + Module + Clone> {
     rules: TaskRules,
     config: TrainConfig,
     posterior: PosteriorMode,
+    windowed: Option<(usize, f32)>,
 }
 
 impl<M: InstanceClassifier + Module + Clone> LogicLnclBuilder<M> {
@@ -92,10 +99,23 @@ impl<M: InstanceClassifier + Module + Clone> LogicLnclBuilder<M> {
         self.posterior(PosteriorMode::Fixed(posterior))
     }
 
+    /// Switches the E-step to **stream-windowed** confusion matrices
+    /// ([`WindowedAnnotatorModel`]): windows of at most `window` instances
+    /// per annotator, neighbouring windows blended with `decay^distance`.
+    /// This is the `logic-lncl-windowed` drift-tracking configuration;
+    /// degenerate parameters are rejected with a descriptive panic when the
+    /// trainer is built.
+    pub fn windowed_confusions(mut self, window: usize, decay: f32) -> Self {
+        self.windowed = Some((window, decay));
+        self
+    }
+
     /// Finishes the builder, sizing the annotator model for `dataset`.
     pub fn build(self, dataset: &CrowdDataset) -> LogicLncl<M> {
         let mut trainer = LogicLncl::new(self.model, dataset, self.rules, self.config);
         trainer.posterior_mode = self.posterior;
+        trainer.windowed =
+            self.windowed.map(|(window, decay)| WindowedAnnotatorModel::new(dataset, window, decay, 0.7));
         trainer
     }
 }
@@ -110,6 +130,7 @@ impl<M: InstanceClassifier + Module + Clone> LogicLncl<M> {
             rules,
             config,
             posterior_mode: PosteriorMode::Iterative,
+            windowed: None,
             qf: FlatPosteriors::zeros(&[], dataset.num_classes),
             best_model: None,
         }
@@ -142,6 +163,7 @@ impl<M: InstanceClassifier + Module + Clone> LogicLncl<M> {
             rules: TaskRules::None,
             config: TrainConfig::fast(12),
             posterior: PosteriorMode::Iterative,
+            windowed: None,
         }
     }
 
@@ -197,9 +219,14 @@ impl<M: InstanceClassifier + Module + Clone> LogicLncl<M> {
         let mut new_qf = FlatPosteriors::zeros(&dataset.train, dataset.num_classes);
         for (i, inst) in dataset.train.iter().enumerate() {
             match &self.posterior_mode {
-                PosteriorMode::Iterative => {
-                    infer_qa_into(inst, &predictions[i], &self.annotators, new_qf.instance_slice_mut(i));
-                }
+                PosteriorMode::Iterative => match &self.windowed {
+                    Some(windowed) => {
+                        infer_qa_windowed_into(inst, i, &predictions[i], windowed, new_qf.instance_slice_mut(i));
+                    }
+                    None => {
+                        infer_qa_into(inst, &predictions[i], &self.annotators, new_qf.instance_slice_mut(i));
+                    }
+                },
                 PosteriorMode::Fixed(fixed) => {
                     new_qf.instance_slice_mut(i).copy_from_slice(fixed[i].as_slice());
                 }
@@ -218,8 +245,13 @@ impl<M: InstanceClassifier + Module + Clone> LogicLncl<M> {
             }
         }
         self.qf = new_qf;
-        // Eq. 12: closed-form annotator update from q_f.
+        // Eq. 12: closed-form annotator update from q_f.  The pooled model
+        // is always refreshed (reliability read-outs stay meaningful); the
+        // windowed model additionally tracks per-stream-window confusions.
         self.annotators.update_from_qf(dataset, &self.qf, 0.01);
+        if let Some(windowed) = &mut self.windowed {
+            windowed.update_from_qf(dataset, &self.qf, 0.01);
+        }
     }
 
     /// Runs Algorithm 1 and returns the training report.  The model keeps
@@ -450,6 +482,45 @@ mod tests {
         for (i, mv_inst) in fixed.iter().enumerate() {
             assert!(trainer.qf().instance_matrix(i).approx_eq(mv_inst, 1e-5));
         }
+    }
+
+    #[test]
+    fn windowed_e_step_improves_inference_under_step_change_drift() {
+        use lncl_crowd::scenario::{generate_scenario, Archetype, DriftSchedule, PropensityProfile, ScenarioConfig};
+        let dataset = generate_scenario(
+            &ScenarioConfig::tagging("step-drift")
+                .with_sizes(400, 40, 40)
+                .with_annotators(8)
+                .with_redundancy(5, 5)
+                .with_propensity(PropensityProfile::LongTail)
+                .with_mix(vec![(Archetype::Reliable { accuracy: 0.9 }, 1.0)])
+                .with_drift(DriftSchedule::StepChange { at: 0.5, level: 0.9 })
+                .with_seed(17),
+        );
+        let config = fast_config(4);
+        let mut rng = TensorRng::seed_from_u64(9);
+        let model = lncl_nn::models::NerConvGru::new(
+            lncl_nn::models::NerConvGruConfig {
+                vocab_size: dataset.vocab_size(),
+                embedding_dim: 12,
+                conv_window: 3,
+                conv_features: 12,
+                gru_hidden: 10,
+                dropout_keep: 0.7,
+                num_classes: dataset.num_classes,
+            },
+            &mut rng,
+        );
+        let mut pooled = LogicLncl::builder(model.clone()).config(config.clone()).build(&dataset);
+        let pooled_report = pooled.train(&dataset);
+        let mut windowed = LogicLncl::builder(model).config(config).windowed_confusions(48, 0.35).build(&dataset);
+        let windowed_report = windowed.train(&dataset);
+        assert!(
+            windowed_report.inference.accuracy > pooled_report.inference.accuracy + 0.02,
+            "the windowed E-step must track the drift the pooled one averages away: pooled {}, windowed {}",
+            pooled_report.inference.accuracy,
+            windowed_report.inference.accuracy
+        );
     }
 
     #[test]

@@ -10,13 +10,19 @@
 //!   paper (see DESIGN.md §1);
 //! * [`scenario`] — composable crowd-scenario simulation: annotator
 //!   archetypes (spammers, adversaries, pair confusers, colluding cliques),
-//!   propensity profiles and scenario grids over redundancy / pool size /
-//!   archetype mix / class imbalance;
-//! * [`truth`] — truth-inference baselines: MV, Dawid–Skene, GLAD, IBCC, PM,
-//!   CATD, HMM-Crowd and a simplified BSC-seq;
+//!   propensity profiles, temporal drift schedules and instance-difficulty
+//!   models, and scenario grids over redundancy / pool size / archetype
+//!   mix / class imbalance / drift / difficulty (the module docs carry a
+//!   doctested **scenario cookbook** covering every knob);
+//! * [`truth`] — truth-inference baselines: MV, Dawid–Skene (pooled and
+//!   stream-windowed), GLAD, IBCC, PM, CATD, HMM-Crowd and a simplified
+//!   BSC-seq;
 //! * [`metrics`] — accuracy, strict span-level P/R/F1, confusion-matrix and
 //!   reliability metrics;
 //! * [`stats`] — the per-annotator statistics behind Figure 4.
+//!
+//! (Where this sits in the workspace: `ARCHITECTURE.md` at the repository
+//! root.)
 //!
 //! ```
 //! use lncl_crowd::datasets::{generate_sentiment, SentimentDatasetConfig};

@@ -12,11 +12,20 @@
 //!   [`Archetype::Colluding`]) layered on the base
 //!   [`ConfusionAnnotator`]/[`NerAnnotator`] simulators;
 //! * [`PropensityProfile`] — uniform or long-tailed workload distributions;
+//! * [`DriftSchedule`] — temporal drift of every annotator's error rate over
+//!   their own label stream (linear fatigue, step change, learning curve),
+//!   wrapping any archetype;
+//! * [`DifficultyModel`] — GLAD-style instance difficulty making *all*
+//!   annotators err more on the same hard instances (correlated,
+//!   non-colluding mistakes);
 //! * [`ScenarioConfig`] + [`generate_scenario`] — one knob set (task,
-//!   redundancy, pool size, archetype mix, class imbalance, seed) emitting a
-//!   valid [`CrowdDataset`] for either task;
+//!   redundancy, pool size, archetype mix, class imbalance, drift,
+//!   difficulty, seed) emitting a valid [`CrowdDataset`] for either task;
 //! * [`ScenarioGrid`] — cartesian sweeps over those knobs, feeding the
 //!   `scenario_sweep` benchmark binary and the cross-method robustness suite.
+//!
+//! The workspace-level crate map lives in `ARCHITECTURE.md` at the
+//! repository root.
 //!
 //! ```
 //! use lncl_crowd::scenario::{generate_scenario, Archetype, ScenarioConfig};
@@ -26,6 +35,130 @@
 //!     .with_mix(vec![(Archetype::reliable(), 0.65), (Archetype::Spammer, 0.35)]);
 //! let dataset = generate_scenario(&config);
 //! assert!(dataset.validate().is_ok());
+//! ```
+//!
+//! # Scenario cookbook
+//!
+//! Every knob of the simulator, each with a runnable recipe (all of these
+//! are doctests, enforced by the CI doctest step).  Start from
+//! [`ScenarioConfig::classification`] / [`ScenarioConfig::tagging`] (or
+//! [`ScenarioConfig::tiny`] in tests) and layer `with_*` builders on top.
+//!
+//! ## Archetypes
+//!
+//! `with_mix` takes `(archetype, fraction)` pairs; fractions are normalised
+//! and rounded to annotator counts by largest remainder.
+//!
+//! | archetype | behaviour |
+//! |---|---|
+//! | [`Archetype::Reliable`] | high-diagonal confusion (classification) / structured ignore-boundary-span-type errors (NER) |
+//! | [`Archetype::Spammer`] | uniform rows — zero signal |
+//! | [`Archetype::Adversarial`] | anti-diagonal — actively misleading |
+//! | [`Archetype::PairConfuser`] | swaps one class pair (entity-type pair, span-wise, on NER) |
+//! | [`Archetype::Colluding`] | one clique copying its leader's noisy stream verbatim |
+//!
+//! ```
+//! use lncl_crowd::scenario::{generate_scenario, Archetype, ScenarioConfig};
+//! use lncl_crowd::TaskKind;
+//!
+//! // a hostile pool: spammers, an adversary and a PER<->LOC confuser
+//! let config = ScenarioConfig::tiny(TaskKind::SequenceTagging).named("hostile").with_mix(vec![
+//!     (Archetype::Reliable { accuracy: 0.8 }, 0.5),
+//!     (Archetype::Spammer, 0.2),
+//!     (Archetype::adversarial(), 0.15),
+//!     (Archetype::PairConfuser { class_a: 0, class_b: 1, swap_prob: 0.8 }, 0.15),
+//! ]);
+//! assert!(generate_scenario(&config).validate().is_ok());
+//! ```
+//!
+//! ## Propensity profiles
+//!
+//! [`PropensityProfile::Uniform`] gives every annotator the same workload;
+//! [`PropensityProfile::LongTail`] mirrors the Figure-4 statistics (a few
+//! prolific annotators, many occasional ones).
+//!
+//! ```
+//! use lncl_crowd::scenario::{generate_scenario, PropensityProfile, ScenarioConfig};
+//! use lncl_crowd::TaskKind;
+//!
+//! let config = ScenarioConfig::tiny(TaskKind::Classification).with_propensity(PropensityProfile::Uniform);
+//! let dataset = generate_scenario(&config);
+//! let counts = dataset.annotation_view().labels_per_annotator();
+//! assert!(counts.iter().all(|&c| c > 0), "uniform propensity reaches every annotator: {counts:?}");
+//! ```
+//!
+//! ## Redundancy, pool size and class imbalance
+//!
+//! ```
+//! use lncl_crowd::scenario::{generate_scenario, ScenarioConfig};
+//! use lncl_crowd::TaskKind;
+//!
+//! let config = ScenarioConfig::tiny(TaskKind::Classification)
+//!     .with_redundancy(1, 1) // single label per instance: aggregation is hardest
+//!     .with_annotators(8)
+//!     .with_majority_share(0.8); // 80% of gold labels are class 0
+//! let dataset = generate_scenario(&config);
+//! assert!(dataset.train.iter().all(|i| i.num_annotations() == 1));
+//! ```
+//!
+//! ## Drifting annotators
+//!
+//! A [`DriftSchedule`] makes every annotator's error rate a function of the
+//! position in *their own* label stream.  `LinearFatigue` degrades towards
+//! the stream end, `StepChange` switches abruptly (the regime windowed
+//! estimators such as `ds-windowed` track and static confusion matrices
+//! cannot), `LearningCurve` starts noisy and improves.  Rate `0` (or
+//! [`DriftSchedule::Static`]) reproduces the static generator **bitwise**.
+//!
+//! ```
+//! use lncl_crowd::scenario::{generate_scenario, DriftSchedule, PropensityProfile, ScenarioConfig};
+//! use lncl_crowd::TaskKind;
+//!
+//! let base = ScenarioConfig::tiny(TaskKind::Classification).with_propensity(PropensityProfile::Uniform);
+//! let drifted = base.clone().with_drift(DriftSchedule::StepChange { at: 0.5, level: 0.9 });
+//! let (clean, tired) = (generate_scenario(&base), generate_scenario(&drifted));
+//! // same gold corpus, noisier late-stream labels
+//! assert_eq!(clean.train[0].gold, tired.train[0].gold);
+//! assert!(lncl_crowd::metrics::crowd_label_accuracy(&tired) < lncl_crowd::metrics::crowd_label_accuracy(&clean));
+//! ```
+//!
+//! ## Difficulty-conditioned (correlated) error
+//!
+//! A [`DifficultyModel`] samples a per-instance hardness (GLAD's `1/beta`)
+//! and corrupts *every* annotator's labels on hard instances — correlated
+//! mistakes without collusion, violating the conditional-independence
+//! assumption behind DS-family aggregation.  `strength == 0` is the
+//! degenerate, bitwise-identical setting.
+//!
+//! ```
+//! use lncl_crowd::scenario::{generate_scenario, DifficultyModel, ScenarioConfig};
+//! use lncl_crowd::TaskKind;
+//!
+//! let config = ScenarioConfig::tiny(TaskKind::Classification)
+//!     .with_difficulty(DifficultyModel { strength: 0.8, concentration: 0.5 });
+//! let dataset = generate_scenario(&config);
+//! assert!(dataset.validate().is_ok());
+//! ```
+//!
+//! ## Grid sweeps
+//!
+//! [`ScenarioGrid`] materialises the cartesian product of every axis with
+//! stable, descriptive names; temporal segments only appear in the names
+//! when those axes are actually swept.
+//!
+//! ```
+//! use lncl_crowd::scenario::{DriftSchedule, ScenarioConfig, ScenarioGrid};
+//! use lncl_crowd::TaskKind;
+//!
+//! let grid = ScenarioGrid::new(ScenarioConfig::tiny(TaskKind::Classification))
+//!     .with_standard_mixes()
+//!     .with_drifts(vec![
+//!         ("static".into(), DriftSchedule::Static),
+//!         ("fatigue0.6".into(), DriftSchedule::LinearFatigue { rate: 0.6 }),
+//!     ]);
+//! let configs = grid.configs();
+//! assert_eq!(configs.len(), 6 * 2);
+//! assert!(configs.iter().any(|c| c.name.ends_with("/fatigue0.6")));
 //! ```
 
 use crate::annotator::{gold_spans, select_weighted_distinct, ConfusionAnnotator, NerAnnotator, NerErrorRates};
@@ -151,6 +284,167 @@ impl Archetype {
 
 /// Accuracy of a colluding clique's leader.
 const COLLUSION_LEADER_ACCURACY: f32 = 0.7;
+
+/// How an annotator's error rate evolves over *their own* label stream —
+/// the temporal axis layered on top of any [`Archetype`].
+///
+/// The schedule yields an extra **corruption probability** as a function of
+/// the annotator's progress through their expected workload: with
+/// probability `corruption_at(progress)` each labelled unit is replaced by a
+/// uniformly random class (spammer-style noise), on top of whatever the
+/// base archetype already does.  Corruption draws come from a dedicated RNG
+/// stream, so a schedule that never corrupts ([`DriftSchedule::Static`], or
+/// any schedule at rate/level `0`) reproduces the static generator
+/// **bitwise** (asserted by the metamorphic tests).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftSchedule {
+    /// No drift: the archetype behaves identically over the whole stream.
+    Static,
+    /// Fatigue: corruption grows linearly from `0` (stream start) to `rate`
+    /// (expected stream end), then stays there.
+    LinearFatigue {
+        /// Corruption probability reached at the end of the expected
+        /// stream, in `[0, 1]`.
+        rate: f32,
+    },
+    /// A step change: no corruption before fraction `at` of the stream,
+    /// constant corruption `level` afterwards (the regime windowed
+    /// estimators should track and static confusion matrices cannot).
+    StepChange {
+        /// Stream fraction in `[0, 1]` at which the change happens.
+        at: f32,
+        /// Corruption probability after the change, in `[0, 1]`.
+        level: f32,
+    },
+    /// A learning curve: corruption starts at `rate` and decays linearly to
+    /// `0` over the expected stream (novices improving with practice).
+    LearningCurve {
+        /// Corruption probability at the start of the stream, in `[0, 1]`.
+        rate: f32,
+    },
+}
+
+impl DriftSchedule {
+    /// Extra corruption probability at `progress` (fraction of the
+    /// annotator's expected stream already labelled, clamped to `[0, 1]`).
+    pub fn corruption_at(&self, progress: f32) -> f32 {
+        let progress = progress.clamp(0.0, 1.0);
+        match *self {
+            DriftSchedule::Static => 0.0,
+            DriftSchedule::LinearFatigue { rate } => rate * progress,
+            DriftSchedule::StepChange { at, level } => {
+                if progress >= at {
+                    level
+                } else {
+                    0.0
+                }
+            }
+            DriftSchedule::LearningCurve { rate } => rate * (1.0 - progress),
+        }
+    }
+
+    /// True when the schedule never corrupts (static, or any shape at
+    /// rate/level `0`) — exactly the configurations that reproduce the
+    /// static generator bitwise.
+    pub fn is_static(&self) -> bool {
+        match *self {
+            DriftSchedule::Static => true,
+            DriftSchedule::LinearFatigue { rate } | DriftSchedule::LearningCurve { rate } => rate == 0.0,
+            DriftSchedule::StepChange { level, .. } => level == 0.0,
+        }
+    }
+
+    /// Short display name (used in grid scenario names).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DriftSchedule::Static => "static",
+            DriftSchedule::LinearFatigue { .. } => "fatigue",
+            DriftSchedule::StepChange { .. } => "step",
+            DriftSchedule::LearningCurve { .. } => "learning",
+        }
+    }
+
+    /// Checks the parameters, returning a descriptive error for degenerate
+    /// values (negative or >1 rates/levels, step fraction outside `[0, 1]`).
+    pub fn validate(&self) -> Result<(), String> {
+        let check = |what: &str, v: f32| {
+            if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+                Err(format!("drift {what} must be a probability in [0, 1], got {v}"))
+            } else {
+                Ok(())
+            }
+        };
+        match *self {
+            DriftSchedule::Static => Ok(()),
+            DriftSchedule::LinearFatigue { rate } | DriftSchedule::LearningCurve { rate } => check("rate", rate),
+            DriftSchedule::StepChange { at, level } => {
+                check("step fraction", at)?;
+                check("step level", level)
+            }
+        }
+    }
+}
+
+/// Instance-difficulty-conditioned error — the GLAD generative story
+/// (Whitehill et al. 2009) on the generator side.
+///
+/// Each training instance draws a latent *hardness* in `[0, 1]` (the
+/// `1/beta` of GLAD, normalised): `hardness = u^concentration` for uniform
+/// `u`, so `concentration > 1` skews the corpus easy and `< 1` hard.  Every
+/// annotator labelling the instance then suffers an extra corruption
+/// probability `strength · hardness` — **all** annotators err more on the
+/// same hard instances, producing correlated, non-colluding mistakes that
+/// violate the conditional-independence assumption of DS-family models.
+///
+/// `strength == 0` is the degenerate model: no corruption is ever drawn and
+/// the generated dataset is **bitwise identical** to the static one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DifficultyModel {
+    /// Corruption probability on the hardest instances, in `[0, 1]`
+    /// (`0` disables the model).
+    pub strength: f32,
+    /// Hardness-distribution shape: `hardness = u^concentration`; larger
+    /// values concentrate mass near `0` (mostly easy instances).  Must be
+    /// positive and finite.
+    pub concentration: f32,
+}
+
+impl Default for DifficultyModel {
+    fn default() -> Self {
+        Self { strength: 0.0, concentration: 1.0 }
+    }
+}
+
+impl DifficultyModel {
+    /// A moderately hard corpus: up to `strength` corruption, hardness
+    /// skewed easy (`concentration = 2`).
+    pub fn with_strength(strength: f32) -> Self {
+        Self { strength, concentration: 2.0 }
+    }
+
+    /// True when the model never corrupts (the bitwise-identical
+    /// degenerate setting).
+    pub fn is_degenerate(&self) -> bool {
+        self.strength == 0.0
+    }
+
+    /// Samples one instance's hardness in `[0, 1]`.
+    pub fn hardness(&self, rng: &mut TensorRng) -> f32 {
+        rng.uniform().powf(self.concentration)
+    }
+
+    /// Checks the parameters, returning a descriptive error for degenerate
+    /// values (strength outside `[0, 1]`, non-positive concentration).
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.strength) || !self.strength.is_finite() {
+            return Err(format!("difficulty strength must be a probability in [0, 1], got {}", self.strength));
+        }
+        if self.concentration <= 0.0 || !self.concentration.is_finite() {
+            return Err(format!("difficulty concentration must be positive and finite, got {}", self.concentration));
+        }
+        Ok(())
+    }
+}
 
 /// How annotator workload propensities are distributed across the pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -395,6 +689,13 @@ pub struct ScenarioConfig {
     /// Number of neutral filler words in the sentiment vocabulary
     /// (ignored for tagging).
     pub filler_vocab: usize,
+    /// Temporal drift of every annotator's error rate over their own label
+    /// stream ([`DriftSchedule::Static`] reproduces the static generator
+    /// bitwise).
+    pub drift: DriftSchedule,
+    /// Instance-difficulty-conditioned correlated error (the degenerate
+    /// `strength == 0` model reproduces the static generator bitwise).
+    pub difficulty: DifficultyModel,
     /// RNG seed.
     pub seed: u64,
 }
@@ -416,6 +717,8 @@ impl ScenarioConfig {
             propensity: PropensityProfile::LongTail,
             majority_share: 0.5,
             filler_vocab: 60,
+            drift: DriftSchedule::Static,
+            difficulty: DifficultyModel::default(),
             seed: 29,
         }
     }
@@ -435,6 +738,8 @@ impl ScenarioConfig {
             propensity: PropensityProfile::LongTail,
             majority_share: 0.25,
             filler_vocab: 0,
+            drift: DriftSchedule::Static,
+            difficulty: DifficultyModel::default(),
             seed: 31,
         }
     }
@@ -493,6 +798,18 @@ impl ScenarioConfig {
         self
     }
 
+    /// Sets the temporal drift schedule (see [`DriftSchedule`]).
+    pub fn with_drift(mut self, drift: DriftSchedule) -> Self {
+        self.drift = drift;
+        self
+    }
+
+    /// Sets the instance-difficulty model (see [`DifficultyModel`]).
+    pub fn with_difficulty(mut self, difficulty: DifficultyModel) -> Self {
+        self.difficulty = difficulty;
+        self
+    }
+
     /// Sets the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -548,6 +865,18 @@ impl ScenarioConfig {
         });
         mix_in(self.majority_share.to_bits() as u64);
         mix_in(self.filler_vocab as u64);
+        let (drift_tag, drift_params): (u64, [u32; 2]) = match self.drift {
+            DriftSchedule::Static => (0, [0, 0]),
+            DriftSchedule::LinearFatigue { rate } => (1, [rate.to_bits(), 0]),
+            DriftSchedule::StepChange { at, level } => (2, [at.to_bits(), level.to_bits()]),
+            DriftSchedule::LearningCurve { rate } => (3, [rate.to_bits(), 0]),
+        };
+        mix_in(drift_tag);
+        for p in drift_params {
+            mix_in(p as u64);
+        }
+        mix_in(self.difficulty.strength.to_bits() as u64);
+        mix_in(self.difficulty.concentration.to_bits() as u64);
         mix_in(self.seed);
         hash
     }
@@ -594,24 +923,79 @@ impl ScenarioCache {
     }
 }
 
+/// Applies the temporal corruption layer (drift + instance difficulty) to
+/// one instance's crowd labels, in label order.
+///
+/// Each annotator's corruption probability combines their drift schedule at
+/// their *own* stream position (`stream_pos[annotator] / horizon`) with the
+/// instance's difficulty-conditioned corruption; a corrupted unit is
+/// replaced by a uniformly random class.  Colluding followers corrupt
+/// independently of their leader — fatigue is personal even inside a
+/// clique.  When no corruption can occur (static drift and degenerate
+/// difficulty) the function returns without touching `rng`, which is what
+/// keeps the degenerate configurations bitwise identical to the static
+/// generator.
+fn apply_temporal_noise(
+    crowd_labels: &mut [CrowdLabel],
+    drift: DriftSchedule,
+    difficulty: DifficultyModel,
+    stream_pos: &[usize],
+    horizon: f32,
+    num_classes: usize,
+    rng: &mut TensorRng,
+) {
+    let difficulty_p = if difficulty.is_degenerate() { 0.0 } else { difficulty.strength * difficulty.hardness(rng) };
+    if drift.is_static() && difficulty_p == 0.0 {
+        return;
+    }
+    for cl in crowd_labels.iter_mut() {
+        let progress = stream_pos[cl.annotator] as f32 / horizon;
+        let drift_p = drift.corruption_at(progress);
+        // independent corruption sources combine through their complements
+        let p = 1.0 - (1.0 - drift_p) * (1.0 - difficulty_p);
+        if p <= 0.0 {
+            continue;
+        }
+        for label in cl.labels.iter_mut() {
+            if rng.bernoulli(p) {
+                *label = rng.usize_below(num_classes);
+            }
+        }
+    }
+}
+
 /// Generates the dataset described by a [`ScenarioConfig`].
 ///
-/// Three independent RNG streams are forked from the seed — gold text,
-/// pool compilation, crowd assignment/annotation — so two configs sharing
-/// a seed, task, sizes and imbalance draw the **same gold corpus** no
-/// matter how their pools, mixes or redundancies differ.  Cross-scenario
+/// Four independent RNG streams are forked from the seed — gold text,
+/// pool compilation, crowd assignment/annotation, and temporal corruption
+/// (drift / difficulty) — so two configs sharing a seed, task, sizes and
+/// imbalance draw the **same gold corpus** no matter how their pools,
+/// mixes, redundancies or temporal knobs differ.  Cross-scenario
 /// comparisons (the redundancy-monotonicity and spammer-dilution
-/// properties, sweep rankings) therefore vary only the crowd condition,
-/// never the underlying corpus.
+/// properties, sweep rankings, static-vs-drifted ranking flips) therefore
+/// vary only the crowd condition, never the underlying corpus.  Because the
+/// temporal stream is separate, a config whose drift is
+/// [`DriftSchedule::Static`] (or rate `0`) and whose difficulty is
+/// degenerate reproduces the pre-temporal generator **bitwise**.
 pub fn generate_scenario(config: &ScenarioConfig) -> CrowdDataset {
     assert!(config.num_annotators >= config.max_labels_per_instance, "annotator pool smaller than labels per instance");
     assert!(config.min_labels_per_instance >= 1 && config.min_labels_per_instance <= config.max_labels_per_instance);
     assert!((0.0..=1.0).contains(&config.majority_share), "majority_share must be in [0, 1]");
+    if let Err(message) = config.drift.validate() {
+        panic!("invalid drift schedule for scenario {:?}: {message}", config.name);
+    }
+    if let Err(message) = config.difficulty.validate() {
+        panic!("invalid difficulty model for scenario {:?}: {message}", config.name);
+    }
     let num_classes = config.num_classes();
     let mut master = TensorRng::seed_from_u64(config.seed);
     let mut text_rng = master.fork();
     let mut pool_rng = master.fork();
     let mut crowd_rng = master.fork();
+    // temporal corruption (drift + difficulty) draws from its own stream,
+    // so configurations that never corrupt — `DriftSchedule::Static` /
+    // degenerate difficulty — reproduce the static generator bitwise
+    let mut temporal_rng = master.fork();
     let pool = ScenarioPool::generate(
         config.task,
         num_classes,
@@ -651,13 +1035,31 @@ pub fn generate_scenario(config: &ScenarioConfig) -> CrowdDataset {
         }
     };
 
+    // expected instances each annotator labels — the normaliser that turns
+    // an annotator's absolute stream position into drift "progress"
+    let avg_redundancy = (config.min_labels_per_instance + config.max_labels_per_instance) as f32 / 2.0;
+    let drift_horizon = (config.train_size as f32 * avg_redundancy / config.num_annotators as f32).max(1.0);
+    let mut stream_pos = vec![0usize; config.num_annotators];
+
     let mut train = Vec::with_capacity(config.train_size);
     for _ in 0..config.train_size {
         let (tokens, gold) = text_model.sentence(&mut text_rng);
         let span = config.max_labels_per_instance - config.min_labels_per_instance + 1;
         let count = config.min_labels_per_instance + crowd_rng.usize_below(span);
         let selected = pool.select(count, &mut crowd_rng);
-        let crowd_labels = pool.annotate_instance(&selected, &gold, &mut crowd_rng);
+        let mut crowd_labels = pool.annotate_instance(&selected, &gold, &mut crowd_rng);
+        apply_temporal_noise(
+            &mut crowd_labels,
+            config.drift,
+            config.difficulty,
+            &stream_pos,
+            drift_horizon,
+            num_classes,
+            &mut temporal_rng,
+        );
+        for cl in &crowd_labels {
+            stream_pos[cl.annotator] += 1;
+        }
         train.push(Instance { tokens, gold, crowd_labels });
     }
     let make_eval = |size: usize, rng: &mut TensorRng| -> Vec<Instance> {
@@ -736,6 +1138,12 @@ pub struct ScenarioGrid {
     pub annotator_counts: Vec<usize>,
     /// Imbalance settings to sweep.
     pub majority_shares: Vec<f32>,
+    /// Drift schedules to sweep (name + schedule).  Scenario names only
+    /// grow a `/<name>` segment when the axis departs from the static
+    /// default, so pre-temporal grids keep their historical names.
+    pub drifts: Vec<(String, DriftSchedule)>,
+    /// Difficulty models to sweep (name + model), same naming rule.
+    pub difficulties: Vec<(String, DifficultyModel)>,
 }
 
 impl ScenarioGrid {
@@ -745,7 +1153,9 @@ impl ScenarioGrid {
         let redundancies = vec![(base.min_labels_per_instance, base.max_labels_per_instance)];
         let annotator_counts = vec![base.num_annotators];
         let majority_shares = vec![base.majority_share];
-        Self { base, mixes, redundancies, annotator_counts, majority_shares }
+        let drifts = vec![(base.drift.name().to_string(), base.drift)];
+        let difficulties = vec![("flat".to_string(), base.difficulty)];
+        Self { base, mixes, redundancies, annotator_counts, majority_shares, drifts, difficulties }
     }
 
     /// Sweeps the standard archetype mixes (see [`standard_mixes`]).
@@ -772,28 +1182,57 @@ impl ScenarioGrid {
         self
     }
 
+    /// Sweeps the given drift schedules.
+    pub fn with_drifts(mut self, drifts: Vec<(String, DriftSchedule)>) -> Self {
+        self.drifts = drifts;
+        self
+    }
+
+    /// Sweeps the given difficulty models.
+    pub fn with_difficulties(mut self, difficulties: Vec<(String, DifficultyModel)>) -> Self {
+        self.difficulties = difficulties;
+        self
+    }
+
     /// Materialises every configuration of the grid, with descriptive
-    /// names like `sent/spammer-third/r3-5/j20/b0.50`.
+    /// names like `sent/spammer-third/r3-5/j20/b0.50` (plus `/<drift>` /
+    /// `/<difficulty>` segments when those axes are actually swept).
     pub fn configs(&self) -> Vec<ScenarioConfig> {
         let task_tag = match self.base.task {
             TaskKind::Classification => "sent",
             TaskKind::SequenceTagging => "ner",
         };
+        // only name the temporal segments when the axis departs from the
+        // static default, so pre-temporal grids keep their historical names
+        let name_drift = self.drifts.len() > 1 || self.drifts.iter().any(|(_, d)| !d.is_static());
+        let name_difficulty = self.difficulties.len() > 1 || self.difficulties.iter().any(|(_, d)| !d.is_degenerate());
         let mut out = Vec::new();
         for (mix_name, mix) in &self.mixes {
             for &(min_r, max_r) in &self.redundancies {
                 for &count in &self.annotator_counts {
                     for &share in &self.majority_shares {
-                        let name = format!("{task_tag}/{mix_name}/r{min_r}-{max_r}/j{count}/b{share:.2}");
-                        out.push(
-                            self.base
-                                .clone()
-                                .named(name)
-                                .with_mix(mix.clone())
-                                .with_redundancy(min_r, max_r)
-                                .with_annotators(count)
-                                .with_majority_share(share),
-                        );
+                        for (drift_name, drift) in &self.drifts {
+                            for (difficulty_name, difficulty) in &self.difficulties {
+                                let mut name = format!("{task_tag}/{mix_name}/r{min_r}-{max_r}/j{count}/b{share:.2}");
+                                if name_drift {
+                                    name.push_str(&format!("/{drift_name}"));
+                                }
+                                if name_difficulty {
+                                    name.push_str(&format!("/{difficulty_name}"));
+                                }
+                                out.push(
+                                    self.base
+                                        .clone()
+                                        .named(name)
+                                        .with_mix(mix.clone())
+                                        .with_redundancy(min_r, max_r)
+                                        .with_annotators(count)
+                                        .with_majority_share(share)
+                                        .with_drift(*drift)
+                                        .with_difficulty(*difficulty),
+                                );
+                            }
+                        }
                     }
                 }
             }
@@ -1034,5 +1473,172 @@ mod tests {
         let dataset = generate_scenario(&config);
         assert!(dataset.validate().is_ok());
         assert!(dataset.train.iter().all(|i| i.num_annotations() == 1));
+    }
+
+    // -- temporal axes -----------------------------------------------------
+
+    #[test]
+    fn drift_rate_zero_is_bitwise_identical_to_static() {
+        for task in [TaskKind::Classification, TaskKind::SequenceTagging] {
+            let base = ScenarioConfig::tiny(task).with_mix(standard_mixes()[1].1.clone());
+            let reference = generate_scenario(&base);
+            for drift in [
+                DriftSchedule::Static,
+                DriftSchedule::LinearFatigue { rate: 0.0 },
+                DriftSchedule::StepChange { at: 0.3, level: 0.0 },
+                DriftSchedule::LearningCurve { rate: 0.0 },
+            ] {
+                let drifted = generate_scenario(&base.clone().with_drift(drift));
+                assert_eq!(reference.train, drifted.train, "{task:?}/{drift:?} must be bitwise static");
+                assert_eq!(reference.dev, drifted.dev);
+                assert_eq!(reference.test, drifted.test);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_difficulty_is_bitwise_identical_to_static() {
+        for task in [TaskKind::Classification, TaskKind::SequenceTagging] {
+            let base = ScenarioConfig::tiny(task);
+            let reference = generate_scenario(&base);
+            for concentration in [0.25, 1.0, 8.0] {
+                let config = base.clone().with_difficulty(DifficultyModel { strength: 0.0, concentration });
+                let degenerate = generate_scenario(&config);
+                assert_eq!(reference.train, degenerate.train, "{task:?}/c{concentration} must be bitwise static");
+            }
+        }
+    }
+
+    /// Crowd-label accuracy over an instance-index range of the train split.
+    fn range_accuracy(dataset: &CrowdDataset, range: std::ops::Range<usize>) -> f32 {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for inst in &dataset.train[range] {
+            for cl in &inst.crowd_labels {
+                correct += cl.labels.iter().zip(&inst.gold).filter(|(a, b)| a == b).count();
+                total += inst.gold.len();
+            }
+        }
+        correct as f32 / total.max(1) as f32
+    }
+
+    #[test]
+    fn fatigue_degrades_the_late_stream_and_learning_the_early_one() {
+        let base = ScenarioConfig::classification("drift")
+            .with_sizes(300, 10, 10)
+            .with_propensity(PropensityProfile::Uniform)
+            .with_redundancy(4, 4)
+            .with_annotators(8);
+        let half = 150;
+        let fatigued = generate_scenario(&base.clone().with_drift(DriftSchedule::LinearFatigue { rate: 0.9 }));
+        let early = range_accuracy(&fatigued, 0..half);
+        let late = range_accuracy(&fatigued, half..300);
+        assert!(early > late + 0.1, "fatigue must degrade the late stream: early {early}, late {late}");
+
+        let learning = generate_scenario(&base.with_drift(DriftSchedule::LearningCurve { rate: 0.9 }));
+        let early = range_accuracy(&learning, 0..half);
+        let late = range_accuracy(&learning, half..300);
+        assert!(late > early + 0.1, "a learning curve must improve the late stream: early {early}, late {late}");
+    }
+
+    #[test]
+    fn step_change_switches_abruptly_at_the_breakpoint() {
+        let config = ScenarioConfig::classification("step")
+            .with_sizes(400, 10, 10)
+            .with_propensity(PropensityProfile::Uniform)
+            .with_redundancy(4, 4)
+            .with_annotators(8)
+            .with_drift(DriftSchedule::StepChange { at: 0.5, level: 0.95 });
+        let dataset = generate_scenario(&config);
+        let before = range_accuracy(&dataset, 0..160);
+        let after = range_accuracy(&dataset, 240..400);
+        assert!(before > 0.8, "pre-break stream is clean: {before}");
+        assert!(after < 0.65, "post-break stream is near-spam: {after}");
+    }
+
+    #[test]
+    fn difficulty_conditioning_correlates_errors_across_annotators() {
+        // per-instance error counts: difficulty conditioning concentrates
+        // the errors of ALL annotators on the same (hard) instances, so the
+        // variance of the per-instance error count is far above the
+        // independent-error (static) case
+        let base = ScenarioConfig::classification("difficulty")
+            .with_sizes(400, 10, 10)
+            .with_propensity(PropensityProfile::Uniform)
+            .with_redundancy(10, 10)
+            .with_annotators(10);
+        let errors_per_instance = |dataset: &CrowdDataset| -> Vec<f32> {
+            dataset
+                .train
+                .iter()
+                .map(|inst| inst.crowd_labels.iter().filter(|cl| cl.labels != inst.gold).count() as f32)
+                .collect()
+        };
+        let variance = |v: &[f32]| {
+            let mean = v.iter().sum::<f32>() / v.len() as f32;
+            v.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / v.len() as f32
+        };
+        let static_errors = errors_per_instance(&generate_scenario(&base));
+        let conditioned =
+            generate_scenario(&base.with_difficulty(DifficultyModel { strength: 1.0, concentration: 1.0 }));
+        let conditioned_errors = errors_per_instance(&conditioned);
+        assert!(
+            variance(&conditioned_errors) > 1.8 * variance(&static_errors),
+            "difficulty conditioning must overdisperse per-instance errors: static {}, conditioned {}",
+            variance(&static_errors),
+            variance(&conditioned_errors)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "drift rate must be a probability")]
+    fn negative_drift_rate_is_rejected_with_a_real_message() {
+        let config =
+            ScenarioConfig::tiny(TaskKind::Classification).with_drift(DriftSchedule::LinearFatigue { rate: -0.5 });
+        let _ = generate_scenario(&config);
+    }
+
+    #[test]
+    #[should_panic(expected = "difficulty concentration must be positive")]
+    fn zero_difficulty_concentration_is_rejected_with_a_real_message() {
+        let config = ScenarioConfig::tiny(TaskKind::Classification)
+            .with_difficulty(DifficultyModel { strength: 0.5, concentration: 0.0 });
+        let _ = generate_scenario(&config);
+    }
+
+    #[test]
+    fn content_hash_tracks_the_temporal_knobs() {
+        let base = ScenarioConfig::tiny(TaskKind::Classification);
+        let variants = [
+            base.clone().with_drift(DriftSchedule::LinearFatigue { rate: 0.5 }),
+            base.clone().with_drift(DriftSchedule::StepChange { at: 0.5, level: 0.5 }),
+            base.clone().with_drift(DriftSchedule::LearningCurve { rate: 0.5 }),
+            base.clone().with_difficulty(DifficultyModel { strength: 0.5, concentration: 1.0 }),
+            base.clone().with_difficulty(DifficultyModel { strength: 0.0, concentration: 2.0 }),
+        ];
+        for (i, variant) in variants.iter().enumerate() {
+            assert_ne!(base.content_hash(), variant.content_hash(), "temporal variant {i} should hash differently");
+        }
+    }
+
+    #[test]
+    fn grid_names_temporal_segments_only_when_swept() {
+        let base = ScenarioConfig::tiny(TaskKind::Classification);
+        let plain = ScenarioGrid::new(base.clone()).configs();
+        assert!(plain.iter().all(|c| !c.name.contains("static")), "static-only grids keep historical names");
+        let swept = ScenarioGrid::new(base)
+            .with_drifts(vec![
+                ("static".to_string(), DriftSchedule::Static),
+                ("step0.7".to_string(), DriftSchedule::StepChange { at: 0.5, level: 0.7 }),
+            ])
+            .with_difficulties(vec![
+                ("flat".to_string(), DifficultyModel::default()),
+                ("hard0.6".to_string(), DifficultyModel::with_strength(0.6)),
+            ])
+            .configs();
+        assert_eq!(swept.len(), 4);
+        let names: std::collections::BTreeSet<_> = swept.iter().map(|c| c.name.clone()).collect();
+        assert_eq!(names.len(), 4, "temporal grid names must be unique: {names:?}");
+        assert!(swept.iter().any(|c| c.name.ends_with("/step0.7/hard0.6")));
     }
 }

@@ -10,6 +10,7 @@
 pub mod bsc_seq;
 pub mod catd;
 pub mod dawid_skene;
+pub mod ds_windowed;
 pub mod glad;
 pub mod hmm_crowd;
 pub mod ibcc;
@@ -19,6 +20,7 @@ pub mod pm;
 pub use bsc_seq::BscSeq;
 pub use catd::Catd;
 pub use dawid_skene::DawidSkene;
+pub use ds_windowed::DsWindowed;
 pub use glad::Glad;
 pub use hmm_crowd::HmmCrowd;
 pub use ibcc::Ibcc;

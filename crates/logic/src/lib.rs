@@ -15,6 +15,9 @@
 //! * [`rules`] — the concrete rules evaluated in the paper: the sentiment
 //!   *A-but-B* rule (Eq. 16/17), the NER transition rules (Eq. 18/19) and
 //!   the deliberately weaker variants used in the Table-IV ablation.
+//!
+//! (Where this sits in the workspace: `ARCHITECTURE.md` at the repository
+//! root.)
 
 pub mod projection;
 pub mod rule;

@@ -12,6 +12,9 @@
 //!   ([`SentimentCnn`](models::SentimentCnn), [`NerConvGru`](models::NerConvGru))
 //!   behind the [`InstanceClassifier`] trait.
 //!
+//! (Where this sits in the workspace: `ARCHITECTURE.md` at the repository
+//! root.)
+//!
 //! ```
 //! use lncl_nn::models::{InstanceClassifier, SentimentCnn, SentimentCnnConfig};
 //! use lncl_tensor::TensorRng;

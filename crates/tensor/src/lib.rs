@@ -6,6 +6,10 @@
 //! ([`ops`]), numerically stable statistical helpers ([`stats`]) and a tiny
 //! seeded random-number facade ([`rng`]) built on top of `rand`.
 //!
+//! This is the bottom layer of the workspace — every other crate builds on
+//! it; the full crate map lives in `ARCHITECTURE.md` at the repository
+//! root.
+//!
 //! The crate is intentionally BLAS-free but not naive: the matrix products
 //! are plan-driven ([`ops::MatmulPlan`]) cache-blocked i-k-j kernels that
 //! shard output rows across scoped threads ([`par`]) once a product is

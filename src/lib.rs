@@ -8,6 +8,9 @@
 //! (`"dawid-skene"`, `"logic-lncl"`, …) and run them through the
 //! [`CrowdMethod`](logic_lncl::CrowdMethod) trait with a
 //! [`RunContext`](logic_lncl::RunContext).
+//!
+//! `ARCHITECTURE.md` at the repository root maps the seven crates, the
+//! registry flow and the bench/sweep/rank pipeline.
 pub use lncl_autograd as autograd;
 pub use lncl_crowd as crowd;
 pub use lncl_logic as logic;

@@ -323,6 +323,77 @@ fn seed_determinism_is_bitwise_tagging() {
 }
 
 // ---------------------------------------------------------------------------
+// temporal scenarios: the permutation / relabeling / determinism invariants
+// must survive drifting annotators and difficulty-conditioned error
+// ---------------------------------------------------------------------------
+
+/// Runs the three metamorphic invariants on one temporal scenario: bitwise
+/// seed determinism, bitwise annotator-renumbering invariance and bounded
+/// class-relabeling drift.  Temporal corruption is keyed by each
+/// annotator's stream position and each instance's latent difficulty —
+/// both of which renumbering and relabeling must leave untouched.
+fn check_temporal_invariants(config: &ScenarioConfig, class_perm: &[usize]) {
+    let dataset = generate_scenario(config);
+    let ctx = context_of(&dataset);
+    let registry = MethodRegistry::standard();
+    let baseline = run_all(&registry, &dataset, &ctx);
+
+    // bitwise seed determinism
+    let rerun = run_all(&registry, &dataset, &ctx);
+    for ((name, base), (rname, rows)) in baseline.iter().zip(&rerun) {
+        assert_eq!(name, rname);
+        assert_eq!(row_bits(base), row_bits(rows), "{}/{name}: two runs under the same seed disagree", config.name);
+    }
+
+    // bitwise annotator-renumbering invariance
+    let perm: Vec<usize> = (0..dataset.num_annotators).rev().collect();
+    let permuted_rows = run_all(&registry, &dataset.with_permuted_annotators(&perm), &ctx);
+    for ((name, base), (pname, rows)) in baseline.iter().zip(&permuted_rows) {
+        assert_eq!(name, pname);
+        assert_eq!(
+            row_bits(base),
+            row_bits(rows),
+            "{}/{name}: metrics changed under annotator renumbering",
+            config.name
+        );
+    }
+
+    // bounded class-relabeling drift (same per-family tolerances as the
+    // static scenarios)
+    let relabeled = dataset.with_relabeled_classes(class_perm);
+    assert!(relabeled.validate().is_ok());
+    let relabeled_rows = run_all(&registry, &relabeled, &ctx);
+    for ((name, base), (rname, rows)) in baseline.iter().zip(&relabeled_rows) {
+        assert_eq!(name, rname);
+        let family = registry.get(name).expect("registered").descriptor().family;
+        let delta = max_metric_delta(base, rows, family == Family::TruthInference);
+        assert!(
+            delta <= relabel_tolerance(family),
+            "{}/{name} ({family}): metrics drifted {delta} under class relabeling",
+            config.name
+        );
+    }
+}
+
+#[test]
+fn invariants_hold_on_a_drifted_scenario() {
+    use lncl_crowd::scenario::DriftSchedule;
+    let config = property_config(TaskKind::Classification)
+        .named("props-sent-drift")
+        .with_drift(DriftSchedule::StepChange { at: 0.4, level: 0.8 });
+    check_temporal_invariants(&config, &[1, 0]);
+}
+
+#[test]
+fn invariants_hold_on_a_difficulty_conditioned_scenario() {
+    use lncl_crowd::scenario::DifficultyModel;
+    let config = property_config(TaskKind::SequenceTagging)
+        .named("props-ner-difficulty")
+        .with_difficulty(DifficultyModel { strength: 0.8, concentration: 1.0 });
+    check_temporal_invariants(&config, &[0, 3, 4, 1, 2, 5, 6, 7, 8]);
+}
+
+// ---------------------------------------------------------------------------
 // redundancy monotonicity and spammer dilution (aggregation quality)
 // ---------------------------------------------------------------------------
 
