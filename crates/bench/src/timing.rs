@@ -14,18 +14,10 @@ use std::time::Instant;
 
 /// Reads a `usize` environment variable.  Unset returns `None`; set but
 /// invalid also returns `None` **with a warning on stderr** (a silently
-/// ignored `LNCL_REPS=ten` cost real debugging time).
+/// ignored `LNCL_REPS=ten` cost real debugging time).  Thin re-export of
+/// the shared workspace helper in [`lncl_tensor::env`].
 pub fn env_usize(name: &str) -> Option<usize> {
-    match std::env::var(name) {
-        Err(_) => None,
-        Ok(raw) => match raw.parse::<usize>() {
-            Ok(n) => Some(n),
-            Err(_) => {
-                eprintln!("warning: ignoring invalid {name}={raw:?} (expected a non-negative integer)");
-                None
-            }
-        },
-    }
+    lncl_tensor::env::env_usize(name)
 }
 
 /// Number of timed iterations (`LNCL_BENCH_ITERS` overrides, default 20).
@@ -53,16 +45,9 @@ pub fn parse_shard(raw: &str) -> Result<(usize, usize), String> {
 /// stderr** and the caller falls back to the unsharded path, matching the
 /// `LNCL_THREADS`/`LNCL_REPS` convention.
 pub fn env_shard() -> Option<(usize, usize)> {
-    match std::env::var("LNCL_SHARD") {
-        Err(_) => None,
-        Ok(raw) => match parse_shard(&raw) {
-            Ok(shard) => Some(shard),
-            Err(reason) => {
-                eprintln!("warning: ignoring invalid LNCL_SHARD={raw:?} ({reason}); running unsharded");
-                None
-            }
-        },
-    }
+    lncl_tensor::env::parse_env("LNCL_SHARD", |raw| {
+        parse_shard(raw).map_err(|reason| format!("{reason}; running unsharded"))
+    })
 }
 
 /// Statistics of one benchmark case.

@@ -143,8 +143,9 @@ pub fn decay_blend_flat(raw: &[f32], block: usize, decay: f32) -> Vec<f32> {
 }
 
 /// [`decay_blend_flat`] over per-window matrices (one `K x K` count matrix
-/// per window of one annotator's stream).
-fn decay_blend(raw: &[Matrix], decay: f32) -> Vec<Matrix> {
+/// per window of one annotator's stream).  Shared with the incremental
+/// estimator in [`crate::truth::streaming`].
+pub(crate) fn decay_blend(raw: &[Matrix], decay: f32) -> Vec<Matrix> {
     let Some(first) = raw.first() else { return Vec::new() };
     let (rows, cols) = first.shape();
     let block = rows * cols;

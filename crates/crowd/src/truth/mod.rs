@@ -16,6 +16,7 @@ pub mod hmm_crowd;
 pub mod ibcc;
 pub mod mv;
 pub mod pm;
+pub mod streaming;
 
 pub use bsc_seq::BscSeq;
 pub use catd::Catd;
@@ -26,6 +27,7 @@ pub use hmm_crowd::HmmCrowd;
 pub use ibcc::Ibcc;
 pub use mv::MajorityVote;
 pub use pm::Pm;
+pub use streaming::{StreamingConfig, StreamingTruth};
 
 use crate::data::AnnotationView;
 use crate::metrics::accuracy;

@@ -1,0 +1,159 @@
+//! The replay-equivalence contract of the incremental estimator
+//! ([`lncl_crowd::truth::streaming`]): ingesting a dataset label-by-label
+//! and running one finalization pass must reproduce the batch estimators —
+//! bitwise when each unit's labels arrive in canonical (annotator-sorted)
+//! order, within a tight tolerance otherwise, on a seeded grid over both
+//! tasks and clean / mixed / drifted scenarios.  Pooled-mode convergence
+//! must additionally be independent of the arrival interleaving.
+
+use lncl_crowd::data::AnnotationView;
+use lncl_crowd::scenario::{generate_scenario, Archetype, DriftSchedule, ScenarioConfig};
+use lncl_crowd::truth::streaming::{StreamingConfig, StreamingTruth};
+use lncl_crowd::truth::{DawidSkene, DsWindowed, TruthInference};
+use lncl_crowd::TaskKind;
+use lncl_tensor::TensorRng;
+
+/// The scenario axis of the grid: a clean pool, an adversarial mix and a
+/// mid-stream step drift, for one task.
+fn grid_views(task: TaskKind) -> Vec<(String, AnnotationView)> {
+    let base = ScenarioConfig::tiny(task);
+    let task_name = match task {
+        TaskKind::Classification => "cls",
+        TaskKind::SequenceTagging => "tag",
+    };
+    let variants = vec![
+        ("clean", base.clone()),
+        (
+            "mixed",
+            base.clone().with_mix(vec![
+                (Archetype::reliable(), 0.5),
+                (Archetype::adversarial(), 0.25),
+                (Archetype::pair_confuser(), 0.25),
+            ]),
+        ),
+        ("drifted", base.with_drift(DriftSchedule::StepChange { at: 0.5, level: 0.6 })),
+    ];
+    variants
+        .into_iter()
+        .flat_map(|(name, config)| {
+            [3u64, 17].into_iter().map(move |seed| {
+                let config = config.clone().named(format!("{task_name}/{name}/s{seed}")).with_seed(seed);
+                (config.name.clone(), generate_scenario(&config).annotation_view())
+            })
+        })
+        .collect()
+}
+
+fn max_posterior_diff(a: &[Vec<f32>], b: &[Vec<f32>]) -> f32 {
+    assert_eq!(a.len(), b.len(), "unit-count mismatch");
+    a.iter().zip(b).flat_map(|(x, y)| x.iter().zip(y).map(|(p, q)| (p - q).abs())).fold(0.0f32, f32::max)
+}
+
+/// A copy of the view with each unit's labels in canonical
+/// (annotator, class) order — the order `finalize` sorts into, so the
+/// batch estimator's float-summation order matches the stream's exactly.
+fn canonical(view: &AnnotationView) -> AnnotationView {
+    let mut sorted = view.clone();
+    for annotations in &mut sorted.annotations {
+        annotations.sort();
+    }
+    sorted
+}
+
+#[test]
+fn replayed_stream_matches_batch_ds_across_grid() {
+    for task in [TaskKind::Classification, TaskKind::SequenceTagging] {
+        for (name, view) in grid_views(task) {
+            let mut stream = StreamingTruth::new(StreamingConfig::pooled(view.num_classes));
+            stream.ingest_view(&view);
+            stream.finalize();
+            let batch = DawidSkene::default().infer(&view);
+            let diff = max_posterior_diff(&stream.estimate().posteriors, &batch.posteriors);
+            assert!(diff < 5e-4, "{name}: stream+finalize vs batch DS diff {diff}");
+        }
+    }
+}
+
+#[test]
+fn replayed_stream_matches_batch_ds_windowed_across_grid() {
+    for task in [TaskKind::Classification, TaskKind::SequenceTagging] {
+        for (name, view) in grid_views(task) {
+            let mut stream = StreamingTruth::new(StreamingConfig::windowed_default(view.num_classes));
+            stream.ingest_view(&view);
+            stream.finalize();
+            let batch = DsWindowed::default().infer(&view);
+            let diff = max_posterior_diff(&stream.estimate().posteriors, &batch.posteriors);
+            assert!(diff < 5e-4, "{name}: stream+finalize vs batch DS-W diff {diff}");
+        }
+    }
+}
+
+#[test]
+fn canonical_order_replay_is_bitwise_identical_to_batch() {
+    for task in [TaskKind::Classification, TaskKind::SequenceTagging] {
+        let view = canonical(&generate_scenario(&ScenarioConfig::tiny(task).with_seed(5)).annotation_view());
+        let mut stream = StreamingTruth::new(StreamingConfig::pooled(view.num_classes));
+        stream.ingest_view(&view);
+        stream.finalize();
+        let batch = DawidSkene::default().infer(&view);
+        let streamed = stream.estimate().posteriors;
+        assert_eq!(
+            streamed, batch.posteriors,
+            "{task:?}: canonical-order replay must be bitwise identical to batch DS"
+        );
+    }
+}
+
+#[test]
+fn pooled_convergence_is_independent_of_arrival_interleaving() {
+    let view = generate_scenario(&ScenarioConfig::tiny(TaskKind::Classification).with_seed(9)).annotation_view();
+    let labels: Vec<(usize, usize, usize)> =
+        view.annotations.iter().enumerate().flat_map(|(u, anns)| anns.iter().map(move |&(a, c)| (u, a, c))).collect();
+
+    let mut reference: Option<Vec<Vec<f32>>> = None;
+    for seed in [1u64, 2, 3] {
+        let mut order: Vec<usize> = (0..labels.len()).collect();
+        let mut rng = TensorRng::seed_from_u64(seed);
+        // Fisher–Yates over the arrival order
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.usize_below(i + 1));
+        }
+        let mut stream = StreamingTruth::new(StreamingConfig::pooled(view.num_classes));
+        for &i in &order {
+            let (u, a, c) = labels[i];
+            stream.ingest(u, a, c).expect("valid label");
+        }
+        stream.finalize();
+        let posteriors = stream.estimate().posteriors;
+        match &reference {
+            None => reference = Some(posteriors),
+            Some(reference) => {
+                assert_eq!(reference, &posteriors, "interleaving seed {seed} changed the converged pooled state")
+            }
+        }
+    }
+}
+
+#[test]
+fn online_stream_stays_usable_between_finalizations() {
+    // finalize mid-stream, keep ingesting, finalize again: the second
+    // finalization must still match a batch run over everything
+    let view = generate_scenario(&ScenarioConfig::tiny(TaskKind::Classification).with_seed(21)).annotation_view();
+    let mut stream = StreamingTruth::new(StreamingConfig::pooled(view.num_classes));
+    let half = view.annotations.len() / 2;
+    for (u, annotations) in view.annotations.iter().enumerate().take(half) {
+        for &(a, c) in annotations {
+            stream.ingest(u, a, c).expect("valid label");
+        }
+    }
+    stream.finalize();
+    for (u, annotations) in view.annotations.iter().enumerate().skip(half) {
+        for &(a, c) in annotations {
+            stream.ingest(u, a, c).expect("valid label");
+        }
+    }
+    stream.finalize();
+    let batch = DawidSkene::default().infer(&view);
+    let diff = max_posterior_diff(&stream.estimate().posteriors, &batch.posteriors);
+    assert!(diff < 5e-4, "mid-stream finalization must not poison the final state, diff {diff}");
+}

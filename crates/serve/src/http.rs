@@ -1,0 +1,255 @@
+//! A minimal HTTP/1.1 request parser and response writer.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! serving layer cannot use hyper/axum.  This module implements exactly the
+//! subset the truth-inference API needs: request line + headers +
+//! `Content-Length` bodies, keep-alive connections, and plain
+//! `Content-Type: application/json` responses.  Everything a client can
+//! get wrong maps to a typed [`HttpError`] with the right 4xx status —
+//! workers answer and drop the connection instead of panicking (the
+//! robustness contract tested in `tests/http_service.rs`).
+
+use std::io::{BufRead, Write};
+
+/// Upper bound on the request line plus headers, in bytes.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Upper bound on a request body, in bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path, query string stripped.
+    pub path: String,
+    /// Raw request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// Whether the client asked to close the connection after the
+    /// response (`Connection: close`).
+    pub close: bool,
+}
+
+/// A request that could not be parsed; maps to one 4xx response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed request line / headers / `Content-Length` → `400`.
+    BadRequest(String),
+    /// Declared body larger than [`MAX_BODY_BYTES`] → `413`.
+    PayloadTooLarge(String),
+    /// Request line + headers larger than [`MAX_HEAD_BYTES`] → `431`.
+    HeadersTooLarge(String),
+}
+
+impl HttpError {
+    /// The status line pair for the error.
+    pub fn status(&self) -> (u16, &'static str) {
+        match self {
+            HttpError::BadRequest(_) => (400, "Bad Request"),
+            HttpError::PayloadTooLarge(_) => (413, "Payload Too Large"),
+            HttpError::HeadersTooLarge(_) => (431, "Request Header Fields Too Large"),
+        }
+    }
+
+    /// The human-readable reason carried by the error.
+    pub fn message(&self) -> &str {
+        match self {
+            HttpError::BadRequest(m) | HttpError::PayloadTooLarge(m) | HttpError::HeadersTooLarge(m) => m,
+        }
+    }
+}
+
+/// Reads one line terminated by `\n` (CR stripped), bounding the total
+/// head size.  `Ok(None)` means the peer closed before sending anything.
+fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::BadRequest("connection closed mid-line".into()));
+            }
+            Ok(_) => {
+                if *budget == 0 {
+                    return Err(HttpError::HeadersTooLarge(format!("request head exceeds {MAX_HEAD_BYTES} bytes")));
+                }
+                *budget -= 1;
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map(Some)
+                        .map_err(|_| HttpError::BadRequest("non-UTF-8 request head".into()));
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => return Err(HttpError::BadRequest(format!("read error: {e}"))),
+        }
+    }
+}
+
+/// Parses one request from the stream.  `Ok(None)` = clean connection
+/// close before a request started; `Err` = answer with the error's status
+/// and close.
+pub fn parse_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let Some(request_line) = read_line(reader, &mut budget)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next()) else {
+        return Err(HttpError::BadRequest(format!("malformed request line {request_line:?}")));
+    };
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!("malformed request line {request_line:?}")));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::BadRequest(format!("request target {target:?} is not an absolute path")));
+    }
+
+    let mut content_length = 0usize;
+    let mut close = false;
+    loop {
+        let Some(line) = read_line(reader, &mut budget)? else {
+            return Err(HttpError::BadRequest("connection closed inside headers".into()));
+        };
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest(format!("malformed header line {line:?}")));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length =
+                value.parse().map_err(|_| HttpError::BadRequest(format!("invalid Content-Length {value:?}")))?;
+        } else if name.eq_ignore_ascii_case("connection") && value.eq_ignore_ascii_case("close") {
+            close = true;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::PayloadTooLarge(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| HttpError::BadRequest(format!("short body ({content_length} bytes declared): {e}")))?;
+
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    Ok(Some(Request { method: method.to_ascii_uppercase(), path, body, close }))
+}
+
+/// Writes one `application/json` response with `Content-Length`.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    reason: &str,
+    body: &str,
+    close: bool,
+) -> std::io::Result<()> {
+    let connection = if close { "close" } else { "keep-alive" };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// The standard reason phrase for the status codes the service emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
+        parse_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+        assert!(!req.close);
+    }
+
+    #[test]
+    fn parses_post_with_body_and_strips_query() {
+        let req =
+            parse("POST /labels?x=1 HTTP/1.1\r\nContent-Length: 4\r\nConnection: close\r\n\r\nabcd").unwrap().unwrap();
+        assert_eq!(req.path, "/labels");
+        assert_eq!(req.body, b"abcd");
+        assert!(req.close);
+    }
+
+    #[test]
+    fn clean_close_before_request_is_none() {
+        assert_eq!(parse("").unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_request_lines_are_bad_requests() {
+        for raw in ["GARBAGE\r\n\r\n", "GET /x\r\n\r\n", "GET /x SPDY/3\r\n\r\n", "GET x HTTP/1.1\r\n\r\n"] {
+            assert!(matches!(parse(raw), Err(HttpError::BadRequest(_))), "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_content_length_is_a_bad_request() {
+        let err = parse("POST /labels HTTP/1.1\r\nContent-Length: ten\r\n\r\n").unwrap_err();
+        assert!(matches!(err, HttpError::BadRequest(_)));
+        assert!(err.message().contains("Content-Length"));
+    }
+
+    #[test]
+    fn oversized_body_is_payload_too_large() {
+        let raw = format!("POST /labels HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        let err = parse(&raw).unwrap_err();
+        assert_eq!(err.status().0, 413);
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let raw = format!("GET /x HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "a".repeat(MAX_HEAD_BYTES));
+        let err = parse(&raw).unwrap_err();
+        assert_eq!(err.status().0, 431);
+    }
+
+    #[test]
+    fn truncated_body_is_a_bad_request() {
+        let err = parse("POST /labels HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").unwrap_err();
+        assert!(matches!(err, HttpError::BadRequest(_)));
+    }
+
+    #[test]
+    fn response_writer_frames_the_body() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "OK", "{\"ok\": true}", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 12\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\": true}"));
+    }
+}

@@ -1,0 +1,340 @@
+//! Shared service state and route dispatch.
+//!
+//! [`AppState`] owns the incremental estimator
+//! ([`StreamingTruth`]) behind one
+//! mutex, plus the interners mapping external string ids (instance and
+//! annotator names) to the dense indices the estimator works in.  Route
+//! handling is transport-free — [`AppState::handle`] consumes a parsed
+//! method/path/body and returns a status + JSON document — so the whole
+//! API surface is unit-testable without sockets.
+
+use lncl_bench::json::Json;
+use lncl_crowd::truth::streaming::{StreamingConfig, StreamingTruth};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// A status code plus a JSON body — one API response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApiResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response document.
+    pub body: Json,
+}
+
+impl ApiResponse {
+    fn ok(body: Json) -> Self {
+        Self { status: 200, body }
+    }
+
+    fn error(status: u16, message: impl Into<String>) -> Self {
+        Self { status, body: Json::Obj(vec![("error".to_string(), Json::Str(message.into()))]) }
+    }
+}
+
+/// Dense interner for external string ids; ids are assigned in first-seen
+/// order, so a replayed label stream always produces the same mapping.
+#[derive(Debug, Default)]
+struct Interner {
+    ids: HashMap<String, usize>,
+    names: Vec<String>,
+}
+
+impl Interner {
+    fn intern(&mut self, name: &str) -> usize {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len();
+        self.ids.insert(name.to_string(), id);
+        self.names.push(name.to_string());
+        id
+    }
+
+    fn lookup(&self, name: &str) -> Option<usize> {
+        self.ids.get(name).copied()
+    }
+}
+
+struct Inner {
+    stream: StreamingTruth,
+    instances: Interner,
+    annotators: Interner,
+}
+
+/// The shared state of a running service.
+pub struct AppState {
+    inner: Mutex<Inner>,
+}
+
+/// One validated label from a `POST /labels` body.
+struct LabelEntry {
+    instance: String,
+    annotator: String,
+    class: usize,
+}
+
+impl AppState {
+    /// Creates an empty service over the given estimator configuration.
+    pub fn new(config: StreamingConfig) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                stream: StreamingTruth::new(config),
+                instances: Interner::default(),
+                annotators: Interner::default(),
+            }),
+        }
+    }
+
+    /// Dispatches one request.  Unknown paths get `404`, known paths with
+    /// the wrong method `405`; handler-level validation failures are `400`
+    /// with an `error` message.
+    pub fn handle(&self, method: &str, path: &str, body: &[u8]) -> ApiResponse {
+        let wrong_method = || ApiResponse::error(405, format!("{method} is not supported on {path}"));
+        if let Some(id) = path.strip_prefix("/consensus/").filter(|id| !id.is_empty()) {
+            return if method == "GET" { self.get_consensus(id) } else { wrong_method() };
+        }
+        if let Some(id) = path.strip_prefix("/annotators/").filter(|id| !id.is_empty()) {
+            return if method == "GET" { self.get_annotator(id) } else { wrong_method() };
+        }
+        match (method, path) {
+            ("POST", "/labels") => self.post_labels(body),
+            ("POST", "/finalize") => self.post_finalize(),
+            ("GET", "/healthz") => ApiResponse::ok(Json::Obj(vec![("ok".to_string(), Json::Bool(true))])),
+            ("GET", "/stats") => self.get_stats(),
+            (_, "/labels") | (_, "/finalize") | (_, "/healthz") | (_, "/stats") => wrong_method(),
+            _ => ApiResponse::error(404, format!("no route for {path}")),
+        }
+    }
+
+    /// `POST /labels`: one label object or `{"labels": [...]}`.  The batch
+    /// is validated in full before anything is ingested (all-or-nothing).
+    fn post_labels(&self, body: &[u8]) -> ApiResponse {
+        let text = match std::str::from_utf8(body) {
+            Ok(text) => text,
+            Err(_) => return ApiResponse::error(400, "body is not UTF-8"),
+        };
+        let doc = match Json::parse(text) {
+            Ok(doc) => doc,
+            Err(e) => return ApiResponse::error(400, format!("invalid JSON body: {e}")),
+        };
+        let raw_entries: Vec<&Json> = match doc.get("labels") {
+            Some(Json::Arr(items)) => items.iter().collect(),
+            Some(_) => return ApiResponse::error(400, "\"labels\" must be an array"),
+            None => vec![&doc],
+        };
+        let mut entries = Vec::with_capacity(raw_entries.len());
+        for (i, raw) in raw_entries.iter().enumerate() {
+            match parse_label(raw) {
+                Ok(entry) => entries.push(entry),
+                Err(reason) => return ApiResponse::error(400, format!("label {i}: {reason}")),
+            }
+        }
+        if entries.is_empty() {
+            return ApiResponse::error(400, "empty label batch");
+        }
+
+        let mut inner = self.lock();
+        let num_classes = inner.stream.config().num_classes;
+        if let Some(bad) = entries.iter().find(|e| e.class >= num_classes) {
+            return ApiResponse::error(400, format!("class {} out of range for {num_classes} classes", bad.class));
+        }
+        for entry in &entries {
+            let instance = inner.instances.intern(&entry.instance);
+            let annotator = inner.annotators.intern(&entry.annotator);
+            inner.stream.ingest(instance, annotator, entry.class).expect("class range checked above");
+        }
+        ApiResponse::ok(Json::Obj(vec![
+            ("accepted".to_string(), Json::Num(entries.len() as f64)),
+            ("total_labels".to_string(), Json::Num(inner.stream.total_labels() as f64)),
+            ("dirty_backlog".to_string(), Json::Num(inner.stream.dirty_backlog() as f64)),
+        ]))
+    }
+
+    /// `POST /finalize`: full batch EM over everything ingested so far.
+    fn post_finalize(&self) -> ApiResponse {
+        let mut inner = self.lock();
+        let iterations = inner.stream.finalize();
+        ApiResponse::ok(Json::Obj(vec![
+            ("iterations".to_string(), Json::Num(iterations as f64)),
+            ("instances".to_string(), Json::Num(inner.stream.num_instances() as f64)),
+        ]))
+    }
+
+    /// `GET /consensus/<instance>`.
+    fn get_consensus(&self, id: &str) -> ApiResponse {
+        let inner = self.lock();
+        let Some(consensus) = inner.instances.lookup(id).and_then(|u| inner.stream.consensus(u)) else {
+            return ApiResponse::error(404, format!("unknown instance {id:?}"));
+        };
+        ApiResponse::ok(Json::Obj(vec![
+            ("instance".to_string(), Json::Str(id.to_string())),
+            ("posterior".to_string(), Json::Arr(consensus.posterior.iter().map(|&p| Json::Num(p as f64)).collect())),
+            ("hard_class".to_string(), Json::Num(consensus.hard as f64)),
+            ("entropy".to_string(), Json::Num(consensus.entropy as f64)),
+            ("labels".to_string(), Json::Num(consensus.labels as f64)),
+        ]))
+    }
+
+    /// `GET /annotators/<id>`.
+    fn get_annotator(&self, id: &str) -> ApiResponse {
+        let inner = self.lock();
+        let Some(stat) = inner.annotators.lookup(id).and_then(|a| inner.stream.annotator(a)) else {
+            return ApiResponse::error(404, format!("unknown annotator {id:?}"));
+        };
+        let confusion = Json::Arr(
+            (0..stat.confusion.rows())
+                .map(|r| Json::Arr(stat.confusion.row(r).iter().map(|&v| Json::Num(v as f64)).collect()))
+                .collect(),
+        );
+        ApiResponse::ok(Json::Obj(vec![
+            ("annotator".to_string(), Json::Str(id.to_string())),
+            ("reliability".to_string(), Json::Num(stat.reliability as f64)),
+            ("labels".to_string(), Json::Num(stat.labels as f64)),
+            ("confusion".to_string(), confusion),
+        ]))
+    }
+
+    /// `GET /stats`.
+    fn get_stats(&self) -> ApiResponse {
+        let inner = self.lock();
+        let config = inner.stream.config();
+        let mode = if config.window.is_some() { "windowed" } else { "pooled" };
+        ApiResponse::ok(Json::Obj(vec![
+            ("instances".to_string(), Json::Num(inner.stream.num_instances() as f64)),
+            ("annotators".to_string(), Json::Num(inner.stream.num_annotators() as f64)),
+            ("total_labels".to_string(), Json::Num(inner.stream.total_labels() as f64)),
+            ("dirty_backlog".to_string(), Json::Num(inner.stream.dirty_backlog() as f64)),
+            ("refreshed_instances".to_string(), Json::Num(inner.stream.refreshed_instances() as f64)),
+            ("num_classes".to_string(), Json::Num(config.num_classes as f64)),
+            ("mode".to_string(), Json::Str(mode.to_string())),
+        ]))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // a worker that panicked mid-request must not take the service
+        // down with it: the estimator mutates through &mut self only after
+        // validation, so the state is still usable
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+fn parse_label(raw: &Json) -> Result<LabelEntry, String> {
+    let field = |key: &str| raw.get(key).ok_or_else(|| format!("missing {key:?}"));
+    let text = |key: &str| field(key)?.as_str().map(str::to_string).ok_or_else(|| format!("{key:?} must be a string"));
+    let instance = text("instance")?;
+    let annotator = text("annotator")?;
+    if instance.is_empty() || annotator.is_empty() {
+        return Err("instance and annotator ids must be non-empty".to_string());
+    }
+    let class = field("class")?.as_f64().ok_or("\"class\" must be a number")?;
+    if class < 0.0 || class.fract() != 0.0 {
+        return Err(format!("\"class\" must be a non-negative integer, got {class}"));
+    }
+    Ok(LabelEntry { instance, annotator, class: class as usize })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn post(state: &AppState, path: &str, body: &str) -> ApiResponse {
+        state.handle("POST", path, body.as_bytes())
+    }
+
+    #[test]
+    fn healthz_and_stats_respond() {
+        let state = AppState::new(StreamingConfig::pooled(2));
+        assert_eq!(state.handle("GET", "/healthz", b"").status, 200);
+        let stats = state.handle("GET", "/stats", b"");
+        assert_eq!(stats.status, 200);
+        assert_eq!(stats.body.get("mode").and_then(Json::as_str), Some("pooled"));
+        assert_eq!(stats.body.get("total_labels").and_then(Json::as_f64), Some(0.0));
+    }
+
+    #[test]
+    fn single_and_batch_labels_are_ingested() {
+        let state = AppState::new(StreamingConfig::pooled(2));
+        let single = post(&state, "/labels", r#"{"instance": "i0", "annotator": "ann", "class": 1}"#);
+        assert_eq!(single.status, 200, "{:?}", single.body);
+        assert_eq!(single.body.get("accepted").and_then(Json::as_f64), Some(1.0));
+        let batch = post(
+            &state,
+            "/labels",
+            r#"{"labels": [
+                {"instance": "i0", "annotator": "b", "class": 1},
+                {"instance": "i1", "annotator": "b", "class": 0}
+            ]}"#,
+        );
+        assert_eq!(batch.status, 200);
+        assert_eq!(batch.body.get("total_labels").and_then(Json::as_f64), Some(3.0));
+        let consensus = state.handle("GET", "/consensus/i0", b"");
+        assert_eq!(consensus.status, 200);
+        assert_eq!(consensus.body.get("labels").and_then(Json::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn invalid_label_bodies_are_rejected_without_partial_ingest() {
+        let state = AppState::new(StreamingConfig::pooled(2));
+        for (body, fragment) in [
+            ("not json", "invalid JSON"),
+            (r#"{"labels": 3}"#, "must be an array"),
+            (r#"{"labels": []}"#, "empty label batch"),
+            (r#"{"instance": "i", "annotator": "a"}"#, "missing \"class\""),
+            (r#"{"instance": "i", "annotator": "a", "class": 1.5}"#, "non-negative integer"),
+            (r#"{"instance": "i", "annotator": "a", "class": 9}"#, "out of range"),
+            (r#"{"instance": "", "annotator": "a", "class": 0}"#, "non-empty"),
+            (
+                r#"{"labels": [
+                    {"instance": "i", "annotator": "a", "class": 0},
+                    {"instance": "i", "annotator": "b", "class": 7}
+                ]}"#,
+                "out of range",
+            ),
+        ] {
+            let response = post(&state, "/labels", body);
+            assert_eq!(response.status, 400, "{body}");
+            let message = response.body.get("error").and_then(Json::as_str).unwrap();
+            assert!(message.contains(fragment), "{body}: {message}");
+        }
+        let stats = state.handle("GET", "/stats", b"");
+        assert_eq!(stats.body.get("total_labels").and_then(Json::as_f64), Some(0.0), "all-or-nothing");
+    }
+
+    #[test]
+    fn unknown_ids_are_404() {
+        let state = AppState::new(StreamingConfig::pooled(2));
+        assert_eq!(state.handle("GET", "/consensus/ghost", b"").status, 404);
+        assert_eq!(state.handle("GET", "/annotators/ghost", b"").status, 404);
+    }
+
+    #[test]
+    fn unknown_routes_and_wrong_methods() {
+        let state = AppState::new(StreamingConfig::pooled(2));
+        assert_eq!(state.handle("GET", "/nope", b"").status, 404);
+        assert_eq!(state.handle("GET", "/consensus/", b"").status, 404);
+        assert_eq!(state.handle("DELETE", "/labels", b"").status, 405);
+        assert_eq!(state.handle("POST", "/consensus/i0", b"").status, 405);
+        assert_eq!(state.handle("POST", "/healthz", b"").status, 405);
+    }
+
+    #[test]
+    fn finalize_reports_iterations_and_sharpens_consensus() {
+        let state = AppState::new(StreamingConfig::pooled(2));
+        for u in 0..20 {
+            for a in 0..3 {
+                let body = format!(r#"{{"instance": "i{u}", "annotator": "a{a}", "class": {}}}"#, u % 2);
+                assert_eq!(post(&state, "/labels", &body).status, 200);
+            }
+        }
+        let finalize = post(&state, "/finalize", "");
+        assert_eq!(finalize.status, 200);
+        assert!(finalize.body.get("iterations").and_then(Json::as_f64).unwrap() >= 1.0);
+        let consensus = state.handle("GET", "/consensus/i1", b"");
+        let posterior = consensus.body.get("posterior").and_then(Json::as_array).unwrap();
+        assert!(posterior[1].as_f64().unwrap() > 0.9, "unanimous labels should dominate: {posterior:?}");
+        let annotator = state.handle("GET", "/annotators/a0", b"");
+        assert_eq!(annotator.status, 200);
+        assert!(annotator.body.get("reliability").and_then(Json::as_f64).unwrap() > 0.5);
+    }
+}

@@ -32,6 +32,7 @@
 //! assert!((probs.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-6);
 //! ```
 
+pub mod env;
 pub mod matrix;
 pub mod ops;
 pub mod par;

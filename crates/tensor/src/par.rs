@@ -25,16 +25,7 @@ pub fn max_threads() -> usize {
     static CACHE: OnceLock<usize> = OnceLock::new();
     *CACHE.get_or_init(|| {
         let hardware = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        match std::env::var("LNCL_THREADS") {
-            Err(_) => hardware,
-            Ok(raw) => match raw.parse::<usize>() {
-                Ok(n) if n >= 1 => n,
-                _ => {
-                    eprintln!("warning: ignoring invalid LNCL_THREADS={raw:?} (expected an integer >= 1)");
-                    hardware
-                }
-            },
-        }
+        crate::env::env_usize_at_least_one("LNCL_THREADS").unwrap_or(hardware)
     })
 }
 

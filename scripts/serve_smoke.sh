@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the streaming truth-inference service: start
+# the `serve` binary, replay the fixture label stream, finalize, and
+# compare every consensus and annotator document against the checked-in
+# golden fixture (scripts/fixtures/serve_smoke_golden.json).
+#
+# The flow is fully deterministic — fixed labels, serial ingestion (so id
+# interning is reproducible), one finalization pass — so the comparison is
+# an exact byte diff.
+#
+#   LNCL_SERVE_PORT   port to bind (default 47113)
+#   UPDATE_GOLDEN=1   regenerate the golden fixture instead of diffing
+
+set -euo pipefail
+
+PORT="${LNCL_SERVE_PORT:-47113}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+FIXTURES="$ROOT/scripts/fixtures"
+BASE="http://127.0.0.1:$PORT"
+
+cargo build --release -p lncl-serve --bin serve
+
+LNCL_SERVE_PORT="$PORT" "$ROOT/target/release/serve" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 50); do
+    if curl -sf "$BASE/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.2
+done
+curl -sf "$BASE/healthz" >/dev/null || { echo "serve_smoke: server did not come up on port $PORT" >&2; exit 1; }
+
+curl -sf -X POST --data-binary @"$FIXTURES/serve_smoke_labels.json" "$BASE/labels" >/dev/null
+curl -sf -X POST -d '' "$BASE/finalize" >/dev/null
+
+ACTUAL="$(mktemp)"
+for id in i0 i1 i2 i3; do
+    curl -sf "$BASE/consensus/$id"
+done > "$ACTUAL"
+for id in alice bob carol; do
+    curl -sf "$BASE/annotators/$id"
+done >> "$ACTUAL"
+curl -sf "$BASE/stats" >> "$ACTUAL"
+
+if [ "${UPDATE_GOLDEN:-0}" = "1" ]; then
+    cp "$ACTUAL" "$FIXTURES/serve_smoke_golden.json"
+    echo "serve_smoke: golden fixture updated"
+    exit 0
+fi
+
+diff -u "$FIXTURES/serve_smoke_golden.json" "$ACTUAL"
+echo "serve_smoke: OK"

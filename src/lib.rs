@@ -9,8 +9,10 @@
 //! [`CrowdMethod`](logic_lncl::CrowdMethod) trait with a
 //! [`RunContext`](logic_lncl::RunContext).
 //!
-//! `ARCHITECTURE.md` at the repository root maps the seven crates, the
-//! registry flow and the bench/sweep/rank pipeline.
+//! `ARCHITECTURE.md` at the repository root maps the eight crates, the
+//! registry flow, the bench/sweep/rank pipeline and the streaming
+//! serving layer (`lncl-serve`, not re-exported here — it is a service
+//! frontend, not a library surface).
 pub use lncl_autograd as autograd;
 pub use lncl_crowd as crowd;
 pub use lncl_logic as logic;
