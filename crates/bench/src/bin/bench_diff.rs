@@ -6,7 +6,7 @@
 //! ```text
 //! bench_diff compare <baseline.json> <current.json>... [--gate <factor>]
 //! bench_diff merge <out.json> <in.json>...
-//! bench_diff rank <report.json>... [--metric <key>] [--baseline <file>] [--gate <max-drop>]
+//! bench_diff rank <report.json>... [--metric <key>] [--budget <fraction>] [--baseline <file>] [--gate <max-drop>]
 //! ```
 //!
 //! * `compare` prints a before/after table of the **timed** cases.  Cases
@@ -23,8 +23,14 @@
 //!   flips against the baseline report per scenario; `--gate D` then
 //!   fails (exit 1) when any method's metric drops by more than `D`
 //!   absolute, or a baseline row vanishes — the quality counterpart of
-//!   the perf gate.
+//!   the perf gate.  With `--budget F` only the budget-curve rows
+//!   recorded at fraction `F` (scenario suffix `@bF`, see the
+//!   `budget_curves` target) are ranked, and each family's ranking at
+//!   `F` is additionally compared against its full-budget (`@b1.00`)
+//!   ranking — the flips that budget level causes; the `--baseline`
+//!   rows are filtered the same way before gating.
 
+use lncl_bench::budget::{budget_scenario_name, filter_by_budget, parse_budget_suffix};
 use lncl_bench::quality::HEADLINE_METRIC;
 use lncl_bench::rank::{quality_regressions, rank_scenarios, ranking_flips, RankingFlip};
 use lncl_bench::timing::{BenchReport, CaseStats, QualityCase};
@@ -34,7 +40,9 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!("usage: bench_diff compare <baseline.json> <current.json>... [--gate <factor>]");
     eprintln!("       bench_diff merge <out.json> <in.json>...");
-    eprintln!("       bench_diff rank <report.json>... [--metric <key>] [--baseline <file>] [--gate <max-drop>]");
+    eprintln!(
+        "       bench_diff rank <report.json>... [--metric <key>] [--budget <fraction>] [--baseline <file>] [--gate <max-drop>]"
+    );
     ExitCode::from(2)
 }
 
@@ -198,6 +206,7 @@ fn rank(args: &[String]) -> ExitCode {
     let mut metric = HEADLINE_METRIC.to_string();
     let mut baseline_file: Option<String> = None;
     let mut gate: Option<f64> = None;
+    let mut budget: Option<f64> = None;
     let mut files = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -205,6 +214,13 @@ fn rank(args: &[String]) -> ExitCode {
             "--metric" => match iter.next() {
                 Some(key) => metric = key.clone(),
                 None => return usage(),
+            },
+            "--budget" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(f) if f > 0.0 && f <= 1.0 => budget = Some(f),
+                _ => {
+                    eprintln!("bench_diff: --budget needs a fraction in (0, 1]");
+                    return ExitCode::from(2);
+                }
             },
             "--baseline" => match iter.next() {
                 Some(file) => baseline_file = Some(file.clone()),
@@ -227,16 +243,27 @@ fn rank(args: &[String]) -> ExitCode {
         eprintln!("bench_diff: rank --gate needs --baseline <file> to compare against");
         return ExitCode::from(2);
     }
-    let mut quality: Vec<QualityCase> = Vec::new();
+    let mut all_quality: Vec<QualityCase> = Vec::new();
     for file in &files {
         match load(file) {
-            Ok(report) => quality.extend(report.quality),
+            Ok(report) => all_quality.extend(report.quality),
             Err(e) => {
                 eprintln!("bench_diff: {e}");
                 return ExitCode::FAILURE;
             }
         }
     }
+    let quality = match budget {
+        None => all_quality.clone(),
+        Some(fraction) => {
+            let filtered = filter_by_budget(&all_quality, fraction);
+            if filtered.is_empty() {
+                eprintln!("bench_diff: no budget-curve rows at fraction {fraction} (scenario suffix @b{fraction:.2})");
+                return ExitCode::FAILURE;
+            }
+            filtered
+        }
+    };
     let rankings = rank_scenarios(&quality, &metric);
     if rankings.is_empty() {
         eprintln!("bench_diff: no quality rows with metric {metric:?} in {files:?}");
@@ -268,6 +295,28 @@ fn rank(args: &[String]) -> ExitCode {
         println!("  none — every scenario ranks the methods identically");
     }
 
+    if let Some(fraction) = budget {
+        // how this budget level reorders each family against full budget
+        let full_rankings = rank_scenarios(&filter_by_budget(&all_quality, 1.0), &metric);
+        println!("\nranking flips at budget {fraction:.2} vs full budget:");
+        let mut any_budget_flip = false;
+        for current in &rankings {
+            let Some((family, _)) = parse_budget_suffix(&current.scenario) else { continue };
+            let full_name = budget_scenario_name(family, 1.0);
+            let Some(full) = full_rankings.iter().find(|r| r.scenario == full_name) else { continue };
+            let flips = ranking_flips(current, full);
+            if flips.is_empty() {
+                continue;
+            }
+            any_budget_flip = true;
+            println!("  {} -> {} ({} flip(s))", current.scenario, full.scenario, flips.len());
+            print_flips(&flips);
+        }
+        if !any_budget_flip {
+            println!("  none — this budget level preserves every full-budget ranking");
+        }
+    }
+
     let Some(baseline_file) = baseline_file else {
         return ExitCode::SUCCESS;
     };
@@ -278,7 +327,13 @@ fn rank(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let baseline_rankings = rank_scenarios(&baseline.quality, &metric);
+    // a budget filter narrows the baseline the same way, so the gate never
+    // reports the other fractions' rows as vanished
+    let baseline_quality = match budget {
+        None => baseline.quality.clone(),
+        Some(fraction) => filter_by_budget(&baseline.quality, fraction),
+    };
+    let baseline_rankings = rank_scenarios(&baseline_quality, &metric);
     println!("\nranking flips vs baseline {baseline_file}:");
     let mut any_baseline_flip = false;
     for current in &rankings {
@@ -295,7 +350,7 @@ fn rank(args: &[String]) -> ExitCode {
         println!("  none");
     }
     if let Some(max_drop) = gate {
-        let regressions = quality_regressions(&baseline.quality, &quality, &metric, max_drop);
+        let regressions = quality_regressions(&baseline_quality, &quality, &metric, max_drop);
         for regression in &regressions {
             match regression.current {
                 Some(value) => println!(

@@ -1,0 +1,63 @@
+//! Closed-loop routing-policy budget curves (beyond the paper; see the
+//! crate README): runs every `PolicyKind` over a small family of crowd
+//! scenarios at full label budget, records one quality row per
+//! `(scenario, policy, budget fraction)` into `BENCH_budget_curves.json`
+//! under the `<family>@b<fraction>` naming of `lncl_bench::budget`, and
+//! prints the accuracy-per-label-spent curves.  The CI bench-smoke job
+//! rank-gates the rows with `bench_diff rank --budget <fraction>` against
+//! `budget_baseline.json`.
+//!
+//! Everything is deterministic for the fixed seeds below, so the emitted
+//! quality table is bitwise reproducible — the property the rank gate
+//! relies on.
+
+use lncl_bench::budget::{record_budget_curve, sweep_budget_curves};
+use lncl_bench::timing::BenchReport;
+use lncl_crowd::scenario::{Archetype, DriftSchedule, PropensityProfile, ScenarioConfig};
+use std::time::Instant;
+
+/// The scenario families swept: a spammer-heavy pool (where routing has
+/// the most to gain) and a drifting pool (where live estimates go stale).
+fn families() -> Vec<ScenarioConfig> {
+    vec![
+        ScenarioConfig::classification("sent/spam-heavy")
+            .with_sizes(120, 20, 20)
+            .with_annotators(10)
+            .with_redundancy(4, 4)
+            .with_propensity(PropensityProfile::Uniform)
+            .with_mix(vec![(Archetype::Reliable { accuracy: 0.9 }, 0.5), (Archetype::Spammer, 0.5)])
+            .with_seed(97),
+        ScenarioConfig::classification("sent/drift")
+            .with_sizes(120, 20, 20)
+            .with_annotators(10)
+            .with_redundancy(4, 4)
+            .with_propensity(PropensityProfile::Uniform)
+            .with_mix(vec![(Archetype::Reliable { accuracy: 0.85 }, 0.7), (Archetype::Spammer, 0.3)])
+            .with_drift(DriftSchedule::LinearFatigue { rate: 0.6 })
+            .with_seed(307),
+    ]
+}
+
+fn main() {
+    let configs = families();
+    println!("Budget curves — {} scenario families x 3 policies", configs.len());
+    let mut report = BenchReport::new("budget_curves");
+    for config in &configs {
+        println!("\n=== {} ({} train, {} annotators) ===", config.name, config.train_size, config.num_annotators);
+        let start = Instant::now();
+        let curves = sweep_budget_curves(config);
+        let elapsed = start.elapsed().as_secs_f64();
+        for curve in &curves {
+            print!("  {:<22}", curve.policy.name());
+            for point in &curve.points {
+                print!("  b{:.2}: {:.3} ({} labels)", point.budget_fraction, point.accuracy, point.labels_spent);
+            }
+            println!();
+            record_budget_curve(&mut report, curve);
+        }
+        report.record(&format!("{}/sweep", config.name), 1, &[elapsed]);
+    }
+    report.sort_quality();
+    let path = report.write().expect("write benchmark report");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,125 @@
+//! Budget-curve emission: accuracy-per-label-spent quality rows for the
+//! closed-loop routing policies, and the `@b<fraction>` scenario naming
+//! convention `bench_diff rank --budget` filters on.
+//!
+//! For each `(scenario, policy)` pair one **full-budget** closed-loop run
+//! ([`lncl_crowd::scenario::router::run_closed_loop`]) yields every curve
+//! point at once: the driver's rounds never overshoot a pending
+//! checkpoint, and the families swept here put every checkpoint threshold
+//! on the policies' round cadence, so the point at fraction `f` is
+//! bitwise the state a budget-`f` run ends in.  Each [`CurvePoint`] becomes one
+//! [`QualityCase`] row under the scenario name
+//! `<family>@b<fraction>` with the policy as the method — making rankings
+//! at different budget levels first-class scenarios, so the standard
+//! ranking/flip/gate machinery of [`crate::rank`] applies unchanged.
+
+use crate::quality::HEADLINE_METRIC;
+use crate::timing::{BenchReport, QualityCase};
+use lncl_crowd::scenario::router::{run_closed_loop, CurvePoint, PolicyKind, RoutePlan, DEFAULT_CHECKPOINTS};
+use lncl_crowd::scenario::{generate_scenario, ScenarioConfig};
+use lncl_crowd::truth::streaming::StreamingConfig;
+
+/// The scenario name a curve point is recorded under: the family name plus
+/// an `@b<fraction>` suffix (two decimals, e.g. `spam-heavy@b0.60`).
+pub fn budget_scenario_name(family: &str, fraction: f32) -> String {
+    format!("{family}@b{fraction:.2}")
+}
+
+/// Splits a `<family>@b<fraction>` scenario name back into its parts;
+/// `None` when the name carries no well-formed budget suffix.
+pub fn parse_budget_suffix(scenario: &str) -> Option<(&str, f64)> {
+    let (family, raw) = scenario.rsplit_once("@b")?;
+    let fraction: f64 = raw.parse().ok()?;
+    (fraction > 0.0 && fraction <= 1.0 && !family.is_empty()).then_some((family, fraction))
+}
+
+/// Keeps only the quality rows recorded at budget `fraction` (matched
+/// against the `@b` suffix within `1e-6`).
+pub fn filter_by_budget(cases: &[QualityCase], fraction: f64) -> Vec<QualityCase> {
+    cases
+        .iter()
+        .filter(|case| parse_budget_suffix(&case.scenario).is_some_and(|(_, f)| (f - fraction).abs() < 1e-6))
+        .cloned()
+        .collect()
+}
+
+/// One policy's full budget curve on one scenario.
+#[derive(Debug, Clone)]
+pub struct BudgetCurve {
+    /// Scenario family name the curve belongs to.
+    pub family: String,
+    /// Routing policy that produced the curve.
+    pub policy: PolicyKind,
+    /// One point per checkpoint of [`DEFAULT_CHECKPOINTS`].
+    pub points: Vec<CurvePoint>,
+}
+
+/// Runs every routing policy over `config` at full budget and returns the
+/// per-policy curves.  The scenario's own `route` field is ignored — the
+/// sweep *is* the route axis.
+pub fn sweep_budget_curves(config: &ScenarioConfig) -> Vec<BudgetCurve> {
+    let dataset = generate_scenario(config);
+    PolicyKind::ALL
+        .into_iter()
+        .map(|policy| {
+            let mut boxed = policy.build();
+            let outcome = run_closed_loop(
+                &dataset,
+                boxed.as_mut(),
+                RoutePlan::new(policy, 1.0).budget_for(&dataset),
+                StreamingConfig::pooled(dataset.num_classes),
+                &DEFAULT_CHECKPOINTS,
+                config.seed,
+            );
+            BudgetCurve { family: config.name.clone(), policy, points: outcome.curve }
+        })
+        .collect()
+}
+
+/// Records a curve into the report's quality table: one row per point,
+/// scenario `<family>@b<fraction>`, method = policy name, with the
+/// consensus accuracy as the [`HEADLINE_METRIC`] plus the raw spend and
+/// entropy for inspection.
+pub fn record_budget_curve(report: &mut BenchReport, curve: &BudgetCurve) {
+    for point in &curve.points {
+        report.record_quality(
+            &budget_scenario_name(&curve.family, point.budget_fraction),
+            curve.policy.name(),
+            vec![
+                (HEADLINE_METRIC.to_string(), point.accuracy as f64),
+                ("labels_spent".to_string(), point.labels_spent as f64),
+                ("mean_entropy".to_string(), point.mean_entropy as f64),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_names_round_trip() {
+        let name = budget_scenario_name("spam-heavy", 0.6);
+        assert_eq!(name, "spam-heavy@b0.60");
+        assert_eq!(parse_budget_suffix(&name), Some(("spam-heavy", 0.6)));
+        // family names may contain @b themselves: the split is rightmost
+        assert_eq!(parse_budget_suffix("a@b0.50@b1.00"), Some(("a@b0.50", 1.0)));
+        for bad in ["plain", "@b0.50", "x@b", "x@b1.5", "x@b0", "x@bnan"] {
+            assert_eq!(parse_budget_suffix(bad), None, "{bad}");
+        }
+    }
+
+    #[test]
+    fn filter_keeps_only_the_requested_fraction() {
+        let case = |scenario: &str| QualityCase {
+            scenario: scenario.to_string(),
+            method: "m".to_string(),
+            metrics: vec![(HEADLINE_METRIC.to_string(), 0.5)],
+        };
+        let cases = vec![case("s@b0.20"), case("s@b0.60"), case("t@b0.60"), case("plain")];
+        let kept = filter_by_budget(&cases, 0.6);
+        let names: Vec<&str> = kept.iter().map(|c| c.scenario.as_str()).collect();
+        assert_eq!(names, vec!["s@b0.60", "t@b0.60"]);
+    }
+}

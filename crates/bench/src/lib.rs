@@ -14,6 +14,7 @@
 //! | `fig7_reliability_ner` | Figure 7 (annotator reliability, NER) |
 //! | `sample_efficiency` | §VI-B sample-efficiency experiment |
 //! | `scenario_sweep` | cross-scenario robustness sweep (beyond the paper; see the README) |
+//! | `budget_curves` | closed-loop routing-policy budget curves ([`budget`]; beyond the paper) |
 //!
 //! Each binary accepts the environment variables `LNCL_SCALE`
 //! (`small` (default) / `medium` / `paper`), `LNCL_REPS` (number of repeated
@@ -32,6 +33,7 @@
 //! crate README for the schema and workflows, and `ARCHITECTURE.md` at
 //! the repository root for the workspace-level pipeline map.
 
+pub mod budget;
 pub mod experiments;
 pub mod json;
 pub mod methods;
@@ -41,6 +43,7 @@ pub mod scale;
 pub mod tables;
 pub mod timing;
 
+pub use budget::*;
 pub use experiments::*;
 pub use methods::*;
 pub use quality::*;

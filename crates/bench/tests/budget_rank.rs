@@ -1,0 +1,50 @@
+//! Integration test for the budget-curve → rank pipeline: sweeping the
+//! drifted family that `budget_curves` ships must produce the headline
+//! ranking flip — static redundancy ahead of uncertainty routing at a 60%
+//! budget, strictly behind it at full budget — via the same
+//! `rank_scenarios` / `filter_by_budget` / `ranking_flips` path the
+//! `bench_diff rank --budget` CLI takes.
+
+use lncl_bench::budget::{filter_by_budget, record_budget_curve, sweep_budget_curves};
+use lncl_bench::quality::HEADLINE_METRIC;
+use lncl_bench::rank::{rank_scenarios, ranking_flips, RankingFlip};
+use lncl_bench::timing::BenchReport;
+use lncl_crowd::scenario::{Archetype, DriftSchedule, PropensityProfile, ScenarioConfig};
+
+/// The `sent/drift` family of the `budget_curves` binary, verbatim.
+fn drift_config() -> ScenarioConfig {
+    ScenarioConfig::classification("sent/drift")
+        .with_sizes(120, 20, 20)
+        .with_annotators(10)
+        .with_redundancy(4, 4)
+        .with_propensity(PropensityProfile::Uniform)
+        .with_mix(vec![(Archetype::Reliable { accuracy: 0.85 }, 0.7), (Archetype::Spammer, 0.3)])
+        .with_drift(DriftSchedule::LinearFatigue { rate: 0.6 })
+        .with_seed(307)
+}
+
+#[test]
+fn drift_family_flips_static_vs_uncertainty_between_budget_levels() {
+    let mut report = BenchReport::new("budget_rank_test");
+    for curve in sweep_budget_curves(&drift_config()) {
+        record_budget_curve(&mut report, &curve);
+    }
+
+    let rank_at = |fraction: f64| {
+        let rows = filter_by_budget(&report.quality, fraction);
+        let rankings = rank_scenarios(&rows, HEADLINE_METRIC);
+        assert_eq!(rankings.len(), 1, "one family swept → one scenario at b{fraction:.2}");
+        rankings.into_iter().next().unwrap()
+    };
+    let at_sixty = rank_at(0.6);
+    let at_full = rank_at(1.0);
+
+    // the flip the acceptance criterion names: static redundancy wins the
+    // cheap regime, uncertainty routing overtakes it at full budget (where
+    // static's fatigued late labels drag it down)
+    assert_eq!(at_sixty.rank_of("static-redundancy"), Some(1), "{at_sixty:?}");
+    let flips = ranking_flips(&at_sixty, &at_full);
+    let expected =
+        RankingFlip { demoted: "static-redundancy".to_string(), promoted: "uncertainty-routing".to_string() };
+    assert!(flips.contains(&expected), "expected static→uncertainty flip, got {flips:?}");
+}

@@ -15,44 +15,11 @@
 
 use lncl_tensor::{Matrix, TensorRng};
 
-/// Selects `count` **distinct** indices from `0..weights.len()`, biased by
-/// the (unnormalised, non-negative) `weights`.  Once every remaining
-/// candidate has zero weight the remaining picks fall back to a uniform draw
-/// over the not-yet-chosen indices, so the result always holds exactly
-/// `min(count, weights.len())` distinct indices — a `count` larger than the
-/// number of positive-weight candidates never produces duplicates.
-///
-/// This is the selection primitive behind [`AnnotatorPool::select`], the NER
-/// generator's workload sampling and the scenario pools in
-/// [`crate::scenario`].
-pub fn select_weighted_distinct(weights: &[f32], count: usize, rng: &mut TensorRng) -> Vec<usize> {
-    let count = count.min(weights.len());
-    let mut remaining = weights.to_vec();
-    let mut chosen = Vec::with_capacity(count);
-    let uniform_over_open = |chosen: &[usize], rng: &mut TensorRng| {
-        let open: Vec<usize> = (0..weights.len()).filter(|i| !chosen.contains(i)).collect();
-        open[rng.usize_below(open.len())]
-    };
-    for _ in 0..count {
-        let total: f32 = remaining.iter().sum();
-        let idx = if total > 0.0 && total.is_finite() {
-            let idx = rng.categorical(&remaining);
-            // `categorical` can land on a zero-weight (already chosen) index
-            // only in the measure-zero `uniform() == 0` edge case; re-draw
-            // uniformly over the open indices so distinctness always holds.
-            if remaining[idx] > 0.0 {
-                idx
-            } else {
-                uniform_over_open(&chosen, rng)
-            }
-        } else {
-            uniform_over_open(&chosen, rng)
-        };
-        chosen.push(idx);
-        remaining[idx] = 0.0;
-    }
-    chosen
-}
+// The weighted-without-replacement draw used to be defined here; it now
+// lives in [`crate::sampling`] so scenario generation and the closed-loop
+// router policies provably share one implementation.  Re-exported because
+// callers think of it as the annotator-pool selection primitive.
+pub use crate::sampling::select_weighted_distinct;
 
 /// An annotator whose behaviour is a `K x K` confusion matrix: row `m` is
 /// the distribution over reported labels when the true class is `m`.
@@ -378,41 +345,6 @@ mod tests {
         dedup.dedup();
         assert_eq!(dedup.len(), 6);
         assert!(chosen.iter().all(|&i| i < 20));
-    }
-
-    #[test]
-    fn select_with_zero_propensity_tail_stays_distinct() {
-        // only two annotators have positive propensity, yet five are asked
-        // for: the remainder must come uniformly from the zero-weight pool
-        // without duplicates.
-        let mut rng = TensorRng::seed_from_u64(40);
-        let weights = [3.0, 0.0, 0.0, 1.0, 0.0, 0.0];
-        for _ in 0..200 {
-            let chosen = select_weighted_distinct(&weights, 5, &mut rng);
-            let mut dedup = chosen.clone();
-            dedup.sort_unstable();
-            dedup.dedup();
-            assert_eq!(dedup.len(), 5, "duplicates in {chosen:?}");
-            assert!(chosen.contains(&0) && chosen.contains(&3), "positive-weight annotators always picked: {chosen:?}");
-        }
-    }
-
-    #[test]
-    fn select_all_zero_weights_is_uniform_and_distinct() {
-        let mut rng = TensorRng::seed_from_u64(41);
-        let mut seen = [0usize; 4];
-        for _ in 0..400 {
-            let chosen = select_weighted_distinct(&[0.0; 4], 2, &mut rng);
-            let mut dedup = chosen.clone();
-            dedup.sort_unstable();
-            dedup.dedup();
-            assert_eq!(dedup.len(), 2);
-            for &c in &chosen {
-                seen[c] += 1;
-            }
-        }
-        // every index gets picked under the uniform fallback
-        assert!(seen.iter().all(|&n| n > 50), "uniform fallback coverage: {seen:?}");
     }
 
     #[test]

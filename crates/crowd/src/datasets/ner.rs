@@ -293,7 +293,7 @@ pub fn generate_ner(config: &NerDatasetConfig) -> CrowdDataset {
         let (tokens, gold) = text.sentence(&mut rng);
         let span = config.max_labels_per_instance - config.min_labels_per_instance + 1;
         let count = config.min_labels_per_instance + rng.usize_below(span);
-        let crowd_labels = crate::annotator::select_weighted_distinct(&propensity, count, &mut rng)
+        let crowd_labels = crate::sampling::select_weighted_distinct(&propensity, count, &mut rng)
             .into_iter()
             .map(|a| CrowdLabel { annotator: a, labels: annotators[a].annotate(&gold, &mut rng) })
             .collect();

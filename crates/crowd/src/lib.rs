@@ -6,6 +6,8 @@
 //!   [`AnnotationView`] consumed by aggregation methods;
 //! * [`annotator`] — simulated annotators (confusion-matrix annotators for
 //!   classification, error-model annotators for NER);
+//! * [`sampling`] — the propensity-weighted selection primitives shared by
+//!   scenario generation and closed-loop task routing;
 //! * [`datasets`] — synthetic stand-ins for the two MTurk corpora of the
 //!   paper (see DESIGN.md §1);
 //! * [`scenario`] — composable crowd-scenario simulation: annotator
@@ -39,6 +41,7 @@ pub mod annotator;
 pub mod data;
 pub mod datasets;
 pub mod metrics;
+pub mod sampling;
 pub mod scenario;
 pub mod stats;
 pub mod truth;

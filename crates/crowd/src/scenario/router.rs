@@ -1,0 +1,730 @@
+//! Closed-loop adaptive task routing: assignment policies, label budgets
+//! and the simulation driver that alternates routing with incremental
+//! truth inference.
+//!
+//! The batch pipeline assumes a *fixed* label matrix: [`super::generate_scenario`]
+//! decides up front who labels what, and estimators see the finished
+//! dataset.  Real crowd platforms instead **choose** the next assignment
+//! using what they have already learned — posterior entropy says which
+//! instances are still uncertain, live annotator statistics say who is
+//! worth asking.  This module closes that loop:
+//!
+//! * [`AssignmentPolicy`] — the routing strategy interface.  A policy
+//!   plans the next batch of [`Assignment`]s from a [`RoutingView`]: the
+//!   live [`StreamingTruth`] estimates plus the per-instance candidate
+//!   sets.  Three built-ins:
+//!   [`StaticRedundancy`] (the control: breadth-first replay of the batch
+//!   generator's assignment), [`UncertaintyRouting`] (spend labels on
+//!   high-entropy instances, routed to the highest-estimated-accuracy
+//!   candidates, stop once an instance's posterior entropy is low) and
+//!   [`SpamQuarantine`] (breadth-first coverage, but candidates whose live
+//!   confusion estimate looks uniform are down-weighted in a shared
+//!   [`crate::sampling`] draw).
+//! * [`LabelBudget`] — explicit budget accounting; every revealed label
+//!   costs exactly one unit and overspending is an error, so
+//!   `labels collected == budget spent` always holds.
+//! * [`run_closed_loop`] — the driver.  It treats the batch-generated
+//!   dataset as the *label universe* (annotator `a`'s answer on instance
+//!   `u` is fixed whether or not anyone asks) and alternates policy rounds
+//!   with ingestion into [`StreamingTruth`], recording an
+//!   accuracy-per-label-spent [`CurvePoint`] at each budget-fraction
+//!   checkpoint.  Rounds never overshoot a pending checkpoint, and when
+//!   the checkpoint thresholds land on the policies' round cadence (as in
+//!   the bench sweep's families) the point at fraction `f` is bitwise the
+//!   state a budget-`f` run measured at its end alone finishes in —
+//!   checkpoints *between* drains would re-slice the rounds and shift what
+//!   an adaptive policy sees.
+//!
+//! Everything is deterministic given the scenario seed: policies draw
+//! randomness only from the driver's dedicated RNG stream, and two runs of
+//! the same configuration produce identical assignment sequences and
+//! curves.
+//!
+//! ```
+//! use lncl_crowd::scenario::router::{run_route_plan, PolicyKind, RoutePlan};
+//! use lncl_crowd::scenario::{generate_scenario, ScenarioConfig};
+//! use lncl_crowd::TaskKind;
+//!
+//! let config = ScenarioConfig::tiny(TaskKind::Classification)
+//!     .with_route(RoutePlan::new(PolicyKind::UncertaintyRouting, 0.6));
+//! let dataset = generate_scenario(&config);
+//! let outcome = run_route_plan(&config, &dataset, &[0.3, 0.6]);
+//! assert_eq!(outcome.curve.len(), 2);
+//! assert!(outcome.labels_spent() <= (0.6 * dataset.total_crowd_labels() as f32).ceil() as usize);
+//! ```
+
+use super::ScenarioConfig;
+use crate::data::{CrowdDataset, CrowdLabel};
+use crate::sampling::pick_weighted;
+use crate::truth::streaming::{StreamingConfig, StreamingTruth};
+use lncl_tensor::TensorRng;
+use std::ops::Range;
+
+/// Salt for the router's RNG stream, so closed-loop draws never collide
+/// with the four generation streams forked from the same scenario seed.
+const ROUTER_RNG_SALT: u64 = 0x724f_5554_4552_0001;
+
+/// Budget fractions the driver reports curve points at when the caller has
+/// no preference.
+pub const DEFAULT_CHECKPOINTS: [f32; 5] = [0.2, 0.4, 0.6, 0.8, 1.0];
+
+/// One assignment request: annotator `annotator` labels train instance
+/// `instance`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Assignment {
+    /// Train-split instance index.
+    pub instance: usize,
+    /// Annotator index in the scenario pool.
+    pub annotator: usize,
+}
+
+/// Explicit label-budget accounting: `total` may never be exceeded and
+/// every collected label costs exactly one unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabelBudget {
+    total: usize,
+    spent: usize,
+}
+
+impl LabelBudget {
+    /// A fresh budget of `total` labels.
+    pub fn new(total: usize) -> Self {
+        Self { total, spent: 0 }
+    }
+
+    /// The budget ceiling.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Labels spent so far.
+    pub fn spent(&self) -> usize {
+        self.spent
+    }
+
+    /// Labels still available.
+    pub fn remaining(&self) -> usize {
+        self.total - self.spent
+    }
+
+    /// True once nothing is left to spend.
+    pub fn is_exhausted(&self) -> bool {
+        self.spent >= self.total
+    }
+
+    /// Spends `count` labels; overspending is an error and spends nothing.
+    pub fn spend(&mut self, count: usize) -> Result<(), String> {
+        if count > self.remaining() {
+            return Err(format!("cannot spend {count} labels: {} of {} remaining", self.remaining(), self.total));
+        }
+        self.spent += count;
+        Ok(())
+    }
+}
+
+/// The live state a policy routes on: the incremental estimator plus the
+/// candidate structure of the collection problem.  Built by
+/// [`run_closed_loop`] from a scenario dataset, and by the serving layer
+/// from its interned label stream — policies cannot tell the difference.
+pub struct RoutingView<'a> {
+    /// The incremental estimator (posteriors, entropies, annotator stats).
+    pub truth: &'a StreamingTruth,
+    /// Per instance: candidate annotators still available (not yet asked),
+    /// in a stable preference order.
+    pub candidates: &'a [Vec<usize>],
+    /// Per instance: labels already collected.
+    pub collected: &'a [usize],
+    /// Per instance: the estimator unit ids the instance spans
+    /// (classification: one unit; tagging: one per token).
+    pub units: &'a [Range<usize>],
+}
+
+impl RoutingView<'_> {
+    /// Number of instances under collection.
+    pub fn num_instances(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Mean posterior entropy over the instance's units; maximal
+    /// (`ln K`) while the instance has no labels at all.
+    pub fn entropy(&self, instance: usize) -> f32 {
+        let units = &self.units[instance];
+        let k = self.truth.config().num_classes;
+        let max_entropy = (k as f32).ln();
+        if units.is_empty() {
+            return max_entropy;
+        }
+        let sum: f32 = units.clone().map(|u| self.truth.consensus(u).map(|c| c.entropy).unwrap_or(max_entropy)).sum();
+        sum / units.len() as f32
+    }
+
+    /// Estimated probability of a correct label from `annotator`
+    /// (chance level `1/K` before any of their labels arrived).
+    pub fn reliability(&self, annotator: usize) -> f32 {
+        let k = self.truth.config().num_classes;
+        self.truth.annotator(annotator).map(|s| s.reliability).unwrap_or(1.0 / k as f32)
+    }
+
+    /// How far `annotator`'s live confusion estimate is from the uniform
+    /// (spammer) matrix, normalised to `[0, 1]`: `0` = perfectly uniform
+    /// (or never seen), `1` = deterministic rows.
+    pub fn spam_distance(&self, annotator: usize) -> f32 {
+        let Some(stat) = self.truth.annotator(annotator) else {
+            return 0.0;
+        };
+        let k = stat.confusion.rows();
+        let uniform = 1.0 / k as f32;
+        let mut deviation = 0.0f32;
+        for r in 0..k {
+            for &p in stat.confusion.row(r) {
+                deviation += (p - uniform).abs();
+            }
+        }
+        let mean = deviation / (k * k) as f32;
+        // a deterministic row deviates by 2 (K - 1) / K in total, i.e.
+        // 2 (K - 1) / K^2 on average — the normaliser to [0, 1]
+        (mean * (k * k) as f32 / (2.0 * (k as f32 - 1.0))).clamp(0.0, 1.0)
+    }
+}
+
+/// A routing strategy: plans the next batch of assignments from the live
+/// estimates.  Implementations must be deterministic given the driver RNG
+/// — no clocks, no global state.
+pub trait AssignmentPolicy {
+    /// Stable policy name (used as the method column of quality rows).
+    fn name(&self) -> &'static str;
+
+    /// Plans at most `limit` assignments for the next round, each naming a
+    /// pair still present in `view.candidates`.  Returning an empty vector
+    /// ends collection with the remaining budget unspent.
+    fn next_round(&mut self, view: &RoutingView<'_>, limit: usize, rng: &mut TensorRng) -> Vec<Assignment>;
+}
+
+/// The control policy: today's batch behaviour under a budget.  Reveals
+/// the batch generator's assignment breadth-first — every instance reaches
+/// redundancy depth `d` before any instance starts depth `d + 1`, in
+/// instance order — so the full budget reproduces the batch dataset
+/// exactly and a partial budget is uniform redundancy truncation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StaticRedundancy;
+
+impl AssignmentPolicy for StaticRedundancy {
+    fn name(&self) -> &'static str {
+        "static-redundancy"
+    }
+
+    fn next_round(&mut self, view: &RoutingView<'_>, limit: usize, _rng: &mut TensorRng) -> Vec<Assignment> {
+        let open = (0..view.num_instances()).filter(|&i| !view.candidates[i].is_empty());
+        let Some(depth) = open.clone().map(|i| view.collected[i]).min() else {
+            return Vec::new();
+        };
+        open.filter(|&i| view.collected[i] == depth)
+            .take(limit)
+            .map(|i| Assignment { instance: i, annotator: view.candidates[i][0] })
+            .collect()
+    }
+}
+
+/// Entropy-driven routing: spend the budget where the posterior is still
+/// uncertain, ask the most reliable candidate available, and stop
+/// collecting for an instance once its entropy falls under
+/// `entropy_stop` — freeing budget for harder instances.  Greedy by
+/// design: an instance whose early labels agree (for example two colluding
+/// spammers) can be retired *confidently wrong*, which is exactly the
+/// failure mode that shows up at generous budgets.
+#[derive(Debug, Clone, Copy)]
+pub struct UncertaintyRouting {
+    /// Stop collecting for an instance once its mean posterior entropy
+    /// (nats) is at or below this.
+    pub entropy_stop: f32,
+    /// Hard per-instance label cap, uncertainty notwithstanding.
+    pub max_per_instance: usize,
+    /// Largest round the policy plans; smaller rounds mean the estimator
+    /// is drained (and the entropies re-scored) more often.
+    pub round_size: usize,
+}
+
+impl Default for UncertaintyRouting {
+    fn default() -> Self {
+        Self { entropy_stop: 0.20, max_per_instance: 8, round_size: 32 }
+    }
+}
+
+impl AssignmentPolicy for UncertaintyRouting {
+    fn name(&self) -> &'static str {
+        "uncertainty-routing"
+    }
+
+    fn next_round(&mut self, view: &RoutingView<'_>, limit: usize, _rng: &mut TensorRng) -> Vec<Assignment> {
+        let limit = limit.min(self.round_size.max(1));
+        let mut scored: Vec<(f32, usize)> = (0..view.num_instances())
+            .filter(|&i| !view.candidates[i].is_empty() && view.collected[i] < self.max_per_instance)
+            .map(|i| (view.entropy(i), i))
+            .filter(|&(entropy, i)| view.collected[i] == 0 || entropy > self.entropy_stop)
+            .collect();
+        // most uncertain first; ties resolve by instance id so the order
+        // (and therefore the run) is deterministic
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1)));
+        scored
+            .into_iter()
+            .take(limit)
+            .map(|(_, i)| {
+                let mut best = view.candidates[i][0];
+                for &candidate in &view.candidates[i][1..] {
+                    if view.reliability(candidate) > view.reliability(best) {
+                        best = candidate;
+                    }
+                }
+                Assignment { instance: i, annotator: best }
+            })
+            .collect()
+    }
+}
+
+/// Breadth-first coverage (like [`StaticRedundancy`]) that down-weights
+/// candidates whose live confusion estimate looks uniform: each slot is
+/// drawn through [`crate::sampling::pick_weighted`] with weight
+/// [`RoutingView::spam_distance`]² (squared to sharpen a noisy early
+/// signal), floored at `floor` so quarantined annotators stay reachable,
+/// and unseen annotators get the optimistic `exploration` weight so the
+/// quarantine is earned, not assumed.
+#[derive(Debug, Clone, Copy)]
+pub struct SpamQuarantine {
+    /// Minimum selection weight of a suspected spammer.
+    pub floor: f32,
+    /// Selection weight of an annotator with no labels yet.
+    pub exploration: f32,
+    /// Largest round the policy plans; smaller rounds mean the live
+    /// confusion estimates are refreshed more often.
+    pub round_size: usize,
+}
+
+impl Default for SpamQuarantine {
+    fn default() -> Self {
+        Self { floor: 0.02, exploration: 0.25, round_size: 32 }
+    }
+}
+
+impl AssignmentPolicy for SpamQuarantine {
+    fn name(&self) -> &'static str {
+        "spam-quarantine"
+    }
+
+    fn next_round(&mut self, view: &RoutingView<'_>, limit: usize, rng: &mut TensorRng) -> Vec<Assignment> {
+        let limit = limit.min(self.round_size.max(1));
+        let open = (0..view.num_instances()).filter(|&i| !view.candidates[i].is_empty());
+        let Some(depth) = open.clone().map(|i| view.collected[i]).min() else {
+            return Vec::new();
+        };
+        open.filter(|&i| view.collected[i] == depth)
+            .take(limit)
+            .map(|i| {
+                let weights: Vec<f32> = view.candidates[i]
+                    .iter()
+                    .map(|&a| {
+                        if view.truth.annotator(a).is_none() {
+                            self.exploration
+                        } else {
+                            let distance = view.spam_distance(a);
+                            (distance * distance).max(self.floor)
+                        }
+                    })
+                    .collect();
+                let slot = pick_weighted(&weights, rng).expect("non-empty candidate set");
+                Assignment { instance: i, annotator: view.candidates[i][slot] }
+            })
+            .collect()
+    }
+}
+
+/// Built-in policy identifiers — the serializable face of the policies,
+/// used by [`RoutePlan`], the serve configuration and bench reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// [`StaticRedundancy`].
+    StaticRedundancy,
+    /// [`UncertaintyRouting`] with default parameters.
+    UncertaintyRouting,
+    /// [`SpamQuarantine`] with default parameters.
+    SpamQuarantine,
+}
+
+impl PolicyKind {
+    /// All built-in policies, control first.
+    pub const ALL: [PolicyKind; 3] =
+        [PolicyKind::StaticRedundancy, PolicyKind::UncertaintyRouting, PolicyKind::SpamQuarantine];
+
+    /// The stable name (matches the built policy's
+    /// [`AssignmentPolicy::name`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::StaticRedundancy => "static-redundancy",
+            PolicyKind::UncertaintyRouting => "uncertainty-routing",
+            PolicyKind::SpamQuarantine => "spam-quarantine",
+        }
+    }
+
+    /// Parses a policy name; accepts the full name and the short aliases
+    /// `static` / `uncertainty` / `quarantine`.
+    pub fn parse(raw: &str) -> Option<PolicyKind> {
+        match raw {
+            "static" | "static-redundancy" => Some(PolicyKind::StaticRedundancy),
+            "uncertainty" | "uncertainty-routing" => Some(PolicyKind::UncertaintyRouting),
+            "quarantine" | "spam-quarantine" => Some(PolicyKind::SpamQuarantine),
+            _ => None,
+        }
+    }
+
+    /// Builds the policy with default parameters.
+    pub fn build(&self) -> Box<dyn AssignmentPolicy> {
+        match self {
+            PolicyKind::StaticRedundancy => Box::new(StaticRedundancy),
+            PolicyKind::UncertaintyRouting => Box::new(UncertaintyRouting::default()),
+            PolicyKind::SpamQuarantine => Box::new(SpamQuarantine::default()),
+        }
+    }
+}
+
+/// A closed-loop collection plan: which policy reveals labels, and how
+/// large the label budget is as a fraction of the static label count.
+/// Carried by [`ScenarioConfig::route`] and covered by
+/// [`ScenarioConfig::content_hash`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoutePlan {
+    /// The assignment policy.
+    pub policy: PolicyKind,
+    /// Budget as a fraction of the batch dataset's label count, in
+    /// `(0, 1]`.
+    pub budget_fraction: f32,
+}
+
+impl RoutePlan {
+    /// A plan; `budget_fraction` must lie in `(0, 1]`.
+    pub fn new(policy: PolicyKind, budget_fraction: f32) -> Self {
+        let plan = Self { policy, budget_fraction };
+        plan.validate().expect("invalid route plan");
+        plan
+    }
+
+    /// Checks the budget fraction.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.budget_fraction > 0.0 && self.budget_fraction <= 1.0 && self.budget_fraction.is_finite()) {
+            return Err(format!("budget_fraction must be in (0, 1], got {}", self.budget_fraction));
+        }
+        Ok(())
+    }
+
+    /// The concrete budget for a dataset: `ceil(fraction * labels)`.
+    pub fn budget_for(&self, dataset: &CrowdDataset) -> LabelBudget {
+        LabelBudget::new((self.budget_fraction * dataset.total_crowd_labels() as f32).ceil() as usize)
+    }
+}
+
+/// One point of the accuracy-per-label-spent curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// The nominal budget fraction of the checkpoint.
+    pub budget_fraction: f32,
+    /// Labels actually spent when the point was recorded (equals the
+    /// fraction of the budget unless the policy stopped early).
+    pub labels_spent: usize,
+    /// Consensus accuracy against gold over every train unit (units the
+    /// estimator never saw count as class-0 guesses).
+    pub accuracy: f32,
+    /// Mean posterior entropy over every train unit.
+    pub mean_entropy: f32,
+}
+
+/// What a closed-loop run produced.
+#[derive(Debug, Clone)]
+pub struct ClosedLoopOutcome {
+    /// Name of the policy that ran.
+    pub policy: &'static str,
+    /// Accuracy-per-label-spent curve, one point per requested checkpoint
+    /// (early-stopping policies repeat their final state).
+    pub curve: Vec<CurvePoint>,
+    /// Final budget state; `spent()` always equals the number of labels
+    /// collected.
+    pub budget: LabelBudget,
+    /// Final consensus accuracy (same measure as the curve).
+    pub accuracy: f32,
+    /// Every assignment in reveal order (the determinism witness).
+    pub assignments: Vec<Assignment>,
+    /// The labels revealed per train instance, in reveal order.
+    pub collected: Vec<Vec<CrowdLabel>>,
+}
+
+impl ClosedLoopOutcome {
+    /// Labels collected == budget spent (the accounting invariant).
+    pub fn labels_spent(&self) -> usize {
+        self.budget.spent()
+    }
+}
+
+/// Runs the closed loop: `policy` spends `budget` revealing labels of
+/// `dataset` (the label universe), each revealed label is ingested into a
+/// fresh [`StreamingTruth`] built from `streaming`, and a [`CurvePoint`]
+/// is recorded at every budget fraction in `checkpoints`.
+///
+/// The driver enforces the contract: assignments must name available
+/// candidate pairs, a round never exceeds the policy's `limit`, rounds
+/// never cross a pending checkpoint (so a checkpoint state equals the
+/// corresponding smaller-budget run whenever the threshold falls on the
+/// policy's round cadence), and the estimator's dirty backlog is drained
+/// after every round so the next round routes on current estimates.
+/// Deterministic given `seed`.
+pub fn run_closed_loop(
+    dataset: &CrowdDataset,
+    policy: &mut dyn AssignmentPolicy,
+    mut budget: LabelBudget,
+    streaming: StreamingConfig,
+    checkpoints: &[f32],
+    seed: u64,
+) -> ClosedLoopOutcome {
+    assert_eq!(streaming.num_classes, dataset.num_classes, "estimator classes must match the dataset");
+    let mut checkpoints: Vec<f32> = checkpoints.to_vec();
+    checkpoints.sort_by(|a, b| a.partial_cmp(b).expect("finite checkpoint fractions"));
+    checkpoints.dedup();
+    assert!(checkpoints.iter().all(|&f| f > 0.0 && f <= 1.0), "checkpoints must be budget fractions in (0, 1]");
+    let thresholds: Vec<usize> =
+        checkpoints.iter().map(|&f| ((f * budget.total() as f32).ceil() as usize).min(budget.total())).collect();
+
+    // the label universe: per instance, the batch generator's labels in
+    // stored order, the candidate annotators, and the flattened unit span
+    let mut labels: Vec<&[CrowdLabel]> = Vec::with_capacity(dataset.train.len());
+    let mut candidates: Vec<Vec<usize>> = Vec::with_capacity(dataset.train.len());
+    let mut units: Vec<Range<usize>> = Vec::with_capacity(dataset.train.len());
+    let mut offset = 0usize;
+    for instance in &dataset.train {
+        labels.push(&instance.crowd_labels);
+        candidates.push(instance.crowd_labels.iter().map(|cl| cl.annotator).collect());
+        units.push(offset..offset + instance.gold.len());
+        offset += instance.gold.len();
+    }
+    let total_units = offset;
+
+    let mut truth = StreamingTruth::new(streaming);
+    let mut rng = TensorRng::seed_from_u64(seed ^ ROUTER_RNG_SALT);
+    let mut collected_counts = vec![0usize; dataset.train.len()];
+    let mut collected: Vec<Vec<CrowdLabel>> = vec![Vec::new(); dataset.train.len()];
+    let mut assignments = Vec::new();
+    let mut curve = Vec::with_capacity(checkpoints.len());
+    let mut next_checkpoint = 0usize;
+
+    let measure = |truth: &StreamingTruth, fraction: f32, spent: usize| -> CurvePoint {
+        let k = dataset.num_classes as f32;
+        let mut correct = 0usize;
+        let mut entropy_sum = 0.0f32;
+        for (instance, span) in dataset.train.iter().zip(&units) {
+            for (t, &gold) in instance.gold.iter().enumerate() {
+                match truth.consensus(span.start + t) {
+                    Some(consensus) => {
+                        entropy_sum += consensus.entropy;
+                        correct += usize::from(consensus.hard == gold);
+                    }
+                    None => {
+                        entropy_sum += k.ln();
+                        correct += usize::from(gold == 0);
+                    }
+                }
+            }
+        }
+        CurvePoint {
+            budget_fraction: fraction,
+            labels_spent: spent,
+            accuracy: correct as f32 / total_units.max(1) as f32,
+            mean_entropy: entropy_sum / total_units.max(1) as f32,
+        }
+    };
+
+    while !budget.is_exhausted() {
+        // cap the round so it cannot overshoot the next checkpoint
+        let mut limit = budget.remaining();
+        if next_checkpoint < thresholds.len() {
+            limit = limit.min(thresholds[next_checkpoint] - budget.spent());
+        }
+        let view = RoutingView { truth: &truth, candidates: &candidates, collected: &collected_counts, units: &units };
+        let requests = policy.next_round(&view, limit, &mut rng);
+        if requests.is_empty() {
+            break;
+        }
+        assert!(
+            requests.len() <= limit,
+            "{} planned {} assignments over the limit {limit}",
+            policy.name(),
+            requests.len()
+        );
+        for request in requests {
+            let slot = candidates[request.instance]
+                .iter()
+                .position(|&a| a == request.annotator)
+                .unwrap_or_else(|| panic!("{} assigned unavailable pair {request:?}", policy.name()));
+            candidates[request.instance].remove(slot);
+            let label =
+                labels[request.instance].iter().find(|cl| cl.annotator == request.annotator).expect("candidate");
+            let span = &units[request.instance];
+            for (t, &class) in label.labels.iter().enumerate() {
+                truth.ingest(span.start + t, request.annotator, class).expect("dataset classes are in range");
+            }
+            collected_counts[request.instance] += 1;
+            collected[request.instance].push(label.clone());
+            assignments.push(request);
+            budget.spend(1).expect("round limit keeps spending within budget");
+        }
+        truth.drain_dirty();
+        while next_checkpoint < thresholds.len() && budget.spent() >= thresholds[next_checkpoint] {
+            curve.push(measure(&truth, checkpoints[next_checkpoint], budget.spent()));
+            next_checkpoint += 1;
+        }
+    }
+    truth.drain_dirty();
+    // an early-stopping policy still reports every requested checkpoint:
+    // the remaining points repeat its final state
+    while next_checkpoint < thresholds.len() {
+        curve.push(measure(&truth, checkpoints[next_checkpoint], budget.spent()));
+        next_checkpoint += 1;
+    }
+    let final_point = measure(&truth, 1.0, budget.spent());
+    ClosedLoopOutcome { policy: policy.name(), curve, budget, accuracy: final_point.accuracy, assignments, collected }
+}
+
+/// Runs the scenario's own [`RoutePlan`] (static redundancy at full budget
+/// when [`ScenarioConfig::route`] is unset) over `dataset` with a pooled
+/// estimator, seeded from the scenario seed.
+pub fn run_route_plan(config: &ScenarioConfig, dataset: &CrowdDataset, checkpoints: &[f32]) -> ClosedLoopOutcome {
+    let plan = config.route.unwrap_or(RoutePlan { policy: PolicyKind::StaticRedundancy, budget_fraction: 1.0 });
+    plan.validate().unwrap_or_else(|e| panic!("scenario {:?}: {e}", config.name));
+    let mut policy = plan.policy.build();
+    run_closed_loop(
+        dataset,
+        policy.as_mut(),
+        plan.budget_for(dataset),
+        StreamingConfig::pooled(dataset.num_classes),
+        checkpoints,
+        config.seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{generate_scenario, Archetype, ScenarioConfig};
+    use crate::TaskKind;
+
+    fn tiny_spam_config() -> ScenarioConfig {
+        ScenarioConfig::tiny(TaskKind::Classification)
+            .with_mix(vec![(Archetype::reliable(), 0.5), (Archetype::Spammer, 0.5)])
+            .with_seed(97)
+    }
+
+    #[test]
+    fn label_budget_accounts_exactly_and_rejects_overspend() {
+        let mut budget = LabelBudget::new(3);
+        assert_eq!(budget.remaining(), 3);
+        budget.spend(2).unwrap();
+        assert_eq!(budget.spent(), 2);
+        assert!(!budget.is_exhausted());
+        assert!(budget.spend(2).is_err());
+        assert_eq!(budget.spent(), 2, "failed spend must not debit");
+        budget.spend(1).unwrap();
+        assert!(budget.is_exhausted());
+    }
+
+    #[test]
+    fn route_plan_validates_fraction() {
+        assert!(RoutePlan { policy: PolicyKind::StaticRedundancy, budget_fraction: 0.0 }.validate().is_err());
+        assert!(RoutePlan { policy: PolicyKind::StaticRedundancy, budget_fraction: 1.5 }.validate().is_err());
+        assert!(RoutePlan::new(PolicyKind::SpamQuarantine, 1.0).validate().is_ok());
+    }
+
+    #[test]
+    fn policy_kind_round_trips_names_and_aliases() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(PolicyKind::parse(kind.name()), Some(kind));
+            assert_eq!(kind.build().name(), kind.name());
+        }
+        assert_eq!(PolicyKind::parse("static"), Some(PolicyKind::StaticRedundancy));
+        assert_eq!(PolicyKind::parse("uncertainty"), Some(PolicyKind::UncertaintyRouting));
+        assert_eq!(PolicyKind::parse("quarantine"), Some(PolicyKind::SpamQuarantine));
+        assert_eq!(PolicyKind::parse("greedy"), None);
+    }
+
+    #[test]
+    fn static_redundancy_is_breadth_first() {
+        let config = tiny_spam_config();
+        let dataset = generate_scenario(&config);
+        let mut policy = StaticRedundancy;
+        let outcome = run_closed_loop(
+            &dataset,
+            &mut policy,
+            LabelBudget::new(dataset.train.len() + 3),
+            StreamingConfig::pooled(dataset.num_classes),
+            &[1.0],
+            config.seed,
+        );
+        // with budget = instances + 3, every instance has its first label
+        // before any instance has a third
+        let counts: Vec<usize> = outcome.collected.iter().map(Vec::len).collect();
+        assert!(counts.iter().all(|&c| c >= 1), "breadth first covers every instance: {counts:?}");
+        assert!(counts.iter().all(|&c| c <= 2), "no instance runs ahead: {counts:?}");
+    }
+
+    #[test]
+    fn checkpoints_are_recorded_even_when_the_policy_stops_early() {
+        let config = tiny_spam_config();
+        let dataset = generate_scenario(&config);
+        // an aggressive stop threshold: the policy retires instances fast
+        let mut policy = UncertaintyRouting { entropy_stop: 0.65, max_per_instance: 2, ..Default::default() };
+        let outcome = run_closed_loop(
+            &dataset,
+            &mut policy,
+            RoutePlan::new(PolicyKind::UncertaintyRouting, 1.0).budget_for(&dataset),
+            StreamingConfig::pooled(dataset.num_classes),
+            &DEFAULT_CHECKPOINTS,
+            config.seed,
+        );
+        assert_eq!(outcome.curve.len(), DEFAULT_CHECKPOINTS.len());
+        assert!(outcome.labels_spent() < outcome.budget.total(), "stop rule leaves budget unspent");
+        let spent: usize = outcome.collected.iter().map(Vec::len).sum();
+        assert_eq!(spent, outcome.labels_spent());
+    }
+
+    #[test]
+    fn spam_quarantine_starves_uniform_annotators() {
+        let config = tiny_spam_config()
+            .with_sizes(120, 10, 10)
+            .with_annotators(10)
+            .with_redundancy(4, 4)
+            .with_propensity(crate::scenario::PropensityProfile::Uniform);
+        let dataset = generate_scenario(&config);
+        let pool = crate::scenario::scenario_pool(&config);
+        let mut policy = SpamQuarantine::default();
+        let outcome = run_closed_loop(
+            &dataset,
+            &mut policy,
+            RoutePlan::new(PolicyKind::SpamQuarantine, 0.5).budget_for(&dataset),
+            StreamingConfig::pooled(dataset.num_classes),
+            &[1.0],
+            config.seed,
+        );
+        let mut spent_on = vec![0usize; dataset.num_annotators];
+        for assignment in &outcome.assignments {
+            spent_on[assignment.annotator] += 1;
+        }
+        let mean_of = |kind: fn(&Archetype) -> bool| {
+            let (sum, n) = pool
+                .archetypes
+                .iter()
+                .zip(&spent_on)
+                .filter(|(archetype, _)| kind(archetype))
+                .fold((0usize, 0usize), |(s, n), (_, &c)| (s + c, n + 1));
+            sum as f32 / n.max(1) as f32
+        };
+        let reliable = mean_of(|a| matches!(a, Archetype::Reliable { .. }));
+        let spammers = mean_of(|a| matches!(a, Archetype::Spammer));
+        assert!(
+            reliable > spammers,
+            "quarantine should route away from uniform annotators: reliable {reliable:.1} vs spammer {spammers:.1}"
+        );
+    }
+}

@@ -13,8 +13,12 @@
 //! | `LNCL_SERVE_WINDOW`  | stream window size; unset = pooled    | unset         |
 //! | `LNCL_SERVE_DECAY`   | window decay in `(0, 1]`              | DS-W default  |
 //! | `LNCL_SERVE_CONNS`   | load-generator client connections     | `4`           |
+//! | `LNCL_SERVE_POLICY`  | `/assign` policy (`static`, `uncertainty`, `quarantine` or full names) | `static` |
+//! | `LNCL_SERVE_BUDGET`  | label budget; unset = unlimited       | unset         |
+//! | `LNCL_SERVE_SEED`    | assignment-RNG seed                   | `0`           |
 
 use crate::server::ServerConfig;
+use lncl_crowd::scenario::router::PolicyKind;
 use lncl_crowd::truth::ds_windowed::DsWindowed;
 use lncl_crowd::truth::streaming::StreamingConfig;
 use lncl_tensor::env::{env_parsed, env_usize_at_least_one};
@@ -52,6 +56,22 @@ pub fn bench_connections_from_env() -> usize {
     env_usize_at_least_one("LNCL_SERVE_CONNS").unwrap_or(4)
 }
 
+/// The closed-loop routing configuration from `LNCL_SERVE_POLICY` /
+/// `LNCL_SERVE_BUDGET` / `LNCL_SERVE_SEED`: the `/assign` policy, the
+/// optional label budget and the assignment-RNG seed.
+pub fn routing_config_from_env() -> (PolicyKind, Option<usize>, u64) {
+    let policy = match std::env::var("LNCL_SERVE_POLICY") {
+        Err(_) => PolicyKind::StaticRedundancy,
+        Ok(raw) => PolicyKind::parse(&raw).unwrap_or_else(|| {
+            eprintln!("warning: LNCL_SERVE_POLICY={raw:?} is not a policy name; using static-redundancy");
+            PolicyKind::StaticRedundancy
+        }),
+    };
+    let budget = env_usize_at_least_one("LNCL_SERVE_BUDGET");
+    let seed = env_parsed::<u64>("LNCL_SERVE_SEED", "an integer seed", |_| true).unwrap_or(0);
+    (policy, budget, seed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,5 +88,9 @@ mod tests {
         assert_eq!(streaming.num_classes, 2);
         assert!(streaming.window.is_none());
         assert!(bench_connections_from_env() >= 1);
+        let (policy, budget, seed) = routing_config_from_env();
+        assert_eq!(policy, PolicyKind::StaticRedundancy);
+        assert!(budget.is_none());
+        assert_eq!(seed, 0);
     }
 }

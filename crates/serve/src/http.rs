@@ -145,20 +145,22 @@ pub fn parse_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpE
     Ok(Some(Request { method: method.to_ascii_uppercase(), path, body, close }))
 }
 
-/// Writes one `application/json` response with `Content-Length`.
+/// Writes one `application/json` response with `Content-Length`, plus any
+/// `extra_headers` (e.g. the `Allow` header a `405` must carry).
 pub fn write_response(
     stream: &mut impl Write,
     status: u16,
     reason: &str,
+    extra_headers: &[(&str, &str)],
     body: &str,
     close: bool,
 ) -> std::io::Result<()> {
     let connection = if close { "close" } else { "keep-alive" };
-    write!(
-        stream,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
-        body.len()
-    )?;
+    write!(stream, "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n")?;
+    for (name, value) in extra_headers {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    write!(stream, "Content-Length: {}\r\nConnection: {connection}\r\n\r\n{body}", body.len())?;
     stream.flush()
 }
 
@@ -169,6 +171,7 @@ pub fn reason_phrase(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
@@ -245,11 +248,20 @@ mod tests {
     #[test]
     fn response_writer_frames_the_body() {
         let mut out = Vec::new();
-        write_response(&mut out, 200, "OK", "{\"ok\": true}", false).unwrap();
+        write_response(&mut out, 200, "OK", &[], "{\"ok\": true}", false).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 12\r\n"));
         assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"ok\": true}"));
+    }
+
+    #[test]
+    fn response_writer_emits_extra_headers() {
+        let mut out = Vec::new();
+        write_response(&mut out, 405, "Method Not Allowed", &[("Allow", "GET")], "{}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Allow: GET\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"));
     }
 }

@@ -13,8 +13,14 @@
 //! * [`http`] — hand-rolled HTTP/1.1 parsing and response framing (the
 //!   container has no crates.io access, so no hyper), with hard limits on
 //!   head and body size and typed 4xx errors.
+//! * [`routes`] — the typed route table: [`Route::parse`] turns a request
+//!   line into a [`Route`] variant or a typed 404/405 (the `405` carries
+//!   the exact `Allow` header value), and dispatch matches exhaustively.
 //! * [`state`] — [`AppState`]: the estimator plus string
-//!   id interners behind one mutex, and the transport-free route dispatch.
+//!   id interners behind one mutex, and the transport-free route dispatch
+//!   — including the closed-loop `/assign` planner driven by a
+//!   [`lncl_crowd::scenario::router`] policy under an optional label
+//!   budget.
 //! * [`server`] — `TcpListener` accept loop feeding a fixed worker pool
 //!   over an mpsc channel; keep-alive connections, panic-isolated request
 //!   handling.
@@ -25,7 +31,9 @@
 //!
 //! | route                   | method | purpose                                     |
 //! |-------------------------|--------|---------------------------------------------|
-//! | `/labels`               | POST   | ingest one label or `{"labels": [...]}`     |
+//! | `/labels`               | POST   | ingest one label or `{"labels": [...]}` (`409` once over budget) |
+//! | `/assign`               | POST   | plan the next routed assignments from live estimates |
+//! | `/budget`               | GET    | active policy and label-budget accounting   |
 //! | `/consensus/<instance>` | GET    | posterior, hard class, entropy, label count |
 //! | `/annotators/<id>`      | GET    | confusion matrix, reliability, label count  |
 //! | `/finalize`             | POST   | full batch EM over everything ingested      |
@@ -53,8 +61,10 @@
 
 pub mod config;
 pub mod http;
+pub mod routes;
 pub mod server;
 pub mod state;
 
+pub use routes::{Route, RouteError};
 pub use server::{Server, ServerConfig};
 pub use state::{ApiResponse, AppState};

@@ -1,0 +1,160 @@
+//! The typed route table: every URL the service answers, as data.
+//!
+//! [`Route::parse`] is the single place request lines become API
+//! operations — the dispatch in [`crate::state`] matches exhaustively on
+//! [`Route`], so adding a variant here forces every layer (handler,
+//! docs, tests) to acknowledge it at compile time instead of silently
+//! falling through a stringly `match (method, path)`.
+//!
+//! Parse failures are typed too: [`RouteError::NotFound`] for paths the
+//! service has never heard of, [`RouteError::MethodNotAllowed`] for known
+//! paths hit with the wrong verb — carrying the exact `Allow` header
+//! value the HTTP layer must emit with the `405`.
+
+/// One parsed API operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route {
+    /// `POST /labels` — ingest one label or a `{"labels": [...]}` batch.
+    PostLabels,
+    /// `POST /finalize` — full batch EM over everything ingested.
+    PostFinalize,
+    /// `POST /assign` — plan the next routed assignments from live
+    /// estimates (see [`crate::state::AppState`]).
+    PostAssign,
+    /// `GET /budget` — label-budget accounting and the active policy.
+    GetBudget,
+    /// `GET /healthz` — liveness.
+    GetHealthz,
+    /// `GET /stats` — counters and estimator mode.
+    GetStats,
+    /// `GET /consensus/<instance>` — posterior for one instance.
+    GetConsensus {
+        /// External instance id (non-empty).
+        instance: String,
+    },
+    /// `GET /annotators/<id>` — live statistics for one annotator.
+    GetAnnotator {
+        /// External annotator id (non-empty).
+        annotator: String,
+    },
+}
+
+/// A request line that maps to no operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// The path exists in no method's table → `404`.
+    NotFound,
+    /// The path exists, the method does not → `405` with this exact
+    /// `Allow` header value.
+    MethodNotAllowed {
+        /// Comma-separated methods the path supports.
+        allow: &'static str,
+    },
+}
+
+impl Route {
+    /// Parses an upper-cased method plus a query-stripped path into a
+    /// [`Route`].  Empty parameter segments (`/consensus/`) are
+    /// [`RouteError::NotFound`] — there is no instance named `""` to have
+    /// an opinion about methods on.
+    pub fn parse(method: &str, path: &str) -> Result<Route, RouteError> {
+        let fixed: &[(&str, &str, Route)] = &[
+            ("POST", "/labels", Route::PostLabels),
+            ("POST", "/finalize", Route::PostFinalize),
+            ("POST", "/assign", Route::PostAssign),
+            ("GET", "/budget", Route::GetBudget),
+            ("GET", "/healthz", Route::GetHealthz),
+            ("GET", "/stats", Route::GetStats),
+        ];
+        if let Some((allow, _, route)) = fixed.iter().find(|(_, p, _)| *p == path) {
+            return if *allow == method { Ok(route.clone()) } else { Err(RouteError::MethodNotAllowed { allow }) };
+        }
+        for (prefix, make) in [
+            ("/consensus/", (|id| Route::GetConsensus { instance: id }) as fn(String) -> Route),
+            ("/annotators/", |id| Route::GetAnnotator { annotator: id }),
+        ] {
+            if let Some(id) = path.strip_prefix(prefix) {
+                if id.is_empty() {
+                    return Err(RouteError::NotFound);
+                }
+                return if method == "GET" {
+                    Ok(make(id.to_string()))
+                } else {
+                    Err(RouteError::MethodNotAllowed { allow: "GET" })
+                };
+            }
+        }
+        Err(RouteError::NotFound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every route in the table, with a representative path.
+    const TABLE: &[(&str, &str)] = &[
+        ("POST", "/labels"),
+        ("POST", "/finalize"),
+        ("POST", "/assign"),
+        ("GET", "/budget"),
+        ("GET", "/healthz"),
+        ("GET", "/stats"),
+        ("GET", "/consensus/i0"),
+        ("GET", "/annotators/a0"),
+    ];
+
+    #[test]
+    fn every_route_parses_under_its_own_method() {
+        for &(method, path) in TABLE {
+            let route = Route::parse(method, path).unwrap_or_else(|e| panic!("{method} {path}: {e:?}"));
+            match path {
+                "/consensus/i0" => assert_eq!(route, Route::GetConsensus { instance: "i0".to_string() }),
+                "/annotators/a0" => assert_eq!(route, Route::GetAnnotator { annotator: "a0".to_string() }),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn every_route_rejects_every_wrong_method_with_the_right_allow() {
+        for &(method, path) in TABLE {
+            for wrong in ["GET", "POST", "PUT", "DELETE", "PATCH", "HEAD"] {
+                if wrong == method {
+                    continue;
+                }
+                match Route::parse(wrong, path) {
+                    Err(RouteError::MethodNotAllowed { allow }) => {
+                        assert_eq!(allow, method, "{wrong} {path} should advertise Allow: {method}")
+                    }
+                    other => panic!("{wrong} {path}: expected 405, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_parameters_and_unknown_paths_are_not_found() {
+        for (method, path) in [
+            ("GET", "/consensus/"),  // empty instance id
+            ("POST", "/consensus/"), // still 404: no resource to 405 about
+            ("GET", "/annotators/"), // empty annotator id
+            ("GET", "/consensus"),   // missing trailing segment entirely
+            ("GET", "/"),
+            ("GET", "/nope"),
+            ("POST", "/labels/extra"),
+            ("GET", "/budget/extra"),
+        ] {
+            assert_eq!(Route::parse(method, path), Err(RouteError::NotFound), "{method} {path}");
+        }
+    }
+
+    #[test]
+    fn parameters_are_captured_verbatim() {
+        assert_eq!(
+            Route::parse("GET", "/consensus/weird%20id"),
+            Ok(Route::GetConsensus { instance: "weird%20id".to_string() })
+        );
+        assert_eq!(Route::parse("GET", "/annotators/a/b"), Ok(Route::GetAnnotator { annotator: "a/b".to_string() }));
+    }
+}

@@ -142,7 +142,7 @@ fn serve_connection(stream: TcpStream, state: &AppState, timeout: Duration) {
             Err(error) => {
                 let (status, reason) = error.status();
                 let body = Json::Obj(vec![("error".to_string(), Json::Str(error.message().to_string()))]).render();
-                let _ = write_response(&mut writer, status, reason, &body, true);
+                let _ = write_response(&mut writer, status, reason, &[], &body, true);
                 return;
             }
             Ok(Some(request)) => {
@@ -150,14 +150,18 @@ fn serve_connection(stream: TcpStream, state: &AppState, timeout: Duration) {
                 let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
                     state.handle(&request.method, &request.path, &request.body)
                 }));
-                let (status, body) = match outcome {
-                    Ok(response) => (response.status, response.body.render()),
-                    Err(_) => {
-                        (500, Json::Obj(vec![("error".to_string(), Json::Str("internal error".to_string()))]).render())
-                    }
+                let (status, body, allow) = match outcome {
+                    Ok(response) => (response.status, response.body.render(), response.allow),
+                    Err(_) => (
+                        500,
+                        Json::Obj(vec![("error".to_string(), Json::Str("internal error".to_string()))]).render(),
+                        None,
+                    ),
                 };
+                let headers: Vec<(&str, &str)> = allow.map(|v| ("Allow", v)).into_iter().collect();
                 let close = request.close;
-                if write_response(&mut writer, status, reason_phrase(status), &body, close).is_err() || close {
+                if write_response(&mut writer, status, reason_phrase(status), &headers, &body, close).is_err() || close
+                {
                     return;
                 }
             }

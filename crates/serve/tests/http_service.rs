@@ -1,9 +1,12 @@
 //! End-to-end tests over real loopback sockets: the label → consensus
-//! flow, the HTTP robustness contract (malformed input answers 4xx and
-//! never kills the accept loop) and concurrent-ingest determinism (the
-//! same label multiset, any arrival interleaving, any connection
-//! assignment → the same finalized consensus).
+//! flow, the closed-loop assign → label → consensus round under a budget,
+//! the HTTP robustness contract (malformed input answers 4xx and
+//! never kills the accept loop, a 405 carries its `Allow` header) and
+//! concurrent-ingest determinism (the same label multiset, any arrival
+//! interleaving, any connection assignment → the same finalized
+//! consensus).
 
+use lncl_crowd::scenario::router::PolicyKind;
 use lncl_crowd::truth::streaming::StreamingConfig;
 use lncl_serve::server::{Server, ServerConfig};
 use lncl_serve::state::AppState;
@@ -17,8 +20,8 @@ fn start_server() -> Server {
     Server::start(state, ServerConfig::default()).expect("bind loopback")
 }
 
-/// Sends raw bytes on a fresh connection and returns (status, body).
-fn raw_request(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+/// Sends raw bytes on a fresh connection and returns (status, headers, body).
+fn raw_request_with_headers(addr: SocketAddr, raw: &[u8]) -> (u16, Vec<String>, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
     stream.write_all(raw).expect("write");
@@ -27,6 +30,7 @@ fn raw_request(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
     reader.read_line(&mut status_line).expect("status line");
     let status: u16 = status_line.split_whitespace().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
     let mut content_length = 0usize;
+    let mut headers = Vec::new();
     loop {
         let mut line = String::new();
         reader.read_line(&mut line).expect("header line");
@@ -36,10 +40,17 @@ fn raw_request(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
         if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
             content_length = v.trim().parse().expect("length");
         }
+        headers.push(line.trim_end().to_string());
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body).expect("body");
-    (status, String::from_utf8(body).expect("utf8 body"))
+    (status, headers, String::from_utf8(body).expect("utf8 body"))
+}
+
+/// Sends raw bytes on a fresh connection and returns (status, body).
+fn raw_request(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+    let (status, _, body) = raw_request_with_headers(addr, raw);
+    (status, body)
 }
 
 fn get(addr: SocketAddr, path: &str) -> (u16, String) {
@@ -86,6 +97,82 @@ fn label_to_consensus_flow_over_sockets() {
     let (status, body) = get(addr, "/stats");
     assert_eq!(status, 200);
     assert!(body.contains("\"total_labels\": 6"), "{body}");
+}
+
+#[test]
+fn closed_loop_assign_label_consensus_round_under_budget() {
+    // a quarantine-policy server with a finite budget: seed labels, then
+    // follow /assign plans until the budget runs dry, checking the
+    // accounting at every step
+    let state = Arc::new(AppState::with_routing(StreamingConfig::pooled(2), PolicyKind::SpamQuarantine, Some(12), 3));
+    let server = Server::start(state, ServerConfig::default()).expect("bind loopback");
+    let addr = server.addr();
+
+    // seed: 4 of 12 labels introduce 4 instances and 3 annotators, leaving
+    // exactly 8 open (instance, annotator) pairs for the 8 remaining labels
+    for (instance, annotator, class) in [("i0", "a0", 1), ("i1", "a0", 0), ("i2", "a1", 0), ("i3", "a2", 1)] {
+        let (status, body) = post(
+            addr,
+            "/labels",
+            &format!(r#"{{"instance": "{instance}", "annotator": "{annotator}", "class": {class}}}"#),
+        );
+        assert_eq!(status, 200, "{body}");
+    }
+    let (status, body) = get(addr, "/budget");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"policy\": \"spam-quarantine\""), "{body}");
+    assert!(body.contains("\"spent\": 4"), "{body}");
+    assert!(body.contains("\"remaining\": 8"), "{body}");
+
+    // closed loop: answer every planned assignment with a label until the
+    // planner reports exhaustion
+    let mut answered = 0usize;
+    loop {
+        let (status, body) = post(addr, "/assign", r#"{"limit": 3}"#);
+        if status == 409 {
+            break;
+        }
+        assert_eq!(status, 200, "{body}");
+        let mut planned = 0usize;
+        for part in body.split("\"instance\": \"").skip(1) {
+            let instance = part.split('"').next().unwrap();
+            let annotator = part.split("\"annotator\": \"").nth(1).unwrap().split('"').next().unwrap();
+            let (status, response) = post(
+                addr,
+                "/labels",
+                &format!(r#"{{"instance": "{instance}", "annotator": "{annotator}", "class": 1}}"#),
+            );
+            assert_eq!(status, 200, "{response}");
+            planned += 1;
+            answered += 1;
+        }
+        if planned == 0 {
+            break; // nothing left to route (full coverage before budget ran out)
+        }
+        assert!(answered <= 8, "planner overspent the budget");
+    }
+    assert_eq!(answered, 8, "the loop should spend the budget exactly");
+
+    let (status, body) = get(addr, "/budget");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"exhausted\": true"), "{body}");
+    // the consensus for the doubly-confirmed instance is queryable
+    let (status, body) = get(addr, "/consensus/i0");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"hard_class\": 1"), "{body}");
+}
+
+#[test]
+fn method_not_allowed_carries_the_allow_header() {
+    let server = start_server();
+    let (status, headers, body) =
+        raw_request_with_headers(server.addr(), b"DELETE /labels HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+    assert_eq!(status, 405, "{body}");
+    assert!(headers.iter().any(|h| h == "Allow: POST"), "missing Allow header: {headers:?}");
+    let (status, headers, _) =
+        raw_request_with_headers(server.addr(), b"POST /stats HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+    assert_eq!(status, 405);
+    assert!(headers.iter().any(|h| h == "Allow: GET"), "{headers:?}");
 }
 
 #[test]

@@ -52,3 +52,69 @@ fi
 
 diff -u "$FIXTURES/serve_smoke_golden.json" "$ACTUAL"
 echo "serve_smoke: OK"
+
+# ---- closed-loop routing round -------------------------------------------
+# A second server with a routing policy and a finite label budget: seed a
+# few labels, then follow /assign plans — answering every planned
+# assignment with a label — until /assign reports budget exhaustion, and
+# check the accounting and the consensus afterwards.  Deterministic for
+# the fixed seed, so the loop always spends the budget exactly.
+
+kill "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+
+ROUTE_PORT=$((PORT + 1))
+RBASE="http://127.0.0.1:$ROUTE_PORT"
+LNCL_SERVE_PORT="$ROUTE_PORT" LNCL_SERVE_POLICY=quarantine \
+    LNCL_SERVE_BUDGET=12 LNCL_SERVE_SEED=3 "$ROOT/target/release/serve" &
+SERVER_PID=$!
+
+for _ in $(seq 1 50); do
+    if curl -sf "$RBASE/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.2
+done
+curl -sf "$RBASE/healthz" >/dev/null || { echo "serve_smoke: routed server did not come up on port $ROUTE_PORT" >&2; exit 1; }
+
+# seed: 4 of the 12 budgeted labels introduce 4 instances and 3
+# annotators, leaving exactly 8 open (instance, annotator) pairs
+curl -sf -X POST -d '{"labels": [
+    {"instance": "i0", "annotator": "a0", "class": 1},
+    {"instance": "i1", "annotator": "a0", "class": 0},
+    {"instance": "i2", "annotator": "a1", "class": 0},
+    {"instance": "i3", "annotator": "a2", "class": 1}
+  ]}' "$RBASE/labels" >/dev/null
+
+ANSWERED=0
+BODY="$(mktemp)"
+while :; do
+    STATUS="$(curl -s -o "$BODY" -w '%{http_code}' -X POST -d '{"limit": 3}' "$RBASE/assign")"
+    if [ "$STATUS" = "409" ]; then
+        break
+    fi
+    [ "$STATUS" = "200" ] || { echo "serve_smoke: /assign answered $STATUS: $(cat "$BODY")" >&2; exit 1; }
+    # the response is pretty-printed, one field per line: pair up the
+    # instance and annotator columns positionally
+    PAIRS="$(paste -d ' ' \
+        <(grep -o '"instance": "[^"]*"' "$BODY" | cut -d'"' -f4) \
+        <(grep -o '"annotator": "[^"]*"' "$BODY" | cut -d'"' -f4))"
+    if [ -z "$PAIRS" ]; then
+        break
+    fi
+    while read -r INSTANCE ANNOTATOR; do
+        curl -sf -X POST \
+            -d "{\"instance\": \"$INSTANCE\", \"annotator\": \"$ANNOTATOR\", \"class\": 1}" \
+            "$RBASE/labels" >/dev/null
+        ANSWERED=$((ANSWERED + 1))
+    done <<EOF
+$PAIRS
+EOF
+done
+[ "$ANSWERED" -eq 8 ] || { echo "serve_smoke: closed loop answered $ANSWERED labels, expected 8" >&2; exit 1; }
+
+curl -sf "$RBASE/budget" | grep -q '"exhausted": true' \
+    || { echo "serve_smoke: /budget should report exhaustion" >&2; exit 1; }
+curl -sf "$RBASE/consensus/i0" | grep -q '"hard_class": 1' \
+    || { echo "serve_smoke: unexpected consensus after the routed round" >&2; exit 1; }
+echo "serve_smoke: closed-loop OK"
