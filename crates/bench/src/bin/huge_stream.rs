@@ -1,0 +1,63 @@
+//! Huge-tier streaming benchmark: scenario generation fused with the first
+//! pseudo-E-step (`logic_lncl::streaming::stream_mv_init`) for both tasks
+//! at the selected scale's scenario sizes.  The corpus is produced in
+//! chunks and folded straight into the flat majority-vote posterior arena,
+//! so peak memory is the arena plus one chunk — never the full training
+//! split.  The report records the process peak RSS (`peak_rss_kb`), which
+//! CI gates with `bench_diff compare --rss-gate` against the checked-in
+//! `bench_huge_stream_baseline.json`: an accidental full-corpus
+//! materialisation in the streaming path shows up as a multiple of the
+//! expected high-water mark.
+//!
+//! Knobs: `LNCL_SCALE` (small / medium / paper / **huge**) picks the
+//! corpus sizes, `LNCL_STREAM_CHUNK` the instances per generation chunk
+//! (default 512), plus the usual `LNCL_BENCH_ITERS` / `LNCL_BENCH_DIR`.
+//! The `huge` tier streams 50,000 classification / 12,000 tagging
+//! instances — 25x / 10x the paper tier — which is the configuration the
+//! checked-in `BENCH_huge_stream.json` documents.
+
+use lncl_bench::timing::{env_usize, BenchReport};
+use lncl_bench::Scale;
+use lncl_crowd::TaskKind;
+use logic_lncl::streaming::stream_mv_init;
+
+fn main() {
+    let scale = Scale::from_env();
+    let chunk = env_usize("LNCL_STREAM_CHUNK").unwrap_or(512).max(1);
+    let mut report = BenchReport::new("huge_stream");
+    report.environment.push(("stream_chunk".to_string(), chunk.to_string()));
+    println!("Huge-tier streaming first E-pass (scale {scale:?}, chunk {chunk})");
+
+    for (name, task) in [("sent", TaskKind::Classification), ("ner", TaskKind::SequenceTagging)] {
+        let config = scale.scenario_base(task, 4247).named(format!("{name}-stream"));
+        let mut last = None;
+        report.bench(&format!("stream_mv_init/{name}"), || {
+            last = Some(stream_mv_init(&config, chunk));
+        });
+        let init = last.expect("at least one timed iteration ran");
+        let arena_kb = (init.qf.total_units() * init.qf.num_classes() * std::mem::size_of::<f32>()) as f64 / 1024.0;
+        println!(
+            "  {name}: {} instances, {} units, {} crowd labels, MV accuracy {:.4}, arena {:.1} MB",
+            init.qf.num_instances(),
+            init.qf.total_units(),
+            init.crowd_labels,
+            init.mv_accuracy,
+            arena_kb / 1024.0
+        );
+        report.record_quality(
+            &format!("{name}/stream"),
+            "MV-stream",
+            vec![
+                ("headline".to_string(), init.mv_accuracy),
+                ("train_instances".to_string(), init.qf.num_instances() as f64),
+                ("train_units".to_string(), init.qf.total_units() as f64),
+                ("crowd_labels".to_string(), init.crowd_labels as f64),
+                ("arena_kb".to_string(), arena_kb),
+            ],
+        );
+    }
+
+    report.record_peak_rss();
+    let path = report.write().expect("write benchmark report");
+    println!("wrote {}", path.display());
+}

@@ -16,12 +16,19 @@ pub enum Scale {
     Medium,
     /// The paper's corpus sizes (4,999 / 5,985 training sentences).  Slow.
     Paper,
+    /// ≥10x the paper's instance counts — the production-scale tier.  Full
+    /// corpora at this size should not be materialised: the streaming
+    /// generation path (`ScenarioStream` + `stream_mv_init`, exercised by
+    /// the `huge_stream` target) folds chunks straight into the flat
+    /// posterior arena under a peak-RSS gate.
+    Huge,
 }
 
 impl Scale {
     /// Reads the scale from the `LNCL_SCALE` environment variable.
     pub fn from_env() -> Self {
         match std::env::var("LNCL_SCALE").unwrap_or_default().to_lowercase().as_str() {
+            "huge" => Scale::Huge,
             "paper" => Scale::Paper,
             "medium" => Scale::Medium,
             _ => Scale::Small,
@@ -39,6 +46,7 @@ impl Scale {
             Scale::Small => 1,
             Scale::Medium => 3,
             Scale::Paper => 5,
+            Scale::Huge => 1,
         }
     }
 
@@ -51,7 +59,7 @@ impl Scale {
         match self {
             Scale::Small => 12,
             Scale::Medium => 20,
-            Scale::Paper => 30,
+            Scale::Paper | Scale::Huge => 30,
         }
     }
 
@@ -75,6 +83,16 @@ impl Scale {
                 ..SentimentDatasetConfig::default()
             },
             Scale::Paper => SentimentDatasetConfig { seed, ..SentimentDatasetConfig::paper_scale() },
+            // 10x the paper corpus; prefer the streaming scenario path over
+            // materialising datasets of this size
+            Scale::Huge => SentimentDatasetConfig {
+                train_size: 50_000,
+                dev_size: 1_500,
+                test_size: 1_500,
+                num_annotators: 200,
+                seed,
+                ..SentimentDatasetConfig::default()
+            },
         };
         generate_sentiment(&config)
     }
@@ -103,6 +121,15 @@ impl Scale {
                 seed,
             },
             Scale::Paper => NerDatasetConfig { seed, ..NerDatasetConfig::paper_scale() },
+            Scale::Huge => NerDatasetConfig {
+                train_size: 60_000,
+                dev_size: 2_000,
+                test_size: 2_000,
+                num_annotators: 150,
+                min_labels_per_instance: 2,
+                max_labels_per_instance: 4,
+                seed,
+            },
         };
         generate_ner(&config)
     }
@@ -123,6 +150,10 @@ impl Scale {
             (Scale::Medium, TaskKind::SequenceTagging) => base.with_sizes(400, 120, 120).with_annotators(20),
             (Scale::Paper, TaskKind::Classification) => base.with_sizes(2000, 600, 600).with_annotators(60),
             (Scale::Paper, TaskKind::SequenceTagging) => base.with_sizes(1200, 350, 350).with_annotators(40),
+            // ≥10x the paper tier's instance counts (25x / 10x) — sized for
+            // the streaming generation path, not for full materialisation
+            (Scale::Huge, TaskKind::Classification) => base.with_sizes(50_000, 1_000, 1_000).with_annotators(150),
+            (Scale::Huge, TaskKind::SequenceTagging) => base.with_sizes(12_000, 500, 500).with_annotators(80),
         };
         base.with_seed(seed)
     }

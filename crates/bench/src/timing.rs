@@ -50,6 +50,15 @@ pub fn env_shard() -> Option<(usize, usize)> {
     })
 }
 
+/// Peak resident set size of this process in kilobytes — `VmHWM` from
+/// `/proc/self/status`.  Returns `None` on platforms without procfs (the
+/// field is then simply omitted from the report).
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
 /// Statistics of one benchmark case.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CaseStats {
@@ -120,6 +129,12 @@ pub struct BenchReport {
     /// field is omitted from the JSON when empty, so pre-quality reports
     /// still parse).
     pub quality: Vec<QualityCase>,
+    /// Peak resident set size in kB at report time ([`peak_rss_kb`],
+    /// captured by [`BenchReport::record_peak_rss`]).  `None` — and omitted
+    /// from the JSON — when never recorded or unavailable, so pre-RSS
+    /// reports still parse.  The `bench_diff compare --rss-gate` flag turns
+    /// this into the streaming-tier memory regression gate.
+    pub peak_rss_kb: Option<u64>,
 }
 
 impl BenchReport {
@@ -136,7 +151,17 @@ impl BenchReport {
             ("scale".to_string(), scale),
             ("package_version".to_string(), env!("CARGO_PKG_VERSION").to_string()),
         ];
-        Self { target: target.into(), environment, cases: Vec::new(), quality: Vec::new() }
+        Self { target: target.into(), environment, cases: Vec::new(), quality: Vec::new(), peak_rss_kb: None }
+    }
+
+    /// Captures the process's peak RSS ([`peak_rss_kb`]) into the report.
+    /// Call it after the last case ran, right before [`BenchReport::write`],
+    /// so the high-water mark covers every timed iteration.
+    pub fn record_peak_rss(&mut self) {
+        self.peak_rss_kb = peak_rss_kb();
+        if let Some(kb) = self.peak_rss_kb {
+            println!("{:<44} {:>10.1} MB peak RSS", "(process high-water mark)", kb as f64 / 1024.0);
+        }
     }
 
     /// Records one quality-table row.
@@ -236,6 +261,9 @@ impl BenchReport {
             );
             members.push(("quality".to_string(), quality));
         }
+        if let Some(kb) = self.peak_rss_kb {
+            members.push(("peak_rss_kb".to_string(), Json::Num(kb as f64)));
+        }
         Json::Obj(members).render()
     }
 
@@ -291,7 +319,9 @@ impl BenchReport {
                 })
                 .collect::<Result<Vec<_>, String>>()?,
         };
-        Ok(Self { target, environment, cases, quality })
+        // absent in pre-RSS reports and on platforms without procfs
+        let peak_rss_kb = doc.get("peak_rss_kb").and_then(Json::as_f64).map(|kb| kb as u64);
+        Ok(Self { target, environment, cases, quality, peak_rss_kb })
     }
 
     /// Writes `BENCH_<target>.json` and returns the path.  The directory
@@ -408,6 +438,30 @@ mod tests {
         assert_eq!(back, report);
         assert_eq!(back.quality[0].metric("headline"), Some(0.9375f32 as f64));
         assert_eq!(back.quality[0].metric("missing"), None);
+    }
+
+    #[test]
+    fn peak_rss_is_readable_and_round_trips() {
+        // this test runs on Linux CI, where procfs is always present
+        let kb = peak_rss_kb();
+        if let Some(kb) = kb {
+            assert!(kb > 0, "a live process has a nonzero high-water mark");
+        }
+        let mut report = BenchReport::new("rss");
+        report.record("case", 1, &[0.5]);
+        assert!(!report.to_json().contains("peak_rss_kb"), "unrecorded RSS must stay out of the JSON");
+        report.peak_rss_kb = Some(123_456);
+        let back = BenchReport::from_json(&report.to_json()).expect("parse");
+        assert_eq!(back.peak_rss_kb, Some(123_456));
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn reports_without_peak_rss_still_parse() {
+        // the pre-RSS schema had no "peak_rss_kb" member at all
+        let report = BenchReport::new("legacy_rss");
+        let back = BenchReport::from_json(&report.to_json()).expect("parse");
+        assert_eq!(back.peak_rss_kb, None);
     }
 
     #[test]

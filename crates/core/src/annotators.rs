@@ -6,12 +6,13 @@ use crate::posterior::FlatPosteriors;
 // stream-windowed estimators always apply the same smoothing scheme
 use lncl_crowd::truth::ds_windowed::decay_blend_flat;
 use lncl_crowd::CrowdDataset;
-use lncl_tensor::Matrix;
+use lncl_tensor::{simd, Matrix};
 
 /// Eq. 12 count accumulation with a compile-time class count, which lets
 /// the compiler unroll the per-label `row += q_f` update completely (the
 /// paper's tasks have K = 2 and K = 9).
 fn accumulate_counts<const K: usize>(counts: &mut [f32], dataset: &CrowdDataset, qf: &FlatPosteriors) {
+    let tier = simd::detected_tier();
     for (i, inst) in dataset.train.iter().enumerate() {
         let q_inst = qf.instance_slice(i);
         assert_eq!(q_inst.len(), inst.num_units() * K, "qf unit count mismatch");
@@ -20,9 +21,7 @@ fn accumulate_counts<const K: usize>(counts: &mut [f32], dataset: &CrowdDataset,
             for (&observed, src) in cl.labels.iter().zip(q_inst.chunks_exact(K)) {
                 debug_assert!(observed < K, "observed label {observed} out of range for {K} classes");
                 let dst = &mut counts[annotator_base + observed * K..][..K];
-                for (c, &q) in dst.iter_mut().zip(src) {
-                    *c += q;
-                }
+                simd::add_assign(tier, dst, src);
             }
         }
     }
@@ -31,6 +30,7 @@ fn accumulate_counts<const K: usize>(counts: &mut [f32], dataset: &CrowdDataset,
 /// Runtime-`k` fallback of [`accumulate_counts`] for class counts outside
 /// the specialised set.
 fn accumulate_counts_dyn(counts: &mut [f32], dataset: &CrowdDataset, qf: &FlatPosteriors, k: usize) {
+    let tier = simd::detected_tier();
     for (i, inst) in dataset.train.iter().enumerate() {
         let q_inst = qf.instance_slice(i);
         assert_eq!(q_inst.len(), inst.num_units() * k, "qf unit count mismatch");
@@ -39,9 +39,7 @@ fn accumulate_counts_dyn(counts: &mut [f32], dataset: &CrowdDataset, qf: &FlatPo
             for (&observed, src) in cl.labels.iter().zip(q_inst.chunks_exact(k)) {
                 debug_assert!(observed < k, "observed label {observed} out of range for {k} classes");
                 let dst = &mut counts[annotator_base + observed * k..][..k];
-                for (c, &q) in dst.iter_mut().zip(src) {
-                    *c += q;
-                }
+                simd::add_assign(tier, dst, src);
             }
         }
     }
@@ -350,6 +348,7 @@ impl WindowedAnnotatorModel {
         let total_blocks = *self.block_offset.last().unwrap();
         // observed-major accumulation per block, like the static model
         let mut counts = vec![0.0f32; total_blocks * k * k];
+        let tier = simd::detected_tier();
         for (i, inst) in dataset.train.iter().enumerate() {
             let q_inst = qf.instance_slice(i);
             for (slot, cl) in inst.crowd_labels.iter().enumerate() {
@@ -357,9 +356,7 @@ impl WindowedAnnotatorModel {
                 for (&observed, src) in cl.labels.iter().zip(q_inst.chunks_exact(k)) {
                     debug_assert!(observed < k, "observed label {observed} out of range for {k} classes");
                     let dst = &mut counts[base + observed * k..][..k];
-                    for (c, &q) in dst.iter_mut().zip(src) {
-                        *c += q;
-                    }
+                    simd::add_assign(tier, dst, src);
                 }
             }
         }

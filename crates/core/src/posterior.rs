@@ -5,7 +5,7 @@
 
 use crate::annotators::AnnotatorModel;
 use lncl_crowd::Instance;
-use lncl_tensor::{stats, Matrix};
+use lncl_tensor::{simd, stats, Matrix};
 
 /// Per-unit distributions for a whole split, stored flat: a
 /// `total_units x K` matrix plus per-instance unit offsets.  This is the
@@ -94,6 +94,51 @@ impl FlatPosteriors {
     }
 }
 
+/// Incremental [`FlatPosteriors`] constructor for consumers that discover
+/// their instances one chunk at a time — the huge-tier streaming path,
+/// which folds each generated chunk into the arena and drops it.  Unlike
+/// [`FlatPosteriors::zeros`] it never needs the full instance list up
+/// front; the arena grows amortised-O(1) per unit.
+#[derive(Debug, Clone)]
+pub struct FlatPosteriorsBuilder {
+    k: usize,
+    data: Vec<f32>,
+    offsets: Vec<usize>,
+}
+
+impl FlatPosteriorsBuilder {
+    /// An empty arena for `k`-class posteriors.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "FlatPosteriorsBuilder: need at least one class");
+        Self { k, data: Vec::new(), offsets: vec![0] }
+    }
+
+    /// Appends a zero-filled instance of `units` rows and returns its flat
+    /// `units * K` slice for the caller to fill in place.
+    pub fn push_instance(&mut self, units: usize) -> &mut [f32] {
+        let start = self.data.len();
+        self.data.resize(start + units * self.k, 0.0);
+        self.offsets.push(self.offsets.last().unwrap() + units);
+        &mut self.data[start..]
+    }
+
+    /// Instances appended so far.
+    pub fn num_instances(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total unit rows appended so far.
+    pub fn total_units(&self) -> usize {
+        *self.offsets.last().unwrap()
+    }
+
+    /// Finalises the arena.
+    pub fn finish(self) -> FlatPosteriors {
+        let units = *self.offsets.last().unwrap();
+        FlatPosteriors { data: Matrix::from_vec(units, self.k, self.data), offsets: self.offsets }
+    }
+}
+
 /// Computes the truth posterior `q_a` for one instance — a `units x K`
 /// matrix, one row per unit — by Bayes' rule:
 ///
@@ -124,6 +169,7 @@ pub fn infer_qa_into(instance: &Instance, predictions: &Matrix, annotators: &Ann
     assert_eq!(predictions.cols(), k, "prediction columns must match class count");
     assert_eq!(out.len(), units * k, "output buffer must hold units * K entries");
 
+    let tier = simd::detected_tier();
     for (u, log_post) in out.chunks_exact_mut(k).enumerate() {
         for (lp, &p) in log_post.iter_mut().zip(predictions.row(u)) {
             *lp = p.max(1e-12).ln();
@@ -132,9 +178,7 @@ pub fn infer_qa_into(instance: &Instance, predictions: &Matrix, annotators: &Ann
             // one contiguous cached row of pre-computed logs per label —
             // no `ln` and no strided confusion-matrix walk in this loop
             let lls = annotators.log_likelihoods_for(cl.annotator, cl.labels[u]);
-            for (lp, &ll) in log_post.iter_mut().zip(lls) {
-                *lp += ll;
-            }
+            simd::add_assign(tier, log_post, lls);
         }
         stats::softmax_in_place(log_post);
     }
@@ -160,15 +204,14 @@ pub fn infer_qa_windowed_into(
     assert_eq!(predictions.cols(), k, "prediction columns must match class count");
     assert_eq!(out.len(), units * k, "output buffer must hold units * K entries");
 
+    let tier = simd::detected_tier();
     for (u, log_post) in out.chunks_exact_mut(k).enumerate() {
         for (lp, &p) in log_post.iter_mut().zip(predictions.row(u)) {
             *lp = p.max(1e-12).ln();
         }
         for (slot, cl) in instance.crowd_labels.iter().enumerate() {
             let lls = annotators.log_likelihoods_for(i, slot, cl.annotator, cl.labels[u]);
-            for (lp, &ll) in log_post.iter_mut().zip(lls) {
-                *lp += ll;
-            }
+            simd::add_assign(tier, log_post, lls);
         }
         stats::softmax_in_place(log_post);
     }

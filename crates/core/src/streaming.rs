@@ -1,0 +1,148 @@
+//! Huge-tier streaming initialisation: scenario generation fused with the
+//! first pseudo-E-step.
+//!
+//! Algorithm 1 initialises `q_f` with majority voting (line 1) before the
+//! EM loop starts.  Majority voting is per-unit local — a unit's posterior
+//! is the normalised empirical distribution of its own labels — so the
+//! first E-pass needs no cross-instance state and can be folded directly
+//! into chunked generation: each [`ScenarioStream`] chunk is voted into a
+//! flat posterior arena ([`FlatPosteriorsBuilder`]) and dropped.  Peak
+//! memory is the arena (`total_units x K` floats) plus one chunk of
+//! instances, never the corpus; the `huge` bench tier measures exactly
+//! this (see `lncl-bench`'s `huge_stream` target and the peak-RSS gate).
+//!
+//! The fused pass is bitwise-identical to the batch pipeline
+//! (`generate_scenario` → `MajorityVote` → arena assembly): the stream
+//! emits the very instances the batch generator would build, and the vote
+//! counts accumulate in the same label order.
+
+use crate::posterior::{FlatPosteriors, FlatPosteriorsBuilder};
+use lncl_crowd::scenario::{ScenarioConfig, ScenarioStream};
+use lncl_crowd::CrowdDataset;
+use lncl_tensor::stats;
+
+/// Result of [`stream_mv_init`]: the majority-vote `q_f` arena plus the
+/// corpus statistics a consumer would otherwise have to re-derive from the
+/// (dropped) training instances.
+#[derive(Debug, Clone)]
+pub struct StreamedMvInit {
+    /// Majority-vote posteriors for the whole training split, flat.
+    pub qf: FlatPosteriors,
+    /// The dataset shell: dev/test splits, vocabulary and class metadata,
+    /// with an **empty** training split (the instances were consumed).
+    pub shell: CrowdDataset,
+    /// Total crowd labels consumed across the training split.
+    pub crowd_labels: usize,
+    /// Fraction of training units whose majority-vote argmax matches gold.
+    pub mv_accuracy: f64,
+}
+
+/// Streams the scenario's training split in `chunk_size`-instance chunks,
+/// folding each chunk into the majority-vote `q_f` arena (Algorithm 1,
+/// line 1) and dropping it, then finishes the dev/test splits.  The full
+/// training corpus never resides in memory.
+pub fn stream_mv_init(config: &ScenarioConfig, chunk_size: usize) -> StreamedMvInit {
+    assert!(chunk_size >= 1, "stream_mv_init: chunk size must be at least 1");
+    let k = config.num_classes();
+    let mut stream = ScenarioStream::new(config);
+    let mut builder = FlatPosteriorsBuilder::new(k);
+    let mut crowd_labels = 0usize;
+    let mut correct = 0usize;
+    let mut units = 0usize;
+    while !stream.is_drained() {
+        let chunk = stream.next_train_chunk(chunk_size);
+        for inst in &chunk {
+            let rows = builder.push_instance(inst.num_units());
+            for cl in &inst.crowd_labels {
+                crowd_labels += 1;
+                for (u, &observed) in cl.labels.iter().enumerate() {
+                    rows[u * k + observed] += 1.0;
+                }
+            }
+            for (row, &gold) in rows.chunks_exact_mut(k).zip(&inst.gold) {
+                stats::normalize_in_place(row);
+                units += 1;
+                if stats::argmax(row) == gold {
+                    correct += 1;
+                }
+            }
+        }
+        // the chunk drops here — only the arena row block survives
+    }
+    let shell = stream.finish(Vec::new());
+    let mv_accuracy = if units == 0 { 0.0 } else { correct as f64 / units as f64 };
+    StreamedMvInit { qf: builder.finish(), shell, crowd_labels, mv_accuracy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lncl_crowd::scenario::generate_scenario;
+    use lncl_crowd::truth::{MajorityVote, TruthInference};
+    use lncl_crowd::TaskKind;
+
+    fn configs() -> Vec<ScenarioConfig> {
+        vec![
+            ScenarioConfig::tiny(TaskKind::Classification).with_seed(11),
+            ScenarioConfig::tiny(TaskKind::SequenceTagging).with_seed(12),
+        ]
+    }
+
+    #[test]
+    fn fused_pass_matches_batch_majority_vote_bitwise() {
+        for config in configs() {
+            let batch = generate_scenario(&config);
+            let view = batch.annotation_view();
+            let mv = MajorityVote.infer(&view);
+            for chunk_size in [1usize, 5, 1024] {
+                let streamed = stream_mv_init(&config, chunk_size);
+                assert_eq!(streamed.qf.num_instances(), batch.train.len());
+                let mut u = 0usize;
+                for i in 0..batch.train.len() {
+                    for row in streamed.qf.instance_slice(i).chunks_exact(streamed.qf.num_classes()) {
+                        for (a, b) in row.iter().zip(&mv.posteriors[u]) {
+                            assert_eq!(a.to_bits(), b.to_bits(), "unit {u} diverged at chunk size {chunk_size}");
+                        }
+                        u += 1;
+                    }
+                }
+                assert_eq!(u, view.num_units());
+                assert_eq!(streamed.shell.dev, batch.dev);
+                assert_eq!(streamed.shell.test, batch.test);
+                assert!(streamed.shell.train.is_empty());
+                assert!(streamed.crowd_labels > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn mv_accuracy_matches_the_batch_estimate() {
+        for config in configs() {
+            let batch = generate_scenario(&config);
+            let view = batch.annotation_view();
+            let mv = MajorityVote.infer(&view);
+            let batch_acc = mv.accuracy(&view.gold) as f64;
+            let streamed = stream_mv_init(&config, 13);
+            assert!(
+                (streamed.mv_accuracy - batch_acc).abs() < 1e-6,
+                "fused accuracy {} vs batch {batch_acc}",
+                streamed.mv_accuracy
+            );
+        }
+    }
+
+    #[test]
+    fn builder_grows_and_finishes_consistently() {
+        let mut builder = FlatPosteriorsBuilder::new(3);
+        assert_eq!(builder.num_instances(), 0);
+        builder.push_instance(2).copy_from_slice(&[0.1, 0.2, 0.7, 1.0, 0.0, 0.0]);
+        builder.push_instance(1).copy_from_slice(&[0.3, 0.3, 0.4]);
+        assert_eq!(builder.num_instances(), 2);
+        assert_eq!(builder.total_units(), 3);
+        let flat = builder.finish();
+        assert_eq!(flat.num_instances(), 2);
+        assert_eq!(flat.total_units(), 3);
+        assert_eq!(flat.instance_slice(0), &[0.1, 0.2, 0.7, 1.0, 0.0, 0.0]);
+        assert_eq!(flat.instance_slice(1), &[0.3, 0.3, 0.4]);
+    }
+}

@@ -118,6 +118,45 @@ mod tests {
     }
 
     #[test]
+    fn empty_weights_yield_empty_selection() {
+        let mut rng = TensorRng::seed_from_u64(42);
+        assert!(select_weighted_distinct(&[], 3, &mut rng).is_empty());
+        assert_eq!(pick_weighted(&[], &mut rng), None);
+    }
+
+    #[test]
+    fn single_candidate_is_always_picked_regardless_of_weight() {
+        let mut rng = TensorRng::seed_from_u64(43);
+        for weight in [2.5, 0.0, f32::NAN] {
+            assert_eq!(select_weighted_distinct(&[weight], 1, &mut rng), vec![0]);
+            assert_eq!(select_weighted_distinct(&[weight], 5, &mut rng), vec![0], "count is clamped to the candidates");
+            assert_eq!(pick_weighted(&[weight], &mut rng), Some(0));
+        }
+    }
+
+    #[test]
+    fn nan_weight_falls_back_to_uniform_and_stays_distinct() {
+        // a NaN weight poisons the total, so the guarded sum must route
+        // every draw through the uniform fallback — never through
+        // `categorical`, which would misbehave on a NaN mass
+        let mut rng = TensorRng::seed_from_u64(44);
+        let weights = [1.0, f32::NAN, 2.0, 0.0];
+        let mut seen = [0usize; 4];
+        for _ in 0..400 {
+            let chosen = select_weighted_distinct(&weights, 3, &mut rng);
+            let mut dedup = chosen.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 3, "duplicates in {chosen:?}");
+            for &c in &chosen {
+                seen[c] += 1;
+            }
+        }
+        // the uniform fallback covers every index, including the NaN one
+        assert!(seen.iter().all(|&n| n > 50), "uniform fallback coverage: {seen:?}");
+    }
+
+    #[test]
     fn pick_weighted_matches_single_selection() {
         let weights = [0.5, 4.0, 0.25];
         let mut a = TensorRng::seed_from_u64(17);

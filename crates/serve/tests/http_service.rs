@@ -186,6 +186,11 @@ fn malformed_requests_answer_4xx_and_do_not_kill_the_server() {
         ("relative target", b"GET healthz HTTP/1.1\r\n\r\n".to_vec(), 400),
         ("bad content-length", b"POST /labels HTTP/1.1\r\nContent-Length: ten\r\n\r\n".to_vec(), 400),
         (
+            "conflicting duplicate content-lengths",
+            b"POST /labels HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 2\r\n\r\nabcd".to_vec(),
+            400,
+        ),
+        (
             "oversized body",
             format!("POST /labels HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 2 * 1024 * 1024).into_bytes(),
             413,

@@ -13,7 +13,9 @@
 //! The crate is intentionally BLAS-free but not naive: the matrix products
 //! are plan-driven ([`ops::MatmulPlan`]) cache-blocked i-k-j kernels that
 //! shard output rows across scoped threads ([`par`]) once a product is
-//! large enough to pay for the spawn, and the hot compositions the trainers
+//! large enough to pay for the spawn, dispatch their micro-kernels to
+//! tiered AVX2 / SSE2 / scalar paths ([`simd`], runtime-detected, bitwise
+//! identical across tiers), and the hot compositions the trainers
 //! need (`affine`, `affine_relu`, `dual_affine`, `softmax_xent_rows`,
 //! `axpy`) exist as fused single-allocation ops.  Everything stays
 //! dependency-free and, on the shapes the paper's experiments use,
@@ -37,6 +39,7 @@ pub mod matrix;
 pub mod ops;
 pub mod par;
 pub mod rng;
+pub mod simd;
 pub mod stats;
 
 pub use matrix::Matrix;

@@ -10,7 +10,15 @@
 //! per-element arithmetic is chosen so results are bitwise independent of
 //! the plan — the seeded end-to-end experiments stay reproducible no matter
 //! which path a shape takes.
+//!
+//! On top of the tiling the plan also picks a **kernel tier**
+//! ([`crate::simd::KernelTier`]): the register-tile depth loop and the tail
+//! `axpy` dispatch to AVX2 / SSE2 vector kernels when the CPU supports them
+//! (scalar fallback otherwise, `LNCL_SIMD=off` forces it).  Every tier is
+//! lane-parallel with the same per-element reduction order, so the tier is
+//! — like the tiling — bitwise invisible in the results.
 
+use crate::simd::{self, KernelTier};
 use crate::{par, Matrix};
 
 /// Loop-blocking and sharding parameters for one matrix product, chosen per
@@ -25,6 +33,8 @@ pub struct MatmulPlan {
     pub nc: usize,
     /// Number of row shards to spread across threads (1 = serial).
     pub shards: usize,
+    /// Kernel tier the micro-kernel dispatches to (scalar / SSE2 / AVX2).
+    pub tier: KernelTier,
 }
 
 impl MatmulPlan {
@@ -38,16 +48,38 @@ impl MatmulPlan {
     /// wide-but-short products.
     pub const MIN_ROWS_PER_SHARD: usize = 16;
 
-    /// Chooses tile sizes (and a shard count) for an `m x k * k x n`
-    /// product.
+    /// Chooses tile sizes, a shard count and a kernel tier for an
+    /// `m x k * k x n` product.
     pub fn for_shape(m: usize, k: usize, n: usize) -> Self {
+        let tier = Self::tier_for_width(n);
         let flops = m.saturating_mul(k).saturating_mul(n);
         if flops <= Self::SMALL_FLOPS {
-            return Self { mc: m.max(1), kc: k.max(1), nc: n.max(1), shards: 1 };
+            return Self { mc: m.max(1), kc: k.max(1), nc: n.max(1), shards: 1, tier };
         }
         let shards =
             if flops >= Self::PAR_FLOPS { par::max_threads().min(m / Self::MIN_ROWS_PER_SHARD).max(1) } else { 1 };
-        Self { mc: m.clamp(1, 64), kc: k.clamp(1, 128), nc: n.clamp(1, 256), shards }
+        Self { mc: m.clamp(1, 64), kc: k.clamp(1, 128), nc: n.clamp(1, 256), shards, tier }
+    }
+
+    /// Best kernel tier for an output width: narrow outputs stay scalar
+    /// (the vector setup costs more than it saves below one 128-bit lane
+    /// group), everything else runs the widest tier the machine offers.
+    fn tier_for_width(n: usize) -> KernelTier {
+        let detected = simd::detected_tier();
+        if n < 4 {
+            KernelTier::Scalar
+        } else if n < 8 {
+            detected.min(KernelTier::Sse2)
+        } else {
+            detected
+        }
+    }
+
+    /// The same plan with the kernel tier overridden — the hook the
+    /// cross-tier equivalence suite uses to force every path over one
+    /// shape.
+    pub fn with_tier(self, tier: KernelTier) -> Self {
+        Self { tier, ..self }
     }
 
     /// True when this plan runs the single-tile kernel.
@@ -58,25 +90,23 @@ impl MatmulPlan {
 
 /// `y += alpha * x`, the fused scaled-accumulate at the bottom of every
 /// matmul kernel and optimiser update.  Every lane is independent (one
-/// `mul` + one `add` per element), so the compiler vectorises the loop and
-/// the result matches the scalar loop bitwise.
+/// `mul` + one `add` per element), so the vector tiers of
+/// [`crate::simd::axpy`] this dispatches to match the scalar loop bitwise.
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
-    assert_eq!(x.len(), y.len(), "axpy: length mismatch ({} vs {})", x.len(), y.len());
-    for (yv, xv) in y.iter_mut().zip(x) {
-        *yv += alpha * xv;
-    }
+    simd::axpy(simd::detected_tier(), alpha, x, y);
 }
 
 /// Width of the register tile in the i-k-j micro-kernel.  A fixed-size
 /// `[f32; J_TILE]` accumulator (reached through `try_into`, so the length
 /// is a compile-time fact) keeps the running output span in vector
 /// registers across the whole depth loop instead of re-loading it from
-/// memory at every step.
-const J_TILE: usize = 16;
+/// memory at every step; the depth loop itself runs on the plan's kernel
+/// tier through [`crate::simd::tile_kloop`].
+const J_TILE: usize = simd::TILE;
 
 /// Blocked i-k-j accumulation `out_block += a[rows] * b` for the output rows
 /// `[row0, row0 + rows)`, where `block` is the flat slice backing exactly
@@ -104,25 +134,24 @@ fn matmul_acc_rows(a: &Matrix, b: &Matrix, block: &mut [f32], row0: usize, rows:
                         if width == J_TILE {
                             let out_span: &mut [f32; J_TILE] =
                                 (&mut out_row[jt..jt + J_TILE]).try_into().expect("span is J_TILE wide");
-                            let mut acc = *out_span;
-                            for (kk, &a_ik) in a_row.iter().enumerate().take(k_end).skip(pc) {
-                                if a_ik == 0.0 {
-                                    continue;
-                                }
-                                let b_span: &[f32; J_TILE] =
-                                    b.row(kk)[jt..jt + J_TILE].try_into().expect("span is J_TILE wide");
-                                for (av, bv) in acc.iter_mut().zip(b_span) {
-                                    *av += a_ik * bv;
-                                }
-                            }
-                            *out_span = acc;
+                            simd::tile_kloop(
+                                plan.tier,
+                                out_span,
+                                a.as_slice(),
+                                (row0 + i) * k,
+                                1,
+                                (pc, k_end),
+                                b.as_slice(),
+                                n,
+                                jt,
+                            );
                         } else {
                             // tail narrower than the register tile
                             for (kk, &a_ik) in a_row.iter().enumerate().take(k_end).skip(pc) {
                                 if a_ik == 0.0 {
                                     continue;
                                 }
-                                axpy(a_ik, &b.row(kk)[jt..jt + width], &mut out_row[jt..jt + width]);
+                                simd::axpy(plan.tier, a_ik, &b.row(kk)[jt..jt + width], &mut out_row[jt..jt + width]);
                             }
                         }
                         jt += width;
@@ -151,7 +180,17 @@ pub fn matmul_acc(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     assert_eq!(out.shape(), (m, n), "matmul_acc: output shape {:?} does not match {m}x{n}", out.shape());
     let plan = MatmulPlan::for_shape(m, k, n);
-    par::shard_rows(out, plan.shards, |row0, rows, block| matmul_acc_rows(a, b, block, row0, rows, &plan));
+    matmul_acc_planned(a, b, out, &plan);
+}
+
+/// [`matmul_acc`] under an explicit, caller-supplied plan.  Normal code
+/// lets [`MatmulPlan::for_shape`] choose; the cross-tier equivalence suite
+/// uses this entry point to drive one shape through every kernel tier and
+/// assert the results are bitwise identical.
+pub fn matmul_acc_planned(a: &Matrix, b: &Matrix, out: &mut Matrix, plan: &MatmulPlan) {
+    assert_eq!(a.cols(), b.rows(), "matmul_acc_planned: inner dimensions do not match");
+    assert_eq!(out.shape(), (a.rows(), b.cols()), "matmul_acc_planned: output shape mismatch");
+    par::shard_rows(out, plan.shards, |row0, rows, block| matmul_acc_rows(a, b, block, row0, rows, plan));
 }
 
 /// Matrix product `a * b`.
@@ -235,26 +274,26 @@ pub fn matmul_transpose_a(a: &Matrix, b: &Matrix) -> Matrix {
                     if width == J_TILE {
                         let out_span: &mut [f32; J_TILE] =
                             (&mut out_row[jt..jt + J_TILE]).try_into().expect("span is J_TILE wide");
-                        let mut acc = *out_span;
-                        for kk in pc..k_end {
-                            let a_ki = a[(kk, row0 + i)];
-                            if a_ki == 0.0 {
-                                continue;
-                            }
-                            let b_span: &[f32; J_TILE] =
-                                b.row(kk)[jt..jt + J_TILE].try_into().expect("span is J_TILE wide");
-                            for (av, bv) in acc.iter_mut().zip(b_span) {
-                                *av += a_ki * bv;
-                            }
-                        }
-                        *out_span = acc;
+                        // the column walk of `a` is just a strided access:
+                        // element `kk` lives at `(row0 + i) + kk * m`
+                        simd::tile_kloop(
+                            plan.tier,
+                            out_span,
+                            a.as_slice(),
+                            row0 + i,
+                            m,
+                            (pc, k_end),
+                            b.as_slice(),
+                            n,
+                            jt,
+                        );
                     } else {
                         for kk in pc..k_end {
                             let a_ki = a[(kk, row0 + i)];
                             if a_ki == 0.0 {
                                 continue;
                             }
-                            axpy(a_ki, &b.row(kk)[jt..jt + width], &mut out_row[jt..jt + width]);
+                            simd::axpy(plan.tier, a_ki, &b.row(kk)[jt..jt + width], &mut out_row[jt..jt + width]);
                         }
                     }
                     jt += width;

@@ -1,0 +1,429 @@
+//! Tiered SIMD kernels (`std::arch` AVX2 / SSE2) behind runtime feature
+//! detection, with a scalar fallback that is always available.
+//!
+//! Every vector kernel in this module is **lane-parallel**: each output
+//! element is produced by exactly the same sequence of `mul`/`add`
+//! operations, in the same order, as the scalar loop it replaces — SIMD
+//! only changes *how many independent elements* advance per instruction,
+//! never the reduction shape of any single element.  No FMA contraction is
+//! used (explicit `mul` + `add` intrinsics), so every tier is **bitwise
+//! identical** to the scalar path; the cross-tier suite in
+//! `tests/simd_tiers.rs` asserts this on odd shapes via `f32::to_bits`.
+//!
+//! Tier selection happens once per process ([`detected_tier`], cached) from
+//! hardware capabilities, capped by the `LNCL_SIMD` environment variable:
+//!
+//! * unset or `auto` — best tier the CPU supports;
+//! * `off` / `scalar` — force the scalar fallback (the CI scalar leg);
+//! * `sse` / `sse2` — cap at SSE2;
+//! * `avx2` — cap at AVX2 (still requires hardware support);
+//! * anything else — warning on stderr, treated as `auto` (the repo-wide
+//!   `LNCL_*` convention from [`crate::env`]).
+//!
+//! [`MatmulPlan`](crate::ops::MatmulPlan) picks the tier **per shape at
+//! plan time** (tiny widths stay scalar — a vector setup would cost more
+//! than it saves), mirroring how its flop thresholds pick tiling and
+//! sharding.
+
+use std::sync::OnceLock;
+
+/// One execution tier of the kernel dispatch, ordered from the
+/// always-available fallback to the widest vector path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum KernelTier {
+    /// Plain scalar loops — available everywhere, the reference semantics.
+    Scalar,
+    /// 128-bit SSE2 lanes (4 × f32).
+    Sse2,
+    /// 256-bit AVX2 lanes (8 × f32).
+    Avx2,
+}
+
+impl KernelTier {
+    /// Short lowercase label (used in warnings and bench environment rows).
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelTier::Scalar => "scalar",
+            KernelTier::Sse2 => "sse2",
+            KernelTier::Avx2 => "avx2",
+        }
+    }
+}
+
+/// Parses an `LNCL_SIMD` value into a tier *cap*.  `None` means "no cap"
+/// (auto).  Unknown values warn and fall back to auto, per the repo's
+/// env-var convention.
+fn parse_simd_cap(raw: &str) -> Option<KernelTier> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "" | "auto" => None,
+        "off" | "scalar" | "0" => Some(KernelTier::Scalar),
+        "sse" | "sse2" => Some(KernelTier::Sse2),
+        "avx" | "avx2" => Some(KernelTier::Avx2),
+        other => {
+            eprintln!("warning: ignoring invalid LNCL_SIMD={other:?} (expected off|scalar|sse2|avx2|auto)");
+            None
+        }
+    }
+}
+
+/// Best tier the *hardware* supports, ignoring `LNCL_SIMD`.  This is what
+/// the cross-tier equivalence tests iterate over, so forcing the scalar
+/// path via the environment cannot silently skip the SIMD legs.
+pub fn hardware_tier() -> KernelTier {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return KernelTier::Avx2;
+        }
+        if std::arch::is_x86_feature_detected!("sse2") {
+            return KernelTier::Sse2;
+        }
+    }
+    KernelTier::Scalar
+}
+
+/// Every tier runnable on this machine, from scalar up to
+/// [`hardware_tier`] — the iteration set of the equivalence suite.
+pub fn available_tiers() -> Vec<KernelTier> {
+    [KernelTier::Scalar, KernelTier::Sse2, KernelTier::Avx2].into_iter().filter(|&t| t <= hardware_tier()).collect()
+}
+
+/// The process-wide active tier: [`hardware_tier`] capped by `LNCL_SIMD`.
+/// Detected once and cached — plans read this at construction time.
+pub fn detected_tier() -> KernelTier {
+    static TIER: OnceLock<KernelTier> = OnceLock::new();
+    *TIER.get_or_init(|| {
+        let hardware = hardware_tier();
+        match std::env::var("LNCL_SIMD").ok().as_deref().and_then(parse_simd_cap) {
+            Some(cap) => cap.min(hardware),
+            None => hardware,
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// axpy: y[j] += alpha * x[j]
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn axpy_scalar(alpha: f32, x: &[f32], y: &mut [f32]) {
+    for (yv, xv) in y.iter_mut().zip(x) {
+        *yv += alpha * xv;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn axpy_sse2(alpha: f32, x: &[f32], y: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = y.len();
+    let va = _mm_set1_ps(alpha);
+    let (xp, yp) = (x.as_ptr(), y.as_mut_ptr());
+    let mut j = 0;
+    while j + 4 <= n {
+        let prod = _mm_mul_ps(va, _mm_loadu_ps(xp.add(j)));
+        _mm_storeu_ps(yp.add(j), _mm_add_ps(_mm_loadu_ps(yp.add(j)), prod));
+        j += 4;
+    }
+    axpy_scalar(alpha, &x[j..], &mut y[j..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn axpy_avx2(alpha: f32, x: &[f32], y: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = y.len();
+    let va = _mm256_set1_ps(alpha);
+    let (xp, yp) = (x.as_ptr(), y.as_mut_ptr());
+    let mut j = 0;
+    while j + 8 <= n {
+        let prod = _mm256_mul_ps(va, _mm256_loadu_ps(xp.add(j)));
+        _mm256_storeu_ps(yp.add(j), _mm256_add_ps(_mm256_loadu_ps(yp.add(j)), prod));
+        j += 8;
+    }
+    axpy_scalar(alpha, &x[j..], &mut y[j..]);
+}
+
+/// `y += alpha * x` on the given tier.  Lane-parallel (one `mul` + one
+/// `add` per element), so all tiers agree bitwise.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn axpy(tier: KernelTier, alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch ({} vs {})", x.len(), y.len());
+    match tier {
+        KernelTier::Scalar => axpy_scalar(alpha, x, y),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the tier is only handed out by detection, so the
+        // feature is present on this CPU.
+        KernelTier::Sse2 => unsafe { axpy_sse2(alpha, x, y) },
+        #[cfg(target_arch = "x86_64")]
+        KernelTier::Avx2 => unsafe { axpy_avx2(alpha, x, y) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => axpy_scalar(alpha, x, y),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// add_assign: dst[j] += src[j]
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn add_assign_scalar(dst: &mut [f32], src: &[f32]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn add_assign_sse2(dst: &mut [f32], src: &[f32]) {
+    use std::arch::x86_64::*;
+    let n = dst.len();
+    let (dp, sp) = (dst.as_mut_ptr(), src.as_ptr());
+    let mut j = 0;
+    while j + 4 <= n {
+        _mm_storeu_ps(dp.add(j), _mm_add_ps(_mm_loadu_ps(dp.add(j)), _mm_loadu_ps(sp.add(j))));
+        j += 4;
+    }
+    add_assign_scalar(&mut dst[j..], &src[j..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn add_assign_avx2(dst: &mut [f32], src: &[f32]) {
+    use std::arch::x86_64::*;
+    let n = dst.len();
+    let (dp, sp) = (dst.as_mut_ptr(), src.as_ptr());
+    let mut j = 0;
+    while j + 8 <= n {
+        _mm256_storeu_ps(dp.add(j), _mm256_add_ps(_mm256_loadu_ps(dp.add(j)), _mm256_loadu_ps(sp.add(j))));
+        j += 8;
+    }
+    add_assign_scalar(&mut dst[j..], &src[j..]);
+}
+
+/// `dst += src` on the given tier — the flat accumulation at the bottom of
+/// the Eq. 12 count update and the Eq. 13 log-likelihood sweep.
+/// Lane-parallel, so all tiers agree bitwise.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn add_assign(tier: KernelTier, dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "add_assign: length mismatch ({} vs {})", dst.len(), src.len());
+    match tier {
+        KernelTier::Scalar => add_assign_scalar(dst, src),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: tier implies the feature is present (see `axpy`).
+        KernelTier::Sse2 => unsafe { add_assign_sse2(dst, src) },
+        #[cfg(target_arch = "x86_64")]
+        KernelTier::Avx2 => unsafe { add_assign_avx2(dst, src) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => add_assign_scalar(dst, src),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 16-wide register-tile depth loop: acc[j] += a[kk] * b[kk*stride + j]
+// ---------------------------------------------------------------------------
+
+/// Width of the register tile shared with the matmul micro-kernel.
+pub const TILE: usize = 16;
+
+#[inline]
+#[allow(clippy::too_many_arguments)] // mirrors the public dispatch signature
+fn tile_kloop_scalar(
+    acc: &mut [f32; TILE],
+    a: &[f32],
+    a_off: usize,
+    a_stride: usize,
+    kks: (usize, usize),
+    b: &[f32],
+    b_stride: usize,
+    jt: usize,
+) {
+    for kk in kks.0..kks.1 {
+        let a_ik = a[a_off + kk * a_stride];
+        if a_ik == 0.0 {
+            continue;
+        }
+        let b_span: &[f32; TILE] =
+            b[kk * b_stride + jt..kk * b_stride + jt + TILE].try_into().expect("span is TILE wide");
+        for (av, bv) in acc.iter_mut().zip(b_span) {
+            *av += a_ik * bv;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+#[allow(clippy::too_many_arguments)] // mirrors the public dispatch signature
+unsafe fn tile_kloop_sse2(
+    acc: &mut [f32; TILE],
+    a: &[f32],
+    a_off: usize,
+    a_stride: usize,
+    kks: (usize, usize),
+    b: &[f32],
+    b_stride: usize,
+    jt: usize,
+) {
+    use std::arch::x86_64::*;
+    let ap = acc.as_mut_ptr();
+    let mut v0 = _mm_loadu_ps(ap);
+    let mut v1 = _mm_loadu_ps(ap.add(4));
+    let mut v2 = _mm_loadu_ps(ap.add(8));
+    let mut v3 = _mm_loadu_ps(ap.add(12));
+    for kk in kks.0..kks.1 {
+        let a_ik = *a.get_unchecked(a_off + kk * a_stride);
+        if a_ik == 0.0 {
+            continue;
+        }
+        let va = _mm_set1_ps(a_ik);
+        let bp = b.as_ptr().add(kk * b_stride + jt);
+        v0 = _mm_add_ps(v0, _mm_mul_ps(va, _mm_loadu_ps(bp)));
+        v1 = _mm_add_ps(v1, _mm_mul_ps(va, _mm_loadu_ps(bp.add(4))));
+        v2 = _mm_add_ps(v2, _mm_mul_ps(va, _mm_loadu_ps(bp.add(8))));
+        v3 = _mm_add_ps(v3, _mm_mul_ps(va, _mm_loadu_ps(bp.add(12))));
+    }
+    _mm_storeu_ps(ap, v0);
+    _mm_storeu_ps(ap.add(4), v1);
+    _mm_storeu_ps(ap.add(8), v2);
+    _mm_storeu_ps(ap.add(12), v3);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)] // mirrors the public dispatch signature
+unsafe fn tile_kloop_avx2(
+    acc: &mut [f32; TILE],
+    a: &[f32],
+    a_off: usize,
+    a_stride: usize,
+    kks: (usize, usize),
+    b: &[f32],
+    b_stride: usize,
+    jt: usize,
+) {
+    use std::arch::x86_64::*;
+    let ap = acc.as_mut_ptr();
+    let mut v0 = _mm256_loadu_ps(ap);
+    let mut v1 = _mm256_loadu_ps(ap.add(8));
+    for kk in kks.0..kks.1 {
+        let a_ik = *a.get_unchecked(a_off + kk * a_stride);
+        if a_ik == 0.0 {
+            continue;
+        }
+        let va = _mm256_set1_ps(a_ik);
+        let bp = b.as_ptr().add(kk * b_stride + jt);
+        v0 = _mm256_add_ps(v0, _mm256_mul_ps(va, _mm256_loadu_ps(bp)));
+        v1 = _mm256_add_ps(v1, _mm256_mul_ps(va, _mm256_loadu_ps(bp.add(8))));
+    }
+    _mm256_storeu_ps(ap, v0);
+    _mm256_storeu_ps(ap.add(8), v1);
+}
+
+/// Runs the full depth loop of one 16-wide output tile on the given tier:
+/// for every `kk` in `kks.0..kks.1`,
+/// `acc[j] += a[a_off + kk*a_stride] * b[kk*b_stride + jt + j]`, skipping
+/// zero `a` entries like the scalar micro-kernel does.  The accumulators
+/// stay in vector registers across the whole loop; per element the
+/// summands still combine in ascending-`kk` order with one `mul` + one
+/// `add` each, so all tiers agree bitwise.
+///
+/// `a_stride == 1` walks a row of `a` (the [`crate::ops::matmul`] kernel);
+/// `a_stride == a_cols` walks a column (the `matmul_transpose_a` kernel).
+///
+/// # Panics
+/// Panics (in debug builds via slice indexing) when the addressed spans
+/// fall outside `a` or `b`.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn tile_kloop(
+    tier: KernelTier,
+    acc: &mut [f32; TILE],
+    a: &[f32],
+    a_off: usize,
+    a_stride: usize,
+    kks: (usize, usize),
+    b: &[f32],
+    b_stride: usize,
+    jt: usize,
+) {
+    if kks.1 > kks.0 {
+        // bounds of the strided accesses, checked once up front so the
+        // vector paths can use unchecked loads inside the hot loop
+        assert!(a_off + (kks.1 - 1) * a_stride < a.len(), "tile_kloop: a access out of bounds");
+        assert!((kks.1 - 1) * b_stride + jt + TILE <= b.len(), "tile_kloop: b access out of bounds");
+    }
+    match tier {
+        KernelTier::Scalar => tile_kloop_scalar(acc, a, a_off, a_stride, kks, b, b_stride, jt),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: tier implies the feature is present; bounds checked above.
+        KernelTier::Sse2 => unsafe { tile_kloop_sse2(acc, a, a_off, a_stride, kks, b, b_stride, jt) },
+        #[cfg(target_arch = "x86_64")]
+        KernelTier::Avx2 => unsafe { tile_kloop_avx2(acc, a, a_off, a_stride, kks, b, b_stride, jt) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => tile_kloop_scalar(acc, a, a_off, a_stride, kks, b, b_stride, jt),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_parsing_follows_the_env_convention() {
+        assert_eq!(parse_simd_cap("off"), Some(KernelTier::Scalar));
+        assert_eq!(parse_simd_cap("scalar"), Some(KernelTier::Scalar));
+        assert_eq!(parse_simd_cap(" SSE2 "), Some(KernelTier::Sse2));
+        assert_eq!(parse_simd_cap("avx2"), Some(KernelTier::Avx2));
+        assert_eq!(parse_simd_cap("auto"), None);
+        assert_eq!(parse_simd_cap(""), None);
+        // unknown values warn and fall back to auto instead of panicking
+        assert_eq!(parse_simd_cap("quantum"), None);
+    }
+
+    #[test]
+    fn tiers_are_ordered_and_available_set_starts_scalar() {
+        assert!(KernelTier::Scalar < KernelTier::Sse2 && KernelTier::Sse2 < KernelTier::Avx2);
+        let tiers = available_tiers();
+        assert_eq!(tiers.first(), Some(&KernelTier::Scalar));
+        assert!(tiers.iter().all(|&t| t <= hardware_tier()));
+        assert!(available_tiers().contains(&detected_tier()) || detected_tier() == KernelTier::Scalar);
+    }
+
+    #[test]
+    fn axpy_tiers_match_bitwise_on_odd_lengths() {
+        for len in [0usize, 1, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 100] {
+            let x: Vec<f32> = (0..len).map(|i| (i as f32 * 0.37 - 1.0) * 1.7).collect();
+            let base: Vec<f32> = (0..len).map(|i| i as f32 * -0.21 + 0.5).collect();
+            let mut expect = base.clone();
+            axpy(KernelTier::Scalar, -0.61, &x, &mut expect);
+            for tier in available_tiers() {
+                let mut y = base.clone();
+                axpy(tier, -0.61, &x, &mut y);
+                let same = y.iter().zip(&expect).all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(same, "axpy len {len} tier {tier:?} diverges from scalar");
+            }
+        }
+    }
+
+    #[test]
+    fn add_assign_tiers_match_bitwise_on_odd_lengths() {
+        for len in [0usize, 1, 2, 4, 7, 9, 16, 33] {
+            let src: Vec<f32> = (0..len).map(|i| (i as f32).sin()).collect();
+            let base: Vec<f32> = (0..len).map(|i| (i as f32).cos()).collect();
+            let mut expect = base.clone();
+            add_assign(KernelTier::Scalar, &mut expect, &src);
+            for tier in available_tiers() {
+                let mut dst = base.clone();
+                add_assign(tier, &mut dst, &src);
+                let same = dst.iter().zip(&expect).all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(same, "add_assign len {len} tier {tier:?} diverges from scalar");
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Cross-tier kernel equivalence: every SIMD tier the machine offers must
+//! produce **bitwise identical** results to the scalar fallback — not
+//! approximately equal, `f32::to_bits`-equal.  This is the contract that
+//! lets the tiered dispatch stay invisible to every seeded end-to-end test
+//! and all checked-in benchmark baselines: the tiers share the per-element
+//! reduction order (ascending inner index, one `mul` + one `add` per
+//! summand, no FMA contraction), so which tier runs is unobservable.
+//!
+//! Shapes deliberately include odd sizes, tile off-by-ones and remainder
+//! widths so the vector main loops *and* their scalar tails are exercised
+//! on every tier.
+
+use lncl_tensor::ops::{self, MatmulPlan};
+use lncl_tensor::simd::{self, KernelTier};
+use lncl_tensor::{Matrix, TensorRng};
+
+fn random(rows: usize, cols: usize, rng: &mut TensorRng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| (rng.uniform() - 0.5) * 2.0)
+}
+
+/// Random matrix with ~25% exact zeros, exercising the zero-skip branch of
+/// the depth loop on every tier.
+fn random_sparse(rows: usize, cols: usize, rng: &mut TensorRng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| {
+        let v = rng.uniform();
+        if v < 0.25 {
+            0.0
+        } else {
+            (v - 0.5) * 2.0
+        }
+    })
+}
+
+fn assert_bitwise(actual: &Matrix, expect: &Matrix, label: &str) {
+    assert_eq!(actual.shape(), expect.shape(), "{label}: shape mismatch");
+    for (i, (x, y)) in actual.as_slice().iter().zip(expect.as_slice()).enumerate() {
+        assert!(
+            x.to_bits() == y.to_bits(),
+            "{label}: flat index {i}: {x:?} ({:#x}) vs {y:?} ({:#x})",
+            x.to_bits(),
+            y.to_bits()
+        );
+    }
+}
+
+/// Odd/remainder shapes: widths below one vector lane group, between SSE
+/// and AVX widths, off-by-ones around the 16-wide register tile and the
+/// plan's kc/nc blocks, plus sizes that cross the blocked multi-tile path.
+fn shape_grid() -> Vec<(usize, usize, usize)> {
+    vec![
+        (1, 1, 1),
+        (3, 5, 2),
+        (2, 9, 5),
+        (5, 7, 7),
+        (4, 11, 9),
+        (7, 13, 15),
+        (9, 17, 16),
+        (8, 19, 17),
+        (11, 23, 31),
+        (13, 29, 33),
+        (31, 37, 29),
+        (63, 127, 47),
+        (65, 129, 257),
+        (70, 200, 40),
+        (130, 50, 300),
+    ]
+}
+
+#[test]
+fn matmul_tiers_agree_bitwise_over_the_shape_grid() {
+    let mut rng = TensorRng::seed_from_u64(71);
+    for (m, k, n) in shape_grid() {
+        let a = random(m, k, &mut rng);
+        let b = random(k, n, &mut rng);
+        let base_plan = MatmulPlan::for_shape(m, k, n);
+        let mut scalar = Matrix::zeros(m, n);
+        ops::matmul_acc_planned(&a, &b, &mut scalar, &base_plan.with_tier(KernelTier::Scalar));
+        for tier in simd::available_tiers() {
+            let mut out = Matrix::zeros(m, n);
+            ops::matmul_acc_planned(&a, &b, &mut out, &base_plan.with_tier(tier));
+            assert_bitwise(&out, &scalar, &format!("matmul {m}x{k}x{n} tier {tier:?}"));
+        }
+    }
+}
+
+#[test]
+fn zero_skip_branch_agrees_bitwise_across_tiers() {
+    // sparse A drives the `a_ik == 0.0` skip, which must fire identically
+    // on every tier (skipping a multiply is observable: it never turns a
+    // -0.0 accumulator into +0.0)
+    let mut rng = TensorRng::seed_from_u64(73);
+    for (m, k, n) in [(7usize, 33, 17), (19, 64, 48), (33, 127, 65)] {
+        let a = random_sparse(m, k, &mut rng);
+        let b = random(k, n, &mut rng);
+        let base_plan = MatmulPlan::for_shape(m, k, n);
+        let mut scalar = Matrix::zeros(m, n);
+        ops::matmul_acc_planned(&a, &b, &mut scalar, &base_plan.with_tier(KernelTier::Scalar));
+        for tier in simd::available_tiers() {
+            let mut out = Matrix::zeros(m, n);
+            ops::matmul_acc_planned(&a, &b, &mut out, &base_plan.with_tier(tier));
+            assert_bitwise(&out, &scalar, &format!("sparse matmul {m}x{k}x{n} tier {tier:?}"));
+        }
+    }
+}
+
+#[test]
+fn accumulating_into_nonzero_output_agrees_bitwise_across_tiers() {
+    let mut rng = TensorRng::seed_from_u64(79);
+    let (m, k, n) = (17, 41, 35);
+    let a = random(m, k, &mut rng);
+    let b = random(k, n, &mut rng);
+    let init = random(m, n, &mut rng);
+    let base_plan = MatmulPlan::for_shape(m, k, n);
+    let mut scalar = init.clone();
+    ops::matmul_acc_planned(&a, &b, &mut scalar, &base_plan.with_tier(KernelTier::Scalar));
+    for tier in simd::available_tiers() {
+        let mut out = init.clone();
+        ops::matmul_acc_planned(&a, &b, &mut out, &base_plan.with_tier(tier));
+        assert_bitwise(&out, &scalar, &format!("acc-into-nonzero tier {tier:?}"));
+    }
+}
+
+#[test]
+fn sharded_tiers_agree_bitwise_with_serial_scalar() {
+    // sharding and tiering compose: every (shards, tier) combination must
+    // still reproduce the serial scalar product bit for bit
+    let mut rng = TensorRng::seed_from_u64(83);
+    let (m, k, n) = (48, 64, 33);
+    let a = random(m, k, &mut rng);
+    let b = random(k, n, &mut rng);
+    let serial = MatmulPlan::for_shape(m, k, n).with_tier(KernelTier::Scalar);
+    let mut expect = Matrix::zeros(m, n);
+    ops::matmul_acc_planned(&a, &b, &mut expect, &serial);
+    for shards in [2usize, 3, 5] {
+        for tier in simd::available_tiers() {
+            let plan = MatmulPlan { shards, tier, ..MatmulPlan::for_shape(m, k, n) };
+            let mut out = Matrix::zeros(m, n);
+            ops::matmul_acc_planned(&a, &b, &mut out, &plan);
+            assert_bitwise(&out, &expect, &format!("shards {shards} tier {tier:?}"));
+        }
+    }
+}
+
+#[test]
+fn planned_tiers_match_the_public_entry_points() {
+    // whatever tier for_shape picked, the public matmul/transpose wrappers
+    // must equal the forced-scalar plan bitwise — the dispatch decision
+    // itself is unobservable in the results
+    let mut rng = TensorRng::seed_from_u64(89);
+    for (m, k, n) in [(5usize, 9, 3), (33, 64, 21), (70, 200, 40), (160, 180, 100)] {
+        let a = random(m, k, &mut rng);
+        let b = random(k, n, &mut rng);
+        let mut scalar = Matrix::zeros(m, n);
+        ops::matmul_acc_planned(&a, &b, &mut scalar, &MatmulPlan::for_shape(m, k, n).with_tier(KernelTier::Scalar));
+        assert_bitwise(&ops::matmul(&a, &b), &scalar, &format!("public matmul {m}x{k}x{n}"));
+    }
+    // matmul_transpose_a shares tile_kloop through its strided access path
+    let at = random(41, 27, &mut rng);
+    let bb = random(41, 19, &mut rng);
+    let naive = {
+        let mut out = Matrix::zeros(27, 19);
+        for i in 0..27 {
+            for j in 0..19 {
+                let mut acc = 0.0f32;
+                for kk in 0..41 {
+                    let v = at[(kk, i)];
+                    if v == 0.0 {
+                        continue;
+                    }
+                    acc += v * bb[(kk, j)];
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    };
+    assert_bitwise(&ops::matmul_transpose_a(&at, &bb), &naive, "matmul_transpose_a vs naive scalar");
+}
+
+#[test]
+fn plan_tier_selection_respects_width() {
+    // plan-time tiering: sub-lane widths stay scalar no matter what the
+    // hardware offers; wide shapes take the detected tier
+    let narrow = MatmulPlan::for_shape(64, 64, 2);
+    assert_eq!(narrow.tier, KernelTier::Scalar, "width 2 must stay scalar");
+    let wide = MatmulPlan::for_shape(64, 64, 64);
+    assert_eq!(wide.tier, simd::detected_tier(), "wide shapes take the detected tier");
+    let mid = MatmulPlan::for_shape(64, 64, 5);
+    assert!(mid.tier <= KernelTier::Sse2, "widths in [4, 8) cap at SSE2, got {:?}", mid.tier);
+}
