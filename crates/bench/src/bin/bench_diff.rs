@@ -7,6 +7,7 @@
 //! bench_diff compare <baseline.json> <current.json>... [--gate <factor>] [--rss-gate <factor>]
 //! bench_diff merge <out.json> <in.json>...
 //! bench_diff rank <report.json>... [--metric <key>] [--budget <fraction>] [--baseline <file>] [--gate <max-drop>]
+//! bench_diff predictivity <small.json> <large.json> [--metric <key>] [--json <out.json>]
 //! ```
 //!
 //! * `compare` prints a before/after table of the **timed** cases.  Cases
@@ -20,7 +21,10 @@
 //!   `target/case_name` (how `bench_baseline.json` is produced), quality
 //!   rows concatenated and name-sorted (how sharded `scenario_sweep`
 //!   reports are recombined — the sorted merge is bitwise identical to the
-//!   serial sweep's quality table).
+//!   serial sweep's quality table).  Overlapping inputs — the same
+//!   `(scenario, method)` quality row or the same qualified case in two
+//!   files — are an **error**, not a silent interleave
+//!   (`lncl_bench::merge`).
 //! * `rank` ranks each scenario's methods by a **quality** metric
 //!   (default `headline`), prints the rankings and every pairwise
 //!   ranking flip between scenarios.  With `--baseline` it also reports
@@ -33,11 +37,19 @@
 //!   `F` is additionally compared against its full-budget (`@b1.00`)
 //!   ranking — the flips that budget level causes; the `--baseline`
 //!   rows are filtered the same way before gating.
+//! * `predictivity` joins a small-scale and a large-scale sweep report
+//!   cell by cell (`lncl_bench::predictivity`) and prints per-cell rank
+//!   correlation (Spearman ρ, Kendall τ-b), flip counts, winners and a
+//!   trustworthy / mixed / untrustworthy verdict — which smoke cells are
+//!   reliable proxies for paper-scale rankings.  `--json` additionally
+//!   writes the machine-readable report (schema in the crate README).
 
 use lncl_bench::budget::{budget_scenario_name, filter_by_budget, parse_budget_suffix};
+use lncl_bench::merge::{merge_reports, qualified_cases};
+use lncl_bench::predictivity::predictivity_report;
 use lncl_bench::quality::HEADLINE_METRIC;
 use lncl_bench::rank::{quality_regressions, rank_scenarios, ranking_flips, RankingFlip};
-use lncl_bench::timing::{BenchReport, CaseStats, QualityCase};
+use lncl_bench::timing::{BenchReport, QualityCase};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -47,23 +59,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "       bench_diff rank <report.json>... [--metric <key>] [--budget <fraction>] [--baseline <file>] [--gate <max-drop>]"
     );
+    eprintln!("       bench_diff predictivity <small.json> <large.json> [--metric <key>] [--json <out.json>]");
     ExitCode::from(2)
-}
-
-fn qualified_cases(report: &BenchReport) -> Vec<CaseStats> {
-    report
-        .cases
-        .iter()
-        .map(|c| {
-            // merged reports already carry target-qualified names
-            let name = if c.name.starts_with(&format!("{}/", report.target)) || report.target == "merged" {
-                c.name.clone()
-            } else {
-                format!("{}/{}", report.target, c.name)
-            };
-            CaseStats { name, ..c.clone() }
-        })
-        .collect()
 }
 
 fn load(path: &str) -> Result<BenchReport, String> {
@@ -222,27 +219,102 @@ fn merge(args: &[String]) -> ExitCode {
     if args.len() < 2 {
         return usage();
     }
-    let mut merged = BenchReport::new("merged");
+    let mut reports = Vec::new();
     for file in &args[1..] {
         match load(file) {
-            Ok(report) => {
-                merged.cases.extend(qualified_cases(&report));
-                merged.quality.extend(report.quality);
-            }
+            Ok(report) => reports.push(report),
             Err(e) => {
                 eprintln!("bench_diff: {e}");
                 return ExitCode::FAILURE;
             }
         }
     }
-    // quality rows carry their scenario, so they are not target-qualified;
-    // the sorted order makes a shard merge reproduce the serial report
-    merged.sort_quality();
+    let merged = match merge_reports(&reports) {
+        Ok(merged) => merged,
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     if let Err(e) = std::fs::write(&args[0], merged.to_json()) {
         eprintln!("bench_diff: {}: {e}", args[0]);
         return ExitCode::FAILURE;
     }
     println!("merged {} case(s) and {} quality row(s) into {}", merged.cases.len(), merged.quality.len(), args[0]);
+    ExitCode::SUCCESS
+}
+
+fn predictivity(args: &[String]) -> ExitCode {
+    let mut metric = HEADLINE_METRIC.to_string();
+    let mut json_out: Option<String> = None;
+    let mut files = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--metric" => match iter.next() {
+                Some(key) => metric = key.clone(),
+                None => return usage(),
+            },
+            "--json" => match iter.next() {
+                Some(path) => json_out = Some(path.clone()),
+                None => return usage(),
+            },
+            _ => files.push(arg.clone()),
+        }
+    }
+    if files.len() != 2 {
+        return usage();
+    }
+    let (small, large) = match (load(&files[0]), load(&files[1])) {
+        (Ok(s), Ok(l)) => (s, l),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_diff: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = predictivity_report(&small.quality, &large.quality, &metric);
+    if report.cells.is_empty() {
+        eprintln!("bench_diff: no joinable cells between {} and {} on metric {metric:?}", files[0], files[1]);
+        return ExitCode::FAILURE;
+    }
+    println!("scale predictivity by {metric:?}: {} vs {} ({} cell(s))", files[0], files[1], report.cells.len());
+    println!(
+        "{:<46} {:>7} {:>8} {:>8} {:>6}  {:<15} winner small -> large",
+        "cell", "methods", "spearman", "tau-b", "flips", "verdict"
+    );
+    println!("{}", "-".repeat(118));
+    for cell in &report.cells {
+        println!(
+            "{:<46} {:>7} {:>8.3} {:>8.3} {:>6}  {:<15} {} -> {}",
+            cell.scenario,
+            cell.methods,
+            cell.spearman,
+            cell.kendall_tau,
+            cell.flips,
+            cell.verdict(),
+            cell.top_small,
+            cell.top_large
+        );
+    }
+    for (label, unmatched) in [("small", &report.unmatched_small), ("large", &report.unmatched_large)] {
+        if !unmatched.is_empty() {
+            println!("unmatched ({label} side only, or <2 shared methods): {}", unmatched.join(", "));
+        }
+    }
+    let trustworthy = report.with_verdict("trustworthy").len();
+    let untrustworthy = report.with_verdict("untrustworthy").len();
+    println!(
+        "\n{trustworthy} trustworthy / {} mixed / {untrustworthy} untrustworthy of {} cell(s)",
+        report.cells.len() - trustworthy - untrustworthy,
+        report.cells.len()
+    );
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("bench_diff: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
     ExitCode::SUCCESS
 }
 
@@ -437,6 +509,7 @@ fn main() -> ExitCode {
         Some("compare") => compare(&args[1..]),
         Some("merge") => merge(&args[1..]),
         Some("rank") => rank(&args[1..]),
+        Some("predictivity") => predictivity(&args[1..]),
         _ => usage(),
     }
 }

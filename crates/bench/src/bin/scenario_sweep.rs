@@ -20,31 +20,61 @@
 //!   name-sorted on both paths, so the merged report's quality table
 //!   equals the serial one).
 //!
-//! Scale knobs: `LNCL_SCALE` (small / medium / paper), `LNCL_EPOCHS`,
-//! `LNCL_THREADS`, `LNCL_SHARD` — the smoke setting used in CI is
-//! `LNCL_EPOCHS=3` in two shards.
+//! Scale knobs: `LNCL_SCALE` (tiny / small / medium / paper / huge),
+//! `LNCL_EPOCHS`, `LNCL_THREADS`, `LNCL_SHARD` — the smoke setting used in
+//! CI is `LNCL_EPOCHS=3` in two shards.  Two more knobs serve the
+//! distributed-sweep and scale-predictivity workflows:
+//!
+//! * `LNCL_SWEEP_METHODS` — comma-separated registry names restricting the
+//!   sweep (unknown names warn; per task the filter intersects with the
+//!   supporting methods as usual);
+//! * `LNCL_SWEEP_QUALITY_ONLY=1` — write the **canonical quality-only**
+//!   report (`lncl_bench::quality::quality_only_report`: sorted quality
+//!   rows, fixed environment block, no wall-clock cases) instead of the
+//!   timed report.  This file is deterministic for a fixed scale/seed, so
+//!   the distributed `sweep_coord` merge can be compared against it with a
+//!   literal `cmp`.
 
-use lncl_bench::quality::record_scenario_outcome;
+use lncl_bench::quality::{quality_only_report, record_scenario_outcome, scenario_quality_rows};
 use lncl_bench::timing::{env_shard, BenchReport};
 use lncl_bench::{
     render_classification_table, render_sequence_table, scenario_sweep_configs, shard_configs, sweep_scenarios, Scale,
 };
 use lncl_crowd::TaskKind;
 
+/// Parses `LNCL_SWEEP_METHODS` (comma-separated registry names); unset or
+/// empty means no filter.
+fn env_sweep_methods() -> Option<Vec<String>> {
+    let raw = std::env::var("LNCL_SWEEP_METHODS").ok()?;
+    let names: Vec<String> = raw.split(',').map(str::trim).filter(|n| !n.is_empty()).map(String::from).collect();
+    if names.is_empty() {
+        None
+    } else {
+        Some(names)
+    }
+}
+
 fn main() {
     let scale = Scale::from_env();
+    let quality_only = std::env::var("LNCL_SWEEP_QUALITY_ONLY").is_ok_and(|v| v == "1");
+    let method_filter = env_sweep_methods();
+    let methods: Option<Vec<&str>> = method_filter.as_ref().map(|names| names.iter().map(String::as_str).collect());
     let grid = scenario_sweep_configs(scale, 29);
     let (configs, target) = match env_shard() {
         Some((index, total)) => (shard_configs(&grid, index, total), format!("scenario_sweep_shard{index}of{total}")),
         None => (grid, "scenario_sweep".to_string()),
     };
     println!(
-        "Scenario sweep — {} scenarios (scale {scale:?}, {} epochs per training run, target {target})",
+        "Scenario sweep — {} scenarios (scale {}, {} epochs per training run, target {target})",
         configs.len(),
+        scale.name(),
         scale.epochs()
     );
-    let outcomes = sweep_scenarios(&configs, scale, None, lncl_tensor::par::max_threads());
-    let mut report = BenchReport::new(target);
+    if let Some(names) = &method_filter {
+        println!("method filter (LNCL_SWEEP_METHODS): {}", names.join(", "));
+    }
+    let outcomes = sweep_scenarios(&configs, scale, methods.as_deref(), lncl_tensor::par::max_threads());
+    let mut report = BenchReport::new(&target);
     for (config, outcome) in configs.iter().zip(&outcomes) {
         println!(
             "\n=== {} ({:?}, {} train / {} annotators, redundancy {}-{}, majority share {:.2}) ===",
@@ -67,9 +97,16 @@ fn main() {
         }
         record_scenario_outcome(&mut report, outcome);
     }
-    // canonical order: a sorted serial report and merged sorted shard
-    // reports carry bitwise-identical quality tables
-    report.sort_quality();
+    if quality_only {
+        // the deterministic twin of the distributed sweep's merged output:
+        // same constructor, same row order, same environment block
+        let rows = outcomes.iter().flat_map(scenario_quality_rows).collect();
+        report = quality_only_report(&target, scale, rows);
+    } else {
+        // canonical order: a sorted serial report and merged sorted shard
+        // reports carry bitwise-identical quality tables
+        report.sort_quality();
+    }
     let path = report.write().expect("write benchmark report");
     println!("\nwrote {}", path.display());
 }

@@ -36,7 +36,9 @@
 pub mod budget;
 pub mod experiments;
 pub mod json;
+pub mod merge;
 pub mod methods;
+pub mod predictivity;
 pub mod quality;
 pub mod rank;
 pub mod scale;
@@ -45,7 +47,9 @@ pub mod timing;
 
 pub use budget::*;
 pub use experiments::*;
+pub use merge::*;
 pub use methods::*;
+pub use predictivity::*;
 pub use quality::*;
 pub use rank::*;
 pub use scale::*;

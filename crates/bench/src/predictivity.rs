@@ -1,0 +1,393 @@
+//! Scale-predictivity analysis: which cells of a cheap smoke-scale
+//! scenario grid rank methods the same way the paper-scale grid does —
+//! the machinery behind `bench_diff predictivity`.
+//!
+//! CI runs the scenario sweep at smoke scale and gates on its rankings;
+//! the implicit assumption is that a smoke cell's method ranking predicts
+//! the paper-scale ranking of the same cell.  This module makes that
+//! assumption measurable: it joins two sweeps' quality tables cell by cell
+//! (grid names embed the scale's annotator count, so cells are matched by
+//! the [`normalized_scenario_name`]), computes per-cell rank correlation
+//! (Spearman's ρ over fractional ranks and Kendall's τ-b, both
+//! tie-aware), counts strict pairwise flips, and classifies each cell as
+//! `trustworthy` / `mixed` / `untrustworthy`.
+
+use crate::json::Json;
+use crate::rank::rank_scenarios;
+use crate::timing::QualityCase;
+use std::collections::BTreeMap;
+
+/// τ-b at or above which (with an agreeing winner) a cell is
+/// `trustworthy`.
+pub const TRUST_TAU: f64 = 0.8;
+
+/// τ-b below which a cell is `untrustworthy` regardless of the winner.
+pub const UNTRUST_TAU: f64 = 0.5;
+
+/// Schema version of the JSON report.
+pub const PREDICTIVITY_SCHEMA_VERSION: u64 = 1;
+
+/// Replaces every `j<digits>` path component of a grid scenario name with
+/// `j*`.  Grid names embed the scale's annotator count
+/// (`sent/clean/r3-5/j8/b0.50` at tiny vs `…/j60/…` at paper), which is a
+/// scale artefact, not a cell identity — cross-scale joins match on this
+/// normalized form.
+pub fn normalized_scenario_name(name: &str) -> String {
+    name.split('/')
+        .map(|part| {
+            let digits =
+                part.strip_prefix('j').is_some_and(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()));
+            if digits {
+                "j*"
+            } else {
+                part
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// How one grid cell's smoke-scale ranking relates to its large-scale
+/// ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellPredictivity {
+    /// Normalized cell name shared by both scales.
+    pub scenario: String,
+    /// Number of methods ranked on **both** sides of the join.
+    pub methods: usize,
+    /// Spearman's ρ over fractional (tie-averaged) ranks.
+    pub spearman: f64,
+    /// Kendall's τ-b (tie-corrected) between the two method orderings.
+    pub kendall_tau: f64,
+    /// Strict pairwise order reversals between the two scales.
+    pub flips: usize,
+    /// Best method(s) at the small scale (ties comma-joined).
+    pub top_small: String,
+    /// Best method(s) at the large scale (ties comma-joined).
+    pub top_large: String,
+    /// Whether the winner sets intersect.
+    pub top1_agrees: bool,
+}
+
+impl CellPredictivity {
+    /// `trustworthy` (τ ≥ [`TRUST_TAU`] and the winner agrees), plain
+    /// `untrustworthy` (τ < [`UNTRUST_TAU`] or the winner differs), or
+    /// `mixed` in between.
+    pub fn verdict(&self) -> &'static str {
+        if self.kendall_tau >= TRUST_TAU && self.top1_agrees {
+            "trustworthy"
+        } else if self.kendall_tau < UNTRUST_TAU || !self.top1_agrees {
+            "untrustworthy"
+        } else {
+            "mixed"
+        }
+    }
+}
+
+/// The full cross-scale report: per-cell statistics plus the cells only
+/// one side had (e.g. a grid axis added at one scale).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictivityReport {
+    /// The quality metric the rankings were built from.
+    pub metric: String,
+    /// Per-cell statistics, cell-name order.
+    pub cells: Vec<CellPredictivity>,
+    /// Normalized cells only the small-scale sweep had.
+    pub unmatched_small: Vec<String>,
+    /// Normalized cells only the large-scale sweep had.
+    pub unmatched_large: Vec<String>,
+}
+
+impl PredictivityReport {
+    /// Cells with the given verdict, in report order.
+    pub fn with_verdict(&self, verdict: &str) -> Vec<&CellPredictivity> {
+        self.cells.iter().filter(|c| c.verdict() == verdict).collect()
+    }
+
+    /// Serialises the report (schema documented in the bench README).
+    pub fn to_json(&self) -> String {
+        let cells = Json::Arr(
+            self.cells
+                .iter()
+                .map(|c| {
+                    Json::Obj(vec![
+                        ("scenario".to_string(), Json::Str(c.scenario.clone())),
+                        ("methods".to_string(), Json::Num(c.methods as f64)),
+                        ("spearman".to_string(), Json::Num(c.spearman)),
+                        ("kendall_tau".to_string(), Json::Num(c.kendall_tau)),
+                        ("flips".to_string(), Json::Num(c.flips as f64)),
+                        ("top_small".to_string(), Json::Str(c.top_small.clone())),
+                        ("top_large".to_string(), Json::Str(c.top_large.clone())),
+                        ("top1_agrees".to_string(), Json::Bool(c.top1_agrees)),
+                        ("verdict".to_string(), Json::Str(c.verdict().to_string())),
+                    ])
+                })
+                .collect(),
+        );
+        let names = |list: &[String]| Json::Arr(list.iter().map(|n| Json::Str(n.clone())).collect());
+        Json::Obj(vec![
+            ("schema_version".to_string(), Json::Num(PREDICTIVITY_SCHEMA_VERSION as f64)),
+            ("metric".to_string(), Json::Str(self.metric.clone())),
+            ("trust_tau".to_string(), Json::Num(TRUST_TAU)),
+            ("untrust_tau".to_string(), Json::Num(UNTRUST_TAU)),
+            ("cells".to_string(), cells),
+            ("unmatched_small".to_string(), names(&self.unmatched_small)),
+            ("unmatched_large".to_string(), names(&self.unmatched_large)),
+        ])
+        .render()
+    }
+}
+
+/// Joins two sweeps' quality rows cell by cell and scores how well the
+/// small scale predicts the large one on `metric`.  Cells are matched by
+/// [`normalized_scenario_name`]; methods by exact name; cells sharing
+/// fewer than two methods are reported as unmatched on both sides (no
+/// correlation is defined there).
+pub fn predictivity_report(small: &[QualityCase], large: &[QualityCase], metric: &str) -> PredictivityReport {
+    let values_by_cell = |rows: &[QualityCase]| -> BTreeMap<String, BTreeMap<String, f64>> {
+        let mut cells: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
+        for ranking in rank_scenarios(rows, metric) {
+            let cell = cells.entry(normalized_scenario_name(&ranking.scenario)).or_default();
+            for entry in ranking.entries {
+                // duplicate cells after normalization keep the first value,
+                // matching rank_scenarios' own duplicate policy
+                cell.entry(entry.method).or_insert(entry.value);
+            }
+        }
+        cells
+    };
+    let small_cells = values_by_cell(small);
+    let large_cells = values_by_cell(large);
+
+    let mut cells = Vec::new();
+    let mut unmatched_small: Vec<String> = Vec::new();
+    let mut unmatched_large: Vec<String> =
+        large_cells.keys().filter(|name| !small_cells.contains_key(*name)).cloned().collect();
+    for (name, small_methods) in &small_cells {
+        let Some(large_methods) = large_cells.get(name) else {
+            unmatched_small.push(name.clone());
+            continue;
+        };
+        let shared: Vec<&String> = small_methods.keys().filter(|m| large_methods.contains_key(*m)).collect();
+        if shared.len() < 2 {
+            unmatched_small.push(name.clone());
+            unmatched_large.push(name.clone());
+            continue;
+        }
+        let x: Vec<f64> = shared.iter().map(|m| small_methods[*m]).collect();
+        let y: Vec<f64> = shared.iter().map(|m| large_methods[*m]).collect();
+        let winners = |values: &[f64]| -> Vec<&str> {
+            let best = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            shared.iter().zip(values).filter(|&(_, v)| *v == best).map(|(m, _)| m.as_str()).collect()
+        };
+        let (top_small, top_large) = (winners(&x), winners(&y));
+        let top1_agrees = top_small.iter().any(|m| top_large.contains(m));
+        cells.push(CellPredictivity {
+            scenario: name.clone(),
+            methods: shared.len(),
+            spearman: spearman_rho(&x, &y),
+            kendall_tau: kendall_tau_b(&x, &y),
+            flips: strict_flips(&x, &y),
+            top_small: top_small.join(","),
+            top_large: top_large.join(","),
+            top1_agrees,
+        });
+    }
+    unmatched_large.sort();
+    unmatched_large.dedup();
+    PredictivityReport { metric: metric.to_string(), cells, unmatched_small, unmatched_large }
+}
+
+/// Fractional (tie-averaged) descending ranks of a value vector: the best
+/// value gets rank 1; `k` tied values share the mean of the ranks they
+/// span.
+fn fractional_ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| values[b].total_cmp(&values[a]));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        // positions i..=j (0-based) share the average 1-based rank
+        let shared = (i + 1 + j + 1) as f64 / 2.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = shared;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman's ρ: the Pearson correlation of the two fractional-rank
+/// vectors.  `0` when either side is constant (no ordering to correlate).
+pub fn spearman_rho(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    let (rx, ry) = (fractional_ranks(x), fractional_ranks(y));
+    let n = rx.len() as f64;
+    let (mx, my) = (rx.iter().sum::<f64>() / n, ry.iter().sum::<f64>() / n);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (a, b) in rx.iter().zip(&ry) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx) * (a - mx);
+        vy += (b - my) * (b - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx * vy).sqrt()
+}
+
+/// Kendall's τ-b: concordant minus discordant pairs, tie-corrected.
+/// `0` when either side is constant.
+pub fn kendall_tau_b(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let (mut concordant, mut discordant, mut ties_x, mut ties_y) = (0i64, 0i64, 0i64, 0i64);
+    for i in 0..n {
+        for j in i + 1..n {
+            let dx = x[i] - x[j];
+            let dy = y[i] - y[j];
+            if dx == 0.0 {
+                ties_x += 1;
+            }
+            if dy == 0.0 {
+                ties_y += 1;
+            }
+            if dx != 0.0 && dy != 0.0 {
+                if (dx > 0.0) == (dy > 0.0) {
+                    concordant += 1;
+                } else {
+                    discordant += 1;
+                }
+            }
+        }
+    }
+    let n0 = (n * (n - 1) / 2) as i64;
+    let denom = ((n0 - ties_x) as f64 * (n0 - ties_y) as f64).sqrt();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    (concordant - discordant) as f64 / denom
+}
+
+/// Strict pairwise order reversals between two value vectors (ties on
+/// either side are not flips) — the per-cell counterpart of
+/// [`crate::rank::ranking_flips`].
+fn strict_flips(x: &[f64], y: &[f64]) -> usize {
+    let n = x.len();
+    let mut flips = 0;
+    for i in 0..n {
+        for j in i + 1..n {
+            let dx = x[i] - x[j];
+            let dy = y[i] - y[j];
+            if dx != 0.0 && dy != 0.0 && (dx > 0.0) != (dy > 0.0) {
+                flips += 1;
+            }
+        }
+    }
+    flips
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(scenario: &str, methods: &[(&str, f64)]) -> Vec<QualityCase> {
+        methods
+            .iter()
+            .map(|(m, v)| QualityCase {
+                scenario: scenario.to_string(),
+                method: m.to_string(),
+                metrics: vec![("headline".to_string(), *v)],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn normalization_replaces_only_j_components() {
+        assert_eq!(normalized_scenario_name("sent/clean/r3-5/j8/b0.50"), "sent/clean/r3-5/j*/b0.50");
+        assert_eq!(normalized_scenario_name("sent/spammer-third/j120"), "sent/spammer-third/j*");
+        // non-numeric or bare `j` components survive
+        assert_eq!(normalized_scenario_name("ner/j/jx2/step0.9"), "ner/j/jx2/step0.9");
+    }
+
+    #[test]
+    fn identical_rankings_are_trustworthy() {
+        let small = rows("s/clean/j4", &[("a", 0.9), ("b", 0.8), ("c", 0.7)]);
+        let large = rows("s/clean/j60", &[("a", 0.95), ("b", 0.85), ("c", 0.6)]);
+        let report = predictivity_report(&small, &large, "headline");
+        assert_eq!(report.cells.len(), 1);
+        let cell = &report.cells[0];
+        assert_eq!(cell.scenario, "s/clean/j*");
+        assert_eq!((cell.kendall_tau, cell.spearman, cell.flips), (1.0, 1.0, 0));
+        assert_eq!(cell.verdict(), "trustworthy");
+        assert!(cell.top1_agrees);
+    }
+
+    #[test]
+    fn reversed_rankings_are_untrustworthy() {
+        let small = rows("s", &[("a", 0.9), ("b", 0.8), ("c", 0.7)]);
+        let large = rows("s", &[("a", 0.1), ("b", 0.2), ("c", 0.3)]);
+        let cell = &predictivity_report(&small, &large, "headline").cells[0];
+        assert_eq!(cell.kendall_tau, -1.0);
+        assert_eq!(cell.flips, 3);
+        assert_eq!(cell.verdict(), "untrustworthy");
+        assert!(!cell.top1_agrees);
+        assert_eq!(cell.top_small, "a");
+        assert_eq!(cell.top_large, "c");
+    }
+
+    #[test]
+    fn wrong_winner_overrides_high_tau() {
+        // 4 methods, only the top pair swaps: τ-b = 1 - 2·(2/12)… still
+        // high, but the smoke grid picks the wrong winner
+        let small = rows("s", &[("a", 0.9), ("b", 0.85), ("c", 0.5), ("d", 0.4)]);
+        let large = rows("s", &[("b", 0.9), ("a", 0.85), ("c", 0.5), ("d", 0.4)]);
+        let cell = &predictivity_report(&small, &large, "headline").cells[0];
+        assert!(cell.kendall_tau > UNTRUST_TAU, "{}", cell.kendall_tau);
+        assert_eq!(cell.verdict(), "untrustworthy");
+    }
+
+    #[test]
+    fn unmatched_cells_and_thin_overlaps_are_reported() {
+        let small = [rows("only-small", &[("a", 0.9), ("b", 0.8)]), rows("thin", &[("a", 0.9), ("x", 0.1)])].concat();
+        let large = [rows("only-large", &[("a", 0.9), ("b", 0.8)]), rows("thin", &[("a", 0.9), ("y", 0.1)])].concat();
+        let report = predictivity_report(&small, &large, "headline");
+        assert!(report.cells.is_empty());
+        assert_eq!(report.unmatched_small, vec!["only-small".to_string(), "thin".to_string()]);
+        assert_eq!(report.unmatched_large, vec!["only-large".to_string(), "thin".to_string()]);
+    }
+
+    #[test]
+    fn tie_aware_statistics_match_hand_computed_values() {
+        // x: a=3, b=2, c=2, d=1 (b,c tied) vs y strictly ordered a>b>c>d
+        let x = [3.0, 2.0, 2.0, 1.0];
+        let y = [4.0, 3.0, 2.0, 1.0];
+        // fractional ranks of x: 1, 2.5, 2.5, 4; of y: 1,2,3,4; rank
+        // deviations [-1.5, 0, 0, 1.5] vs [-1.5, -0.5, 0.5, 1.5]:
+        // cov=4.5, var_x=4.5, var_y=5
+        let expected_rho = 4.5 / (4.5f64 * 5.0).sqrt();
+        assert!((spearman_rho(&x, &y) - expected_rho).abs() < 1e-12);
+        // pairs: 6 total, 1 tied in x, 0 in y; C=5, D=0
+        let expected_tau = 5.0 / ((6.0f64 - 1.0) * 6.0).sqrt();
+        assert!((kendall_tau_b(&x, &y) - expected_tau).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_schema_carries_cells_and_verdicts() {
+        let small = rows("s", &[("a", 0.9), ("b", 0.8)]);
+        let large = rows("s", &[("a", 0.9), ("b", 0.8)]);
+        let report = predictivity_report(&small, &large, "headline");
+        let json = crate::json::Json::parse(&report.to_json()).unwrap();
+        assert_eq!(json.get("schema_version").and_then(|v| v.as_f64()), Some(1.0));
+        let cells = json.get("cells").and_then(|c| c.as_array()).unwrap();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].get("verdict").and_then(|v| v.as_str()), Some("trustworthy"));
+    }
+}

@@ -1,12 +1,13 @@
 //! Quality-table emission: converts [`MethodResult`] rows into the
-//! [`QualityCase`](crate::timing::QualityCase) records of a
+//! [`QualityCase`] records of a
 //! [`BenchReport`], the machine-readable counterpart of the rendered
 //! tables.  Unlike the wall-clock cases these values are deterministic for
 //! a fixed seed, which is what lets `bench_diff rank` compare rankings
 //! across scenarios, reports and shards exactly.
 
 use crate::experiments::ScenarioOutcome;
-use crate::timing::{BenchReport, SCENARIO_CASE};
+use crate::scale::Scale;
+use crate::timing::{BenchReport, QualityCase, SCENARIO_CASE};
 use lncl_crowd::TaskKind;
 use logic_lncl::MethodResult;
 
@@ -60,12 +61,61 @@ pub fn record_quality_rows(report: &mut BenchReport, scenario: &str, rows: &[Met
 /// plus the scenario-level reliability-recovery statistic under the
 /// [`SCENARIO_CASE`] sentinel.
 pub fn record_scenario_outcome(report: &mut BenchReport, outcome: &ScenarioOutcome) {
-    record_quality_rows(report, &outcome.name, &outcome.rows, outcome.task == TaskKind::SequenceTagging);
-    report.record_quality(
-        &outcome.name,
-        SCENARIO_CASE,
-        vec![("reliability_pearson".to_string(), outcome.reliability_pearson as f64)],
-    );
+    for row in scenario_quality_rows(outcome) {
+        report.record_quality(&row.scenario, &row.method, row.metrics);
+    }
+}
+
+/// The quality rows one swept scenario contributes to a report — exactly
+/// what [`record_scenario_outcome`] records, as plain values.  Distributed
+/// sweep workers ship these over the wire instead of a whole report.
+pub fn scenario_quality_rows(outcome: &ScenarioOutcome) -> Vec<QualityCase> {
+    let sequence_task = outcome.task == TaskKind::SequenceTagging;
+    let mut rows: Vec<QualityCase> = outcome
+        .rows
+        .iter()
+        .map(|row| QualityCase {
+            scenario: outcome.name.clone(),
+            method: row.method.clone(),
+            metrics: quality_metrics(row, sequence_task),
+        })
+        .collect();
+    rows.push(QualityCase {
+        scenario: outcome.name.clone(),
+        method: SCENARIO_CASE.to_string(),
+        metrics: vec![("reliability_pearson".to_string(), outcome.reliability_pearson as f64)],
+    });
+    rows
+}
+
+/// A **canonical quality-only** report: sorted quality rows under a fixed,
+/// deterministic environment block (os / arch / scale / package version —
+/// no iteration count, thread cap or wall-clock cases, which vary run to
+/// run).  Both the serial `scenario_sweep` quality-only mode and the
+/// distributed `sweep_coord` merge emit their reports through this one
+/// constructor, which is what makes "the merged distributed report is
+/// bitwise identical to the serial file" a literal `cmp` on disk.
+pub fn quality_only_report(target: &str, scale: Scale, quality: Vec<QualityCase>) -> BenchReport {
+    let environment = vec![
+        ("os".to_string(), std::env::consts::OS.to_string()),
+        ("arch".to_string(), std::env::consts::ARCH.to_string()),
+        ("scale".to_string(), scale.name().to_string()),
+        ("package_version".to_string(), env!("CARGO_PKG_VERSION").to_string()),
+    ];
+    let mut report = BenchReport {
+        target: target.to_string(),
+        environment,
+        cases: Vec::new(),
+        quality: Vec::new(),
+        peak_rss_kb: None,
+    };
+    for row in quality {
+        // route through record_quality so the non-finite-metric guard
+        // holds for wire-delivered rows too
+        report.record_quality(&row.scenario, &row.method, row.metrics);
+    }
+    report.sort_quality();
+    report
 }
 
 #[cfg(test)]

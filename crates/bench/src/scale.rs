@@ -10,6 +10,10 @@ use logic_lncl::method::RunContext;
 /// How large the regenerated experiments are.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
+    /// Sub-smoke experiments: seconds end-to-end.  The tier the
+    /// scale-predictivity study compares against `Paper` to find out which
+    /// cells of a cheap CI grid actually predict paper-scale rankings.
+    Tiny,
     /// Fast smoke-scale experiments (default): minutes on a laptop.
     Small,
     /// Larger corpora and more epochs; closer to the paper's setting.
@@ -25,14 +29,41 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Reads the scale from the `LNCL_SCALE` environment variable.
-    pub fn from_env() -> Self {
-        match std::env::var("LNCL_SCALE").unwrap_or_default().to_lowercase().as_str() {
-            "huge" => Scale::Huge,
-            "paper" => Scale::Paper,
-            "medium" => Scale::Medium,
-            _ => Scale::Small,
+    /// Every tier, smallest first.
+    pub const ALL: [Scale; 5] = [Scale::Tiny, Scale::Small, Scale::Medium, Scale::Paper, Scale::Huge];
+
+    /// Parses a scale name (the inverse of [`Scale::name`]).
+    pub fn parse(raw: &str) -> Option<Self> {
+        match raw.trim().to_lowercase().as_str() {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "paper" => Some(Scale::Paper),
+            "huge" => Some(Scale::Huge),
+            _ => None,
         }
+    }
+
+    /// The stable lower-case name ([`Scale::parse`] round-trips it; used in
+    /// report environment metadata and on the sweep wire).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::Paper => "paper",
+            Scale::Huge => "huge",
+        }
+    }
+
+    /// Reads the scale from the `LNCL_SCALE` environment variable.  Unset
+    /// means the `Small` default; a set-but-unknown value warns on stderr
+    /// and falls back to the default (the `LNCL_*` convention).
+    pub fn from_env() -> Self {
+        lncl_tensor::env::parse_env("LNCL_SCALE", |raw| {
+            Scale::parse(raw).ok_or_else(|| "expected tiny|small|medium|paper|huge".to_string())
+        })
+        .unwrap_or(Scale::Small)
     }
 
     /// Number of repeated runs averaged per method (`LNCL_REPS` overrides;
@@ -43,7 +74,7 @@ impl Scale {
             return n.max(1);
         }
         match self {
-            Scale::Small => 1,
+            Scale::Tiny | Scale::Small => 1,
             Scale::Medium => 3,
             Scale::Paper => 5,
             Scale::Huge => 1,
@@ -56,7 +87,16 @@ impl Scale {
         if let Some(n) = crate::timing::env_usize("LNCL_EPOCHS") {
             return n.max(1);
         }
+        self.default_epochs()
+    }
+
+    /// The per-scale epoch default, ignoring the environment.  Distributed
+    /// sweep workers train with the epoch count the coordinator resolved
+    /// and sent on the wire, never their own `LNCL_EPOCHS` — otherwise two
+    /// workers with different environments would break the bitwise merge.
+    pub fn default_epochs(&self) -> usize {
         match self {
+            Scale::Tiny => 6,
             Scale::Small => 12,
             Scale::Medium => 20,
             Scale::Paper | Scale::Huge => 30,
@@ -66,6 +106,14 @@ impl Scale {
     /// The sentiment corpus for this scale.
     pub fn sentiment_dataset(&self, seed: u64) -> CrowdDataset {
         let config = match self {
+            Scale::Tiny => SentimentDatasetConfig {
+                train_size: 200,
+                dev_size: 60,
+                test_size: 60,
+                num_annotators: 16,
+                seed,
+                ..SentimentDatasetConfig::default()
+            },
             Scale::Small => SentimentDatasetConfig {
                 train_size: 800,
                 dev_size: 250,
@@ -100,6 +148,15 @@ impl Scale {
     /// The NER corpus for this scale.
     pub fn ner_dataset(&self, seed: u64) -> CrowdDataset {
         let config = match self {
+            Scale::Tiny => NerDatasetConfig {
+                train_size: 100,
+                dev_size: 30,
+                test_size: 30,
+                num_annotators: 10,
+                min_labels_per_instance: 2,
+                max_labels_per_instance: 4,
+                seed,
+            },
             Scale::Small => NerDatasetConfig {
                 train_size: 400,
                 dev_size: 120,
@@ -144,6 +201,8 @@ impl Scale {
             TaskKind::SequenceTagging => ScenarioConfig::tagging("base"),
         };
         let base = match (self, task) {
+            (Scale::Tiny, TaskKind::Classification) => base.with_sizes(60, 24, 24).with_annotators(8),
+            (Scale::Tiny, TaskKind::SequenceTagging) => base.with_sizes(40, 16, 16).with_annotators(6),
             (Scale::Small, TaskKind::Classification) => base.with_sizes(150, 60, 60).with_annotators(12),
             (Scale::Small, TaskKind::SequenceTagging) => base.with_sizes(100, 40, 40).with_annotators(10),
             (Scale::Medium, TaskKind::Classification) => base.with_sizes(600, 200, 200).with_annotators(30),
@@ -165,7 +224,11 @@ impl Scale {
 
     /// Training configuration used for NER experiments at this scale.
     pub fn ner_train_config(&self, seed: u64) -> TrainConfig {
-        TrainConfig::builder_from(TrainConfig::fast(self.epochs()))
+        Self::ner_train_config_with_epochs(seed, self.epochs())
+    }
+
+    fn ner_train_config_with_epochs(seed: u64, epochs: usize) -> TrainConfig {
+        TrainConfig::builder_from(TrainConfig::fast(epochs))
             .seed(seed)
             .imitation(logic_lncl::ImitationSchedule::ner_paper())
             .objective(logic_lncl::MStepObjective::AnnotationWeighted)
@@ -174,9 +237,15 @@ impl Scale {
 
     /// The task-appropriate training configuration for a dataset.
     pub fn train_config(&self, task: TaskKind, seed: u64) -> TrainConfig {
+        self.train_config_with_epochs(task, seed, self.epochs())
+    }
+
+    /// [`Scale::train_config`] with an explicit epoch count instead of the
+    /// `LNCL_EPOCHS`-aware per-scale default.
+    pub fn train_config_with_epochs(&self, task: TaskKind, seed: u64, epochs: usize) -> TrainConfig {
         match task {
-            TaskKind::Classification => self.sentiment_train_config(seed),
-            TaskKind::SequenceTagging => self.ner_train_config(seed),
+            TaskKind::Classification => TrainConfig::fast(epochs).with_seed(seed),
+            TaskKind::SequenceTagging => Self::ner_train_config_with_epochs(seed, epochs),
         }
     }
 
@@ -185,5 +254,12 @@ impl Scale {
     /// reduced-width model factory for the dataset.
     pub fn run_context(&self, dataset: &CrowdDataset, seed: u64) -> RunContext {
         RunContext::for_dataset(dataset, self.train_config(dataset.task, seed))
+    }
+
+    /// [`Scale::run_context`] with an explicit epoch count — what a
+    /// distributed sweep worker builds from the coordinator's resolved
+    /// spec, immune to the worker's own environment.
+    pub fn run_context_with_epochs(&self, dataset: &CrowdDataset, seed: u64, epochs: usize) -> RunContext {
+        RunContext::for_dataset(dataset, self.train_config_with_epochs(dataset.task, seed, epochs))
     }
 }

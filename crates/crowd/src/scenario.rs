@@ -162,6 +162,7 @@
 //! ```
 
 pub mod router;
+pub mod wire;
 
 use crate::annotator::{gold_spans, ConfusionAnnotator, NerAnnotator, NerErrorRates};
 use crate::data::{CrowdDataset, CrowdLabel, Instance, TaskKind};
@@ -663,7 +664,7 @@ fn largest_remainder_counts(mix: &[(Archetype, f32)], total: usize) -> Vec<usize
 }
 
 /// Full description of one simulated crowd scenario.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioConfig {
     /// Human-readable scenario name (used in sweep reports).
     pub name: String,

@@ -1,0 +1,354 @@
+//! Binary wire codec for [`ScenarioConfig`] — the unit of work the
+//! distributed sweep coordinator hands to workers.
+//!
+//! The container this workspace builds in has no crates.io access, so there
+//! is no serde; this module hand-rolls a versioned, length-checked binary
+//! encoding covering **every** knob that [`ScenarioConfig::content_hash`]
+//! covers, plus the display `name` (the hash excludes it, but sweep reports
+//! key quality rows by it, so the wire must carry it).  All floats travel
+//! as IEEE-754 bit patterns, which makes `decode(encode(c)) == c` *bitwise*
+//! — the property the distributed sweep's "merged report equals the serial
+//! sweep" contract rests on, and the one
+//! `crates/crowd/tests/wire_roundtrip.rs` asserts over seeded grids.
+//!
+//! Malformed input never panics: every way a frame can be wrong (truncated
+//! buffer, trailing garbage, unknown enum tag, wrong version, non-UTF-8
+//! name) maps to a typed [`WireError`], mirroring the typed-4xx contract of
+//! `lncl_serve::http`.
+
+use super::router::{PolicyKind, RoutePlan};
+use super::{Archetype, DifficultyModel, DriftSchedule, PropensityProfile, ScenarioConfig};
+use crate::data::TaskKind;
+
+/// Version byte every encoded config starts with.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on an encoded scenario name, in bytes.
+pub const MAX_NAME_BYTES: usize = 4096;
+
+/// A buffer that could not be decoded into a [`ScenarioConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// First byte is not a version this build understands.
+    UnsupportedVersion(u8),
+    /// Buffer ended before the named field was complete.
+    Truncated {
+        /// The field being read when the buffer ran out.
+        field: &'static str,
+    },
+    /// Bytes left over after a complete config was decoded.
+    Trailing(usize),
+    /// An enum tag byte outside the known range.
+    BadTag {
+        /// The field carrying the tag.
+        field: &'static str,
+        /// The offending tag value.
+        value: u8,
+    },
+    /// The scenario name was not valid UTF-8.
+    BadName,
+    /// A declared length exceeds its bound (name length, mix entries).
+    Oversized {
+        /// The field carrying the length.
+        field: &'static str,
+        /// The declared length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v} (expected {WIRE_VERSION})"),
+            WireError::Truncated { field } => write!(f, "buffer truncated while reading {field}"),
+            WireError::Trailing(n) => write!(f, "{n} trailing bytes after a complete config"),
+            WireError::BadTag { field, value } => write!(f, "unknown {field} tag {value}"),
+            WireError::BadName => write!(f, "scenario name is not valid UTF-8"),
+            WireError::Oversized { field, len } => write!(f, "{field} length {len} exceeds its bound"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes a configuration into its versioned wire form.
+pub fn encode_config(config: &ScenarioConfig) -> Vec<u8> {
+    let mut out = Vec::with_capacity(96 + config.name.len());
+    out.push(WIRE_VERSION);
+    let name = config.name.as_bytes();
+    assert!(name.len() <= MAX_NAME_BYTES, "scenario name of {} bytes exceeds {MAX_NAME_BYTES}", name.len());
+    out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+    out.extend_from_slice(name);
+    out.push(match config.task {
+        TaskKind::Classification => 0,
+        TaskKind::SequenceTagging => 1,
+    });
+    for size in [
+        config.train_size,
+        config.dev_size,
+        config.test_size,
+        config.num_annotators,
+        config.min_labels_per_instance,
+        config.max_labels_per_instance,
+        config.filler_vocab,
+    ] {
+        out.extend_from_slice(&(size as u64).to_le_bytes());
+    }
+    out.extend_from_slice(&(config.mix.len() as u32).to_le_bytes());
+    for (archetype, fraction) in &config.mix {
+        // same (tag, three params) shape content_hash mixes in, so the two
+        // stay in lockstep field-for-field
+        let (tag, params): (u8, [u32; 3]) = match *archetype {
+            Archetype::Reliable { accuracy } => (0, [accuracy.to_bits(), 0, 0]),
+            Archetype::Spammer => (1, [0, 0, 0]),
+            Archetype::Adversarial { flip } => (2, [flip.to_bits(), 0, 0]),
+            Archetype::PairConfuser { class_a, class_b, swap_prob } => {
+                (3, [class_a as u32, class_b as u32, swap_prob.to_bits()])
+            }
+            Archetype::Colluding => (4, [0, 0, 0]),
+        };
+        out.push(tag);
+        for p in params {
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+        out.extend_from_slice(&fraction.to_bits().to_le_bytes());
+    }
+    out.push(match config.propensity {
+        PropensityProfile::Uniform => 0,
+        PropensityProfile::LongTail => 1,
+    });
+    out.extend_from_slice(&config.majority_share.to_bits().to_le_bytes());
+    let (drift_tag, drift_params): (u8, [u32; 2]) = match config.drift {
+        DriftSchedule::Static => (0, [0, 0]),
+        DriftSchedule::LinearFatigue { rate } => (1, [rate.to_bits(), 0]),
+        DriftSchedule::StepChange { at, level } => (2, [at.to_bits(), level.to_bits()]),
+        DriftSchedule::LearningCurve { rate } => (3, [rate.to_bits(), 0]),
+    };
+    out.push(drift_tag);
+    for p in drift_params {
+        out.extend_from_slice(&p.to_le_bytes());
+    }
+    out.extend_from_slice(&config.difficulty.strength.to_bits().to_le_bytes());
+    out.extend_from_slice(&config.difficulty.concentration.to_bits().to_le_bytes());
+    match config.route {
+        None => out.push(0),
+        Some(plan) => {
+            out.push(1);
+            out.push(match plan.policy {
+                PolicyKind::StaticRedundancy => 0,
+                PolicyKind::UncertaintyRouting => 1,
+                PolicyKind::SpamQuarantine => 2,
+            });
+            out.extend_from_slice(&plan.budget_fraction.to_bits().to_le_bytes());
+        }
+    }
+    out.extend_from_slice(&config.seed.to_le_bytes());
+    out
+}
+
+/// Bounded little-endian reader over the wire buffer.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, field: &'static str) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).filter(|&end| end <= self.bytes.len());
+        let Some(end) = end else {
+            return Err(WireError::Truncated { field });
+        };
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, field: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, field)?[0])
+    }
+
+    fn u32(&mut self, field: &'static str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, field)?.try_into().expect("4-byte slice")))
+    }
+
+    fn u64(&mut self, field: &'static str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, field)?.try_into().expect("8-byte slice")))
+    }
+
+    fn f32(&mut self, field: &'static str) -> Result<f32, WireError> {
+        Ok(f32::from_bits(self.u32(field)?))
+    }
+
+    fn usize(&mut self, field: &'static str) -> Result<usize, WireError> {
+        Ok(self.u64(field)? as usize)
+    }
+}
+
+/// Decodes a wire buffer back into the configuration it was encoded from.
+/// Bitwise inverse of [`encode_config`]; rejects anything else with a
+/// typed [`WireError`].
+pub fn decode_config(bytes: &[u8]) -> Result<ScenarioConfig, WireError> {
+    let mut r = Reader { bytes, pos: 0 };
+    let version = r.u8("version")?;
+    if version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let name_len = r.u32("name length")? as usize;
+    if name_len > MAX_NAME_BYTES {
+        return Err(WireError::Oversized { field: "name", len: name_len });
+    }
+    let name = String::from_utf8(r.take(name_len, "name")?.to_vec()).map_err(|_| WireError::BadName)?;
+    let task = match r.u8("task")? {
+        0 => TaskKind::Classification,
+        1 => TaskKind::SequenceTagging,
+        value => return Err(WireError::BadTag { field: "task", value }),
+    };
+    let train_size = r.usize("train_size")?;
+    let dev_size = r.usize("dev_size")?;
+    let test_size = r.usize("test_size")?;
+    let num_annotators = r.usize("num_annotators")?;
+    let min_labels_per_instance = r.usize("min_labels_per_instance")?;
+    let max_labels_per_instance = r.usize("max_labels_per_instance")?;
+    let filler_vocab = r.usize("filler_vocab")?;
+    let mix_len = r.u32("mix length")? as usize;
+    if mix_len > u16::MAX as usize {
+        return Err(WireError::Oversized { field: "mix", len: mix_len });
+    }
+    let mut mix = Vec::with_capacity(mix_len);
+    for _ in 0..mix_len {
+        let tag = r.u8("archetype")?;
+        let params = [r.u32("archetype param")?, r.u32("archetype param")?, r.u32("archetype param")?];
+        let archetype = match tag {
+            0 => Archetype::Reliable { accuracy: f32::from_bits(params[0]) },
+            1 => Archetype::Spammer,
+            2 => Archetype::Adversarial { flip: f32::from_bits(params[0]) },
+            3 => Archetype::PairConfuser {
+                class_a: params[0] as usize,
+                class_b: params[1] as usize,
+                swap_prob: f32::from_bits(params[2]),
+            },
+            4 => Archetype::Colluding,
+            value => return Err(WireError::BadTag { field: "archetype", value }),
+        };
+        mix.push((archetype, r.f32("mix fraction")?));
+    }
+    let propensity = match r.u8("propensity")? {
+        0 => PropensityProfile::Uniform,
+        1 => PropensityProfile::LongTail,
+        value => return Err(WireError::BadTag { field: "propensity", value }),
+    };
+    let majority_share = r.f32("majority_share")?;
+    let drift_tag = r.u8("drift")?;
+    let drift_params = [r.f32("drift param")?, r.f32("drift param")?];
+    let drift = match drift_tag {
+        0 => DriftSchedule::Static,
+        1 => DriftSchedule::LinearFatigue { rate: drift_params[0] },
+        2 => DriftSchedule::StepChange { at: drift_params[0], level: drift_params[1] },
+        3 => DriftSchedule::LearningCurve { rate: drift_params[0] },
+        value => return Err(WireError::BadTag { field: "drift", value }),
+    };
+    let difficulty =
+        DifficultyModel { strength: r.f32("difficulty strength")?, concentration: r.f32("difficulty concentration")? };
+    let route = match r.u8("route presence")? {
+        0 => None,
+        1 => {
+            let policy = match r.u8("route policy")? {
+                0 => PolicyKind::StaticRedundancy,
+                1 => PolicyKind::UncertaintyRouting,
+                2 => PolicyKind::SpamQuarantine,
+                value => return Err(WireError::BadTag { field: "route policy", value }),
+            };
+            // bypass RoutePlan::new: the wire must round-trip whatever was
+            // encoded, and validation belongs to the producer
+            Some(RoutePlan { policy, budget_fraction: r.f32("route budget_fraction")? })
+        }
+        value => return Err(WireError::BadTag { field: "route presence", value }),
+    };
+    let seed = r.u64("seed")?;
+    if r.pos != bytes.len() {
+        return Err(WireError::Trailing(bytes.len() - r.pos));
+    }
+    Ok(ScenarioConfig {
+        name,
+        task,
+        train_size,
+        dev_size,
+        test_size,
+        num_annotators,
+        min_labels_per_instance,
+        max_labels_per_instance,
+        mix,
+        propensity,
+        majority_share,
+        filler_vocab,
+        drift,
+        difficulty,
+        route,
+        seed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScenarioConfig {
+        ScenarioConfig::classification("wire/sample")
+            .with_mix(vec![(Archetype::reliable(), 0.7), (Archetype::Spammer, 0.3)])
+            .with_drift(DriftSchedule::StepChange { at: 0.5, level: 0.3 })
+            .with_difficulty(DifficultyModel::with_strength(0.2))
+            .with_route(RoutePlan::new(PolicyKind::UncertaintyRouting, 0.6))
+            .with_seed(97)
+    }
+
+    #[test]
+    fn round_trips_a_full_config() {
+        let config = sample();
+        let decoded = decode_config(&encode_config(&config)).unwrap();
+        assert_eq!(decoded, config);
+        assert_eq!(decoded.content_hash(), config.content_hash());
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut bytes = encode_config(&sample());
+        bytes[0] = WIRE_VERSION + 1;
+        assert_eq!(decode_config(&bytes), Err(WireError::UnsupportedVersion(WIRE_VERSION + 1)));
+    }
+
+    #[test]
+    fn rejects_every_truncation_point() {
+        let bytes = encode_config(&sample());
+        for len in 0..bytes.len() {
+            match decode_config(&bytes[..len]) {
+                Err(WireError::Truncated { .. }) => {}
+                other => panic!("truncation at {len} produced {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = encode_config(&sample());
+        bytes.extend_from_slice(&[0, 0, 0]);
+        assert_eq!(decode_config(&bytes), Err(WireError::Trailing(3)));
+    }
+
+    #[test]
+    fn rejects_unknown_tags() {
+        let config = ScenarioConfig::tiny(crate::TaskKind::SequenceTagging);
+        let clean = encode_config(&config);
+        // task tag sits right after the version byte and the name block
+        let task_at = 1 + 4 + config.name.len();
+        let mut bytes = clean.clone();
+        bytes[task_at] = 9;
+        assert_eq!(decode_config(&bytes), Err(WireError::BadTag { field: "task", value: 9 }));
+    }
+
+    #[test]
+    fn rejects_oversized_name_length() {
+        let mut bytes = vec![WIRE_VERSION];
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(decode_config(&bytes), Err(WireError::Oversized { field: "name", .. })));
+    }
+}

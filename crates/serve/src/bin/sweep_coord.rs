@@ -1,0 +1,87 @@
+//! Distributed scenario-sweep coordinator: serves the standard sweep grid
+//! ([`lncl_bench::scenario_sweep_configs`], seed 29 — the same grid the
+//! serial `scenario_sweep` binary runs) as leased work units, merges the
+//! workers' quality rows and writes the canonical quality-only
+//! `BENCH_scenario_sweep.json` — bitwise identical to a serial
+//! `LNCL_SWEEP_QUALITY_ONLY=1 scenario_sweep` run at the same scale,
+//! epochs and method filter.
+//!
+//! Environment:
+//!
+//! | variable             | meaning                                   | default          |
+//! |----------------------|-------------------------------------------|------------------|
+//! | `LNCL_COORD_ADDR`    | listen address                            | `127.0.0.1:7878` |
+//! | `LNCL_LEASE_MS`      | work-unit lease in milliseconds           | `30000`          |
+//! | `LNCL_SCALE`         | sweep scale (resolved here, sent to workers) | `small`       |
+//! | `LNCL_EPOCHS`        | training epochs (resolved here, sent to workers) | per-scale |
+//! | `LNCL_SWEEP_METHODS` | comma-separated method filter             | all supporting   |
+//! | `LNCL_BENCH_DIR`     | report output directory                   | cwd              |
+//!
+//! Workers never read `LNCL_SCALE` / `LNCL_EPOCHS` / `LNCL_SWEEP_METHODS`
+//! themselves — those travel in the `Spec` message, so a mixed-environment
+//! fleet cannot fork the result.
+
+use lncl_bench::quality::quality_only_report;
+use lncl_bench::{scenario_sweep_configs, Scale};
+use lncl_serve::sweep::{CoordConfig, Coordinator};
+use lncl_tensor::env::env_parsed;
+use std::time::Duration;
+
+fn env_sweep_methods() -> Option<Vec<String>> {
+    let raw = std::env::var("LNCL_SWEEP_METHODS").ok()?;
+    let names: Vec<String> = raw.split(',').map(str::trim).filter(|n| !n.is_empty()).map(String::from).collect();
+    if names.is_empty() {
+        None
+    } else {
+        Some(names)
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let epochs = scale.epochs();
+    let addr = std::env::var("LNCL_COORD_ADDR").unwrap_or_else(|_| "127.0.0.1:7878".to_string());
+    let lease_ms = env_parsed::<u64>("LNCL_LEASE_MS", "milliseconds >= 1", |&ms| ms >= 1).unwrap_or(30_000);
+    let methods = env_sweep_methods();
+    let configs = scenario_sweep_configs(scale, 29);
+    let cfg = CoordConfig {
+        addr,
+        lease: Duration::from_millis(lease_ms),
+        methods: methods.clone(),
+        ..CoordConfig::new(scale, epochs)
+    };
+    println!(
+        "sweep coordinator — {} unit(s), scale {}, {} epochs, lease {} ms, listening on {}",
+        configs.len(),
+        scale.name(),
+        epochs,
+        lease_ms,
+        cfg.addr
+    );
+    if let Some(names) = &methods {
+        println!("method filter (LNCL_SWEEP_METHODS): {}", names.join(", "));
+    }
+    let coordinator = match Coordinator::start(&configs, cfg) {
+        Ok(coordinator) => coordinator,
+        Err(e) => {
+            eprintln!("sweep_coord: cannot listen: {e}");
+            std::process::exit(1);
+        }
+    };
+    let outcome = coordinator.wait();
+    println!(
+        "sweep complete: {} unit(s), {} completion(s) accepted, {} duplicate(s) rejected, {} reissue(s)",
+        outcome.units,
+        outcome.accounting.completions_accepted,
+        outcome.accounting.duplicates_rejected,
+        outcome.accounting.reissues
+    );
+    let report = quality_only_report("scenario_sweep", scale, outcome.rows);
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("sweep_coord: cannot write the report: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Distributed scenario-sweep worker: pulls leased work units from a
+//! `sweep_coord`, runs them and reports quality rows until the
+//! coordinator says `Done`.
+//!
+//! Environment:
+//!
+//! | variable           | meaning                          | default          |
+//! |--------------------|----------------------------------|------------------|
+//! | `LNCL_COORD_ADDR`  | coordinator address              | `127.0.0.1:7878` |
+//! | `LNCL_WORKER_NAME` | name shown in the coordinator log | `worker-<pid>`  |
+//! | `LNCL_THREADS`     | per-unit method parallelism      | all cores        |
+//!
+//! Scale, epochs and the method filter come from the coordinator's `Spec`
+//! message — this binary deliberately ignores `LNCL_SCALE` and
+//! `LNCL_EPOCHS` so a heterogeneous fleet cannot fork the merged report.
+//! Exits non-zero if the coordinator is unreachable or the connection is
+//! lost beyond the bounded reconnect budget.
+
+use lncl_serve::sweep::{run_worker, WorkerConfig};
+
+fn main() {
+    let addr = std::env::var("LNCL_COORD_ADDR").unwrap_or_else(|_| "127.0.0.1:7878".to_string());
+    let name = std::env::var("LNCL_WORKER_NAME").unwrap_or_else(|_| format!("worker-{}", std::process::id()));
+    let cfg = WorkerConfig { method_parallelism: lncl_tensor::par::max_threads(), ..WorkerConfig::new(addr, name) };
+    println!("sweep worker {} — pulling from {}", cfg.name, cfg.addr);
+    match run_worker(&cfg) {
+        Ok(summary) => println!(
+            "worker {} done: {} unit(s) completed, {} duplicate(s), {} reconnect(s)",
+            summary.name, summary.completed, summary.duplicates, summary.reconnects
+        ),
+        Err(e) => {
+            eprintln!("sweep_worker: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -45,6 +45,13 @@
 //! loopback with persistent client connections, writing the
 //! `BENCH_serve.json` latency/throughput report the CI smoke job gates on.
 //!
+//! A second subsystem, [`sweep`], turns the benchmark harness's scenario
+//! sweep into a distributed coordinator/worker pipeline (the
+//! `sweep_coord` / `sweep_worker` binaries): work units are leased over a
+//! small framed TCP protocol, stragglers and crashed workers are
+//! re-issued, duplicate completions are deduplicated, and the merged
+//! report is bitwise identical to the serial sweep.
+//!
 //! (Where this sits in the workspace: `ARCHITECTURE.md` at the repository
 //! root; the crate README has the quickstart with curl examples and the
 //! `LNCL_SERVE_*` variable reference.)
@@ -64,6 +71,7 @@ pub mod http;
 pub mod routes;
 pub mod server;
 pub mod state;
+pub mod sweep;
 
 pub use routes::{Route, RouteError};
 pub use server::{Server, ServerConfig};

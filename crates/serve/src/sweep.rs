@@ -1,0 +1,85 @@
+//! Distributed scenario-sweep orchestration: one coordinator serving the
+//! sweep grid as content-hashed work units over TCP, any number of
+//! work-stealing workers pulling units, and a merged quality table that is
+//! **bitwise identical** to the serial `scenario_sweep` run regardless of
+//! worker count, interleaving, crashes or duplicated completions.
+//!
+//! The layering mirrors the HTTP side of this crate — everything above the
+//! socket is unit-testable:
+//!
+//! * [`frame`] — length-prefixed binary frames (magic, version, kind,
+//!   big-endian payload length) with a hard payload cap and typed
+//!   rejection of malformed input.
+//! * [`proto`] — the eight message kinds (`Hello`/`Spec`/`Pull`/`Unit`/
+//!   `Idle`/`Done`/`Result`/`Ack`) with JSON payloads.  Scenario
+//!   configurations travel as [`lncl_crowd::scenario::wire`] bytes plus
+//!   their content hash; quality metrics survive the JSON round trip
+//!   bit-for-bit (shortest-roundtrip `f64` formatting).
+//! * [`coord`] — the coordinator: a lease ledger (pending / leased /
+//!   done), expiry- and disconnect-triggered re-issue, first-completion-
+//!   wins deduplication and collision-checked merging.
+//! * [`worker`] — the pull loop: connect (with retry), receive the sweep
+//!   [`proto::Msg::Spec`], then pull → run → report until `Done`.
+//!   Workers take scale / epochs / method filter from the spec, never
+//!   from their own environment, so a heterogeneous fleet cannot fork
+//!   the result.
+//! * [`chaos`] — a fault-injecting loopback proxy for the integration
+//!   tests: kill connections mid-unit, truncate frames, duplicate
+//!   completions, delay the coordinator's responses.
+//!
+//! Why the merge is sound: every unit is a [`lncl_crowd::scenario::ScenarioConfig`]
+//! whose method runs are bitwise seed-deterministic, so *any* successful
+//! completion of a unit produces the same quality rows — accepting the
+//! first and rejecting duplicates cannot change the table.  The
+//! coordinator's merged report is built by the same
+//! [`lncl_bench::quality::quality_only_report`] constructor the serial
+//! sweep uses (`LNCL_SWEEP_QUALITY_ONLY=1`), making "distributed equals
+//! serial" a literal file comparison.
+//!
+//! The `sweep_coord` / `sweep_worker` binaries wire this up from
+//! `LNCL_COORD_ADDR` / `LNCL_LEASE_MS` / `LNCL_SCALE` / `LNCL_EPOCHS` /
+//! `LNCL_SWEEP_METHODS`; see the crate README and `ARCHITECTURE.md`.
+
+pub mod chaos;
+pub mod coord;
+pub mod frame;
+pub mod proto;
+pub mod worker;
+
+pub use chaos::{ChaosProxy, FaultPlan};
+pub use coord::{Accounting, CoordConfig, Coordinator, SweepOutcome};
+pub use frame::{Frame, FrameError};
+pub use proto::{Msg, ProtoError};
+pub use worker::{run_worker, WorkerConfig, WorkerError, WorkerSummary};
+
+/// Anything that can go wrong receiving a protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepError {
+    /// The byte stream violated the framing layer.
+    Frame(FrameError),
+    /// The frame carried an unknown kind or a malformed payload.
+    Proto(ProtoError),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Frame(e) => write!(f, "frame error: {e}"),
+            SweepError::Proto(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<FrameError> for SweepError {
+    fn from(e: FrameError) -> Self {
+        SweepError::Frame(e)
+    }
+}
+
+impl From<ProtoError> for SweepError {
+    fn from(e: ProtoError) -> Self {
+        SweepError::Proto(e)
+    }
+}

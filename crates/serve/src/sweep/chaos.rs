@@ -1,0 +1,165 @@
+//! A fault-injecting loopback TCP proxy for the sweep's integration
+//! tests.
+//!
+//! Workers connect to the proxy instead of the coordinator; the proxy
+//! forwards bytes in both directions and applies one [`FaultPlan`] per
+//! accepted connection (plans are consumed in accept order, then
+//! everything is clean).  The client→coordinator direction is parsed at
+//! the frame layer so faults can target specific message kinds:
+//!
+//! * kill the connection after N client frames (a worker dying mid-unit,
+//!   lease held);
+//! * truncate a frame of a given kind mid-payload and sever (a crash
+//!   mid-write — the coordinator must treat the partial frame as a fault,
+//!   not a completion);
+//! * duplicate every frame of a given kind (an at-least-once network
+//!   retrying a `Result` — the coordinator must dedupe);
+//! * delay every coordinator→worker read by a fixed amount (slow acks —
+//!   leases may expire and units get re-issued even though everyone is
+//!   alive).
+
+use super::frame::{read_frame, write_frame};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What to do to one proxied connection.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Sever both directions after forwarding this many client frames.
+    pub kill_after_client_frames: Option<usize>,
+    /// Forward only half the payload of the first client frame of this
+    /// kind, then sever.
+    pub truncate_client_kind: Option<u8>,
+    /// Forward every client frame of this kind twice.
+    pub duplicate_client_kind: Option<u8>,
+    /// Sleep this long before forwarding each coordinator→worker read.
+    pub delay_server_ms: u64,
+}
+
+impl FaultPlan {
+    /// A faithful pass-through.
+    pub fn clean() -> Self {
+        FaultPlan::default()
+    }
+}
+
+/// A running proxy; connections accepted on [`ChaosProxy::addr`] are
+/// forwarded to the upstream coordinator.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Starts a proxy on a free loopback port forwarding to `upstream`;
+    /// the `n`-th accepted connection gets `plans[n]` (clean once
+    /// exhausted).
+    pub fn start(upstream: SocketAddr, plans: Vec<FaultPlan>) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let plans = Arc::new(Mutex::new(plans.into_iter()));
+            std::thread::spawn(move || {
+                while let Ok((client, _)) = listener.accept() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let plan = plans.lock().expect("chaos plans poisoned").next().unwrap_or_default();
+                    let server = match TcpStream::connect(upstream) {
+                        Ok(server) => server,
+                        Err(_) => continue, // upstream gone: drop the client
+                    };
+                    spawn_pipes(client, server, plan);
+                }
+            })
+        };
+        Ok(ChaosProxy { addr, shutdown, accept: Some(accept) })
+    }
+
+    /// The proxy's listen address — point workers here.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr); // unblock accept
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+fn sever(a: &TcpStream, b: &TcpStream) {
+    let _ = a.shutdown(Shutdown::Both);
+    let _ = b.shutdown(Shutdown::Both);
+}
+
+fn spawn_pipes(client: TcpStream, server: TcpStream, plan: FaultPlan) {
+    let (Ok(client_r), Ok(server_r)) = (client.try_clone(), server.try_clone()) else {
+        sever(&client, &server);
+        return;
+    };
+    // client → server: frame-parsed, faults applied
+    {
+        let plan = plan.clone();
+        let (mut from, mut to) = (client_r, server);
+        std::thread::spawn(move || {
+            let mut forwarded = 0usize;
+            while let Ok(Some(frame)) = read_frame(&mut from) {
+                if plan.truncate_client_kind == Some(frame.kind) {
+                    let mut partial = Vec::new();
+                    let _ = write_frame(&mut partial, frame.kind, &frame.payload);
+                    // an empty payload is cut mid-header so the stub is
+                    // never mistaken for a complete frame
+                    let cut = if frame.payload.is_empty() { 4 } else { 8 + frame.payload.len() / 2 };
+                    let _ = to.write_all(&partial[..cut]);
+                    let _ = to.flush();
+                    break;
+                }
+                if write_frame(&mut to, frame.kind, &frame.payload).is_err() {
+                    break;
+                }
+                if plan.duplicate_client_kind == Some(frame.kind)
+                    && write_frame(&mut to, frame.kind, &frame.payload).is_err()
+                {
+                    break;
+                }
+                forwarded += 1;
+                if plan.kill_after_client_frames == Some(forwarded) {
+                    break;
+                }
+            }
+            sever(&from, &to);
+        });
+    }
+    // server → client: plain byte pipe, optionally delayed
+    {
+        let (mut from, mut to) = (server_r, client);
+        std::thread::spawn(move || {
+            let mut buf = [0u8; 16 * 1024];
+            loop {
+                let n = match from.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => n,
+                };
+                if plan.delay_server_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(plan.delay_server_ms));
+                }
+                if to.write_all(&buf[..n]).is_err() || to.flush().is_err() {
+                    break;
+                }
+            }
+            sever(&from, &to);
+        });
+    }
+}

@@ -1,0 +1,435 @@
+//! The sweep coordinator: a lease ledger behind a TCP accept loop.
+//!
+//! Work distribution is pull-based (work stealing): the coordinator never
+//! pushes, it answers `Pull` requests with the next leasable unit.  Each
+//! lease carries a deadline; expired leases are reclaimed lazily on the
+//! next `Pull` and a disconnect reclaims everything its connection held —
+//! a crashed, killed or wedged worker can therefore delay a unit but never
+//! lose it.  Completions are deduplicated first-wins by unit index: the
+//! run is seed-deterministic, so any completion of a unit carries the same
+//! rows and dropping duplicates cannot change the merged table (the
+//! duplicate is still counted in [`Accounting::duplicates_rejected`]).
+//!
+//! [`Coordinator::wait`] blocks until every unit is done, drains
+//! connected workers (each gets a `Done` answer to its final `Pull`),
+//! force-closes whatever is left, joins all handler threads and only then
+//! snapshots rows and accounting — so the returned [`SweepOutcome`] is
+//! race-free even with chaos-proxy duplicated completions in flight.
+
+use super::proto::{recv_msg, send_msg, Msg};
+use lncl_bench::merge::merge_quality_rows;
+use lncl_bench::timing::QualityCase;
+use lncl_bench::Scale;
+use lncl_crowd::scenario::{wire, ScenarioConfig};
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Coordinator configuration.
+#[derive(Debug, Clone)]
+pub struct CoordConfig {
+    /// Listen address; port `0` picks a free port (see [`Coordinator::addr`]).
+    pub addr: String,
+    /// Lease duration: how long a pulled unit may stay unreported before
+    /// it becomes leasable again.
+    pub lease: Duration,
+    /// Scale every worker runs units at.
+    pub scale: Scale,
+    /// Training epochs every worker uses.
+    pub epochs: usize,
+    /// Optional registry-name filter forwarded to workers.
+    pub methods: Option<Vec<String>>,
+    /// Back-off answered to `Pull` when nothing is leasable yet.
+    pub idle_retry: Duration,
+    /// How long [`Coordinator::wait`] lets connected workers pull their
+    /// `Done` before force-closing them.
+    pub drain: Duration,
+}
+
+impl CoordConfig {
+    /// A loopback configuration with the defaults the `sweep_coord`
+    /// binary also uses (30 s leases, 50 ms idle retry, 1 s drain).
+    pub fn new(scale: Scale, epochs: usize) -> Self {
+        CoordConfig {
+            addr: "127.0.0.1:0".to_string(),
+            lease: Duration::from_millis(30_000),
+            scale,
+            epochs,
+            methods: None,
+            idle_retry: Duration::from_millis(50),
+            drain: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Completion bookkeeping, exposed for the fault-injection tests and the
+/// `sweep_coord` log line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Accounting {
+    /// Results accepted (exactly one per unit).
+    pub completions_accepted: usize,
+    /// Results rejected because the unit was already done.
+    pub duplicates_rejected: usize,
+    /// Leases reclaimed — via expiry or a holder's disconnect — and made
+    /// leasable again.
+    pub reissues: usize,
+}
+
+/// What a finished sweep produced.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// All quality rows, sorted by `(scenario, method)` — identical to the
+    /// serial sweep's table.
+    pub rows: Vec<QualityCase>,
+    /// Completion bookkeeping.
+    pub accounting: Accounting,
+    /// Number of grid units served.
+    pub units: usize,
+}
+
+enum UnitState {
+    Pending,
+    Leased { conn: u64, deadline: Instant },
+    Done,
+}
+
+/// The unit ledger: every state transition happens under one mutex, so
+/// the invariant "each unit is accepted exactly once" is local to this
+/// struct (see the unit tests).
+struct Ledger {
+    states: Vec<UnitState>,
+    queue: VecDeque<usize>,
+    rows: Vec<Option<Vec<QualityCase>>>,
+    completed: usize,
+    acct: Accounting,
+}
+
+impl Ledger {
+    fn new(units: usize) -> Self {
+        Ledger {
+            states: (0..units).map(|_| UnitState::Pending).collect(),
+            queue: (0..units).collect(),
+            rows: (0..units).map(|_| None).collect(),
+            completed: 0,
+            acct: Accounting::default(),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.completed == self.states.len()
+    }
+
+    /// Returns expired leases to the queue.
+    fn reclaim_expired(&mut self, now: Instant) {
+        for index in 0..self.states.len() {
+            if let UnitState::Leased { deadline, .. } = self.states[index] {
+                if deadline <= now {
+                    self.states[index] = UnitState::Pending;
+                    self.queue.push_back(index);
+                    self.acct.reissues += 1;
+                }
+            }
+        }
+    }
+
+    /// Returns a disconnected worker's leases to the queue.
+    fn disconnect(&mut self, conn: u64) {
+        for index in 0..self.states.len() {
+            if matches!(self.states[index], UnitState::Leased { conn: holder, .. } if holder == conn) {
+                self.states[index] = UnitState::Pending;
+                self.queue.push_back(index);
+                self.acct.reissues += 1;
+            }
+        }
+    }
+
+    /// Leases the next pending unit to `conn`, if any.
+    fn lease_next(&mut self, conn: u64, deadline: Instant) -> Option<usize> {
+        let index = self.queue.pop_front()?;
+        self.states[index] = UnitState::Leased { conn, deadline };
+        Some(index)
+    }
+
+    /// Records a completion; `false` means the unit was already done and
+    /// the rows were discarded.  The first completion wins no matter who
+    /// currently holds the lease — the unit may have been reclaimed and
+    /// re-leased while the original holder was still computing.
+    fn complete(&mut self, index: usize, rows: Vec<QualityCase>) -> bool {
+        if matches!(self.states[index], UnitState::Done) {
+            self.acct.duplicates_rejected += 1;
+            return false;
+        }
+        // a reclaimed-but-not-yet-releases unit sits in the queue; keep the
+        // queue and the state table consistent
+        if matches!(self.states[index], UnitState::Pending) {
+            self.queue.retain(|&i| i != index);
+        }
+        self.states[index] = UnitState::Done;
+        self.rows[index] = Some(rows);
+        self.completed += 1;
+        self.acct.completions_accepted += 1;
+        true
+    }
+}
+
+struct UnitPayload {
+    hash: u64,
+    bytes: Vec<u8>,
+}
+
+struct Shared {
+    ledger: Mutex<Ledger>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    units: Vec<UnitPayload>,
+    spec: Msg,
+    lease: Duration,
+    idle_retry_ms: u64,
+}
+
+/// A running coordinator; see the module docs.
+pub struct Coordinator {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: JoinHandle<Vec<JoinHandle<()>>>,
+    drain: Duration,
+}
+
+impl Coordinator {
+    /// Serves `configs` as work units on `cfg.addr`.
+    pub fn start(configs: &[ScenarioConfig], cfg: CoordConfig) -> io::Result<Coordinator> {
+        let units: Vec<UnitPayload> =
+            configs.iter().map(|c| UnitPayload { hash: c.content_hash(), bytes: wire::encode_config(c) }).collect();
+        let spec = Msg::Spec { scale: cfg.scale, epochs: cfg.epochs, methods: cfg.methods.clone(), units: units.len() };
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            ledger: Mutex::new(Ledger::new(units.len())),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            units,
+            spec,
+            lease: cfg.lease,
+            idle_retry_ms: cfg.idle_retry.as_millis() as u64,
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(listener, shared))
+        };
+        Ok(Coordinator { shared, addr, accept, drain: cfg.drain })
+    }
+
+    /// The bound listen address (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until every unit is complete, drains and joins all worker
+    /// connections, and returns the merged outcome.
+    pub fn wait(self) -> SweepOutcome {
+        {
+            let mut ledger = self.shared.ledger.lock().expect("sweep ledger poisoned");
+            while !ledger.done() {
+                ledger = self.shared.cv.wait(ledger).expect("sweep ledger poisoned");
+            }
+        }
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr); // unblock the accept loop
+        let handlers = self.accept.join().expect("sweep accept thread panicked");
+        // drain: every healthy worker's next Pull is answered with Done and
+        // its handler exits; give that a moment before force-closing the
+        // rest (wedged stragglers, chaos-proxied leftovers)
+        let deadline = Instant::now() + self.drain;
+        while Instant::now() < deadline {
+            if self.shared.conns.lock().expect("sweep conns poisoned").is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        for (_, stream) in self.shared.conns.lock().expect("sweep conns poisoned").drain() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        for handle in handlers {
+            let _ = handle.join();
+        }
+        // only now — after every handler finished — snapshot the ledger
+        let mut ledger = self.shared.ledger.lock().expect("sweep ledger poisoned");
+        let shards: Vec<Vec<QualityCase>> = ledger.rows.iter_mut().map(|r| r.take().unwrap_or_default()).collect();
+        let rows = merge_quality_rows(&shards).expect("grid scenarios are distinct, completions are deduplicated");
+        SweepOutcome { rows, accounting: ledger.acct, units: self.shared.units.len() }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> Vec<JoinHandle<()>> {
+    let mut handlers = Vec::new();
+    let mut next_conn: u64 = 0;
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) => continue,
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return handlers;
+        }
+        let conn = next_conn;
+        next_conn += 1;
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().expect("sweep conns poisoned").insert(conn, clone);
+        }
+        let shared = Arc::clone(&shared);
+        handlers.push(std::thread::spawn(move || handle_conn(stream, conn, shared)));
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, conn: u64, shared: Arc<Shared>) {
+    // the loop ends on clean hang-up (Ok(None)), truncation, frame or
+    // protocol fault alike: either way the connection is gone and its
+    // leases go back
+    while let Ok(Some(msg)) = recv_msg(&mut stream) {
+        let reply = match msg {
+            Msg::Hello { .. } => shared.spec.clone(),
+            Msg::Pull => {
+                let now = Instant::now();
+                let mut ledger = shared.ledger.lock().expect("sweep ledger poisoned");
+                ledger.reclaim_expired(now);
+                if let Some(index) = ledger.lease_next(conn, now + shared.lease) {
+                    let unit = &shared.units[index];
+                    Msg::Unit { index, hash: unit.hash, config: unit.bytes.clone() }
+                } else if ledger.done() {
+                    drop(ledger);
+                    let _ = send_msg(&mut stream, &Msg::Done);
+                    break;
+                } else {
+                    Msg::Idle { retry_ms: shared.idle_retry_ms }
+                }
+            }
+            Msg::Result { index, hash, rows, .. } => {
+                if index >= shared.units.len() || shared.units[index].hash != hash {
+                    // a result for a unit this sweep never issued: protocol
+                    // violation, drop the connection
+                    break;
+                }
+                let accepted = {
+                    let mut ledger = shared.ledger.lock().expect("sweep ledger poisoned");
+                    let accepted = ledger.complete(index, rows);
+                    if ledger.done() {
+                        shared.cv.notify_all();
+                    }
+                    accepted
+                };
+                Msg::Ack { index, accepted }
+            }
+            // coordinator-to-worker kinds arriving here are a violation
+            _ => break,
+        };
+        if send_msg(&mut stream, &reply).is_err() {
+            break;
+        }
+    }
+    shared.ledger.lock().expect("sweep ledger poisoned").disconnect(conn);
+    shared.conns.lock().expect("sweep conns poisoned").remove(&conn);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Instant {
+        // a fixed origin keeps the arithmetic readable
+        static ORIGIN: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+        *ORIGIN.get_or_init(Instant::now) + Duration::from_millis(ms)
+    }
+
+    fn rows(tag: &str) -> Vec<QualityCase> {
+        vec![QualityCase { scenario: tag.to_string(), method: "mv".to_string(), metrics: vec![] }]
+    }
+
+    #[test]
+    fn units_are_leased_in_order_and_completed_exactly_once() {
+        let mut ledger = Ledger::new(3);
+        assert_eq!(ledger.lease_next(0, t(100)), Some(0));
+        assert_eq!(ledger.lease_next(1, t(100)), Some(1));
+        assert!(ledger.complete(0, rows("a")));
+        assert!(ledger.complete(1, rows("b")));
+        assert_eq!(ledger.lease_next(0, t(100)), Some(2));
+        assert!(ledger.complete(2, rows("c")));
+        assert!(ledger.done());
+        assert_eq!(ledger.lease_next(0, t(100)), None);
+        assert_eq!(ledger.acct, Accounting { completions_accepted: 3, duplicates_rejected: 0, reissues: 0 });
+    }
+
+    #[test]
+    fn expired_leases_are_reissued() {
+        let mut ledger = Ledger::new(1);
+        assert_eq!(ledger.lease_next(0, t(100)), Some(0));
+        ledger.reclaim_expired(t(50));
+        assert_eq!(ledger.lease_next(1, t(200)), None, "not expired yet");
+        ledger.reclaim_expired(t(100));
+        assert_eq!(ledger.lease_next(1, t(300)), Some(0), "expired lease is leasable again");
+        assert_eq!(ledger.acct.reissues, 1);
+    }
+
+    #[test]
+    fn disconnect_reclaims_only_the_holders_leases() {
+        let mut ledger = Ledger::new(2);
+        ledger.lease_next(0, t(100));
+        ledger.lease_next(1, t(100));
+        ledger.disconnect(0);
+        assert_eq!(ledger.acct.reissues, 1);
+        assert_eq!(ledger.lease_next(2, t(200)), Some(0), "conn 0's unit came back");
+        assert_eq!(ledger.lease_next(2, t(200)), None, "conn 1's lease is untouched");
+    }
+
+    #[test]
+    fn duplicate_completions_are_rejected_first_wins() {
+        let mut ledger = Ledger::new(1);
+        ledger.lease_next(0, t(100));
+        ledger.reclaim_expired(t(100));
+        ledger.lease_next(1, t(200));
+        // the original holder finishes first despite losing the lease
+        assert!(ledger.complete(0, rows("first")));
+        assert!(!ledger.complete(0, rows("second")));
+        assert_eq!(ledger.rows[0].as_ref().unwrap()[0].scenario, "first");
+        assert_eq!(ledger.acct, Accounting { completions_accepted: 1, duplicates_rejected: 1, reissues: 1 });
+        assert!(ledger.done());
+    }
+
+    #[test]
+    fn completing_a_reclaimed_unit_removes_it_from_the_queue() {
+        let mut ledger = Ledger::new(1);
+        ledger.lease_next(0, t(100));
+        ledger.reclaim_expired(t(100)); // back in the queue
+        assert!(ledger.complete(0, rows("late but first")));
+        assert_eq!(ledger.lease_next(1, t(300)), None, "a completed unit must never be re-leased");
+        assert!(ledger.done());
+    }
+
+    #[test]
+    fn interleaved_faults_still_complete_every_unit_exactly_once() {
+        // two workers, one straggling and one dying, over 4 units
+        let mut ledger = Ledger::new(4);
+        let a = ledger.lease_next(0, t(100)).unwrap();
+        let b = ledger.lease_next(1, t(100)).unwrap();
+        ledger.disconnect(1); // worker 1 dies holding `b`
+        ledger.reclaim_expired(t(100)); // worker 0 straggles: `a` expires
+        let c = ledger.lease_next(2, t(300)).unwrap();
+        let d = ledger.lease_next(2, t(300)).unwrap();
+        assert_eq!((c, d), (2, 3));
+        assert!(ledger.complete(c, rows("c")));
+        assert!(ledger.complete(d, rows("d")));
+        let b2 = ledger.lease_next(2, t(300)).unwrap();
+        assert_eq!(b2, b);
+        assert!(ledger.complete(b2, rows("b")));
+        assert!(ledger.complete(a, rows("a")), "the straggler's completion still counts");
+        assert!(ledger.done());
+        assert_eq!(ledger.acct, Accounting { completions_accepted: 4, duplicates_rejected: 0, reissues: 2 });
+        assert!(ledger.rows.iter().all(|r| r.is_some()), "no unit lost");
+    }
+}

@@ -1,0 +1,203 @@
+//! Length-prefixed binary framing for the sweep protocol.
+//!
+//! Every frame is an 8-byte header followed by the payload:
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic `b"LS"`
+//! 2       1     protocol version ([`FRAME_VERSION`])
+//! 3       1     message kind (interpreted by [`super::proto`])
+//! 4       4     payload length, big-endian u32 (<= [`MAX_PAYLOAD`])
+//! 8       len   payload bytes
+//! ```
+//!
+//! [`read_frame`] distinguishes a *clean* end of stream (EOF exactly at a
+//! frame boundary, `Ok(None)`) from a *truncated* one (EOF inside a header
+//! or payload, [`FrameError::Truncated`]) — the coordinator treats the
+//! former as a worker hanging up and the latter as a fault, but reclaims
+//! outstanding leases either way.
+
+use std::io::{self, Read, Write};
+
+/// First two bytes of every frame.
+pub const MAGIC: [u8; 2] = *b"LS";
+
+/// Wire version; a bump invalidates all older peers.
+pub const FRAME_VERSION: u8 = 1;
+
+/// Hard cap on payload size — far above any real message (the largest is
+/// a `Result` with one scenario's quality rows) but small enough that a
+/// corrupted length field cannot trigger a giant allocation.
+pub const MAX_PAYLOAD: usize = 8 << 20;
+
+/// One decoded frame: the kind byte and the raw payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Message kind (see the `K_*` constants in [`super::proto`]).
+    pub kind: u8,
+    /// Raw payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Why a byte stream is not a valid frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first two bytes were not [`MAGIC`].
+    BadMagic([u8; 2]),
+    /// The version byte did not match [`FRAME_VERSION`].
+    BadVersion(u8),
+    /// The declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// EOF inside a header or payload.
+    Truncated {
+        /// Bytes the section needed.
+        expected: usize,
+        /// Bytes actually read before EOF.
+        got: usize,
+    },
+    /// The underlying reader failed.
+    Io(io::ErrorKind),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            FrameError::BadVersion(v) => write!(f, "unsupported frame version {v} (expected {FRAME_VERSION})"),
+            FrameError::Oversized(len) => write!(f, "payload length {len} exceeds the {MAX_PAYLOAD}-byte cap"),
+            FrameError::Truncated { expected, got } => {
+                write!(f, "truncated frame: needed {expected} byte(s), got {got}")
+            }
+            FrameError::Io(kind) => write!(f, "read failed: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Writes one frame and flushes the writer.
+///
+/// Panics if `payload` exceeds [`MAX_PAYLOAD`] — the protocol layer never
+/// builds such a message.
+pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> io::Result<()> {
+    assert!(payload.len() <= MAX_PAYLOAD, "write_frame: payload of {} bytes exceeds the cap", payload.len());
+    let mut header = [0u8; 8];
+    header[..2].copy_from_slice(&MAGIC);
+    header[2] = FRAME_VERSION;
+    header[3] = kind;
+    header[4..].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` on clean EOF at a frame boundary.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, FrameError> {
+    let mut header = [0u8; 8];
+    match read_up_to(r, &mut header)? {
+        0 => return Ok(None),
+        8 => {}
+        got => return Err(FrameError::Truncated { expected: 8, got }),
+    }
+    if header[..2] != MAGIC {
+        return Err(FrameError::BadMagic([header[0], header[1]]));
+    }
+    if header[2] != FRAME_VERSION {
+        return Err(FrameError::BadVersion(header[2]));
+    }
+    let len = u32::from_be_bytes([header[4], header[5], header[6], header[7]]);
+    if len as usize > MAX_PAYLOAD {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    let got = read_up_to(r, &mut payload)?;
+    if got != payload.len() {
+        return Err(FrameError::Truncated { expected: payload.len(), got });
+    }
+    Ok(Some(Frame { kind: header[3], payload }))
+}
+
+/// Fills `buf` as far as the stream allows; the count stops short of
+/// `buf.len()` only at EOF.
+fn read_up_to(r: &mut impl Read, buf: &mut [u8]) -> Result<usize, FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e.kind())),
+        }
+    }
+    Ok(filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encode(kind: u8, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_frame(&mut out, kind, payload).unwrap();
+        out
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        for payload in [&b""[..], b"x", &[0u8; 1024][..]] {
+            let bytes = encode(7, payload);
+            let mut r = &bytes[..];
+            let frame = read_frame(&mut r).unwrap().unwrap();
+            assert_eq!(frame, Frame { kind: 7, payload: payload.to_vec() });
+            assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF after the frame");
+        }
+    }
+
+    #[test]
+    fn consecutive_frames_parse_in_order() {
+        let mut bytes = encode(1, b"a");
+        bytes.extend(encode(2, b"bb"));
+        let mut r = &bytes[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap().kind, 1);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap().payload, b"bb");
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_stream_is_clean_eof() {
+        assert_eq!(read_frame(&mut &[][..]).unwrap(), None);
+    }
+
+    #[test]
+    fn rejection_table() {
+        let good = encode(3, b"payload");
+        // wrong magic
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert_eq!(read_frame(&mut &bad[..]), Err(FrameError::BadMagic([b'X', b'S'])));
+        // wrong version
+        let mut bad = good.clone();
+        bad[2] = FRAME_VERSION + 1;
+        assert_eq!(read_frame(&mut &bad[..]), Err(FrameError::BadVersion(FRAME_VERSION + 1)));
+        // over-length declaration
+        let mut bad = good.clone();
+        bad[4..8].copy_from_slice(&(MAX_PAYLOAD as u32 + 1).to_be_bytes());
+        assert_eq!(read_frame(&mut &bad[..]), Err(FrameError::Oversized(MAX_PAYLOAD as u32 + 1)));
+    }
+
+    #[test]
+    fn every_truncation_point_is_typed() {
+        let good = encode(3, b"payload");
+        for cut in 1..good.len() {
+            let err = read_frame(&mut &good[..cut]).expect_err("truncated at byte {cut}");
+            assert!(matches!(err, FrameError::Truncated { .. }), "cut at {cut}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn truncation_reports_header_vs_payload() {
+        let good = encode(3, b"payload");
+        assert_eq!(read_frame(&mut &good[..4]), Err(FrameError::Truncated { expected: 8, got: 4 }));
+        assert_eq!(read_frame(&mut &good[..10]), Err(FrameError::Truncated { expected: 7, got: 2 }));
+    }
+}

@@ -1,0 +1,433 @@
+//! The sweep protocol messages and their JSON payload codec.
+//!
+//! One frame kind per message; request/response pairing is strict:
+//!
+//! ```text
+//! worker                         coordinator
+//! Hello {worker}          ->
+//!                         <-     Spec {scale, epochs, methods, units}
+//! Pull                    ->
+//!                         <-     Unit {index, hash, config}   (work)
+//!                         <-     Idle {retry_ms}              (nothing leasable yet)
+//!                         <-     Done                         (sweep complete)
+//! Result {index, hash,    ->
+//!         rows, secs}
+//!                         <-     Ack {index, accepted}
+//! ```
+//!
+//! Payload fidelity: scenario configurations travel as
+//! [`lncl_crowd::scenario::wire`] bytes (hex), the 64-bit content hash as a
+//! 16-digit hex string (JSON numbers are `f64` and cannot carry a full
+//! `u64`), and quality metrics as plain JSON numbers — the report JSON uses
+//! shortest-roundtrip formatting, so a serialise → parse cycle reproduces
+//! every `f64` bit-for-bit and the distributed sweep's merged table can be
+//! compared to the serial one byte by byte.
+
+use super::frame::{read_frame, write_frame, Frame};
+use super::SweepError;
+use lncl_bench::json::Json;
+use lncl_bench::timing::QualityCase;
+use lncl_bench::Scale;
+use std::io::{Read, Write};
+
+/// `Hello` — a worker introduces itself.
+pub const K_HELLO: u8 = 1;
+/// `Spec` — the coordinator pins the sweep parameters.
+pub const K_SPEC: u8 = 2;
+/// `Pull` — a worker asks for work.
+pub const K_PULL: u8 = 3;
+/// `Unit` — one leased work unit.
+pub const K_UNIT: u8 = 4;
+/// `Idle` — nothing leasable right now; retry later.
+pub const K_IDLE: u8 = 5;
+/// `Done` — every unit is complete; the worker may exit.
+pub const K_DONE: u8 = 6;
+/// `Result` — a completed unit's quality rows.
+pub const K_RESULT: u8 = 7;
+/// `Ack` — whether a `Result` was accepted (first completion) or
+/// rejected (duplicate).
+pub const K_ACK: u8 = 8;
+
+/// A protocol message (see the module docs for the exchange).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// Worker's opening message.
+    Hello {
+        /// Self-chosen worker name, for the coordinator's log.
+        worker: String,
+    },
+    /// The coordinator's sweep parameters; workers obey these and never
+    /// their own environment.
+    Spec {
+        /// Scale every unit runs at.
+        scale: Scale,
+        /// Training epochs per method run.
+        epochs: usize,
+        /// Optional registry-name filter (`None` = all supporting methods).
+        methods: Option<Vec<String>>,
+        /// Total number of units in the sweep, for logging.
+        units: usize,
+    },
+    /// Work request.
+    Pull,
+    /// One work unit.
+    Unit {
+        /// Grid index of the unit (stable across re-issues).
+        index: usize,
+        /// [`lncl_crowd::scenario::ScenarioConfig::content_hash`] of the config.
+        hash: u64,
+        /// [`lncl_crowd::scenario::wire`]-encoded configuration.
+        config: Vec<u8>,
+    },
+    /// Nothing leasable; ask again after `retry_ms`.
+    Idle {
+        /// Suggested back-off in milliseconds.
+        retry_ms: u64,
+    },
+    /// Sweep complete.
+    Done,
+    /// A completed unit.
+    Result {
+        /// Grid index the rows belong to.
+        index: usize,
+        /// Content hash of the config the worker actually ran.
+        hash: u64,
+        /// The unit's quality rows ([`lncl_bench::quality::scenario_quality_rows`]).
+        rows: Vec<QualityCase>,
+        /// Worker-side wall clock for the unit, seconds.
+        secs: f64,
+    },
+    /// Completion receipt.
+    Ack {
+        /// Grid index being acknowledged.
+        index: usize,
+        /// `false` means the unit was already done (duplicate) — the rows
+        /// were discarded.
+        accepted: bool,
+    },
+}
+
+/// Why a frame is not a valid message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The kind byte names no message.
+    UnknownKind(u8),
+    /// The payload does not decode as the kind's schema.
+    BadPayload {
+        /// Kind of the offending frame.
+        kind: u8,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::UnknownKind(kind) => write!(f, "unknown message kind {kind}"),
+            ProtoError::BadPayload { kind, reason } => write!(f, "bad payload for kind {kind}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl Msg {
+    /// The frame kind of this message.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Msg::Hello { .. } => K_HELLO,
+            Msg::Spec { .. } => K_SPEC,
+            Msg::Pull => K_PULL,
+            Msg::Unit { .. } => K_UNIT,
+            Msg::Idle { .. } => K_IDLE,
+            Msg::Done => K_DONE,
+            Msg::Result { .. } => K_RESULT,
+            Msg::Ack { .. } => K_ACK,
+        }
+    }
+
+    /// The JSON payload bytes (empty for `Pull` / `Done`).
+    pub fn payload(&self) -> Vec<u8> {
+        let json = match self {
+            Msg::Pull | Msg::Done => return Vec::new(),
+            Msg::Hello { worker } => Json::Obj(vec![("worker".into(), Json::Str(worker.clone()))]),
+            Msg::Spec { scale, epochs, methods, units } => Json::Obj(vec![
+                ("scale".into(), Json::Str(scale.name().to_string())),
+                ("epochs".into(), Json::Num(*epochs as f64)),
+                (
+                    "methods".into(),
+                    match methods {
+                        None => Json::Null,
+                        Some(names) => Json::Arr(names.iter().map(|n| Json::Str(n.clone())).collect()),
+                    },
+                ),
+                ("units".into(), Json::Num(*units as f64)),
+            ]),
+            Msg::Unit { index, hash, config } => Json::Obj(vec![
+                ("index".into(), Json::Num(*index as f64)),
+                ("hash".into(), Json::Str(format!("{hash:016x}"))),
+                ("config".into(), Json::Str(hex_encode(config))),
+            ]),
+            Msg::Idle { retry_ms } => Json::Obj(vec![("retry_ms".into(), Json::Num(*retry_ms as f64))]),
+            Msg::Result { index, hash, rows, secs } => Json::Obj(vec![
+                ("index".into(), Json::Num(*index as f64)),
+                ("hash".into(), Json::Str(format!("{hash:016x}"))),
+                ("rows".into(), Json::Arr(rows.iter().map(row_to_json).collect())),
+                ("secs".into(), Json::Num(*secs)),
+            ]),
+            Msg::Ack { index, accepted } => {
+                Json::Obj(vec![("index".into(), Json::Num(*index as f64)), ("accepted".into(), Json::Bool(*accepted))])
+            }
+        };
+        json.render().into_bytes()
+    }
+
+    /// Decodes a frame into a message.
+    pub fn decode(frame: &Frame) -> Result<Msg, ProtoError> {
+        let bad = |reason: &str| ProtoError::BadPayload { kind: frame.kind, reason: reason.to_string() };
+        if !(K_HELLO..=K_ACK).contains(&frame.kind) {
+            return Err(ProtoError::UnknownKind(frame.kind));
+        }
+        if matches!(frame.kind, K_PULL | K_DONE) {
+            if !frame.payload.is_empty() {
+                return Err(bad("expected an empty payload"));
+            }
+            return Ok(if frame.kind == K_PULL { Msg::Pull } else { Msg::Done });
+        }
+        let text = std::str::from_utf8(&frame.payload).map_err(|_| bad("payload is not UTF-8"))?;
+        let json = Json::parse(text).map_err(|e| bad(&e))?;
+        match frame.kind {
+            K_HELLO => Ok(Msg::Hello { worker: str_field(&json, "worker").map_err(|e| bad(&e))?.to_string() }),
+            K_SPEC => {
+                let raw_scale = str_field(&json, "scale").map_err(|e| bad(&e))?;
+                let scale = Scale::parse(raw_scale).ok_or_else(|| bad(&format!("unknown scale {raw_scale:?}")))?;
+                let methods = match json.get("methods") {
+                    None | Some(Json::Null) => None,
+                    Some(Json::Arr(items)) => Some(
+                        items
+                            .iter()
+                            .map(|v| v.as_str().map(str::to_string).ok_or("non-string method name"))
+                            .collect::<Result<Vec<_>, _>>()
+                            .map_err(bad)?,
+                    ),
+                    Some(_) => return Err(bad("methods must be null or an array of strings")),
+                };
+                Ok(Msg::Spec {
+                    scale,
+                    epochs: usize_field(&json, "epochs").map_err(|e| bad(&e))?,
+                    methods,
+                    units: usize_field(&json, "units").map_err(|e| bad(&e))?,
+                })
+            }
+            K_UNIT => Ok(Msg::Unit {
+                index: usize_field(&json, "index").map_err(|e| bad(&e))?,
+                hash: hash_field(&json).map_err(|e| bad(&e))?,
+                config: hex_decode(str_field(&json, "config").map_err(|e| bad(&e))?).map_err(|e| bad(&e))?,
+            }),
+            K_IDLE => Ok(Msg::Idle { retry_ms: usize_field(&json, "retry_ms").map_err(|e| bad(&e))? as u64 }),
+            K_RESULT => {
+                let rows = match json.get("rows") {
+                    Some(Json::Arr(items)) => {
+                        items.iter().map(row_from_json).collect::<Result<Vec<_>, _>>().map_err(|e| bad(&e))?
+                    }
+                    _ => return Err(bad("missing rows array")),
+                };
+                let secs = json.get("secs").and_then(Json::as_f64).ok_or_else(|| bad("missing secs"))?;
+                Ok(Msg::Result {
+                    index: usize_field(&json, "index").map_err(|e| bad(&e))?,
+                    hash: hash_field(&json).map_err(|e| bad(&e))?,
+                    rows,
+                    secs,
+                })
+            }
+            K_ACK => {
+                let accepted = match json.get("accepted") {
+                    Some(Json::Bool(b)) => *b,
+                    _ => return Err(bad("missing accepted flag")),
+                };
+                Ok(Msg::Ack { index: usize_field(&json, "index").map_err(|e| bad(&e))?, accepted })
+            }
+            kind => unreachable!("kind {kind} was validated above"),
+        }
+    }
+}
+
+/// Writes one message as a frame.
+pub fn send_msg(w: &mut impl Write, msg: &Msg) -> std::io::Result<()> {
+    write_frame(w, msg.kind(), &msg.payload())
+}
+
+/// Reads one message; `Ok(None)` on clean EOF.
+pub fn recv_msg(r: &mut impl Read) -> Result<Option<Msg>, SweepError> {
+    match read_frame(r)? {
+        None => Ok(None),
+        Some(frame) => Ok(Some(Msg::decode(&frame)?)),
+    }
+}
+
+fn row_to_json(row: &QualityCase) -> Json {
+    Json::Obj(vec![
+        ("scenario".into(), Json::Str(row.scenario.clone())),
+        ("method".into(), Json::Str(row.method.clone())),
+        (
+            "metrics".into(),
+            Json::Arr(row.metrics.iter().map(|(k, v)| Json::Arr(vec![Json::Str(k.clone()), Json::Num(*v)])).collect()),
+        ),
+    ])
+}
+
+fn row_from_json(json: &Json) -> Result<QualityCase, String> {
+    let metrics = match json.get("metrics") {
+        Some(Json::Arr(pairs)) => pairs
+            .iter()
+            .map(|pair| match pair.as_array() {
+                Some([Json::Str(k), Json::Num(v)]) => Ok((k.clone(), *v)),
+                _ => Err("metric entries must be [name, value] pairs".to_string()),
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => return Err("row is missing its metrics array".into()),
+    };
+    Ok(QualityCase {
+        scenario: str_field(json, "scenario")?.to_string(),
+        method: str_field(json, "method")?.to_string(),
+        metrics,
+    })
+}
+
+fn str_field<'j>(json: &'j Json, key: &str) -> Result<&'j str, String> {
+    json.get(key).and_then(Json::as_str).ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+fn usize_field(json: &Json, key: &str) -> Result<usize, String> {
+    let n = json.get(key).and_then(Json::as_f64).ok_or_else(|| format!("missing numeric field {key:?}"))?;
+    if n.is_finite() && n >= 0.0 && n.fract() == 0.0 && n <= usize::MAX as f64 {
+        Ok(n as usize)
+    } else {
+        Err(format!("field {key:?} is not a non-negative integer: {n}"))
+    }
+}
+
+fn hash_field(json: &Json) -> Result<u64, String> {
+    let raw = str_field(json, "hash")?;
+    u64::from_str_radix(raw, 16).map_err(|_| format!("hash {raw:?} is not 64-bit hex"))
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn hex_decode(text: &str) -> Result<Vec<u8>, String> {
+    if !text.len().is_multiple_of(2) {
+        return Err("hex string has odd length".into());
+    }
+    (0..text.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(text.get(i..i + 2).ok_or("hex string split a character")?, 16)
+                .map_err(|_| format!("invalid hex at byte {i}"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: Msg) {
+        let frame = Frame { kind: msg.kind(), payload: msg.payload() };
+        assert_eq!(Msg::decode(&frame).unwrap(), msg);
+    }
+
+    #[test]
+    fn every_message_kind_round_trips() {
+        round_trip(Msg::Hello { worker: "w0".into() });
+        round_trip(Msg::Spec { scale: Scale::Tiny, epochs: 3, methods: None, units: 26 });
+        round_trip(Msg::Spec {
+            scale: Scale::Paper,
+            epochs: 30,
+            methods: Some(vec!["mv".into(), "dawid-skene".into()]),
+            units: 1,
+        });
+        round_trip(Msg::Pull);
+        round_trip(Msg::Unit { index: 3, hash: u64::MAX, config: vec![0, 1, 255, 16] });
+        round_trip(Msg::Idle { retry_ms: 50 });
+        round_trip(Msg::Done);
+        round_trip(Msg::Result {
+            index: 7,
+            hash: 0xdead_beef_0123_4567,
+            rows: vec![QualityCase {
+                scenario: "sent/clean".into(),
+                method: "mv".into(),
+                metrics: vec![("headline".into(), 0.1 + 0.2), ("f1".into(), f64::MIN_POSITIVE)],
+            }],
+            secs: 1.25,
+        });
+        round_trip(Msg::Ack { index: 7, accepted: false });
+    }
+
+    #[test]
+    fn metric_values_survive_bit_for_bit() {
+        let awkward = [0.1 + 0.2, 1.0 / 3.0, f64::MIN_POSITIVE, 2.0f64.powi(60)];
+        let msg = Msg::Result {
+            index: 0,
+            hash: 1,
+            rows: vec![QualityCase {
+                scenario: "s".into(),
+                method: "m".into(),
+                metrics: awkward.iter().enumerate().map(|(i, v)| (format!("k{i}"), *v)).collect(),
+            }],
+            secs: 0.0,
+        };
+        let frame = Frame { kind: msg.kind(), payload: msg.payload() };
+        match Msg::decode(&frame).unwrap() {
+            Msg::Result { rows, .. } => {
+                for (got, want) in rows[0].metrics.iter().zip(&awkward) {
+                    assert_eq!(got.1.to_bits(), want.to_bits(), "{want} changed bits in transit");
+                }
+            }
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        let cases: &[(u8, &[u8])] = &[
+            (K_HELLO, b"{}"),
+            (K_HELLO, b"not json"),
+            (K_HELLO, &[0xff, 0xfe]),
+            (K_SPEC, br#"{"scale": "galactic", "epochs": 1, "units": 1}"#),
+            (K_SPEC, br#"{"scale": "tiny", "epochs": -1, "units": 1}"#),
+            (K_SPEC, br#"{"scale": "tiny", "epochs": 1.5, "units": 1}"#),
+            (K_SPEC, br#"{"scale": "tiny", "epochs": 1, "methods": "mv", "units": 1}"#),
+            (K_UNIT, br#"{"index": 0, "hash": "xyz", "config": ""}"#),
+            (K_UNIT, br#"{"index": 0, "hash": "0f", "config": "abc"}"#),
+            (K_RESULT, br#"{"index": 0, "hash": "0f", "secs": 1.0}"#),
+            (K_RESULT, br#"{"index": 0, "hash": "0f", "rows": [{"scenario": "s"}], "secs": 1.0}"#),
+            (K_ACK, br#"{"index": 0}"#),
+            (K_PULL, b"{}"),
+            (K_DONE, b" "),
+        ];
+        for (kind, payload) in cases {
+            let frame = Frame { kind: *kind, payload: payload.to_vec() };
+            assert!(
+                matches!(Msg::decode(&frame), Err(ProtoError::BadPayload { .. })),
+                "kind {kind} payload {payload:?} should be rejected"
+            );
+        }
+        let frame = Frame { kind: 99, payload: Vec::new() };
+        assert_eq!(Msg::decode(&frame), Err(ProtoError::UnknownKind(99)));
+    }
+
+    #[test]
+    fn hex_helpers_round_trip_and_reject() {
+        assert_eq!(hex_encode(&[0, 15, 255]), "000fff");
+        assert_eq!(hex_decode("000fff").unwrap(), vec![0, 15, 255]);
+        assert!(hex_decode("f").is_err());
+        assert!(hex_decode("zz").is_err());
+    }
+}

@@ -1,0 +1,258 @@
+//! The sweep worker: connect, learn the sweep spec, pull → run → report
+//! until the coordinator says `Done`.
+//!
+//! Two decisions keep a heterogeneous or flaky fleet from forking the
+//! result:
+//!
+//! * **The spec wins.**  Scale, epoch count and the method filter come
+//!   from the coordinator's `Spec`, never from the worker's own
+//!   environment — a worker started with a stray `LNCL_SCALE` produces
+//!   the same rows as everyone else.  Each unit's config is decoded from
+//!   wire bytes and its [`ScenarioConfig::content_hash`] is checked
+//!   against the advertised hash before running.
+//! * **Reconnect, don't abort.**  A lost connection (the coordinator's
+//!   lease fence, a chaos proxy, a network blip) triggers a bounded
+//!   reconnect with a fresh `Hello`/`Spec` exchange; the coordinator's
+//!   ledger makes re-pulled work safe.  Stray `Ack` frames — the visible
+//!   residue of a duplicated `Result` — are skipped while awaiting a
+//!   `Pull` response.
+
+use super::frame::FrameError;
+use super::proto::{recv_msg, send_msg, Msg, K_ACK};
+use super::SweepError;
+use lncl_bench::quality::scenario_quality_rows;
+use lncl_bench::run_scenario_outcome_with_epochs;
+use lncl_crowd::scenario::{wire, ScenarioCache, ScenarioConfig};
+use logic_lncl::method::MethodRegistry;
+use std::io::ErrorKind;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Worker configuration.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Coordinator address, e.g. `127.0.0.1:7878`.
+    pub addr: String,
+    /// Name sent in `Hello`, for the coordinator's log.
+    pub name: String,
+    /// Threads used *within* one unit (method parallelism).
+    pub method_parallelism: usize,
+    /// Connection attempts (100 ms apart) before giving up — workers may
+    /// be started before the coordinator.
+    pub connect_attempts: usize,
+    /// How many mid-sweep connection losses to survive before erroring.
+    pub max_reconnects: usize,
+}
+
+impl WorkerConfig {
+    /// Defaults: single-threaded methods, 50 connect attempts (5 s),
+    /// 5 reconnects.
+    pub fn new(addr: impl Into<String>, name: impl Into<String>) -> Self {
+        WorkerConfig {
+            addr: addr.into(),
+            name: name.into(),
+            method_parallelism: 1,
+            connect_attempts: 50,
+            max_reconnects: 5,
+        }
+    }
+}
+
+/// What a worker did before the coordinator dismissed it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// The `Hello` name.
+    pub name: String,
+    /// Units whose `Result` was accepted.
+    pub completed: usize,
+    /// Units whose `Result` was rejected as a duplicate (somebody else
+    /// finished first, typically after a lease reissue).
+    pub duplicates: usize,
+    /// Mid-sweep reconnects survived.
+    pub reconnects: usize,
+}
+
+/// Why a worker gave up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerError {
+    /// The coordinator never answered the door.
+    Connect {
+        /// Address dialled.
+        addr: String,
+        /// Attempts made.
+        attempts: usize,
+    },
+    /// Connection losses exceeded [`WorkerConfig::max_reconnects`].
+    Disconnected {
+        /// Reconnects already burned.
+        reconnects: usize,
+    },
+    /// The coordinator broke the protocol (bad frame kind, malformed
+    /// payload, a reply out of sequence).
+    Protocol(String),
+    /// A unit's config bytes did not decode, or decoded to a different
+    /// content hash than advertised.
+    BadUnit {
+        /// Unit index.
+        index: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkerError::Connect { addr, attempts } => {
+                write!(f, "could not connect to the coordinator at {addr} after {attempts} attempt(s)")
+            }
+            WorkerError::Disconnected { reconnects } => {
+                write!(f, "connection lost and {reconnects} reconnect(s) exhausted")
+            }
+            WorkerError::Protocol(reason) => write!(f, "coordinator protocol violation: {reason}"),
+            WorkerError::BadUnit { index, reason } => write!(f, "unit {index} is invalid: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkerError {}
+
+/// Runs the pull loop until `Done`; see the module docs.
+pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerSummary, WorkerError> {
+    let registry = MethodRegistry::standard();
+    let cache = ScenarioCache::new();
+    let mut summary = WorkerSummary { name: cfg.name.clone(), completed: 0, duplicates: 0, reconnects: 0 };
+    loop {
+        let mut stream = connect(cfg)?;
+        match session(cfg, &mut stream, &registry, &cache, &mut summary) {
+            Ok(()) => return Ok(summary),
+            Err(SessionFault::Fatal(err)) => return Err(err),
+            Err(SessionFault::Lost) => {
+                summary.reconnects += 1;
+                if summary.reconnects > cfg.max_reconnects {
+                    return Err(WorkerError::Disconnected { reconnects: summary.reconnects - 1 });
+                }
+            }
+        }
+    }
+}
+
+enum SessionFault {
+    /// The connection died; reconnect and resume.
+    Lost,
+    /// Unrecoverable — stop the worker.
+    Fatal(WorkerError),
+}
+
+impl From<SweepError> for SessionFault {
+    fn from(err: SweepError) -> Self {
+        match err {
+            // a truncated or interrupted stream is a connection fault;
+            // framing/protocol *content* errors are the coordinator's bug
+            SweepError::Frame(FrameError::Truncated { .. }) | SweepError::Frame(FrameError::Io(_)) => {
+                SessionFault::Lost
+            }
+            other => SessionFault::Fatal(WorkerError::Protocol(other.to_string())),
+        }
+    }
+}
+
+fn connect(cfg: &WorkerConfig) -> Result<TcpStream, WorkerError> {
+    for attempt in 0..cfg.connect_attempts {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        if let Ok(stream) = TcpStream::connect(&cfg.addr) {
+            let _ = stream.set_nodelay(true);
+            return Ok(stream);
+        }
+    }
+    Err(WorkerError::Connect { addr: cfg.addr.clone(), attempts: cfg.connect_attempts })
+}
+
+fn session(
+    cfg: &WorkerConfig,
+    stream: &mut TcpStream,
+    registry: &MethodRegistry,
+    cache: &ScenarioCache,
+    summary: &mut WorkerSummary,
+) -> Result<(), SessionFault> {
+    send(stream, &Msg::Hello { worker: cfg.name.clone() })?;
+    let (scale, epochs, methods) = match recv(stream)? {
+        Msg::Spec { scale, epochs, methods, .. } => (scale, epochs, methods),
+        other => return Err(SessionFault::Fatal(WorkerError::Protocol(format!("expected Spec, got {other:?}")))),
+    };
+    let method_refs: Option<Vec<&str>> = methods.as_ref().map(|m| m.iter().map(String::as_str).collect());
+    loop {
+        send(stream, &Msg::Pull)?;
+        match recv_skipping_acks(stream)? {
+            Msg::Unit { index, hash, config } => {
+                let config = wire::decode_config(&config)
+                    .map_err(|e| SessionFault::Fatal(WorkerError::BadUnit { index, reason: e.to_string() }))?;
+                if config.content_hash() != hash {
+                    return Err(SessionFault::Fatal(WorkerError::BadUnit {
+                        index,
+                        reason: format!("content hash {:016x} != advertised {hash:016x}", config.content_hash()),
+                    }));
+                }
+                let started = Instant::now();
+                let rows = run_unit(&config, scale, epochs, registry, method_refs.as_deref(), cache, cfg);
+                send(stream, &Msg::Result { index, hash, rows, secs: started.elapsed().as_secs_f64() })?;
+                match recv(stream)? {
+                    Msg::Ack { accepted: true, .. } => summary.completed += 1,
+                    Msg::Ack { accepted: false, .. } => summary.duplicates += 1,
+                    other => {
+                        return Err(SessionFault::Fatal(WorkerError::Protocol(format!("expected Ack, got {other:?}"))))
+                    }
+                }
+            }
+            Msg::Idle { retry_ms } => std::thread::sleep(Duration::from_millis(retry_ms)),
+            Msg::Done => return Ok(()),
+            other => {
+                return Err(SessionFault::Fatal(WorkerError::Protocol(format!(
+                    "expected Unit/Idle/Done, got {other:?}"
+                ))))
+            }
+        }
+    }
+}
+
+fn run_unit(
+    config: &ScenarioConfig,
+    scale: lncl_bench::Scale,
+    epochs: usize,
+    registry: &MethodRegistry,
+    methods: Option<&[&str]>,
+    cache: &ScenarioCache,
+    cfg: &WorkerConfig,
+) -> Vec<lncl_bench::timing::QualityCase> {
+    let outcome =
+        run_scenario_outcome_with_epochs(config, scale, epochs, registry, methods, cache, cfg.method_parallelism);
+    scenario_quality_rows(&outcome)
+}
+
+fn send(stream: &mut TcpStream, msg: &Msg) -> Result<(), SessionFault> {
+    send_msg(stream, msg).map_err(|e| match e.kind() {
+        ErrorKind::InvalidInput => SessionFault::Fatal(WorkerError::Protocol(e.to_string())),
+        _ => SessionFault::Lost,
+    })
+}
+
+fn recv(stream: &mut TcpStream) -> Result<Msg, SessionFault> {
+    match recv_msg(stream) {
+        Ok(Some(msg)) => Ok(msg),
+        Ok(None) => Err(SessionFault::Lost),
+        Err(err) => Err(err.into()),
+    }
+}
+
+/// Receives the response to a `Pull`, skipping stray `Ack` frames — the
+/// residue a fault (or chaos proxy) duplicating a `Result` leaves behind.
+fn recv_skipping_acks(stream: &mut TcpStream) -> Result<Msg, SessionFault> {
+    loop {
+        let msg = recv(stream)?;
+        if msg.kind() != K_ACK {
+            return Ok(msg);
+        }
+    }
+}

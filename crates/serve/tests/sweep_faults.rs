@@ -1,0 +1,245 @@
+//! Fault-injection suite for the distributed sweep: real workers running
+//! real (training-free) method sweeps against a real coordinator, with a
+//! chaos proxy between them.  The claim under test is always the same —
+//! whatever the fault, the merged quality-only report is **bitwise
+//! identical** to the serial sweep and no work unit is lost:
+//!
+//! * a clean two-worker sweep,
+//! * a worker killed mid-unit while holding a lease,
+//! * a `Result` frame truncated mid-payload,
+//! * every completion duplicated in flight,
+//! * delayed coordinator responses under a short lease,
+//! * a wedged straggler whose lease expires and whose late result is
+//!   rejected.
+//!
+//! The method set is the training-free truth-inference baselines so the
+//! suite runs in seconds; bitwise determinism per method is asserted by
+//! the bench crate's own suites.
+
+use lncl_bench::quality::{quality_only_report, scenario_quality_rows};
+use lncl_bench::timing::QualityCase;
+use lncl_bench::{run_scenario_outcome_with_epochs, Scale};
+use lncl_crowd::scenario::{standard_mixes, wire, ScenarioCache, ScenarioConfig, ScenarioGrid};
+use lncl_crowd::TaskKind;
+use lncl_serve::sweep::proto::{recv_msg, send_msg};
+use lncl_serve::sweep::{run_worker, ChaosProxy, CoordConfig, Coordinator, FaultPlan, Msg, SweepOutcome, WorkerConfig};
+use logic_lncl::method::MethodRegistry;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+const METHODS: &[&str] = &["mv", "dawid-skene", "ibcc"];
+const EPOCHS: usize = 2;
+
+/// A six-unit grid over both tasks and three archetype mixes — the same
+/// shape the real sweep serves, small enough to run under every fault.
+fn test_grid() -> Vec<ScenarioConfig> {
+    let mut configs = Vec::new();
+    for task in [TaskKind::Classification, TaskKind::SequenceTagging] {
+        let mut grid = ScenarioGrid::new(ScenarioConfig::tiny(task).with_seed(41));
+        grid.mixes = standard_mixes()
+            .into_iter()
+            .filter(|(name, _)| matches!(*name, "clean" | "spammer-third" | "anarchy"))
+            .map(|(n, m)| (n.to_string(), m))
+            .collect();
+        configs.extend(grid.configs());
+    }
+    configs
+}
+
+/// The serial reference: the exact rows a `LNCL_SWEEP_QUALITY_ONLY=1`
+/// scenario sweep produces for this grid, computed in-process.
+fn serial_rows(configs: &[ScenarioConfig]) -> Vec<QualityCase> {
+    let registry = MethodRegistry::standard();
+    let cache = ScenarioCache::new();
+    configs
+        .iter()
+        .flat_map(|config| {
+            scenario_quality_rows(&run_scenario_outcome_with_epochs(
+                config,
+                Scale::Tiny,
+                EPOCHS,
+                &registry,
+                Some(METHODS),
+                &cache,
+                1,
+            ))
+        })
+        .collect()
+}
+
+fn coord_config() -> CoordConfig {
+    let mut cfg = CoordConfig::new(Scale::Tiny, EPOCHS);
+    cfg.methods = Some(METHODS.iter().map(|m| m.to_string()).collect());
+    cfg.drain = Duration::from_secs(2);
+    cfg
+}
+
+fn spawn_worker(
+    addr: SocketAddr,
+    name: &str,
+    max_reconnects: usize,
+) -> std::thread::JoinHandle<Result<lncl_serve::sweep::WorkerSummary, lncl_serve::sweep::WorkerError>> {
+    let cfg = WorkerConfig { max_reconnects, ..WorkerConfig::new(addr.to_string(), name) };
+    std::thread::spawn(move || run_worker(&cfg))
+}
+
+/// The bitwise contract: distributed rows, passed through the same
+/// canonical report constructor, serialise to the identical JSON document
+/// the serial sweep writes.
+fn assert_bitwise_serial(outcome: &SweepOutcome, serial: &[QualityCase], what: &str) {
+    let serial_json = quality_only_report("scenario_sweep", Scale::Tiny, serial.to_vec()).to_json();
+    let dist_json = quality_only_report("scenario_sweep", Scale::Tiny, outcome.rows.clone()).to_json();
+    assert_eq!(dist_json, serial_json, "{what}: the merged report must equal the serial one byte for byte");
+}
+
+#[test]
+fn two_clean_workers_reproduce_the_serial_sweep_bitwise() {
+    let configs = test_grid();
+    let serial = serial_rows(&configs);
+    let coordinator = Coordinator::start(&configs, coord_config()).unwrap();
+    let addr = coordinator.addr();
+    let w0 = spawn_worker(addr, "w0", 5);
+    let w1 = spawn_worker(addr, "w1", 5);
+    let outcome = coordinator.wait();
+    let (s0, s1) = (w0.join().unwrap().unwrap(), w1.join().unwrap().unwrap());
+    assert_eq!(outcome.accounting.completions_accepted, configs.len());
+    assert_eq!(s0.completed + s1.completed + outcome.accounting.duplicates_rejected, configs.len());
+    assert_bitwise_serial(&outcome, &serial, "clean two-worker sweep");
+}
+
+#[test]
+fn a_worker_killed_mid_unit_loses_no_work() {
+    let configs = test_grid();
+    let serial = serial_rows(&configs);
+    let coordinator = Coordinator::start(&configs, coord_config()).unwrap();
+    let addr = coordinator.addr();
+    // the doomed worker goes through a proxy that severs the connection
+    // right after its second Pull — it dies holding a fresh lease
+    let proxy =
+        ChaosProxy::start(addr, vec![FaultPlan { kill_after_client_frames: Some(4), ..FaultPlan::clean() }]).unwrap();
+    let doomed = spawn_worker(proxy.addr(), "doomed", 0);
+    let healthy = spawn_worker(addr, "healthy", 5);
+    let outcome = coordinator.wait();
+    assert!(doomed.join().unwrap().is_err(), "the faulted worker must report its death");
+    let survivor = healthy.join().unwrap().unwrap();
+    assert_eq!(outcome.accounting.completions_accepted, configs.len(), "no unit lost");
+    assert!(outcome.accounting.reissues >= 1, "the dead worker's lease must have been re-issued");
+    assert!(survivor.completed >= configs.len() - 2, "the survivor picked up the slack");
+    assert_bitwise_serial(&outcome, &serial, "worker killed mid-unit");
+}
+
+#[test]
+fn a_truncated_result_frame_is_reissued_not_merged() {
+    let configs = test_grid();
+    let serial = serial_rows(&configs);
+    let coordinator = Coordinator::start(&configs, coord_config()).unwrap();
+    let addr = coordinator.addr();
+    // first connection: the first Result frame is cut in half mid-payload;
+    // the worker reconnects through the proxy (second plan: clean)
+    let proxy = ChaosProxy::start(
+        addr,
+        vec![FaultPlan { truncate_client_kind: Some(lncl_serve::sweep::proto::K_RESULT), ..FaultPlan::clean() }],
+    )
+    .unwrap();
+    let worker = spawn_worker(proxy.addr(), "flaky", 5);
+    let outcome = coordinator.wait();
+    let summary = worker.join().unwrap().unwrap();
+    assert!(summary.reconnects >= 1, "the truncation must have forced a reconnect");
+    assert_eq!(outcome.accounting.completions_accepted, configs.len(), "no unit lost");
+    assert!(outcome.accounting.reissues >= 1, "the half-written unit was re-issued");
+    assert_bitwise_serial(&outcome, &serial, "truncated result frame");
+}
+
+#[test]
+fn duplicated_completions_are_deduplicated_first_wins() {
+    let configs = test_grid();
+    let serial = serial_rows(&configs);
+    let coordinator = Coordinator::start(&configs, coord_config()).unwrap();
+    let addr = coordinator.addr();
+    // an at-least-once network: every Result frame arrives twice
+    let proxy = ChaosProxy::start(
+        addr,
+        vec![FaultPlan { duplicate_client_kind: Some(lncl_serve::sweep::proto::K_RESULT), ..FaultPlan::clean() }],
+    )
+    .unwrap();
+    let worker = spawn_worker(proxy.addr(), "echoed", 5);
+    let outcome = coordinator.wait();
+    let summary = worker.join().unwrap().unwrap();
+    assert_eq!(outcome.accounting.completions_accepted, configs.len(), "each unit accepted exactly once");
+    assert!(
+        outcome.accounting.duplicates_rejected >= configs.len(),
+        "every duplicated completion must be rejected: {:?}",
+        outcome.accounting
+    );
+    assert_eq!(summary.completed, configs.len());
+    assert_bitwise_serial(&outcome, &serial, "duplicated completions");
+}
+
+#[test]
+fn delayed_responses_under_a_short_lease_stay_bitwise_identical() {
+    let configs = test_grid();
+    let serial = serial_rows(&configs);
+    let mut cfg = coord_config();
+    cfg.lease = Duration::from_millis(100);
+    let coordinator = Coordinator::start(&configs, cfg).unwrap();
+    let addr = coordinator.addr();
+    // responses to the proxied worker lag behind its lease, so units it
+    // holds may expire and be re-run by the direct worker — duplicates and
+    // re-issues are expected, divergence is not
+    let proxy = ChaosProxy::start(addr, vec![FaultPlan { delay_server_ms: 150, ..FaultPlan::clean() }]).unwrap();
+    let slow = spawn_worker(proxy.addr(), "slow", 5);
+    let fast = spawn_worker(addr, "fast", 5);
+    let outcome = coordinator.wait();
+    let _ = slow.join().unwrap();
+    let _ = fast.join().unwrap();
+    assert_eq!(outcome.accounting.completions_accepted, configs.len(), "no unit lost, none double-counted");
+    assert_bitwise_serial(&outcome, &serial, "delayed acks under a short lease");
+}
+
+#[test]
+fn a_stragglers_lease_expires_and_its_late_result_is_rejected() {
+    let configs = test_grid();
+    let serial = serial_rows(&configs);
+    let mut cfg = coord_config();
+    cfg.lease = Duration::from_millis(300);
+    cfg.drain = Duration::from_secs(5);
+    let coordinator = Coordinator::start(&configs, cfg).unwrap();
+    let addr = coordinator.addr();
+
+    // a hand-rolled straggler: pulls a unit, then wedges without reporting
+    let mut straggler = TcpStream::connect(addr).unwrap();
+    straggler.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    send_msg(&mut straggler, &Msg::Hello { worker: "straggler".into() }).unwrap();
+    assert!(matches!(recv_msg(&mut straggler).unwrap(), Some(Msg::Spec { .. })));
+    send_msg(&mut straggler, &Msg::Pull).unwrap();
+    let (index, hash, config) = match recv_msg(&mut straggler).unwrap().unwrap() {
+        Msg::Unit { index, hash, config } => (index, hash, config),
+        other => panic!("expected Unit, got {other:?}"),
+    };
+
+    // a healthy worker sweeps everything, including the straggler's unit
+    // once its lease expires
+    let healthy = spawn_worker(addr, "healthy", 5);
+    let waiter = std::thread::spawn(move || coordinator.wait());
+    let summary = healthy.join().unwrap().unwrap();
+    assert_eq!(summary.completed, configs.len(), "the healthy worker completed every unit, reissue included");
+
+    // the straggler finally reports — too late, somebody else finished it
+    let name = wire::decode_config(&config).unwrap().name;
+    let rows = vec![QualityCase { scenario: name, method: "mv".into(), metrics: vec![] }];
+    send_msg(&mut straggler, &Msg::Result { index, hash, rows, secs: 99.0 }).unwrap();
+    match recv_msg(&mut straggler).unwrap().unwrap() {
+        Msg::Ack { index: acked, accepted } => {
+            assert_eq!(acked, index);
+            assert!(!accepted, "a late result for a finished unit must be rejected");
+        }
+        other => panic!("expected Ack, got {other:?}"),
+    }
+    drop(straggler);
+
+    let outcome = waiter.join().unwrap();
+    assert_eq!(outcome.accounting.completions_accepted, configs.len());
+    assert!(outcome.accounting.reissues >= 1, "the expired lease must have been re-issued");
+    assert!(outcome.accounting.duplicates_rejected >= 1, "the late result must be on the books");
+    assert_bitwise_serial(&outcome, &serial, "straggler with an expired lease");
+}

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the distributed sweep orchestrator: run the
+# scenario sweep serially (the golden), then run the same sweep through a
+# coordinator and two workers over loopback TCP — killing one worker
+# mid-sweep — and require the merged quality-only report to be **bitwise
+# identical** to the serial one (`cmp`, not a semantic diff).
+#
+# The contract under test is the one the orchestrator is built around:
+# every method run is seed-deterministic, so scale, epochs and the method
+# filter travel in the coordinator's Spec message and the merged report
+# cannot depend on worker count, scheduling, crashes or interleaving.
+#
+#   LNCL_COORD_PORT   coordinator port (default 47213)
+#   DIST_SMOKE_OUT    directory to copy the reports into (optional; for
+#                     CI artifact upload)
+
+set -euo pipefail
+
+PORT="${LNCL_COORD_PORT:-47213}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+ADDR="127.0.0.1:$PORT"
+
+cargo build --release -p lncl-bench --bin scenario_sweep
+cargo build --release -p lncl-serve --bin sweep_coord --bin sweep_worker
+
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+mkdir -p "$WORK/serial" "$WORK/dist"
+
+# the sweep parameters are shared by both runs; the workers deliberately
+# ignore them (they take scale / epochs / methods from the Spec message),
+# so only the serial sweep and the coordinator read these
+export LNCL_SCALE=tiny
+export LNCL_EPOCHS=3
+export LNCL_SWEEP_QUALITY_ONLY=1
+export LNCL_SWEEP_METHODS="mv,dawid-skene,glad,ibcc,pm,catd,ds-windowed"
+
+echo "dist_smoke: serial golden sweep"
+LNCL_BENCH_DIR="$WORK/serial" "$ROOT/target/release/scenario_sweep"
+
+echo "dist_smoke: distributed sweep (1 coordinator + 2 workers, one killed mid-sweep)"
+LNCL_COORD_ADDR="$ADDR" LNCL_LEASE_MS=2000 LNCL_BENCH_DIR="$WORK/dist" \
+    "$ROOT/target/release/sweep_coord" &
+COORD_PID=$!
+PIDS+=("$COORD_PID")
+
+LNCL_COORD_ADDR="$ADDR" LNCL_WORKER_NAME=doomed "$ROOT/target/release/sweep_worker" &
+W1=$!
+PIDS+=("$W1")
+LNCL_COORD_ADDR="$ADDR" LNCL_WORKER_NAME=survivor "$ROOT/target/release/sweep_worker" &
+W2=$!
+PIDS+=("$W2")
+
+# kill one worker while the sweep is in flight; its leased unit expires
+# and is re-issued to the survivor.  If the sweep already finished (a very
+# fast machine), the kill is a no-op and the run degrades to the clean
+# two-worker case — the bitwise check is unaffected either way.
+sleep 1
+if kill "$W1" 2>/dev/null; then
+    echo "dist_smoke: killed worker 'doomed' mid-sweep"
+else
+    echo "dist_smoke: worker 'doomed' already finished (no mid-sweep kill on this machine)"
+fi
+
+wait "$COORD_PID"
+wait "$W2" || { echo "dist_smoke: the surviving worker failed" >&2; exit 1; }
+wait "$W1" 2>/dev/null || true
+
+cmp "$WORK/serial/BENCH_scenario_sweep.json" "$WORK/dist/BENCH_scenario_sweep.json" \
+    || { echo "dist_smoke: merged report diverged from the serial golden" >&2; exit 1; }
+echo "dist_smoke: OK — merged distributed report is bitwise identical to the serial sweep"
+
+if [ -n "${DIST_SMOKE_OUT:-}" ]; then
+    mkdir -p "$DIST_SMOKE_OUT"
+    cp "$WORK/serial/BENCH_scenario_sweep.json" "$DIST_SMOKE_OUT/dist_smoke_serial.json"
+    cp "$WORK/dist/BENCH_scenario_sweep.json" "$DIST_SMOKE_OUT/dist_smoke_merged.json"
+    echo "dist_smoke: reports copied to $DIST_SMOKE_OUT"
+fi
